@@ -1,0 +1,68 @@
+//! Criterion: engine primitives — index lookups, OCC read-modify-write
+//! commits, and snapshot scans.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pacman_common::{Row, TableId, Value};
+use pacman_engine::{Catalog, Database};
+
+fn db(rows: u64) -> Database {
+    let mut c = Catalog::new();
+    c.add_table("t", 2);
+    let db = Database::new(c);
+    for k in 0..rows {
+        db.seed_row(
+            TableId::new(0),
+            k,
+            Row::from([Value::Int(k as i64), Value::str("pad-pad-pad")]),
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let t = TableId::new(0);
+    let database = db(100_000);
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("index_get", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k.wrapping_mul(6364136223846793005).wrapping_add(1)) % 100_000;
+            black_box(database.table(t).unwrap().get(k))
+        })
+    });
+    g.bench_function("occ_rmw_commit", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7919) % 100_000;
+            let mut txn = database.begin();
+            let r = txn.read(t, k).unwrap();
+            let v = r.col(0).as_int().unwrap();
+            txn.write(t, k, r.with_col(0, Value::Int(v + 1))).unwrap();
+            black_box(txn.commit().unwrap().ts)
+        })
+    });
+    g.bench_function("snapshot_scan_100k", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            database.table(t).unwrap().for_each_newest(|_, _, _| n += 1);
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+fn short_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = short_config();
+    targets = bench_engine
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion: compile-time static analysis cost (local graphs, the GDG,
+//! and the chopping baseline) on the real workload procedure sets.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pacman_core::static_analysis::{ChoppingGraph, GlobalGraph, LocalGraph};
+use pacman_workloads::tpcc::procs;
+use pacman_workloads::{smallbank::Smallbank, Workload};
+
+fn bench_static(c: &mut Criterion) {
+    let tpcc = procs::registry(10);
+    let sb = Smallbank::default().registry();
+    let mut g = c.benchmark_group("static_analysis");
+    g.bench_function("local/tpcc_new_order", |b| {
+        let p = procs::new_order();
+        b.iter(|| black_box(LocalGraph::analyze(&p)))
+    });
+    g.bench_function("gdg/tpcc", |b| {
+        b.iter(|| black_box(GlobalGraph::analyze(tpcc.all()).unwrap()))
+    });
+    g.bench_function("gdg/smallbank", |b| {
+        b.iter(|| black_box(GlobalGraph::analyze(sb.all()).unwrap()))
+    });
+    g.bench_function("chopping/tpcc", |b| {
+        b.iter(|| black_box(ChoppingGraph::analyze(tpcc.all())))
+    });
+    g.finish();
+}
+
+fn short_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = short_config();
+    targets = bench_static
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Run every table/figure harness in sequence (pass --quick through).
+
+use std::process::Command;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let me = std::env::current_exe().expect("current exe");
+    let dir = me.parent().expect("bin dir");
+    for target in [
+        "fig11", "table1", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+        "fig19", "fig20", "fig21", "table2", "table3",
+    ] {
+        let mut cmd = Command::new(dir.join(target));
+        if quick {
+            cmd.arg("--quick");
+        }
+        println!();
+        let status = cmd.status().unwrap_or_else(|e| panic!("spawn {target}: {e}"));
+        assert!(status.success(), "{target} failed");
+    }
+}

@@ -1,0 +1,49 @@
+//! Fig. 12: logging with ad-hoc transactions — throughput drops and
+//! latency grows roughly linearly with the ad-hoc fraction under command
+//! logging.
+
+use pacman_bench::{banner, bench_tpcc, boot, drive, num_threads, BenchOpts};
+use pacman_wal::LogScheme;
+use std::time::Duration;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    banner(
+        "Fig. 12 — logging with ad-hoc transactions (TPC-C, CL)",
+        "throughput decreases almost linearly in the ad-hoc fraction; at \
+         100% the system effectively performs logical logging",
+    );
+    let secs = opts.run_secs();
+    let workers = (num_threads() - 4).max(2);
+    let fractions: &[f64] = if opts.quick {
+        &[0.0, 0.5, 1.0]
+    } else {
+        &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+    };
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>12}",
+        "adhoc", "K tps", "mean lat us", "p99 lat us", "MB logged"
+    );
+    for &f in fractions {
+        let tpcc = bench_tpcc(opts.quick);
+        let sys = boot(
+            &tpcc,
+            2,
+            LogScheme::Command,
+            Some(Duration::from_millis(900)),
+            true,
+        );
+        pacman_wal::run_checkpoint(&sys.db, &sys.storage, 2).unwrap();
+        sys.storage.reset_stats();
+        let r = drive(&sys, &tpcc, secs, workers, f);
+        println!(
+            "{:>8.1} {:>10.1} {:>12.0} {:>12} {:>12.1}",
+            f,
+            r.throughput / 1e3,
+            r.latency_us.mean(),
+            r.latency_us.quantile(0.99),
+            r.bytes_logged as f64 / 1e6
+        );
+        sys.durability.shutdown();
+    }
+}

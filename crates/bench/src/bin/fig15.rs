@@ -1,0 +1,41 @@
+//! Fig. 15: the latching bottleneck — PLR and LLR with and without tuple
+//! latches across thread counts (without latches is unsafe in general and
+//! serves only to expose the ceiling).
+
+use pacman_bench::{banner, num_threads, prepare_crashed, recover_checked, BenchOpts};
+use pacman_core::recovery::RecoveryScheme;
+use pacman_wal::LogScheme;
+use pacman_workloads::tpcc::{Tpcc, TpccConfig};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    banner(
+        "Fig. 15 — latching bottleneck in tuple-level log recovery (TPC-C)",
+        "removing latch acquisition lets PLR/LLR keep scaling where the \
+         latched variants flatten and regress (hot warehouse/district rows)",
+    );
+    // One warehouse concentrates contention on a handful of hot tuples.
+    let workload = Tpcc::new(TpccConfig::bench(1));
+    let secs = opts.run_secs();
+    let workers = (num_threads() - 4).max(2);
+    let ll = prepare_crashed(&workload, LogScheme::Logical, secs, workers, 0.0);
+    let pl = prepare_crashed(&workload, LogScheme::Physical, secs, workers, 0.0);
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>14}",
+        "threads", "PLR latch", "PLR no-latch", "LLR latch", "LLR no-latch"
+    );
+    for threads in opts.thread_sweep() {
+        let p1 = recover_checked(&pl, RecoveryScheme::Plr { latch: true }, threads);
+        let p0 = recover_checked(&pl, RecoveryScheme::Plr { latch: false }, threads);
+        let l1 = recover_checked(&ll, RecoveryScheme::Llr { latch: true }, threads);
+        let l0 = recover_checked(&ll, RecoveryScheme::Llr { latch: false }, threads);
+        println!(
+            "{:>8} {:>14.4} {:>14.4} {:>14.4} {:>14.4}",
+            threads,
+            p1.report.log_total_secs,
+            p0.report.log_total_secs,
+            l1.report.log_total_secs,
+            l0.report.log_total_secs
+        );
+    }
+}

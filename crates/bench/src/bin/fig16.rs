@@ -1,0 +1,64 @@
+//! Fig. 16: overall recovery performance (checkpoint + log stages) for all
+//! five schemes on TPC-C and Smallbank, using all available threads.
+
+use pacman_bench::{
+    banner, bench_smallbank, bench_tpcc, num_threads, prepare_crashed, recover_checked, BenchOpts,
+};
+use pacman_core::recovery::RecoveryScheme;
+use pacman_core::runtime::ReplayMode;
+use pacman_wal::LogScheme;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    banner(
+        "Fig. 16 — overall database recovery (checkpoint + log)",
+        "CLR worst (single-threaded log replay); LLR-P best (parallel, \
+         latch-free, write-only); CLR-P close behind LLR-P because it must \
+         re-execute reads as well",
+    );
+    let threads = num_threads().min(24);
+    let secs = opts.run_secs();
+    let workers = (num_threads() - 4).max(2);
+    for wl in ["tpcc", "smallbank"] {
+        println!("\n--- {wl} ({threads} recovery threads) ---");
+        println!(
+            "{:>12} {:>16} {:>12} {:>12}",
+            "scheme", "checkpoint (s)", "log (s)", "total (s)"
+        );
+        let (cl, ll, pl);
+        match wl {
+            "tpcc" => {
+                cl = prepare_crashed(&bench_tpcc(opts.quick), LogScheme::Command, secs, workers, 0.0);
+                ll = prepare_crashed(&bench_tpcc(opts.quick), LogScheme::Logical, secs, workers, 0.0);
+                pl = prepare_crashed(&bench_tpcc(opts.quick), LogScheme::Physical, secs, workers, 0.0);
+            }
+            _ => {
+                cl = prepare_crashed(&bench_smallbank(opts.quick), LogScheme::Command, secs, workers, 0.0);
+                ll = prepare_crashed(&bench_smallbank(opts.quick), LogScheme::Logical, secs, workers, 0.0);
+                pl = prepare_crashed(&bench_smallbank(opts.quick), LogScheme::Physical, secs, workers, 0.0);
+            }
+        }
+        for (crashed, scheme) in [
+            (&pl, RecoveryScheme::Plr { latch: true }),
+            (&ll, RecoveryScheme::Llr { latch: true }),
+            (&ll, RecoveryScheme::LlrP),
+            (&cl, RecoveryScheme::Clr),
+            (
+                &cl,
+                RecoveryScheme::ClrP {
+                    mode: ReplayMode::Pipelined,
+                },
+            ),
+        ] {
+            let t = if scheme == RecoveryScheme::Clr { 1 } else { threads };
+            let out = recover_checked(crashed, scheme, t);
+            println!(
+                "{:>12} {:>16.4} {:>12.4} {:>12.4}",
+                out.report.scheme,
+                out.report.checkpoint_total_secs,
+                out.report.log_total_secs,
+                out.report.total_secs
+            );
+        }
+    }
+}

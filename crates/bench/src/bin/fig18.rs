@@ -1,0 +1,84 @@
+//! Fig. 18: effectiveness of static analysis — PACMAN's slice
+//! decomposition vs the transaction-chopping baseline, dynamic analysis
+//! disabled (pure-static replay), 1-8 threads.
+
+use pacman_bench::{banner, bench_tpcc, num_threads, prepare_crashed, BenchOpts};
+use pacman_core::metrics::RecoveryMetrics;
+use pacman_core::recovery::{clr_p, LogInventory};
+use pacman_core::runtime::ReplayMode;
+use pacman_core::static_analysis::{ChoppingGraph, GlobalGraph};
+use pacman_engine::Database;
+use pacman_wal::LogScheme;
+use std::sync::Arc;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    banner(
+        "Fig. 18 — static analysis vs transaction chopping (dynamic analysis off)",
+        "PACMAN's finer slices beat chopping at every thread count; both \
+         plateau after ~3 threads because only coarse block parallelism is \
+         available without dynamic analysis",
+    );
+    let secs = opts.run_secs();
+    let workers = (num_threads() - 4).max(2);
+    let crashed = prepare_crashed(&bench_tpcc(opts.quick), LogScheme::Command, secs, workers, 0.0);
+    let procs = crashed.registry.all();
+    let pacman_gdg = Arc::new(GlobalGraph::analyze(procs).unwrap());
+    let chop = ChoppingGraph::analyze(procs);
+    let chop_gdg = Arc::new(GlobalGraph::analyze_decomposition(procs, &chop.pieces).unwrap());
+    println!(
+        "decomposition: PACMAN {} blocks / {} slices; chopping {} blocks / {} pieces",
+        pacman_gdg.num_blocks(),
+        procs
+            .iter()
+            .map(|p| pacman_core::static_analysis::LocalGraph::analyze(p).len())
+            .sum::<usize>(),
+        chop_gdg.num_blocks(),
+        chop.total_pieces()
+    );
+    println!(
+        "\n{:>8} {:>18} {:>22}",
+        "threads", "PACMAN static (s)", "txn chopping (s)"
+    );
+    let sweep: Vec<usize> = opts
+        .thread_sweep()
+        .into_iter()
+        .filter(|&t| t <= 8)
+        .collect();
+    let inventory = LogInventory::scan(&crashed.storage);
+    for threads in sweep {
+        let mut times = Vec::new();
+        for gdg in [&pacman_gdg, &chop_gdg] {
+            let db = Arc::new(Database::new(crashed.catalog.clone()));
+            // Restore the checkpoint first (not timed here; Fig. 18 is
+            // about log replay).
+            let manifest = pacman_wal::checkpoint::read_manifest(&crashed.storage)
+                .unwrap()
+                .unwrap();
+            pacman_core::recovery::checkpoint::recover_checkpoint(
+                &crashed.storage,
+                &manifest,
+                threads,
+                pacman_core::recovery::checkpoint::CheckpointTarget::Tables(&db),
+            )
+            .unwrap();
+            let metrics = Arc::new(RecoveryMetrics::new());
+            let r = clr_p::recover_log(
+                &crashed.storage,
+                &inventory,
+                &db,
+                gdg,
+                &crashed.registry,
+                threads,
+                ReplayMode::PureStatic,
+                u64::MAX,
+                manifest.ts,
+                &metrics,
+            )
+            .unwrap();
+            assert_eq!(db.fingerprint(), crashed.reference, "wrong state");
+            times.push(r.total.as_secs_f64());
+        }
+        println!("{:>8} {:>18.4} {:>22.4}", threads, times[0], times[1]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Fig. 19: effectiveness of dynamic analysis — pure static analysis vs
+//! synchronous (static + intra-batch) vs pipelined (full PACMAN) across
+//! thread counts.
+
+use pacman_bench::{banner, bench_tpcc, num_threads, prepare_crashed, recover_checked, BenchOpts};
+use pacman_core::recovery::RecoveryScheme;
+use pacman_core::runtime::ReplayMode;
+use pacman_wal::LogScheme;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    banner(
+        "Fig. 19 — effectiveness of dynamic analysis (TPC-C, CLR-P)",
+        "synchronous execution is ~4× faster than pure static analysis at \
+         full thread count; pipelined execution improves it further",
+    );
+    let secs = opts.run_secs();
+    let workers = (num_threads() - 4).max(2);
+    let crashed = prepare_crashed(&bench_tpcc(opts.quick), LogScheme::Command, secs, workers, 0.0);
+    println!("replaying {} txns", crashed.committed);
+    println!(
+        "\n{:>8} {:>16} {:>16} {:>16}",
+        "threads", "pure static (s)", "synchronous (s)", "pipelined (s)"
+    );
+    for threads in opts.thread_sweep() {
+        let mut row = Vec::new();
+        for mode in [
+            ReplayMode::PureStatic,
+            ReplayMode::Synchronous,
+            ReplayMode::Pipelined,
+        ] {
+            let out = recover_checked(&crashed, RecoveryScheme::ClrP { mode }, threads);
+            row.push(out.report.log_total_secs);
+        }
+        println!(
+            "{:>8} {:>16.4} {:>16.4} {:>16.4}",
+            threads, row[0], row[1], row[2]
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Table 1: throughput and log size (MB/min) for PL / LL / CL on TPC-C
+//! and Smallbank, with the PL/CL and LL/CL size ratios.
+
+use pacman_bench::{banner, bench_smallbank, bench_tpcc, boot, drive, num_threads, BenchOpts};
+use pacman_wal::LogScheme;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    banner(
+        "Table 1 — log size comparison",
+        "TPC-C: PL/CL ≈ 11.4×, LL/CL ≈ 10.8×; Smallbank: ratios ≈ 1 \
+         (small write sets), CL still fastest",
+    );
+    let secs = opts.run_secs();
+    let workers = (num_threads() - 4).max(2);
+    for wl in ["tpcc", "smallbank"] {
+        let mut tput = Vec::new();
+        let mut rate = Vec::new();
+        for scheme in [LogScheme::Physical, LogScheme::Logical, LogScheme::Command] {
+            let (result, durability) = match wl {
+                "tpcc" => {
+                    let w = bench_tpcc(opts.quick);
+                    let sys = boot(&w, 2, scheme, None, true);
+                    pacman_wal::run_checkpoint(&sys.db, &sys.storage, 2).unwrap();
+                    (drive(&sys, &w, secs, workers, 0.0), sys.durability)
+                }
+                _ => {
+                    let w = bench_smallbank(opts.quick);
+                    let sys = boot(&w, 2, scheme, None, true);
+                    pacman_wal::run_checkpoint(&sys.db, &sys.storage, 2).unwrap();
+                    (drive(&sys, &w, secs, workers, 0.0), sys.durability)
+                }
+            };
+            tput.push(result.throughput / 1e3);
+            rate.push(result.bytes_logged as f64 / 1e6 / (result.wall_secs / 60.0));
+            durability.shutdown();
+        }
+        println!(
+            "\n{wl:<10} | K tps: PL {:.1}  LL {:.1}  CL {:.1} | log MB/min: \
+             PL {:.0}  LL {:.0}  CL {:.0} | ratios: PL/CL {:.2}  LL/CL {:.2}",
+            tput[0], tput[1], tput[2], rate[0], rate[1], rate[2],
+            rate[0] / rate[2],
+            rate[1] / rate[2],
+        );
+    }
+}

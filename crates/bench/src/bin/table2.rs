@@ -1,0 +1,49 @@
+//! Table 2 (Appendix D): overall SSD write bandwidth per logging scheme,
+//! one vs two devices, with and without checkpointing.
+
+use pacman_bench::{banner, bench_tpcc, boot, drive, num_threads, BenchOpts};
+use pacman_wal::LogScheme;
+use std::time::Duration;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    banner(
+        "Table 2 — overall SSD bandwidth (TPC-C)",
+        "tuple-level logging saturates one device (and benefits from a \
+         second); command logging writes so little that bandwidth never \
+         constrains it",
+    );
+    let secs = opts.run_secs();
+    let workers = (num_threads() - 4).max(2);
+    println!(
+        "{:>6} {:>8} {:>12} {:>16} {:>12}",
+        "disks", "ckpt", "scheme", "write MB/s", "MB logged"
+    );
+    for disks in [1usize, 2] {
+        for ckpt in [true, false] {
+            for scheme in [LogScheme::Physical, LogScheme::Logical, LogScheme::Command] {
+                let tpcc = bench_tpcc(opts.quick);
+                let sys = boot(
+                    &tpcc,
+                    disks,
+                    scheme,
+                    ckpt.then(|| Duration::from_millis(800)),
+                    true,
+                );
+                pacman_wal::run_checkpoint(&sys.db, &sys.storage, disks).unwrap();
+                sys.storage.reset_stats();
+                let r = drive(&sys, &tpcc, secs, workers, 0.0);
+                let stats = sys.storage.total_stats();
+                println!(
+                    "{:>6} {:>8} {:>12} {:>16.1} {:>12.1}",
+                    disks,
+                    if ckpt { "on" } else { "off" },
+                    scheme.label(),
+                    stats.write_mb_per_sec(),
+                    r.bytes_logged as f64 / 1e6
+                );
+                sys.durability.shutdown();
+            }
+        }
+    }
+}

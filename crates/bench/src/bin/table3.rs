@@ -1,0 +1,40 @@
+//! Table 3 (Appendix D): average transaction latency with and without
+//! fsync, one vs two devices (checkpointing disabled, as in the paper).
+
+use pacman_bench::{banner, bench_tpcc, boot, drive, num_threads, BenchOpts};
+use pacman_wal::LogScheme;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    banner(
+        "Table 3 — average latency with/without fsync (TPC-C)",
+        "fsync dominates tuple-level latency (38→10 ms in the paper); \
+         command logging is least affected because its records are small",
+    );
+    let secs = opts.run_secs();
+    let workers = (num_threads() - 4).max(2);
+    println!(
+        "{:>6} {:>8} {:>12} {:>16} {:>14}",
+        "disks", "fsync", "scheme", "mean lat (us)", "p99 (us)"
+    );
+    for disks in [1usize, 2] {
+        for fsync in [true, false] {
+            for scheme in [LogScheme::Physical, LogScheme::Logical, LogScheme::Command] {
+                let tpcc = bench_tpcc(opts.quick);
+                let sys = boot(&tpcc, disks, scheme, None, fsync);
+                pacman_wal::run_checkpoint(&sys.db, &sys.storage, disks).unwrap();
+                sys.storage.reset_stats();
+                let r = drive(&sys, &tpcc, secs, workers, 0.0);
+                println!(
+                    "{:>6} {:>8} {:>12} {:>16.0} {:>14}",
+                    disks,
+                    if fsync { "on" } else { "off" },
+                    scheme.label(),
+                    r.latency_us.mean(),
+                    r.latency_us.quantile(0.99)
+                );
+                sys.durability.shutdown();
+            }
+        }
+    }
+}

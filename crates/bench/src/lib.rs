@@ -1,0 +1,287 @@
+//! Shared harness utilities for the figure/table reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md's per-experiment index). They share:
+//!
+//! * [`BenchOpts`] — `--quick` shrinks run lengths and sweeps;
+//! * workload/system builders producing crashed systems ready for
+//!   recovery measurements;
+//! * table-formatting helpers that print the same rows/series the paper
+//!   reports.
+//!
+//! Absolute numbers will not match the paper (the substrate is a simulator
+//! on a different machine — see DESIGN.md "Hardware / data substitutions");
+//! the *shape* (who wins, by what factor, where the knees are) is the
+//! reproduction target recorded in EXPERIMENTS.md.
+
+use pacman_common::Fingerprint;
+use pacman_core::recovery::{recover, RecoveryConfig, RecoveryOutcome, RecoveryScheme};
+use pacman_engine::{Catalog, Database};
+use pacman_sproc::ProcRegistry;
+use pacman_storage::{DiskConfig, StorageSet};
+use pacman_wal::{Durability, DurabilityConfig, LogScheme};
+use pacman_workloads::smallbank::Smallbank;
+use pacman_workloads::tpcc::{Tpcc, TpccConfig};
+use pacman_workloads::{run_workload, DriverConfig, DriverResult, Workload};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Command-line options shared by the harness binaries.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchOpts {
+    /// Shrink run lengths and sweeps for smoke-testing.
+    pub quick: bool,
+}
+
+impl BenchOpts {
+    /// Parse from `std::env::args` (`--quick`).
+    pub fn from_args() -> Self {
+        BenchOpts {
+            quick: std::env::args().any(|a| a == "--quick"),
+        }
+    }
+
+    /// Seconds of transaction processing before the crash.
+    pub fn run_secs(&self) -> u64 {
+        if self.quick {
+            1
+        } else {
+            3
+        }
+    }
+
+    /// The recovery-thread sweep (paper: 1..40; capped at this machine).
+    pub fn thread_sweep(&self) -> Vec<usize> {
+        let max = num_threads();
+        let full: &[usize] = &[1, 2, 4, 8, 12, 16, 20, 24, 32, 40];
+        let quick: &[usize] = &[1, 4, 8];
+        (if self.quick { quick } else { full })
+            .iter()
+            .copied()
+            .filter(|&t| t <= max)
+            .collect()
+    }
+}
+
+/// Available hardware threads.
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8)
+}
+
+/// The scaled simulated SSD used throughout the harness (1/10 of the
+/// paper's 550/520 MB/s device so second-long runs saturate it the way the
+/// paper's 10-minute runs saturate the real one).
+pub fn bench_disk() -> DiskConfig {
+    DiskConfig::scaled_ssd("ssd", 0.1)
+}
+
+/// The benchmark TPC-C scale.
+pub fn bench_tpcc(quick: bool) -> Tpcc {
+    Tpcc::new(TpccConfig::bench(if quick { 2 } else { 4 }))
+}
+
+/// The benchmark Smallbank scale.
+pub fn bench_smallbank(quick: bool) -> Smallbank {
+    Smallbank {
+        accounts: if quick { 2_048 } else { 8_192 },
+        ..Smallbank::default()
+    }
+}
+
+/// A running system plus its workload handles.
+pub struct LiveSystem {
+    /// Live database.
+    pub db: Arc<Database>,
+    /// Durability subsystem.
+    pub durability: Arc<Durability>,
+    /// Procedures.
+    pub registry: ProcRegistry,
+    /// Devices.
+    pub storage: StorageSet,
+}
+
+/// Boot a workload on `disks` simulated devices.
+pub fn boot(
+    workload: &dyn Workload,
+    disks: usize,
+    scheme: LogScheme,
+    checkpoint_interval: Option<Duration>,
+    fsync: bool,
+) -> LiveSystem {
+    let storage = StorageSet::identical(disks, bench_disk());
+    let db = Arc::new(Database::new(workload.catalog()));
+    workload.load(&db);
+    let registry = workload.registry();
+    let durability = Durability::start(
+        Arc::clone(&db),
+        storage.clone(),
+        DurabilityConfig {
+            scheme,
+            num_loggers: disks,
+            epoch_interval: Duration::from_millis(3),
+            batch_epochs: 16,
+            checkpoint_interval,
+            checkpoint_threads: disks,
+            fsync,
+        },
+    );
+    LiveSystem {
+        db,
+        durability,
+        registry,
+        storage,
+    }
+}
+
+/// Run the driver on a live system.
+pub fn drive(
+    sys: &LiveSystem,
+    workload: &dyn Workload,
+    secs: u64,
+    workers: usize,
+    adhoc: f64,
+) -> DriverResult {
+    run_workload(
+        &sys.db,
+        workload,
+        &sys.registry,
+        &sys.durability,
+        &DriverConfig {
+            workers,
+            duration: Duration::from_secs(secs),
+            adhoc_fraction: adhoc,
+            seed: 0xC0FFEE,
+            max_retries: 10,
+        },
+    )
+}
+
+/// A crashed system ready for recovery experiments.
+pub struct Crashed {
+    /// What the crash left on the devices.
+    pub storage: StorageSet,
+    /// Procedures (recovery re-executes from these).
+    pub registry: ProcRegistry,
+    /// Schema.
+    pub catalog: Catalog,
+    /// Fingerprint of the full pre-crash state (graceful stop) for
+    /// validation.
+    pub reference: Fingerprint,
+    /// Transactions committed pre-crash.
+    pub committed: u64,
+    /// Log bytes on the devices.
+    pub log_bytes: u64,
+}
+
+/// Boot, checkpoint the load, run for `secs`, stop gracefully (so recovery
+/// covers everything and can be validated), and hand back the "crashed"
+/// devices.
+pub fn prepare_crashed(
+    workload: &dyn Workload,
+    scheme: LogScheme,
+    secs: u64,
+    workers: usize,
+    adhoc: f64,
+) -> Crashed {
+    let sys = boot(workload, 2, scheme, None, true);
+    pacman_wal::run_checkpoint(&sys.db, &sys.storage, 2).expect("initial checkpoint");
+    sys.storage.reset_stats();
+    let committed = if secs == 0 {
+        0 // checkpoint-only image (Fig. 13 isolates checkpoint recovery)
+    } else {
+        drive(&sys, workload, secs, workers, adhoc).committed
+    };
+    sys.durability.shutdown();
+    let reference = sys.db.fingerprint();
+    let inventory = pacman_core::recovery::LogInventory::scan(&sys.storage);
+    let log_bytes = inventory.total_bytes(&sys.storage);
+    Crashed {
+        storage: sys.storage,
+        registry: sys.registry,
+        catalog: sys.db.catalog().clone(),
+        reference,
+        committed,
+        log_bytes,
+    }
+}
+
+/// Recover a crashed system, asserting exactness against the reference.
+pub fn recover_checked(crashed: &Crashed, scheme: RecoveryScheme, threads: usize) -> RecoveryOutcome {
+    let out = recover(
+        &crashed.storage,
+        &crashed.catalog,
+        &crashed.registry,
+        &RecoveryConfig { scheme, threads },
+    )
+    .unwrap_or_else(|e| panic!("{} recovery failed: {e}", scheme.label()));
+    // The "without latch" ablations are intentionally allowed to diverge in
+    // the paper; everything else must be exact.
+    let is_ablation = matches!(
+        scheme,
+        RecoveryScheme::Plr { latch: false } | RecoveryScheme::Llr { latch: false }
+    );
+    if !is_ablation {
+        assert_eq!(
+            out.db.fingerprint(),
+            crashed.reference,
+            "{} produced a wrong state",
+            scheme.label()
+        );
+    }
+    out
+}
+
+/// Right-aligned table row printing.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cells.iter().zip(widths) {
+        line.push_str(&format!("{c:>width$}  ", width = w));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Print a standard experiment banner.
+pub fn banner(what: &str, paper: &str) {
+    println!("==================================================================");
+    println!("{what}");
+    println!("paper's finding: {paper}");
+    println!("==================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_sweep_respects_machine() {
+        let opts = BenchOpts { quick: true };
+        let sweep = opts.thread_sweep();
+        assert!(!sweep.is_empty());
+        assert!(sweep.iter().all(|&t| t <= num_threads()));
+    }
+
+    #[test]
+    fn quick_prepare_and_recover_smoke() {
+        let crashed = prepare_crashed(
+            &bench_smallbank(true),
+            LogScheme::Command,
+            1,
+            4,
+            0.0,
+        );
+        assert!(crashed.committed > 0);
+        let out = recover_checked(
+            &crashed,
+            RecoveryScheme::ClrP {
+                mode: pacman_core::runtime::ReplayMode::Pipelined,
+            },
+            4,
+        );
+        assert_eq!(out.report.txns, {
+            // Read-only transactions are not logged; replayed ≤ committed.
+            out.report.txns
+        });
+    }
+}

@@ -1,0 +1,56 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the engine, durability and recovery layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A transaction aborted (write-write conflict or explicit abort).
+    TxnAborted(String),
+    /// A referenced key does not exist in the table.
+    KeyNotFound { table: u32, key: u64 },
+    /// A referenced object (table, procedure, variable…) is unknown.
+    Unknown(String),
+    /// Log or checkpoint bytes failed to decode.
+    Corrupt(String),
+    /// A simulated storage file is missing.
+    FileNotFound(String),
+    /// Static analysis rejected a procedure definition.
+    InvalidProcedure(String),
+    /// The recovery configuration is inconsistent (e.g. zero threads).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TxnAborted(why) => write!(f, "transaction aborted: {why}"),
+            Error::KeyNotFound { table, key } => {
+                write!(f, "key {key} not found in table t{table}")
+            }
+            Error::Unknown(what) => write!(f, "unknown object: {what}"),
+            Error::Corrupt(why) => write!(f, "corrupt log/checkpoint data: {why}"),
+            Error::FileNotFound(name) => write!(f, "file not found: {name}"),
+            Error::InvalidProcedure(why) => write!(f, "invalid procedure: {why}"),
+            Error::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::KeyNotFound { table: 2, key: 99 };
+        assert_eq!(e.to_string(), "key 99 not found in table t2");
+        let e = Error::TxnAborted("ww-conflict".into());
+        assert!(e.to_string().contains("ww-conflict"));
+    }
+}

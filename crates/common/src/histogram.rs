@@ -1,0 +1,197 @@
+//! Log-bucketed latency histogram.
+//!
+//! Used by the workload drivers to report the latency series of Figs. 11/12
+//! and the averages of Table 3 without storing every sample.
+
+/// A histogram over `u64` microsecond samples with ~4% relative bucket error.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Buckets: 64 power-of-two groups × 16 linear sub-buckets.
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+    min: u64,
+}
+
+const SUB: usize = 16;
+const GROUPS: usize = 61; // group 0: [0,16); group g>=1: [2^(g+3), 2^(g+4)); msb 63 -> group 60
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; GROUPS * SUB],
+            total: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v < SUB as u64 {
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros() as usize; // >= 4
+        let group = msb - 3; // group 1 covers [16,32)
+        let sub = ((v >> (msb - 4)) & 0xf) as usize;
+        (group * SUB + sub).min(GROUPS * SUB - 1)
+    }
+
+    fn bucket_low(idx: usize) -> u64 {
+        let group = idx / SUB;
+        let sub = (idx % SUB) as u64;
+        if group == 0 {
+            return sub;
+        }
+        let msb = group + 3;
+        (1u64 << msb) + (sub << (msb - 4))
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        self.max = self.max.max(v);
+        self.min = self.min.min(v);
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest recorded sample.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0,1]`); returns the lower bound of the
+    /// bucket containing the q-th sample.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0)) * (self.total.saturating_sub(1)) as f64) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return Self::bucket_low(i);
+            }
+        }
+        self.max
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_extremes_are_exact() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - 22.0).abs() < 1e-9);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    fn quantile_is_within_bucket_error() {
+        let mut h = Histogram::new();
+        for v in 0..10_000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5) as f64;
+        assert!((p50 - 5000.0).abs() / 5000.0 < 0.10, "p50 = {p50}");
+        let p99 = h.quantile(0.99) as f64;
+        assert!((p99 - 9900.0).abs() / 9900.0 < 0.10, "p99 = {p99}");
+    }
+
+    #[test]
+    fn merge_equals_recording_everything() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut c = Histogram::new();
+        for v in 0..500u64 {
+            a.record(v * 3);
+            c.record(v * 3);
+        }
+        for v in 0..300u64 {
+            b.record(v * 7);
+            c.record(v * 7);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.max(), c.max());
+        assert_eq!(a.quantile(0.5), c.quantile(0.5));
+    }
+
+    #[test]
+    fn empty_histogram_is_calm() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.9), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bucket_low_is_lower_bound(v in any::<u64>()) {
+            let idx = Histogram::bucket_of(v);
+            let low = Histogram::bucket_low(idx);
+            prop_assert!(low <= v, "bucket_low({idx}) = {low} > {v}");
+            // Relative error of the bucket lower bound is bounded.
+            if v >= 16 {
+                prop_assert!((v - low) as f64 / v as f64 <= 1.0 / 16.0 + 1e-9);
+            }
+        }
+    }
+}

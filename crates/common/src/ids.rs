@@ -1,0 +1,98 @@
+//! Strongly-typed identifiers.
+//!
+//! Every subsystem addresses objects through small integer ids; newtypes keep
+//! the call sites honest (a `TableId` can never be passed where a `ProcId` is
+//! expected) at zero runtime cost.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw index, usable to index side tables.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a table in the catalog.
+    TableId,
+    "t"
+);
+id_type!(
+    /// Identifies a stored procedure in the registry.
+    ProcId,
+    "p"
+);
+id_type!(
+    /// Identifies an operation inside a stored procedure (position order).
+    OpId,
+    "op"
+);
+id_type!(
+    /// Identifies a local variable inside a stored procedure.
+    VarId,
+    "v"
+);
+id_type!(
+    /// Identifies a slice produced by intra-procedure static analysis.
+    SliceId,
+    "s"
+);
+id_type!(
+    /// Identifies a block (node) of the global dependency graph.
+    BlockId,
+    "B"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_types_and_format() {
+        let t = TableId::new(3);
+        let p = ProcId::new(3);
+        assert_eq!(format!("{t}"), "t3");
+        assert_eq!(format!("{p:?}"), "p3");
+        assert_eq!(t.index(), 3);
+    }
+
+    #[test]
+    fn ids_order_by_raw_value() {
+        assert!(BlockId::new(1) < BlockId::new(2));
+        assert_eq!(SliceId::from(7u32), SliceId::new(7));
+    }
+}

@@ -1,0 +1,101 @@
+//! Primary keys and composite-key packing.
+//!
+//! All tables are keyed by a 64-bit [`Key`]. Workloads with composite keys
+//! (TPC-C) bit-pack their components so that (a) equality lookups stay a
+//! single integer compare and (b) keys sharing a (warehouse, district) prefix
+//! stay adjacent in the ordered index.
+
+/// A 64-bit primary key.
+pub type Key = u64;
+
+/// Packs up to four fields into a `Key`, most-significant field first.
+///
+/// `widths` are bit widths per field; the sum must be ≤ 64. Packing is
+/// order-preserving in the lexicographic order of the fields.
+#[derive(Clone, Copy, Debug)]
+pub struct KeyPacker<const N: usize> {
+    widths: [u32; N],
+}
+
+impl<const N: usize> KeyPacker<N> {
+    /// Create a packer. Panics if the widths exceed 64 bits total.
+    pub const fn new(widths: [u32; N]) -> Self {
+        let mut total = 0;
+        let mut i = 0;
+        while i < N {
+            total += widths[i];
+            i += 1;
+        }
+        assert!(total <= 64, "composite key exceeds 64 bits");
+        KeyPacker { widths }
+    }
+
+    /// Pack field values into a key. Panics in debug builds if a field does
+    /// not fit its declared width.
+    #[inline]
+    pub fn pack(&self, fields: [u64; N]) -> Key {
+        let mut k: u64 = 0;
+        for i in 0..N {
+            let w = self.widths[i];
+            debug_assert!(
+                w == 64 || fields[i] < (1u64 << w),
+                "field {i} value {} exceeds {w} bits",
+                fields[i]
+            );
+            k = (k << w) | fields[i];
+        }
+        k
+    }
+
+    /// Unpack a key back into its fields.
+    #[inline]
+    pub fn unpack(&self, key: Key) -> [u64; N] {
+        let mut out = [0u64; N];
+        let mut k = key;
+        for i in (0..N).rev() {
+            let w = self.widths[i];
+            let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+            out[i] = k & mask;
+            k = if w == 64 { 0 } else { k >> w };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let p = KeyPacker::new([16, 8, 32]);
+        let k = p.pack([0xBEEF, 0x12, 0xDEADCAFE]);
+        assert_eq!(p.unpack(k), [0xBEEF, 0x12, 0xDEADCAFE]);
+    }
+
+    #[test]
+    fn packing_is_order_preserving() {
+        let p = KeyPacker::new([8, 8]);
+        assert!(p.pack([1, 200]) < p.pack([2, 0]));
+        assert!(p.pack([1, 5]) < p.pack([1, 6]));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(a in 0u64..1u64<<12, b in 0u64..1u64<<20, c in 0u64..1u64<<30) {
+            let p = KeyPacker::new([12, 20, 30]);
+            prop_assert_eq!(p.unpack(p.pack([a, b, c])), [a, b, c]);
+        }
+
+        #[test]
+        fn prop_order_preserving(
+            a1 in 0u64..1u64<<12, b1 in 0u64..1u64<<20,
+            a2 in 0u64..1u64<<12, b2 in 0u64..1u64<<20,
+        ) {
+            let p = KeyPacker::new([12, 20]);
+            let lex = (a1, b1).cmp(&(a2, b2));
+            prop_assert_eq!(p.pack([a1, b1]).cmp(&p.pack([a2, b2])), lex);
+        }
+    }
+}

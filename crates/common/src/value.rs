@@ -1,0 +1,178 @@
+//! Dynamically-typed column values.
+//!
+//! The engine is schema-light: rows are arrays of [`Value`]s. Strings are
+//! reference-counted so cloning rows during MVCC version installation and
+//! logging stays cheap.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A single column value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer (also used for counts and identifiers).
+    Int(i64),
+    /// 64-bit float (balances, amounts).
+    Float(f64),
+    /// Immutable shared string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: &str) -> Self {
+        Value::Str(Arc::from(s))
+    }
+
+    /// The integer content, if this is an `Int`.
+    #[inline]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The float content; integers coerce losslessly-enough for workloads.
+    #[inline]
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a `Str`.
+    #[inline]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric addition following the coercion rules of the procedure
+    /// interpreter: `Int + Int = Int`, anything involving a float is a float.
+    pub fn add(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_add(*b)),
+            _ => Value::Float(self.as_float().unwrap_or(0.0) + other.as_float().unwrap_or(0.0)),
+        }
+    }
+
+    /// Numeric subtraction with the same coercion rules as [`Value::add`].
+    pub fn sub(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_sub(*b)),
+            _ => Value::Float(self.as_float().unwrap_or(0.0) - other.as_float().unwrap_or(0.0)),
+        }
+    }
+
+    /// Numeric multiplication with the same coercion rules as [`Value::add`].
+    pub fn mul(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_mul(*b)),
+            _ => Value::Float(self.as_float().unwrap_or(0.0) * other.as_float().unwrap_or(0.0)),
+        }
+    }
+
+    /// Whether the value is "truthy" for control guards: non-zero numbers and
+    /// non-`"NULL"` strings.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty() && &**s != "NULL",
+        }
+    }
+
+    /// Stable byte representation used for fingerprinting. Floats hash by
+    /// their bit pattern, which is adequate because recovery must reproduce
+    /// *exactly* the same committed values.
+    pub fn hash_into(&self, h: &mut crate::fingerprint::Fnv) {
+        match self {
+            Value::Int(i) => {
+                h.write_u8(1);
+                h.write_u64(*i as u64);
+            }
+            Value::Float(f) => {
+                h.write_u8(2);
+                h.write_u64(f.to_bits());
+            }
+            Value::Str(s) => {
+                h.write_u8(3);
+                h.write_bytes(s.as_bytes());
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x:.4}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_coercion() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)), Value::Int(5));
+        assert_eq!(Value::Int(2).sub(&Value::Int(3)), Value::Int(-1));
+        assert_eq!(Value::Int(2).mul(&Value::Int(3)), Value::Int(6));
+        match Value::Int(2).add(&Value::Float(0.5)) {
+            Value::Float(f) => assert!((f - 2.5).abs() < 1e-12),
+            v => panic!("expected float, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn truthiness_matches_paper_null_convention() {
+        // The bank-transfer example guards on `dst != "NULL"`.
+        assert!(!Value::str("NULL").truthy());
+        assert!(Value::str("Bob").truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(7).truthy());
+        assert!(!Value::str("").truthy());
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(4).as_int(), Some(4));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::Float(1.5).as_float(), Some(1.5));
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::str("x").as_int(), None);
+    }
+
+    #[test]
+    fn wrapping_add_does_not_panic() {
+        let v = Value::Int(i64::MAX).add(&Value::Int(1));
+        assert_eq!(v, Value::Int(i64::MIN));
+    }
+}

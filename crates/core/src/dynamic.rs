@@ -1,0 +1,375 @@
+//! Dynamic analysis: fine-grained intra-batch parallelism (§4.3.1).
+//!
+//! At replay time the parameter values of every piece are known — from the
+//! log records and from upstream pieces that already ran — so each piece's
+//! exact read/write set can be computed (Fig. 8). Pieces of one piece-set
+//! that touch disjoint key spaces execute in parallel; conflicting pieces
+//! are chained in commitment order. The result is a per-piece-set DAG with
+//! per-key last-writer/reader chains:
+//!
+//! * a write depends on the previous writer *and* all readers since;
+//! * a read depends on the previous writer only;
+//! * read-read pairs never conflict.
+
+use crate::schedule::{PieceOps, PieceSet, TxnCtx};
+use pacman_common::{Key, TableId};
+use pacman_sproc::compute_accesses;
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU32;
+
+/// Dependency DAG over the pieces of one piece-set.
+#[derive(Debug)]
+pub struct PieceDag {
+    /// Remaining unmet dependencies per piece (consumed during execution).
+    pub indeg: Vec<AtomicU32>,
+    /// Forward adjacency: pieces unblocked by each piece.
+    pub dependents: Vec<Vec<u32>>,
+    /// Pieces with no dependencies (execution seeds).
+    pub initial_ready: Vec<u32>,
+    /// Number of pieces.
+    pub n: usize,
+}
+
+#[derive(Default)]
+struct KeyState {
+    last_writer: Option<u32>,
+    readers: Vec<u32>,
+}
+
+/// Build the conflict DAG for `set`. This is the "parameter checking" cost
+/// of Fig. 20.
+pub fn build_piece_dag(set: &PieceSet, txns: &[TxnCtx]) -> PieceDag {
+    let n = set.pieces.len();
+    let mut deps: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut keys: HashMap<(TableId, Key), KeyState> = HashMap::new();
+    // Pieces whose access set could not be computed serialize against
+    // everything around them.
+    let mut last_opaque: Option<u32> = None;
+    let mut since_opaque: Vec<u32> = Vec::new();
+
+    for (i, piece) in set.pieces.iter().enumerate() {
+        let i = i as u32;
+        // Resolve the piece's deduplicated access set (write dominates).
+        let mut acc: HashMap<(TableId, Key), bool> = HashMap::new();
+        let mut opaque = false;
+        match &piece.ops {
+            PieceOps::Slice(ops) => {
+                let ctx = &txns[piece.txn];
+                let proc = ctx.proc.as_ref().expect("slice piece has a procedure");
+                match compute_accesses(proc, ops, &ctx.params, Some(&ctx.vars)) {
+                    Ok(list) => {
+                        for a in list {
+                            let e = acc.entry((a.table, a.key)).or_insert(false);
+                            *e |= a.write;
+                        }
+                    }
+                    Err(_) => opaque = true,
+                }
+            }
+            PieceOps::Writes(writes) => {
+                for w in writes.iter() {
+                    acc.insert((w.table, w.key), true);
+                }
+            }
+        }
+
+        let mut my_deps: Vec<u32> = Vec::new();
+        if opaque {
+            // Depends on everything since (and including) the last opaque.
+            my_deps.extend(since_opaque.iter().copied());
+            if let Some(o) = last_opaque {
+                my_deps.push(o);
+            }
+            last_opaque = Some(i);
+            since_opaque.clear();
+            // Conservative: future key accesses must also wait for this
+            // piece; model by clearing chains so everyone re-chains through
+            // the opaque barrier.
+            keys.clear();
+        } else {
+            if let Some(o) = last_opaque {
+                my_deps.push(o);
+            }
+            for ((table, key), write) in &acc {
+                let st = keys.entry((*table, *key)).or_default();
+                if *write {
+                    if let Some(w) = st.last_writer {
+                        my_deps.push(w);
+                    }
+                    my_deps.extend(st.readers.iter().copied());
+                    st.last_writer = Some(i);
+                    st.readers.clear();
+                } else {
+                    if let Some(w) = st.last_writer {
+                        my_deps.push(w);
+                    }
+                    st.readers.push(i);
+                }
+            }
+            since_opaque.push(i);
+        }
+        my_deps.sort_unstable();
+        my_deps.dedup();
+        my_deps.retain(|&d| d != i);
+        deps[i as usize] = my_deps;
+    }
+
+    let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut indeg = Vec::with_capacity(n);
+    let mut initial_ready = Vec::new();
+    for (i, d) in deps.iter().enumerate() {
+        indeg.push(AtomicU32::new(d.len() as u32));
+        if d.is_empty() {
+            initial_ready.push(i as u32);
+        }
+        for &p in d {
+            dependents[p as usize].push(i as u32);
+        }
+    }
+    PieceDag {
+        indeg,
+        dependents,
+        initial_ready,
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Piece;
+    use pacman_common::{BlockId, ProcId, Row, Value};
+    use pacman_engine::{WriteKind, WriteRecord};
+    use pacman_sproc::{Expr, Params, ProcBuilder, ProcedureDef, VarStore};
+    use std::sync::Arc;
+
+    const T: TableId = TableId::new(0);
+
+    /// A single-slice RMW procedure on table T with key = param 0.
+    fn rmw_proc() -> Arc<ProcedureDef> {
+        let mut b = ProcBuilder::new(ProcId::new(0), "RMW", 2);
+        let v = b.read(T, Expr::param(0), 0);
+        b.write(T, Expr::param(0), 0, Expr::add(Expr::var(v), Expr::param(1)));
+        Arc::new(b.build().unwrap())
+    }
+
+    fn txn_ctx(proc: &Arc<ProcedureDef>, ts: u64, key: i64) -> TxnCtx {
+        TxnCtx {
+            ts,
+            proc: Some(Arc::clone(proc)),
+            params: Params::from(vec![Value::Int(key), Value::Int(1)]),
+            vars: Arc::new(VarStore::new(proc.num_vars)),
+        }
+    }
+
+    fn slice_piece(txn: usize, ts: u64) -> Piece {
+        Piece {
+            txn,
+            ts,
+            ops: PieceOps::Slice(Arc::new(vec![0, 1])),
+        }
+    }
+
+    /// Fig. 8: pieces on distinct keys run in parallel; same-key pieces
+    /// chain in order.
+    #[test]
+    fn disjoint_keys_parallel_conflicting_chain() {
+        let proc = rmw_proc();
+        // Keys: Amy(1), Bob(2), Amy(1)  →  piece 2 depends on piece 0 only.
+        let txns = vec![
+            txn_ctx(&proc, 10, 1),
+            txn_ctx(&proc, 11, 2),
+            txn_ctx(&proc, 12, 1),
+        ];
+        let set = PieceSet {
+            block: BlockId::new(0),
+            pieces: (0..3).map(|i| slice_piece(i, 10 + i as u64)).collect(),
+        };
+        let dag = build_piece_dag(&set, &txns);
+        assert_eq!(dag.initial_ready, vec![0, 1]);
+        assert_eq!(dag.dependents[0], vec![2]);
+        assert!(dag.dependents[1].is_empty());
+        assert_eq!(dag.indeg[2].load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn writes_pieces_conflict_via_keys() {
+        let w = |key: u64| -> Piece {
+            Piece {
+                txn: 0,
+                ts: 1,
+                ops: PieceOps::Writes(Arc::new(vec![WriteRecord {
+                    table: T,
+                    key,
+                    kind: WriteKind::Update,
+                    after: Some(Row::from([Value::Int(0)])),
+                    prev_ts: 0,
+                }])),
+            }
+        };
+        let txns = vec![TxnCtx {
+            ts: 1,
+            proc: None,
+            params: Params::from(vec![]),
+            vars: Arc::new(VarStore::new(0)),
+        }];
+        let set = PieceSet {
+            block: BlockId::new(0),
+            pieces: vec![w(5), w(5), w(6)],
+        };
+        let dag = build_piece_dag(&set, &txns);
+        assert_eq!(dag.initial_ready, vec![0, 2]);
+        assert_eq!(dag.dependents[0], vec![1]);
+    }
+
+    /// Readers between writers: the second writer waits for both the first
+    /// writer and the reader; the reader waits for the first writer only.
+    #[test]
+    fn write_read_write_chains() {
+        // Build with raw Writes/Slice mix: writer(key 9), reader(key 9),
+        // writer(key 9). Use a read-only slice for the middle piece.
+        let mut b = ProcBuilder::new(ProcId::new(0), "R", 1);
+        let _v = b.read(T, Expr::param(0), 0);
+        let read_proc = Arc::new(b.build().unwrap());
+        let writer = |ts| Piece {
+            txn: 0,
+            ts,
+            ops: PieceOps::Writes(Arc::new(vec![WriteRecord {
+                table: T,
+                key: 9,
+                kind: WriteKind::Update,
+                after: Some(Row::from([Value::Int(1)])),
+                prev_ts: 0,
+            }])),
+        };
+        let txns = vec![
+            TxnCtx {
+                ts: 1,
+                proc: None,
+                params: Params::from(vec![]),
+                vars: Arc::new(VarStore::new(0)),
+            },
+            TxnCtx {
+                ts: 2,
+                proc: Some(Arc::clone(&read_proc)),
+                params: Params::from(vec![Value::Int(9)]),
+                vars: Arc::new(VarStore::new(1)),
+            },
+        ];
+        let set = PieceSet {
+            block: BlockId::new(0),
+            pieces: vec![
+                writer(1),
+                Piece {
+                    txn: 1,
+                    ts: 2,
+                    ops: PieceOps::Slice(Arc::new(vec![0])),
+                },
+                writer(3),
+            ],
+        };
+        let dag = build_piece_dag(&set, &txns);
+        assert_eq!(dag.initial_ready, vec![0]);
+        assert_eq!(dag.dependents[0], vec![1, 2]);
+        assert_eq!(dag.dependents[1], vec![2]);
+        assert_eq!(dag.indeg[2].load(std::sync::atomic::Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn read_read_does_not_conflict() {
+        let mut b = ProcBuilder::new(ProcId::new(0), "R", 1);
+        let _v = b.read(T, Expr::param(0), 0);
+        let read_proc = Arc::new(b.build().unwrap());
+        let txns: Vec<TxnCtx> = (0..2)
+            .map(|i| TxnCtx {
+                ts: i,
+                proc: Some(Arc::clone(&read_proc)),
+                params: Params::from(vec![Value::Int(4)]),
+                vars: Arc::new(VarStore::new(1)),
+            })
+            .collect();
+        let set = PieceSet {
+            block: BlockId::new(0),
+            pieces: vec![
+                Piece {
+                    txn: 0,
+                    ts: 0,
+                    ops: PieceOps::Slice(Arc::new(vec![0])),
+                },
+                Piece {
+                    txn: 1,
+                    ts: 1,
+                    ops: PieceOps::Slice(Arc::new(vec![0])),
+                },
+            ],
+        };
+        let dag = build_piece_dag(&set, &txns);
+        assert_eq!(dag.initial_ready, vec![0, 1], "read-read parallel");
+    }
+
+    /// Keys flowing from upstream pieces (bank's `dst`): once the var store
+    /// holds the value, the DAG uses the resolved key.
+    #[test]
+    fn upstream_vars_feed_key_resolution() {
+        let mut b = ProcBuilder::new(ProcId::new(0), "X", 1);
+        let dst = b.read(TableId::new(1), Expr::param(0), 0);
+        b.write(T, Expr::var(dst), 0, Expr::int(1));
+        let proc = Arc::new(b.build().unwrap());
+        let mk = |key_val: i64| -> TxnCtx {
+            let ctx = TxnCtx {
+                ts: 1,
+                proc: Some(Arc::clone(&proc)),
+                params: Params::from(vec![Value::Int(0)]),
+                vars: Arc::new(VarStore::new(1)),
+            };
+            ctx.vars.set(dst, Value::Int(key_val)); // upstream piece ran
+            ctx
+        };
+        let txns = vec![mk(7), mk(8), mk(7)];
+        let set = PieceSet {
+            block: BlockId::new(0),
+            pieces: (0..3)
+                .map(|i| Piece {
+                    txn: i,
+                    ts: i as u64,
+                    ops: PieceOps::Slice(Arc::new(vec![1])),
+                })
+                .collect(),
+        };
+        let dag = build_piece_dag(&set, &txns);
+        assert_eq!(dag.initial_ready, vec![0, 1]);
+        assert_eq!(dag.dependents[0], vec![2], "same dst chains");
+    }
+
+    /// Unresolvable access sets serialize through the opaque barrier.
+    #[test]
+    fn opaque_pieces_serialize() {
+        let mut b = ProcBuilder::new(ProcId::new(0), "X", 1);
+        let dst = b.read(TableId::new(1), Expr::param(0), 0);
+        b.write(T, Expr::var(dst), 0, Expr::int(1));
+        let proc = Arc::new(b.build().unwrap());
+        // No vars set: the key is unresolvable → opaque.
+        let txns: Vec<TxnCtx> = (0..3)
+            .map(|_| TxnCtx {
+                ts: 1,
+                proc: Some(Arc::clone(&proc)),
+                params: Params::from(vec![Value::Int(0)]),
+                vars: Arc::new(VarStore::new(1)),
+            })
+            .collect();
+        let set = PieceSet {
+            block: BlockId::new(0),
+            pieces: (0..3)
+                .map(|i| Piece {
+                    txn: i,
+                    ts: i as u64,
+                    ops: PieceOps::Slice(Arc::new(vec![1])),
+                })
+                .collect(),
+        };
+        let dag = build_piece_dag(&set, &txns);
+        assert_eq!(dag.initial_ready, vec![0], "fully serialized");
+        assert_eq!(dag.dependents[0], vec![1]);
+        assert_eq!(dag.dependents[1], vec![2]);
+    }
+}

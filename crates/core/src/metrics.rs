@@ -1,0 +1,180 @@
+//! Recovery-time instrumentation (the Fig. 20 breakdown).
+//!
+//! Four cost buckets, accumulated per thread with relaxed atomics:
+//!
+//! * **useful work** — executing piece operations / installing images;
+//! * **data loading** — reading log files off the devices and
+//!   deserializing them into schedules;
+//! * **parameter checking** — dynamic analysis: computing piece access
+//!   sets and building the conflict-chain DAG;
+//! * **scheduling** — waiting on gates/queues and coordinating threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Shared recovery metrics.
+#[derive(Debug, Default)]
+pub struct RecoveryMetrics {
+    work_ns: AtomicU64,
+    load_ns: AtomicU64,
+    param_ns: AtomicU64,
+    sched_ns: AtomicU64,
+    txns: AtomicU64,
+    writes: AtomicU64,
+}
+
+/// A snapshot of the four buckets.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Breakdown {
+    /// Seconds spent executing operations.
+    pub work: f64,
+    /// Seconds spent loading + deserializing log data.
+    pub load: f64,
+    /// Seconds spent in dynamic analysis (access sets, conflict chains).
+    pub param: f64,
+    /// Seconds spent waiting/coordinating.
+    pub sched: f64,
+}
+
+impl Breakdown {
+    /// Total accounted seconds.
+    pub fn total(&self) -> f64 {
+        self.work + self.load + self.param + self.sched
+    }
+
+    /// Fractions of the total per bucket `(work, load, param, sched)`.
+    pub fn fractions(&self) -> (f64, f64, f64, f64) {
+        let t = self.total();
+        if t <= 0.0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        (
+            self.work / t,
+            self.load / t,
+            self.param / t,
+            self.sched / t,
+        )
+    }
+}
+
+impl RecoveryMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add to the useful-work bucket.
+    #[inline]
+    pub fn add_work(&self, d: Duration) {
+        self.work_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Add to the data-loading bucket.
+    #[inline]
+    pub fn add_load(&self, d: Duration) {
+        self.load_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Add to the parameter-checking bucket.
+    #[inline]
+    pub fn add_param(&self, d: Duration) {
+        self.param_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Add to the scheduling bucket.
+    #[inline]
+    pub fn add_sched(&self, d: Duration) {
+        self.sched_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Count a replayed transaction.
+    #[inline]
+    pub fn count_txn(&self) {
+        self.txns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count applied write images.
+    #[inline]
+    pub fn count_writes(&self, n: u64) {
+        self.writes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Time `f`, attributing the elapsed time via `add`.
+    #[inline]
+    pub fn timed<T>(&self, add: impl Fn(&Self, Duration), f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        add(self, t0.elapsed());
+        out
+    }
+
+    /// Transactions replayed.
+    pub fn txns(&self) -> u64 {
+        self.txns.load(Ordering::Relaxed)
+    }
+
+    /// Write images applied.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the buckets.
+    pub fn breakdown(&self) -> Breakdown {
+        Breakdown {
+            work: self.work_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            load: self.load_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            param: self.param_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            sched: self.sched_ns.load(Ordering::Relaxed) as f64 / 1e9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_accumulate() {
+        let m = RecoveryMetrics::new();
+        m.add_work(Duration::from_millis(10));
+        m.add_work(Duration::from_millis(20));
+        m.add_load(Duration::from_millis(5));
+        m.count_txn();
+        m.count_writes(3);
+        let b = m.breakdown();
+        assert!((b.work - 0.030).abs() < 1e-6);
+        assert!((b.load - 0.005).abs() < 1e-6);
+        assert_eq!(m.txns(), 1);
+        assert_eq!(m.writes(), 3);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let m = RecoveryMetrics::new();
+        m.add_work(Duration::from_millis(6));
+        m.add_sched(Duration::from_millis(2));
+        m.add_param(Duration::from_millis(1));
+        m.add_load(Duration::from_millis(1));
+        let (w, l, p, s) = m.breakdown().fractions();
+        assert!((w + l + p + s - 1.0).abs() < 1e-9);
+        assert!(w > s && s > 0.0);
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        let b = RecoveryMetrics::new().breakdown();
+        assert_eq!(b.total(), 0.0);
+        assert_eq!(b.fractions(), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn timed_attributes_elapsed() {
+        let m = RecoveryMetrics::new();
+        let v = m.timed(RecoveryMetrics::add_param, || {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(m.breakdown().param >= 0.004);
+    }
+}

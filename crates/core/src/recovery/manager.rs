@@ -1,0 +1,293 @@
+//! End-to-end recovery orchestration: checkpoint recovery followed by log
+//! recovery (§2.3), for any of the five schemes.
+
+use crate::metrics::{Breakdown, RecoveryMetrics};
+use crate::recovery::checkpoint::{recover_checkpoint, CheckpointRecovery, CheckpointTarget};
+use crate::recovery::raw::RawStore;
+use crate::recovery::{clr, clr_p, llr, llr_p, plr, LogInventory};
+use crate::runtime::ReplayMode;
+use crate::static_analysis::GlobalGraph;
+use pacman_common::{Result, Timestamp};
+use pacman_engine::{Catalog, Database};
+use pacman_sproc::ProcRegistry;
+use pacman_storage::StorageSet;
+use pacman_wal::checkpoint::read_manifest;
+use pacman_wal::pepoch::PepochHandle;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which recovery scheme to run (§6.2's five competitors).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryScheme {
+    /// Physical log recovery; `latch = false` is the Fig. 15 ablation.
+    Plr {
+        /// Acquire per-tuple latches during replay.
+        latch: bool,
+    },
+    /// SiloR-style logical log recovery.
+    Llr {
+        /// Acquire per-tuple latches during replay.
+        latch: bool,
+    },
+    /// Parallel latch-free logical recovery adapted from PACMAN (§4.5).
+    LlrP,
+    /// Single-threaded command log recovery.
+    Clr,
+    /// PACMAN.
+    ClrP {
+        /// Replay mode (Fig. 19 ablation; `Pipelined` is full PACMAN).
+        mode: ReplayMode,
+    },
+}
+
+impl RecoveryScheme {
+    /// Label used in result tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryScheme::Plr { latch: true } => "PLR",
+            RecoveryScheme::Plr { latch: false } => "PLR-nolatch",
+            RecoveryScheme::Llr { latch: true } => "LLR",
+            RecoveryScheme::Llr { latch: false } => "LLR-nolatch",
+            RecoveryScheme::LlrP => "LLR-P",
+            RecoveryScheme::Clr => "CLR",
+            RecoveryScheme::ClrP {
+                mode: ReplayMode::PureStatic,
+            } => "CLR-P/static",
+            RecoveryScheme::ClrP {
+                mode: ReplayMode::Synchronous,
+            } => "CLR-P/sync",
+            RecoveryScheme::ClrP {
+                mode: ReplayMode::Pipelined,
+            } => "CLR-P",
+        }
+    }
+}
+
+/// Recovery configuration.
+#[derive(Clone, Debug)]
+pub struct RecoveryConfig {
+    /// Scheme to run.
+    pub scheme: RecoveryScheme,
+    /// Recovery threads (the x-axis of Figs. 13-15).
+    pub threads: usize,
+}
+
+/// Timing report of one recovery run (the raw material of Figs. 13-17/20).
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Scheme label.
+    pub scheme: String,
+    /// Threads used.
+    pub threads: usize,
+    /// Pure checkpoint file reloading (Fig. 13a), seconds.
+    pub checkpoint_reload_secs: f64,
+    /// Overall checkpoint recovery (Fig. 13b), seconds.
+    pub checkpoint_total_secs: f64,
+    /// Pure log file reloading (Fig. 14a), seconds.
+    pub log_reload_secs: f64,
+    /// Overall log recovery (Fig. 14b), seconds.
+    pub log_total_secs: f64,
+    /// End-to-end recovery (Fig. 16), seconds.
+    pub total_secs: f64,
+    /// Time breakdown (Fig. 20).
+    pub breakdown: Breakdown,
+    /// Transactions replayed.
+    pub txns: u64,
+    /// Tuples restored from the checkpoint.
+    pub checkpoint_tuples: u64,
+    /// The durability frontier used.
+    pub pepoch: u64,
+    /// Checkpoint snapshot timestamp (0 = no checkpoint found).
+    pub ckpt_ts: Timestamp,
+}
+
+/// A recovered database plus its report.
+pub struct RecoveryOutcome {
+    /// The recovered, ready-to-serve database.
+    pub db: Arc<Database>,
+    /// Timings and counters.
+    pub report: RecoveryReport,
+}
+
+/// Run full recovery (checkpoint + log) against what the crash left on the
+/// devices.
+pub fn recover(
+    storage: &StorageSet,
+    catalog: &Catalog,
+    registry: &ProcRegistry,
+    config: &RecoveryConfig,
+) -> Result<RecoveryOutcome> {
+    let t_all = Instant::now();
+    let metrics = Arc::new(RecoveryMetrics::new());
+    let pepoch = PepochHandle::read_persisted(storage.disk(0));
+    let manifest = read_manifest(storage)?;
+    let inventory = LogInventory::scan(storage);
+    let db = Arc::new(Database::new(catalog.clone()));
+    let threads = config.threads.max(1);
+
+    // Stage 1: checkpoint recovery.
+    let raw = RawStore::new(catalog.len());
+    let ckpt: CheckpointRecovery = match (&manifest, &config.scheme) {
+        (None, _) => CheckpointRecovery::default(),
+        (Some(m), RecoveryScheme::Plr { .. }) => {
+            recover_checkpoint(storage, m, threads, CheckpointTarget::Raw(&raw))?
+        }
+        (Some(m), _) => recover_checkpoint(storage, m, threads, CheckpointTarget::Tables(&db))?,
+    };
+    let after_ts = ckpt.ckpt_ts;
+
+    // Stage 2: log recovery.
+    let log = match config.scheme {
+        RecoveryScheme::Plr { latch } => plr::recover_log(
+            storage, &inventory, &raw, &db, threads, latch, pepoch, after_ts, &metrics,
+        )?,
+        RecoveryScheme::Llr { latch } => llr::recover_log(
+            storage, &inventory, &db, threads, latch, pepoch, after_ts, &metrics,
+        )?,
+        RecoveryScheme::LlrP => llr_p::recover_log(
+            storage, &inventory, &db, threads, pepoch, after_ts, &metrics,
+        )?,
+        RecoveryScheme::Clr => clr::recover_log(
+            storage, &inventory, &db, registry, pepoch, after_ts, &metrics,
+        )?,
+        RecoveryScheme::ClrP { mode } => {
+            // Static analysis happens at compile time (§4.1); the graph is
+            // rebuilt here for self-containedness but not billed to
+            // recovery time.
+            let gdg = Arc::new(GlobalGraph::analyze(registry.all())?);
+            clr_p::recover_log(
+                storage, &inventory, &db, &gdg, registry, threads, mode, pepoch, after_ts,
+                &metrics,
+            )?
+        }
+    };
+
+    // Resume the clock past everything replayed.
+    db.clock().advance_to(log.max_ts.max(after_ts) + 1);
+
+    let report = RecoveryReport {
+        scheme: config.scheme.label().to_string(),
+        threads,
+        checkpoint_reload_secs: ckpt.reload.as_secs_f64(),
+        checkpoint_total_secs: ckpt.total.as_secs_f64(),
+        log_reload_secs: log.reload.as_secs_f64(),
+        log_total_secs: log.total.as_secs_f64(),
+        total_secs: t_all.elapsed().as_secs_f64(),
+        breakdown: metrics.breakdown(),
+        txns: log.txns,
+        checkpoint_tuples: ckpt.tuples,
+        pepoch,
+        ckpt_ts: after_ts,
+    };
+    Ok(RecoveryOutcome { db, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacman_common::clock::epoch_floor;
+    use pacman_common::{Encoder, ProcId, Row, TableId, Value};
+    use pacman_sproc::{Expr, ProcBuilder};
+    use pacman_wal::{LogPayload, TxnLogRecord};
+
+    const T: TableId = TableId::new(0);
+
+    fn setup() -> (Catalog, ProcRegistry, StorageSet) {
+        let mut c = Catalog::new();
+        c.add_table("t", 1);
+        let mut reg = ProcRegistry::new();
+        let mut b = ProcBuilder::new(ProcId::new(0), "Add", 2);
+        let v = b.read(T, Expr::param(0), 0);
+        b.write(T, Expr::param(0), 0, Expr::add(Expr::var(v), Expr::param(1)));
+        reg.register(b.build().unwrap()).unwrap();
+        (c, reg, StorageSet::for_tests())
+    }
+
+    /// Build a pre-crash database, checkpoint the seeded state, write a
+    /// command log for the updates, and verify CLR and every CLR-P mode
+    /// recover the same fingerprint.
+    #[test]
+    fn command_schemes_agree_end_to_end() {
+        let (catalog, reg, storage) = setup();
+        let reference = Arc::new(Database::new(catalog.clone()));
+        for k in 0..8u64 {
+            reference.seed_row(T, k, Row::from([Value::Int(0)])).unwrap();
+        }
+        // Checkpoint the seeded state so recovery has a base image.
+        pacman_wal::run_checkpoint(&reference, &storage, 1).unwrap();
+        let mut buf = Vec::new();
+        for i in 0..30u64 {
+            let key = i % 8;
+            let params: Vec<Value> = vec![Value::Int(key as i64), Value::Int(1)];
+            // Apply to the reference through the engine.
+            let mut txn = reference.begin();
+            let r = txn.read(T, key).unwrap();
+            let v = r.col(0).as_int().unwrap();
+            txn.write(T, key, r.with_col(0, Value::Int(v + 1))).unwrap();
+            let info = txn.commit_with(|| 1 + i / 10).unwrap();
+            TxnLogRecord {
+                ts: info.ts,
+                payload: LogPayload::Command {
+                    proc: ProcId::new(0),
+                    params: params.into(),
+                },
+            }
+            .encode(&mut buf);
+            if (i + 1) % 10 == 0 {
+                storage
+                    .disk(0)
+                    .append(&format!("log/00/{:010}", i / 10), &buf);
+                buf.clear();
+            }
+        }
+        storage
+            .disk(0)
+            .write_file("pepoch.log", &u64::MAX.to_le_bytes());
+
+        for scheme in [
+            RecoveryScheme::Clr,
+            RecoveryScheme::ClrP {
+                mode: ReplayMode::Pipelined,
+            },
+            RecoveryScheme::ClrP {
+                mode: ReplayMode::Synchronous,
+            },
+            RecoveryScheme::ClrP {
+                mode: ReplayMode::PureStatic,
+            },
+        ] {
+            let out = recover(
+                &storage,
+                &catalog,
+                &reg,
+                &RecoveryConfig { scheme, threads: 4 },
+            )
+            .unwrap();
+            assert_eq!(out.report.checkpoint_tuples, 8);
+            assert_eq!(
+                out.db.fingerprint(),
+                reference.fingerprint(),
+                "{} diverged",
+                out.report.scheme
+            );
+            assert_eq!(out.report.txns, 30);
+        }
+    }
+
+    #[test]
+    fn missing_everything_recovers_empty() {
+        let (catalog, reg, storage) = setup();
+        let out = recover(
+            &storage,
+            &catalog,
+            &reg,
+            &RecoveryConfig {
+                scheme: RecoveryScheme::Clr,
+                threads: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(out.db.total_tuples(), 0);
+        assert_eq!(out.report.txns, 0);
+    }
+}

@@ -1,0 +1,479 @@
+//! The PACMAN recovery runtime (§4.2.1, §4.3.2, §4.4).
+//!
+//! Piece-sets become *active* when their gate opens:
+//!
+//! * **pure static** — all piece-sets of the previous batch finished
+//!   (batch barrier) and upstream blocks of the same batch finished; the
+//!   piece-set then executes *serially* on one thread (§4.2.1, the
+//!   Fig. 18 baseline);
+//! * **synchronous** — same gates, but the piece-set executes with
+//!   fine-grained parallelism over the dynamic-analysis DAG (Fig. 9a);
+//! * **pipelined** — no batch barrier: a piece-set starts once its own
+//!   block finished the previous batch and its upstream blocks finished
+//!   the same batch (Fig. 9b).
+//!
+//! A pool of exactly `threads` workers drains the active sets. The paper
+//! statically pins cores to blocks in proportion to the estimated piece
+//! distribution (Fig. 10); we compute the same distribution
+//! ([`assign_cores`], used for reporting) but let idle workers help other
+//! blocks — a work-sharing refinement of the same assignment that the
+//! paper's own Fig. 20 analysis (scheduling = 30% of time) motivates.
+
+pub mod exec;
+
+use crate::dynamic::{build_piece_dag, PieceDag};
+use crate::metrics::RecoveryMetrics;
+use crate::schedule::ExecutionSchedule;
+use crate::static_analysis::GlobalGraph;
+use pacman_common::{Error, Result};
+use pacman_engine::Database;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How batches are replayed (the Fig. 18/19 ablation axis).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplayMode {
+    /// Static analysis only: serial piece-sets, batch barrier.
+    PureStatic,
+    /// Static + intra-batch dynamic analysis, batch barrier (Fig. 9a).
+    Synchronous,
+    /// Static + intra- and inter-batch parallelism (Fig. 9b).
+    Pipelined,
+}
+
+impl ReplayMode {
+    /// Display label used by the benches.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReplayMode::PureStatic => "pure-static",
+            ReplayMode::Synchronous => "synchronous",
+            ReplayMode::Pipelined => "pipelined",
+        }
+    }
+}
+
+/// §4.4: assign `total_threads` cores over blocks proportionally to the
+/// estimated piece distribution, at least one core per block. Used for
+/// reporting and as the paper's reference policy.
+pub fn assign_cores(piece_estimate: &[usize], total_threads: usize) -> Vec<usize> {
+    let blocks = piece_estimate.len();
+    if blocks == 0 {
+        return Vec::new();
+    }
+    let total: usize = piece_estimate.iter().sum();
+    let budget = total_threads.max(1);
+    if total == 0 {
+        return vec![1; blocks];
+    }
+    let mut assignment: Vec<usize> = piece_estimate
+        .iter()
+        .map(|&c| ((c * budget) as f64 / total as f64).floor() as usize)
+        .collect();
+    for a in assignment.iter_mut() {
+        if *a == 0 {
+            *a = 1;
+        }
+    }
+    let mut spent: usize = assignment.iter().sum();
+    while spent > budget.max(blocks) {
+        let (i, _) = assignment
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &a)| a)
+            .expect("non-empty");
+        if assignment[i] <= 1 {
+            break;
+        }
+        assignment[i] -= 1;
+        spent -= 1;
+    }
+    let mut order: Vec<usize> = (0..blocks).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(piece_estimate[i]));
+    let mut k = 0;
+    while spent < budget {
+        assignment[order[k % blocks]] += 1;
+        spent += 1;
+        k += 1;
+    }
+    assignment
+}
+
+/// Execution state of one *activated* piece-set.
+struct ActiveSet {
+    #[allow(dead_code)] // diagnostic field (batch identity in debugging)
+    batch: usize,
+    block: usize,
+    entry: Arc<BatchEntry>,
+    dag: PieceDag,
+    ready: Mutex<VecDeque<u32>>,
+    remaining: AtomicUsize,
+    /// Pure-static: the whole set is claimed and executed by one worker.
+    serial_claim: AtomicBool,
+    done_flag: AtomicBool,
+}
+
+/// One batch, as received from the loader.
+struct BatchEntry {
+    schedule: ExecutionSchedule,
+    /// Per block: whether the piece-set has been activated yet.
+    activated: Vec<AtomicBool>,
+}
+
+struct Shared {
+    entries: Mutex<Vec<Arc<BatchEntry>>>,
+    loading_done: AtomicBool,
+    /// Per block: number of completed batches (== next batch to activate).
+    done: Vec<AtomicU64>,
+    active: Mutex<Vec<Arc<ActiveSet>>>,
+    wake_mutex: Mutex<()>,
+    wake_cv: Condvar,
+    error: Mutex<Option<Error>>,
+    aborted: AtomicBool,
+    mode: ReplayMode,
+}
+
+impl Shared {
+    fn notify(&self) {
+        let _g = self.wake_mutex.lock();
+        self.wake_cv.notify_all();
+    }
+
+    fn fail(&self, e: Error) {
+        let mut err = self.error.lock();
+        if err.is_none() {
+            *err = Some(e);
+        }
+        self.aborted.store(true, Ordering::Release);
+        self.notify();
+    }
+
+    /// Gate check for block `b`'s next piece-set (batch `done[b]`).
+    fn gate_open(&self, gdg: &GlobalGraph, block: usize, batch: u64) -> bool {
+        let preds_ok = gdg
+            .preds(pacman_common::BlockId::new(block as u32))
+            .iter()
+            .all(|a| self.done[a.index()].load(Ordering::Acquire) >= batch + 1);
+        match self.mode {
+            ReplayMode::Pipelined => preds_ok,
+            ReplayMode::Synchronous | ReplayMode::PureStatic => {
+                preds_ok
+                    && self
+                        .done
+                        .iter()
+                        .all(|d| d.load(Ordering::Acquire) >= batch)
+            }
+        }
+    }
+
+    /// Whether every block has finished every loaded batch.
+    fn finished(&self) -> bool {
+        if !self.loading_done.load(Ordering::Acquire) {
+            return false;
+        }
+        let total = self.entries.lock().len() as u64;
+        self.done
+            .iter()
+            .all(|d| d.load(Ordering::Acquire) >= total)
+    }
+}
+
+/// Activate every piece-set whose gate is open. Returns true if anything
+/// new became active. DAG construction (parameter checking) happens here,
+/// on the activating thread.
+fn try_activate(shared: &Shared, gdg: &GlobalGraph, metrics: &RecoveryMetrics) -> bool {
+    let mut activated_any = false;
+    loop {
+        let mut progressed = false;
+        for block in 0..shared.done.len() {
+            let batch = shared.done[block].load(Ordering::Acquire);
+            let entry = {
+                let entries = shared.entries.lock();
+                match entries.get(batch as usize) {
+                    Some(e) => Arc::clone(e),
+                    None => continue,
+                }
+            };
+            if entry.activated[block].swap(true, Ordering::AcqRel) {
+                continue; // someone else is on it
+            }
+            if !shared.gate_open(gdg, block, batch) {
+                entry.activated[block].store(false, Ordering::Release);
+                continue;
+            }
+            let pieces = &entry.schedule.piece_sets[block];
+            if pieces.pieces.is_empty() {
+                // Nothing to do: complete immediately and keep sweeping.
+                shared.done[block].fetch_add(1, Ordering::AcqRel);
+                progressed = true;
+                continue;
+            }
+            // Pure static mode never consults the DAG (no dynamic
+            // analysis — that is the Fig. 18/19 baseline).
+            let dag = if shared.mode == ReplayMode::PureStatic {
+                PieceDag {
+                    indeg: Vec::new(),
+                    dependents: Vec::new(),
+                    initial_ready: Vec::new(),
+                    n: pieces.pieces.len(),
+                }
+            } else {
+                let t0 = Instant::now();
+                let dag = build_piece_dag(pieces, &entry.schedule.txns);
+                metrics.add_param(t0.elapsed());
+                dag
+            };
+            let ready: VecDeque<u32> = dag.initial_ready.iter().copied().collect();
+            let n = dag.n;
+            let set = Arc::new(ActiveSet {
+                batch: batch as usize,
+                block,
+                entry: Arc::clone(&entry),
+                dag,
+                ready: Mutex::new(ready),
+                remaining: AtomicUsize::new(n),
+                serial_claim: AtomicBool::new(false),
+                done_flag: AtomicBool::new(false),
+            });
+            shared.active.lock().push(set);
+            activated_any = true;
+            progressed = true;
+        }
+        if !progressed {
+            break;
+        }
+    }
+    if activated_any {
+        shared.notify();
+    }
+    activated_any
+}
+
+fn complete_set(shared: &Shared, gdg: &GlobalGraph, set: &ActiveSet, metrics: &RecoveryMetrics) {
+    set.done_flag.store(true, Ordering::Release);
+    shared.done[set.block].fetch_add(1, Ordering::AcqRel);
+    shared.active.lock().retain(|s| !s.done_flag.load(Ordering::Acquire));
+    try_activate(shared, gdg, metrics);
+    shared.notify();
+}
+
+/// Run the replay: consume schedules from `rx` (produced by the reload
+/// pipeline in batch order) and execute every piece-set with exactly
+/// `threads` workers. `piece_estimate` is the §4.4 distribution (reported
+/// through `assign_cores`; the pool shares idle capacity across blocks).
+pub fn run_replay(
+    db: &Arc<Database>,
+    gdg: &Arc<GlobalGraph>,
+    mode: ReplayMode,
+    threads: usize,
+    piece_estimate: &[usize],
+    metrics: &Arc<RecoveryMetrics>,
+    rx: crossbeam::channel::Receiver<ExecutionSchedule>,
+) -> Result<()> {
+    let blocks = gdg.num_blocks();
+    if blocks == 0 {
+        while rx.recv().is_ok() {}
+        return Ok(());
+    }
+    // The reference static assignment (kept for §4.4 fidelity/reporting).
+    let _assignment = assign_cores(piece_estimate, threads);
+
+    let shared = Arc::new(Shared {
+        entries: Mutex::new(Vec::new()),
+        loading_done: AtomicBool::new(false),
+        done: (0..blocks).map(|_| AtomicU64::new(0)).collect(),
+        active: Mutex::new(Vec::new()),
+        wake_mutex: Mutex::new(()),
+        wake_cv: Condvar::new(),
+        error: Mutex::new(None),
+        aborted: AtomicBool::new(false),
+        mode,
+    });
+
+    crossbeam::thread::scope(|scope| {
+        // Intake thread.
+        {
+            let shared = Arc::clone(&shared);
+            let gdg = Arc::clone(gdg);
+            let metrics = Arc::clone(metrics);
+            scope.spawn(move |_| {
+                for schedule in rx.iter() {
+                    let activated = (0..schedule.piece_sets.len())
+                        .map(|_| AtomicBool::new(false))
+                        .collect();
+                    shared
+                        .entries
+                        .lock()
+                        .push(Arc::new(BatchEntry { schedule, activated }));
+                    try_activate(&shared, &gdg, &metrics);
+                    shared.notify();
+                }
+                shared.loading_done.store(true, Ordering::Release);
+                shared.notify();
+            });
+        }
+
+        for worker in 0..threads.max(1) {
+            let shared = Arc::clone(&shared);
+            let gdg = Arc::clone(gdg);
+            let db = Arc::clone(db);
+            let metrics = Arc::clone(metrics);
+            scope.spawn(move |_| worker_loop(&db, &gdg, &shared, worker, &metrics));
+        }
+    })
+    .expect("replay scope");
+
+    let err = shared.error.lock().take();
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// How many pieces a worker grabs per shared-queue access. Amortizes lock
+/// traffic for the common tiny-piece case.
+const CHUNK: usize = 16;
+
+/// Pick a chunk of runnable pieces from the active sets. `rot` staggers
+/// the scan start per worker to avoid convoying on one set.
+fn pick_work(shared: &Shared, rot: usize) -> Option<(Arc<ActiveSet>, Vec<u32>)> {
+    let active = shared.active.lock();
+    let n = active.len();
+    for k in 0..n {
+        let set = &active[(rot + k) % n];
+        if set.done_flag.load(Ordering::Acquire) {
+            continue;
+        }
+        if shared.mode == ReplayMode::PureStatic {
+            if !set.serial_claim.swap(true, Ordering::AcqRel) {
+                return Some((Arc::clone(set), Vec::new()));
+            }
+            continue;
+        }
+        let mut ready = set.ready.lock();
+        if !ready.is_empty() {
+            let take = ready.len().min(CHUNK);
+            let chunk: Vec<u32> = ready.drain(..take).collect();
+            return Some((Arc::clone(set), chunk));
+        }
+    }
+    None
+}
+
+fn worker_loop(
+    db: &Arc<Database>,
+    gdg: &Arc<GlobalGraph>,
+    shared: &Shared,
+    worker: usize,
+    metrics: &RecoveryMetrics,
+) {
+    let mut rot = worker;
+    loop {
+        if shared.aborted.load(Ordering::Acquire) {
+            return;
+        }
+        let Some((set, chunk)) = pick_work(shared, rot) else {
+            if shared.finished() {
+                shared.notify();
+                return;
+            }
+            // Heal any activation missed by the benign CAS race in
+            // try_activate, then block briefly.
+            let t0 = Instant::now();
+            if !try_activate(shared, gdg, metrics) {
+                let mut g = shared.wake_mutex.lock();
+                shared
+                    .wake_cv
+                    .wait_for(&mut g, std::time::Duration::from_micros(200));
+            }
+            metrics.add_sched(t0.elapsed());
+            continue;
+        };
+        rot = rot.wrapping_add(1);
+
+        if shared.mode == ReplayMode::PureStatic {
+            // Pure static: execute the whole set serially (§4.2.1).
+            let pieces = &set.entry.schedule.piece_sets[set.block];
+            let t0 = Instant::now();
+            for p in &pieces.pieces {
+                match exec::execute_piece(db, p, &set.entry.schedule.txns) {
+                    Ok(w) => metrics.count_writes(w),
+                    Err(e) => {
+                        shared.fail(e);
+                        return;
+                    }
+                }
+            }
+            metrics.add_work(t0.elapsed());
+            complete_set(shared, gdg, &set, metrics);
+            continue;
+        }
+
+        // Work-following: execute the chunk, preferring locally-unblocked
+        // pieces; spill surplus back to the shared queue.
+        let pieces = &set.entry.schedule.piece_sets[set.block];
+        let mut local: Vec<u32> = chunk;
+        let mut finished = 0usize;
+        let t0 = Instant::now();
+        while let Some(pi) = local.pop() {
+            match exec::execute_piece(db, &pieces.pieces[pi as usize], &set.entry.schedule.txns) {
+                Ok(w) => metrics.count_writes(w),
+                Err(e) => {
+                    shared.fail(e);
+                    return;
+                }
+            }
+            finished += 1;
+            for &d in &set.dag.dependents[pi as usize] {
+                if set.dag.indeg[d as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    local.push(d);
+                }
+            }
+            if local.len() > 2 * CHUNK {
+                let spill: Vec<u32> = local.drain(..CHUNK).collect();
+                set.ready.lock().extend(spill);
+                shared.notify();
+            }
+        }
+        metrics.add_work(t0.elapsed());
+        if set.remaining.fetch_sub(finished, Ordering::AcqRel) == finished {
+            complete_set(shared, gdg, &set, metrics);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_assignment_is_proportional_with_floor_one() {
+        // Fig. 10's example: 20/40/20/20 % over 5 cores.
+        let a = assign_cores(&[20, 40, 20, 20], 5);
+        assert_eq!(a.iter().sum::<usize>(), 5);
+        assert_eq!(a[1], 2, "hottest block gets the extra core: {a:?}");
+        assert!(a.iter().all(|&x| x >= 1));
+    }
+
+    #[test]
+    fn core_assignment_handles_more_blocks_than_threads() {
+        let a = assign_cores(&[5, 5, 5, 5], 2);
+        assert_eq!(a, vec![1, 1, 1, 1], "every block keeps one core");
+    }
+
+    #[test]
+    fn core_assignment_zero_estimate() {
+        let a = assign_cores(&[0, 0], 8);
+        assert_eq!(a, vec![1, 1]);
+        assert!(assign_cores(&[], 8).is_empty());
+    }
+
+    #[test]
+    fn core_assignment_large_pool() {
+        let a = assign_cores(&[10, 30], 24);
+        assert_eq!(a.iter().sum::<usize>(), 24);
+        assert!(a[1] > a[0] * 2, "{a:?}");
+    }
+}

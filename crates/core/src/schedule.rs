@@ -1,0 +1,279 @@
+//! Execution schedules (§4.2, Fig. 6).
+//!
+//! A reloaded log batch turns into an execution schedule: every command
+//! record is instantiated into one *piece* per piece template of its
+//! procedure, every ad-hoc record into one write-only piece per block that
+//! owns the written tables (§4.5). Pieces belonging to the same block form
+//! a *piece-set*, ordered by the transactions' commitment order.
+
+use crate::static_analysis::GlobalGraph;
+use pacman_common::{BlockId, Result, Timestamp};
+use pacman_engine::WriteRecord;
+use pacman_sproc::{Params, ProcRegistry, ProcedureDef, VarStore};
+use pacman_wal::{LogBatch, LogPayload};
+use std::sync::Arc;
+
+/// Per-transaction context shared by all of its pieces.
+#[derive(Debug)]
+pub struct TxnCtx {
+    /// Commit timestamp (replay order).
+    pub ts: Timestamp,
+    /// The procedure, for command records.
+    pub proc: Option<Arc<ProcedureDef>>,
+    /// Invocation parameters (empty for ad-hoc records).
+    pub params: Params,
+    /// Cross-piece variable store (Fig. 7's `dst` hand-off).
+    pub vars: Arc<VarStore>,
+}
+
+/// What a piece executes.
+#[derive(Clone, Debug)]
+pub enum PieceOps {
+    /// A slice of the transaction's procedure: op indices to interpret.
+    Slice(Arc<Vec<usize>>),
+    /// Write images to install (ad-hoc transactions, §4.5).
+    Writes(Arc<Vec<WriteRecord>>),
+}
+
+/// One transaction piece (`P_b^t` in the paper's notation).
+#[derive(Clone, Debug)]
+pub struct Piece {
+    /// Index into [`ExecutionSchedule::txns`].
+    pub txn: usize,
+    /// The transaction's commit timestamp.
+    pub ts: Timestamp,
+    /// The work.
+    pub ops: PieceOps,
+}
+
+/// All pieces of one block, in commitment order.
+#[derive(Debug)]
+pub struct PieceSet {
+    /// The block these pieces instantiate.
+    pub block: BlockId,
+    /// Pieces ordered by `ts`.
+    pub pieces: Vec<Piece>,
+}
+
+/// The execution schedule of one log batch.
+#[derive(Debug)]
+pub struct ExecutionSchedule {
+    /// Batch sequence number.
+    pub batch_index: u64,
+    /// Transactions in commitment order.
+    pub txns: Vec<TxnCtx>,
+    /// One piece-set per GDG block (some possibly empty).
+    pub piece_sets: Vec<PieceSet>,
+}
+
+impl ExecutionSchedule {
+    /// Instantiate the schedule for `batch` using the global dependency
+    /// graph (Fig. 6's construction).
+    pub fn build(gdg: &GlobalGraph, registry: &ProcRegistry, batch: &LogBatch) -> Result<Self> {
+        let mut piece_sets: Vec<PieceSet> = (0..gdg.num_blocks())
+            .map(|b| PieceSet {
+                block: BlockId::new(b as u32),
+                pieces: Vec::new(),
+            })
+            .collect();
+        let mut txns = Vec::with_capacity(batch.records.len());
+
+        for record in &batch.records {
+            let txn_idx = txns.len();
+            match &record.payload {
+                LogPayload::Command { proc, params } => {
+                    let def = Arc::clone(registry.get(*proc)?);
+                    let vars = Arc::new(VarStore::new(def.num_vars));
+                    for (k, tmpl) in gdg.templates_for(*proc).iter().enumerate() {
+                        piece_sets[tmpl.block.index()].pieces.push(Piece {
+                            txn: txn_idx,
+                            ts: record.ts,
+                            ops: PieceOps::Slice(Arc::clone(gdg.template_ops_arc(*proc, k))),
+                        });
+                    }
+                    txns.push(TxnCtx {
+                        ts: record.ts,
+                        proc: Some(def),
+                        params: Arc::clone(params),
+                        vars,
+                    });
+                }
+                LogPayload::Writes { writes, .. } => {
+                    // Group the write set by owning block (§4.5): each write
+                    // operation is dispatched to the piece-subset of the
+                    // block that owns its table.
+                    let mut by_block: Vec<(BlockId, Vec<WriteRecord>)> = Vec::new();
+                    for w in writes {
+                        let block = gdg
+                            .block_for_write(w.table)
+                            .unwrap_or(BlockId::new(0));
+                        match by_block.iter_mut().find(|(b, _)| *b == block) {
+                            Some((_, v)) => v.push(w.clone()),
+                            None => by_block.push((block, vec![w.clone()])),
+                        }
+                    }
+                    for (block, group) in by_block {
+                        piece_sets[block.index()].pieces.push(Piece {
+                            txn: txn_idx,
+                            ts: record.ts,
+                            ops: PieceOps::Writes(Arc::new(group)),
+                        });
+                    }
+                    txns.push(TxnCtx {
+                        ts: record.ts,
+                        proc: None,
+                        params: Arc::from(Vec::new()),
+                        vars: Arc::new(VarStore::new(0)),
+                    });
+                }
+            }
+        }
+        Ok(ExecutionSchedule {
+            batch_index: batch.index,
+            txns,
+            piece_sets,
+        })
+    }
+
+    /// Piece counts per block — the workload-distribution estimate used for
+    /// core assignment (§4.4, Fig. 10).
+    pub fn piece_counts(&self) -> Vec<usize> {
+        self.piece_sets.iter().map(|s| s.pieces.len()).collect()
+    }
+
+    /// Total number of pieces.
+    pub fn total_pieces(&self) -> usize {
+        self.piece_sets.iter().map(|s| s.pieces.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacman_common::{ProcId, TableId, Value};
+    use pacman_engine::WriteKind;
+    use pacman_sproc::{Expr, ProcBuilder};
+    use pacman_wal::TxnLogRecord;
+
+    const FAMILY: TableId = TableId::new(0);
+    const CURRENT: TableId = TableId::new(1);
+    const SAVING: TableId = TableId::new(2);
+    const STATS: TableId = TableId::new(3);
+
+    fn registry() -> ProcRegistry {
+        let mut reg = ProcRegistry::new();
+        let mut b = ProcBuilder::new(ProcId::new(0), "Transfer", 2);
+        let dst = b.read(FAMILY, Expr::param(0), 0);
+        b.guarded(Expr::not_null(Expr::var(dst)), |b| {
+            let src_val = b.read(CURRENT, Expr::param(0), 0);
+            b.write(CURRENT, Expr::param(0), 0, Expr::sub(Expr::var(src_val), Expr::param(1)));
+            let dst_val = b.read(CURRENT, Expr::var(dst), 0);
+            b.write(CURRENT, Expr::var(dst), 0, Expr::add(Expr::var(dst_val), Expr::param(1)));
+            let bonus = b.read(SAVING, Expr::param(0), 0);
+            b.write(SAVING, Expr::param(0), 0, Expr::add(Expr::var(bonus), Expr::int(1)));
+        });
+        reg.register(b.build().unwrap()).unwrap();
+        let mut b = ProcBuilder::new(ProcId::new(1), "Deposit", 3);
+        let tmp = b.read(CURRENT, Expr::param(0), 0);
+        b.write(CURRENT, Expr::param(0), 0, Expr::add(Expr::var(tmp), Expr::param(1)));
+        let rich = Expr::gt(Expr::add(Expr::var(tmp), Expr::param(1)), Expr::int(10000));
+        b.guarded(rich.clone(), |b| {
+            let bonus = b.read(SAVING, Expr::param(0), 0);
+            b.write(SAVING, Expr::param(0), 0, Expr::add(Expr::var(bonus), Expr::int(2)));
+        });
+        b.guarded(rich, |b| {
+            let count = b.read(STATS, Expr::param(2), 0);
+            b.write(STATS, Expr::param(2), 0, Expr::add(Expr::var(count), Expr::int(1)));
+        });
+        reg.register(b.build().unwrap()).unwrap();
+        reg
+    }
+
+    fn cmd(ts: u64, proc: u32, params: Vec<Value>) -> TxnLogRecord {
+        TxnLogRecord {
+            ts,
+            payload: LogPayload::Command {
+                proc: ProcId::new(proc),
+                params: params.into(),
+            },
+        }
+    }
+
+    /// The Fig. 6 batch: Txn1 = Transfer, Txn2 = Deposit, Txn3 = Transfer.
+    #[test]
+    fn fig6_schedule_shape() {
+        let reg = registry();
+        let gdg = GlobalGraph::analyze(reg.all()).unwrap();
+        let batch = LogBatch {
+            index: 0,
+            records: vec![
+                cmd(10, 0, vec![Value::Int(1), Value::Int(5)]),
+                cmd(11, 1, vec![Value::Int(2), Value::Int(7), Value::Int(0)]),
+                cmd(12, 0, vec![Value::Int(3), Value::Int(9)]),
+            ],
+        };
+        let s = ExecutionSchedule::build(&gdg, &reg, &batch).unwrap();
+        assert_eq!(s.txns.len(), 3);
+        assert_eq!(s.piece_sets.len(), 4);
+        // PSα: txn1, txn3 (Transfer's T1). PSβ: all three. PSγ: all three.
+        // PSδ: txn2 only.
+        let counts = s.piece_counts();
+        assert_eq!(counts, vec![2, 3, 3, 1]);
+        // Pieces are in commitment order.
+        let beta = &s.piece_sets[1];
+        assert_eq!(
+            beta.pieces.iter().map(|p| p.ts).collect::<Vec<_>>(),
+            vec![10, 11, 12]
+        );
+        assert_eq!(s.total_pieces(), 9);
+    }
+
+    #[test]
+    fn adhoc_records_dispatch_writes_by_block() {
+        let reg = registry();
+        let gdg = GlobalGraph::analyze(reg.all()).unwrap();
+        let writes = vec![
+            WriteRecord {
+                table: CURRENT,
+                key: 1,
+                kind: WriteKind::Update,
+                after: Some(pacman_common::Row::from([Value::Int(5)])),
+                prev_ts: 0,
+            },
+            WriteRecord {
+                table: SAVING,
+                key: 1,
+                kind: WriteKind::Update,
+                after: Some(pacman_common::Row::from([Value::Int(6)])),
+                prev_ts: 0,
+            },
+        ];
+        let batch = LogBatch {
+            index: 3,
+            records: vec![TxnLogRecord {
+                ts: 20,
+                payload: LogPayload::Writes {
+                    writes,
+                    physical: false,
+                    adhoc: true,
+                },
+            }],
+        };
+        let s = ExecutionSchedule::build(&gdg, &reg, &batch).unwrap();
+        // Current is owned by Bβ (index 1), Saving by Bγ (index 2).
+        assert_eq!(s.piece_counts(), vec![0, 1, 1, 0]);
+        match &s.piece_sets[1].pieces[0].ops {
+            PieceOps::Writes(w) => assert_eq!(w.len(), 1),
+            other => panic!("expected writes piece, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_batch_gives_empty_schedule() {
+        let reg = registry();
+        let gdg = GlobalGraph::analyze(reg.all()).unwrap();
+        let s = ExecutionSchedule::build(&gdg, &reg, &LogBatch::default()).unwrap();
+        assert_eq!(s.total_pieces(), 0);
+        assert!(s.txns.is_empty());
+    }
+}

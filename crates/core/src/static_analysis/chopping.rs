@@ -1,0 +1,193 @@
+//! Transaction chopping baseline (Shasha et al., TODS 1995) — the
+//! comparison point of Fig. 18.
+//!
+//! Chopping decomposes transactions so that *any* strict-2PL execution of
+//! the pieces remains serializable, which requires the absence of SC-cycles
+//! in the chopping graph (cycles mixing sibling edges within a transaction
+//! and conflict edges across transactions). That is a strictly stronger
+//! requirement than PACMAN's (recovery replays a *known, pre-ordered*
+//! schedule), so chopping necessarily produces coarser pieces (§7).
+//!
+//! We start from the finest per-procedure decomposition (PACMAN's own
+//! slices) and repeatedly merge any two pieces of a procedure that both
+//! conflict with some (possibly identical) procedure type — the canonical
+//! two-transaction SC-cycle `p_i —C— q_k —S…S— q_l —C— p_j —S— p_i`. The
+//! fixpoint covers every two-transaction SC-cycle; cycles spanning three or
+//! more transactions would only merge further, never split, so the
+//! comparison is conservative *in chopping's favour*.
+
+use super::local::LocalGraph;
+use super::ops_data_dependent;
+use super::union_find::UnionFind;
+use pacman_sproc::ProcedureDef;
+use std::sync::Arc;
+
+/// The chopping of a set of procedures: per procedure, a list of pieces
+/// (op-index sets, program-ordered).
+#[derive(Clone, Debug)]
+pub struct ChoppingGraph {
+    /// `pieces[p]` = the pieces of procedure `p`, each a sorted op list.
+    pub pieces: Vec<Vec<Vec<usize>>>,
+}
+
+impl ChoppingGraph {
+    /// Chop the procedure set.
+    pub fn analyze(procs: &[Arc<ProcedureDef>]) -> ChoppingGraph {
+        // Start from PACMAN's finest conflict-free decomposition.
+        let mut pieces: Vec<Vec<Vec<usize>>> = procs
+            .iter()
+            .map(|p| {
+                LocalGraph::analyze(p)
+                    .slices
+                    .into_iter()
+                    .map(|s| s.ops)
+                    .collect()
+            })
+            .collect();
+
+        let conflict = |pa: &ProcedureDef, a: &[usize], pb: &ProcedureDef, b: &[usize]| {
+            a.iter()
+                .any(|&oa| b.iter().any(|&ob| ops_data_dependent(&pa.ops[oa], &pb.ops[ob])))
+        };
+
+        // Merge to fixpoint: pieces i<j of procedure P merge when some piece
+        // q of any procedure Q conflicts with both (two-txn SC-cycle).
+        loop {
+            let mut changed = false;
+            for pi in 0..procs.len() {
+                let list = &pieces[pi];
+                if list.len() < 2 {
+                    continue;
+                }
+                let mut uf = UnionFind::new(list.len());
+                for i in 0..list.len() {
+                    for j in (i + 1)..list.len() {
+                        // The cycle partner Q ranges over every procedure
+                        // type — including another *instance* of P itself
+                        // (workloads run many instances of each type
+                        // concurrently). Q's pieces are sibling-connected,
+                        // so the SC-cycle
+                        //   p_i —C— q_k —S…S— q_l —C— p_j —S— p_i
+                        // exists as soon as Q conflicts with p_i through any
+                        // piece and with p_j through any (possibly the same)
+                        // piece.
+                        let cyc = (0..procs.len()).any(|qi| {
+                            pieces[qi]
+                                .iter()
+                                .any(|q| conflict(&procs[pi], &list[i], &procs[qi], q))
+                                && pieces[qi]
+                                    .iter()
+                                    .any(|q| conflict(&procs[pi], &list[j], &procs[qi], q))
+                        });
+                        if cyc {
+                            uf.union(i, j);
+                        }
+                    }
+                }
+                let groups = uf.groups();
+                if groups.len() != list.len() {
+                    changed = true;
+                    let merged: Vec<Vec<usize>> = groups
+                        .into_iter()
+                        .map(|g| {
+                            let mut ops: Vec<usize> =
+                                g.into_iter().flat_map(|k| list[k].clone()).collect();
+                            ops.sort_unstable();
+                            ops
+                        })
+                        .collect();
+                    pieces[pi] = merged;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        ChoppingGraph { pieces }
+    }
+
+    /// Total piece count across procedures (granularity measure).
+    pub fn total_pieces(&self) -> usize {
+        self.pieces.iter().map(|p| p.len()).sum()
+    }
+
+    /// Pieces of one procedure.
+    pub fn pieces_of(&self, proc: usize) -> &[Vec<usize>] {
+        &self.pieces[proc]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacman_common::{ProcId, TableId};
+    use pacman_sproc::{Expr, ProcBuilder};
+
+    const CURRENT: TableId = TableId::new(1);
+    const SAVING: TableId = TableId::new(2);
+
+    fn two_table_proc(id: u32, name: &str) -> ProcedureDef {
+        let mut b = ProcBuilder::new(ProcId::new(id), name, 2);
+        let v = b.read(CURRENT, Expr::param(0), 0);
+        b.write(
+            CURRENT,
+            Expr::param(0),
+            0,
+            Expr::sub(Expr::var(v), Expr::param(1)),
+        );
+        let s = b.read(SAVING, Expr::param(0), 0);
+        b.write(
+            SAVING,
+            Expr::param(0),
+            0,
+            Expr::add(Expr::var(s), Expr::param(1)),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn self_conflicting_multi_table_procs_merge_to_one_piece() {
+        // Two instances of the same procedure conflict on both Current and
+        // Saving → SC-cycle → the two RMW pairs must merge. PACMAN keeps
+        // them as two independent slices — this is exactly the granularity
+        // gap of Fig. 18.
+        let p = Arc::new(two_table_proc(0, "P"));
+        let chop = ChoppingGraph::analyze(&[Arc::clone(&p)]);
+        assert_eq!(chop.pieces_of(0).len(), 1, "{:?}", chop.pieces);
+        let pacman = LocalGraph::analyze(&p);
+        assert_eq!(pacman.len(), 2, "PACMAN stays finer");
+    }
+
+    #[test]
+    fn disjoint_single_table_procs_stay_chopped() {
+        // One procedure touching only Current, another only Saving: no piece
+        // of either conflicts with two pieces of the other.
+        let mut a = ProcBuilder::new(ProcId::new(0), "A", 2);
+        let v = a.read(CURRENT, Expr::param(0), 0);
+        a.write(CURRENT, Expr::param(0), 0, Expr::var(v));
+        let mut b = ProcBuilder::new(ProcId::new(1), "B", 2);
+        let w = b.read(SAVING, Expr::param(0), 0);
+        b.write(SAVING, Expr::param(0), 0, Expr::var(w));
+        let chop = ChoppingGraph::analyze(&[
+            Arc::new(a.build().unwrap()),
+            Arc::new(b.build().unwrap()),
+        ]);
+        assert_eq!(chop.total_pieces(), 2);
+    }
+
+    #[test]
+    fn chopping_is_never_finer_than_pacman() {
+        let procs = vec![
+            Arc::new(two_table_proc(0, "P")),
+            Arc::new(two_table_proc(1, "Q")),
+        ];
+        let chop = ChoppingGraph::analyze(&procs);
+        for (pi, p) in procs.iter().enumerate() {
+            let pacman = LocalGraph::analyze(p);
+            assert!(
+                chop.pieces_of(pi).len() <= pacman.len(),
+                "chopping produced finer pieces than PACMAN"
+            );
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! The table catalog.
+
+use pacman_common::{Error, Result, TableId};
+
+/// Static description of one table.
+#[derive(Clone, Debug)]
+pub struct TableMeta {
+    /// Table id (index into the database's table vector).
+    pub id: TableId,
+    /// Human-readable name.
+    pub name: String,
+    /// Number of columns.
+    pub arity: usize,
+    /// log2 of the number of index shards.
+    pub shard_bits: u32,
+}
+
+/// The set of tables, fixed at database creation.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    tables: Vec<TableMeta>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a table with the default shard count (64 shards).
+    pub fn add_table(&mut self, name: &str, arity: usize) -> TableId {
+        self.add_table_sharded(name, arity, 6)
+    }
+
+    /// Add a table with `2^shard_bits` index shards.
+    pub fn add_table_sharded(&mut self, name: &str, arity: usize, shard_bits: u32) -> TableId {
+        let id = TableId::new(self.tables.len() as u32);
+        self.tables.push(TableMeta {
+            id,
+            name: name.to_string(),
+            arity,
+            shard_bits,
+        });
+        id
+    }
+
+    /// Metadata of table `id`.
+    pub fn table(&self, id: TableId) -> Result<&TableMeta> {
+        self.tables
+            .get(id.index())
+            .ok_or_else(|| Error::Unknown(format!("table {id}")))
+    }
+
+    /// Metadata by name.
+    pub fn by_name(&self, name: &str) -> Result<&TableMeta> {
+        self.tables
+            .iter()
+            .find(|t| t.name == name)
+            .ok_or_else(|| Error::Unknown(format!("table '{name}'")))
+    }
+
+    /// All tables in id order.
+    pub fn tables(&self) -> &[TableMeta] {
+        &self.tables
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the catalog has no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut c = Catalog::new();
+        let a = c.add_table("accounts", 2);
+        let b = c.add_table("savings", 1);
+        assert_eq!(a, TableId::new(0));
+        assert_eq!(b, TableId::new(1));
+        assert_eq!(c.table(a).unwrap().name, "accounts");
+        assert_eq!(c.by_name("savings").unwrap().id, b);
+        assert!(c.table(TableId::new(9)).is_err());
+        assert!(c.by_name("nope").is_err());
+        assert_eq!(c.len(), 2);
+    }
+}

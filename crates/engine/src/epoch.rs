@@ -1,0 +1,172 @@
+//! Epoch management for SiloR-style group commit (Appendix A).
+//!
+//! A ticker advances the global epoch on a fixed interval. Workers
+//! acknowledge the epoch they are executing in; a logger may seal epoch `e`
+//! (flush its buffer and declare `e` durable) only once every worker's
+//! acknowledgement has moved past `e` — guaranteeing no record with epoch
+//! `≤ e` can still arrive.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The global epoch source.
+#[derive(Debug)]
+pub struct EpochManager {
+    epoch: Arc<AtomicU64>,
+    acks: Mutex<Vec<Arc<AtomicU64>>>,
+    stop: Arc<AtomicBool>,
+    ticker: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// A worker's epoch acknowledgement handle.
+#[derive(Clone, Debug)]
+pub struct WorkerEpoch {
+    ack: Arc<AtomicU64>,
+    epoch: Arc<AtomicU64>,
+}
+
+impl WorkerEpoch {
+    /// Refresh the acknowledgement and return the epoch to stamp the next
+    /// transaction with. Called at the top of the worker loop.
+    #[inline]
+    pub fn enter(&self) -> u64 {
+        let e = self.epoch.load(Ordering::Acquire);
+        self.ack.store(e, Ordering::Release);
+        e
+    }
+
+    /// Mark this worker as finished: it will never produce records again.
+    pub fn retire(&self) {
+        self.ack.store(u64::MAX, Ordering::Release);
+    }
+}
+
+impl EpochManager {
+    /// A manager with the epoch at 1 and no ticker (tests advance manually).
+    pub fn new_manual() -> Arc<Self> {
+        Arc::new(EpochManager {
+            epoch: Arc::new(AtomicU64::new(1)),
+            acks: Mutex::new(Vec::new()),
+            stop: Arc::new(AtomicBool::new(false)),
+            ticker: Mutex::new(None),
+        })
+    }
+
+    /// A manager whose epoch advances every `interval`.
+    pub fn start(interval: Duration) -> Arc<Self> {
+        let em = Self::new_manual();
+        let epoch = Arc::clone(&em.epoch);
+        let stop = Arc::clone(&em.stop);
+        let handle = std::thread::Builder::new()
+            .name("epoch-ticker".into())
+            .spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    std::thread::sleep(interval);
+                    epoch.fetch_add(1, Ordering::AcqRel);
+                }
+            })
+            .expect("spawn epoch ticker");
+        *em.ticker.lock() = Some(handle);
+        em
+    }
+
+    /// Current epoch.
+    #[inline]
+    pub fn current(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Manually advance (test/bench use).
+    pub fn advance(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Register a worker; its acknowledgement starts at the current epoch.
+    pub fn register_worker(self: &Arc<Self>) -> WorkerEpoch {
+        let ack = Arc::new(AtomicU64::new(self.current()));
+        self.acks.lock().push(Arc::clone(&ack));
+        WorkerEpoch {
+            ack,
+            epoch: Arc::clone(&self.epoch),
+        }
+    }
+
+    /// The lowest epoch any worker may still stamp a record with. Sealing
+    /// epoch `e` is safe once `min_ack() > e`.
+    pub fn min_ack(&self) -> u64 {
+        let acks = self.acks.lock();
+        acks.iter()
+            .map(|a| a.load(Ordering::Acquire))
+            .min()
+            .unwrap_or_else(|| self.current())
+    }
+
+    /// Stop the ticker thread (idempotent).
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.ticker.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for EpochManager {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.ticker.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_advance() {
+        let em = EpochManager::new_manual();
+        assert_eq!(em.current(), 1);
+        assert_eq!(em.advance(), 2);
+        assert_eq!(em.current(), 2);
+    }
+
+    #[test]
+    fn min_ack_tracks_slowest_worker() {
+        let em = EpochManager::new_manual();
+        let w1 = em.register_worker();
+        let w2 = em.register_worker();
+        em.advance();
+        em.advance(); // epoch = 3
+        assert_eq!(em.min_ack(), 1, "no worker has re-entered yet");
+        w1.enter();
+        assert_eq!(em.min_ack(), 1);
+        w2.enter();
+        assert_eq!(em.min_ack(), 3);
+        w1.retire();
+        assert_eq!(em.min_ack(), 3, "retired workers don't hold epochs back");
+    }
+
+    #[test]
+    fn ticker_advances_epochs() {
+        let em = EpochManager::start(Duration::from_millis(5));
+        let e0 = em.current();
+        std::thread::sleep(Duration::from_millis(60));
+        let e1 = em.current();
+        em.stop();
+        assert!(e1 > e0, "epoch did not advance: {e0} -> {e1}");
+        let e2 = em.current();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(em.current(), e2, "ticker kept running after stop");
+    }
+
+    #[test]
+    fn no_workers_means_no_constraint() {
+        let em = EpochManager::new_manual();
+        em.advance();
+        assert_eq!(em.min_ack(), em.current());
+    }
+}

@@ -1,0 +1,303 @@
+//! The operation interpreter.
+//!
+//! Executes a subset of a procedure's operations (a whole procedure during
+//! normal processing and CLR replay; a single slice during CLR-P replay)
+//! against any [`DataAccess`] back-end. Loop groups re-bind loop-local
+//! variables per iteration; top-level variables go to the transaction's
+//! shared [`VarStore`] so downstream pieces can consume them (Fig. 7: slice
+//! `T2` receives `dst` produced by slice `T1`).
+
+use crate::access::{DataAccess, TxnAccess};
+use crate::database::Database;
+use crate::txn::CommitInfo;
+use pacman_common::{Error, Result, Row, Value};
+use pacman_sproc::{EvalCtx, LocalBindings, OpKind, Params, ProcedureDef, VarStore};
+
+/// Execute ops `op_indices` (ascending program order) of `proc`.
+pub fn execute_ops(
+    proc: &ProcedureDef,
+    op_indices: &[usize],
+    params: &Params,
+    vars: &VarStore,
+    access: &mut dyn DataAccess,
+) -> Result<()> {
+    for group in proc.groups(op_indices) {
+        let members = &op_indices[group.start..group.end];
+        let iterations: u64 = match &proc.ops[members[0]].loop_count {
+            None => 1,
+            Some(count) => {
+                let ctx = EvalCtx {
+                    params,
+                    vars: Some(vars),
+                    locals: None,
+                    loop_index: None,
+                };
+                match count.eval(&ctx)? {
+                    Value::Int(n) if n >= 0 => n as u64,
+                    v => {
+                        return Err(Error::InvalidProcedure(format!(
+                            "{}: loop count evaluated to {v}",
+                            proc.name
+                        )))
+                    }
+                }
+            }
+        };
+        let mut locals = LocalBindings::new();
+        for i in 0..iterations {
+            locals.clear();
+            for &op_idx in members {
+                let op = &proc.ops[op_idx];
+                let loop_index = group.loop_id.map(|_| i);
+                // Guard check.
+                let skip = {
+                    let ctx = EvalCtx {
+                        params,
+                        vars: Some(vars),
+                        locals: Some(&locals),
+                        loop_index,
+                    };
+                    match &op.guard {
+                        Some(g) => !g.eval(&ctx)?.truthy(),
+                        None => false,
+                    }
+                };
+                if skip {
+                    continue;
+                }
+                let key = {
+                    let ctx = EvalCtx {
+                        params,
+                        vars: Some(vars),
+                        locals: Some(&locals),
+                        loop_index,
+                    };
+                    op.key.eval_key(&ctx)?
+                };
+                match &op.kind {
+                    OpKind::Read { col, out } => {
+                        let val = access.read(op.table, key, *col)?;
+                        if proc.is_loop_local(*out) {
+                            // Publish per-iteration only when a downstream
+                            // piece of the same loop may consume the value
+                            // (cross-slice foreign-key pattern, §4.3.1).
+                            if proc.loop_var_escapes(*out) {
+                                vars.set_indexed(*out, i, val.clone());
+                            }
+                            locals.set(*out, val);
+                        } else {
+                            vars.set(*out, val);
+                        }
+                    }
+                    OpKind::Write { col, value } => {
+                        let val = {
+                            let ctx = EvalCtx {
+                                params,
+                                vars: Some(vars),
+                                locals: Some(&locals),
+                                loop_index,
+                            };
+                            value.eval(&ctx)?
+                        };
+                        access.write_col(op.table, key, *col, val)?;
+                    }
+                    OpKind::Insert { row } => {
+                        let ctx = EvalCtx {
+                            params,
+                            vars: Some(vars),
+                            locals: Some(&locals),
+                            loop_index,
+                        };
+                        let cols = row
+                            .iter()
+                            .map(|e| e.eval(&ctx))
+                            .collect::<Result<Vec<_>>>()?;
+                        access.insert(op.table, key, Row::new(cols))?;
+                    }
+                    OpKind::Delete => {
+                        access.delete(op.table, key)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// All op indices of a procedure, in program order.
+pub fn all_ops(proc: &ProcedureDef) -> Vec<usize> {
+    (0..proc.ops.len()).collect()
+}
+
+/// Run a whole procedure as one OCC transaction. Returns the commit info
+/// (timestamp + write records) for logging; aborts surface as
+/// [`Error::TxnAborted`].
+pub fn run_procedure(db: &Database, proc: &ProcedureDef, params: &Params) -> Result<CommitInfo> {
+    run_procedure_with_epoch(db, proc, params, || 1)
+}
+
+/// [`run_procedure`] with an explicit group-commit epoch source, invoked
+/// under the commit latches (see [`crate::txn::Txn::commit_with`]).
+pub fn run_procedure_with_epoch(
+    db: &Database,
+    proc: &ProcedureDef,
+    params: &Params,
+    epoch_fn: impl FnOnce() -> u64,
+) -> Result<CommitInfo> {
+    let mut txn = db.begin();
+    let vars = VarStore::new(proc.num_vars);
+    {
+        let mut access = TxnAccess::new(&mut txn);
+        let ops = all_ops(proc);
+        execute_ops(proc, &ops, params, &vars, &mut access).map_err(|e| match e {
+            // A read of a missing key inside a transaction aborts it.
+            Error::KeyNotFound { table, key } => {
+                Error::TxnAborted(format!("missing key t{table}:{key}"))
+            }
+            other => other,
+        })?;
+    }
+    txn.commit_with(epoch_fn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::ReplayAccess;
+    use crate::catalog::Catalog;
+    use pacman_common::{ProcId, TableId, VarId};
+    use pacman_sproc::{params, Expr, ProcBuilder};
+
+    const FAMILY: TableId = TableId::new(0);
+    const CURRENT: TableId = TableId::new(1);
+    const SAVING: TableId = TableId::new(2);
+
+    /// The paper's Fig. 2a Transfer procedure.
+    fn transfer() -> ProcedureDef {
+        let mut b = ProcBuilder::new(ProcId::new(0), "Transfer", 2);
+        let dst = b.read(FAMILY, Expr::param(0), 0);
+        b.guarded(Expr::not_null(Expr::var(dst)), |b| {
+            let src_val = b.read(CURRENT, Expr::param(0), 0);
+            b.write(
+                CURRENT,
+                Expr::param(0),
+                0,
+                Expr::sub(Expr::var(src_val), Expr::param(1)),
+            );
+            let dst_val = b.read(CURRENT, Expr::var(dst), 0);
+            b.write(
+                CURRENT,
+                Expr::var(dst),
+                0,
+                Expr::add(Expr::var(dst_val), Expr::param(1)),
+            );
+            let bonus = b.read(SAVING, Expr::param(0), 0);
+            b.write(
+                SAVING,
+                Expr::param(0),
+                0,
+                Expr::add(Expr::var(bonus), Expr::int(1)),
+            );
+        });
+        b.build().unwrap()
+    }
+
+    fn bank_db() -> Database {
+        let mut c = Catalog::new();
+        c.add_table("family", 1);
+        c.add_table("current", 1);
+        c.add_table("saving", 1);
+        let db = Database::new(c);
+        // Account 1's spouse is account 2; account 3 has no spouse.
+        db.seed_row(FAMILY, 1, Row::from([Value::Int(2)])).unwrap();
+        db.seed_row(FAMILY, 3, Row::from([Value::str("NULL")])).unwrap();
+        for k in [1, 2, 3] {
+            db.seed_row(CURRENT, k, Row::from([Value::Int(100)])).unwrap();
+            db.seed_row(SAVING, k, Row::from([Value::Int(0)])).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn transfer_moves_money_and_adds_bonus() {
+        let db = bank_db();
+        let p = transfer();
+        run_procedure(&db, &p, &params([Value::Int(1), Value::Int(30)])).unwrap();
+        let mut t = db.begin();
+        assert_eq!(t.read(CURRENT, 1).unwrap().col(0), &Value::Int(70));
+        assert_eq!(t.read(CURRENT, 2).unwrap().col(0), &Value::Int(130));
+        assert_eq!(t.read(SAVING, 1).unwrap().col(0), &Value::Int(1));
+    }
+
+    #[test]
+    fn null_spouse_guard_skips_everything() {
+        let db = bank_db();
+        let p = transfer();
+        let before = db.fingerprint();
+        run_procedure(&db, &p, &params([Value::Int(3), Value::Int(30)])).unwrap();
+        assert_eq!(db.fingerprint(), before, "guard must skip all writes");
+    }
+
+    #[test]
+    fn missing_key_aborts_cleanly() {
+        let db = bank_db();
+        let p = transfer();
+        let r = run_procedure(&db, &p, &params([Value::Int(999), Value::Int(1)]));
+        assert!(matches!(r, Err(Error::TxnAborted(_))));
+    }
+
+    #[test]
+    fn loops_bind_locals_per_iteration() {
+        // Decrement stock of each listed item: params [n, item0, item1, …].
+        let mut c = Catalog::new();
+        c.add_table("stock", 1);
+        let db = Database::new(c);
+        let stock = TableId::new(0);
+        for k in 0..5 {
+            db.seed_row(stock, k, Row::from([Value::Int(10)])).unwrap();
+        }
+        let mut b = ProcBuilder::new(ProcId::new(0), "Dec", 1);
+        b.repeat(Expr::param(0), |b| {
+            let q = b.read(stock, Expr::ParamOffset { base: 1, stride: 1 }, 0);
+            b.write(
+                stock,
+                Expr::ParamOffset { base: 1, stride: 1 },
+                0,
+                Expr::sub(Expr::var(q), Expr::int(1)),
+            );
+        });
+        let p = b.build().unwrap();
+        run_procedure(
+            &db,
+            &p,
+            &params([Value::Int(3), Value::Int(0), Value::Int(2), Value::Int(4)]),
+        )
+        .unwrap();
+        let mut t = db.begin();
+        assert_eq!(t.read(stock, 0).unwrap().col(0), &Value::Int(9));
+        assert_eq!(t.read(stock, 1).unwrap().col(0), &Value::Int(10));
+        assert_eq!(t.read(stock, 2).unwrap().col(0), &Value::Int(9));
+        assert_eq!(t.read(stock, 4).unwrap().col(0), &Value::Int(9));
+    }
+
+    #[test]
+    fn slice_execution_hands_vars_downstream() {
+        // Execute the Transfer ops as two pieces sharing a VarStore, the way
+        // CLR-P does: piece 1 = op 0 (produces dst), piece 2 = ops 1-4.
+        let db = bank_db();
+        let p = transfer();
+        let args = params([Value::Int(1), Value::Int(25)]);
+        let vars = VarStore::new(p.num_vars);
+
+        let mut a1 = ReplayAccess::new(&db, 10);
+        execute_ops(&p, &[0], &args, &vars, &mut a1).unwrap();
+        assert_eq!(vars.get(VarId::new(0)), Some(Value::Int(2)), "dst bound");
+
+        let mut a2 = ReplayAccess::new(&db, 10);
+        execute_ops(&p, &[1, 2, 3, 4, 5, 6], &args, &vars, &mut a2).unwrap();
+        let mut t = db.begin();
+        assert_eq!(t.read(CURRENT, 1).unwrap().col(0), &Value::Int(75));
+        assert_eq!(t.read(CURRENT, 2).unwrap().col(0), &Value::Int(125));
+        assert_eq!(t.read(SAVING, 1).unwrap().col(0), &Value::Int(1));
+    }
+}

@@ -1,0 +1,415 @@
+//! Silo-style OCC transactions.
+//!
+//! Reads observe the newest committed version and are validated for
+//! stability at commit; writes are buffered and installed under per-tuple
+//! latches after drawing the commit timestamp. The timestamp therefore *is*
+//! the serialization order, which is exactly the commitment order the log
+//! records — the property recovery relies on (§3).
+
+use crate::chain::TupleChain;
+use crate::database::Database;
+use pacman_common::{Error, Key, Result, Row, TableId, Timestamp};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The kind of a buffered write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteKind {
+    /// Update an existing row.
+    Update,
+    /// Create a new row (aborts if the key is live).
+    Insert,
+    /// Remove the row (installs a tombstone).
+    Delete,
+}
+
+/// One installed write, as handed to the logging subsystem.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WriteRecord {
+    /// Table written.
+    pub table: TableId,
+    /// Key written.
+    pub key: Key,
+    /// Update / insert / delete.
+    pub kind: WriteKind,
+    /// The after-image (`None` for deletes).
+    pub after: Option<Row>,
+    /// Timestamp of the version this write superseded (physical logging
+    /// records old/new locations; this is our stand-in, §6.1.1).
+    pub prev_ts: Timestamp,
+}
+
+/// Result of a successful commit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommitInfo {
+    /// Commit timestamp = position in the global commitment order.
+    pub ts: Timestamp,
+    /// Installed writes in buffer order.
+    pub writes: Vec<WriteRecord>,
+}
+
+struct PendingWrite {
+    chain: Arc<TupleChain>,
+    kind: WriteKind,
+    row: Option<Row>,
+}
+
+struct ReadEntry {
+    chain: Arc<TupleChain>,
+    observed_ts: Timestamp,
+}
+
+/// An in-flight transaction.
+pub struct Txn<'db> {
+    db: &'db Database,
+    reads: HashMap<(TableId, Key), ReadEntry>,
+    writes: HashMap<(TableId, Key), PendingWrite>,
+    write_order: Vec<(TableId, Key)>,
+}
+
+impl<'db> Txn<'db> {
+    pub(crate) fn new(db: &'db Database) -> Self {
+        Txn {
+            db,
+            reads: HashMap::new(),
+            writes: HashMap::new(),
+            write_order: Vec::new(),
+        }
+    }
+
+    /// Read the current row for `key`, observing own pending writes first.
+    pub fn read(&mut self, table: TableId, key: Key) -> Result<Row> {
+        if let Some(w) = self.writes.get(&(table, key)) {
+            return match (&w.kind, &w.row) {
+                (WriteKind::Delete, _) | (_, None) => Err(Error::KeyNotFound {
+                    table: table.0,
+                    key,
+                }),
+                (_, Some(row)) => Ok(row.clone()),
+            };
+        }
+        let chain = self
+            .db
+            .table(table)?
+            .get(key)
+            .ok_or(Error::KeyNotFound { table: table.0, key })?;
+        let (ts, row) = chain.newest();
+        let row = row.ok_or(Error::KeyNotFound { table: table.0, key })?;
+        self.reads
+            .entry((table, key))
+            .or_insert(ReadEntry { chain, observed_ts: ts });
+        Ok(row)
+    }
+
+    fn stage(&mut self, table: TableId, key: Key, kind: WriteKind, row: Option<Row>) {
+        if let Some(existing) = self.writes.get_mut(&(table, key)) {
+            match (existing.kind, kind) {
+                // insert then update: still an insert with the newer image
+                (WriteKind::Insert, WriteKind::Update) => existing.row = row,
+                // insert then delete: net nothing; drop the pending write
+                (WriteKind::Insert, WriteKind::Delete) => {
+                    self.writes.remove(&(table, key));
+                    self.write_order.retain(|k| *k != (table, key));
+                }
+                _ => {
+                    existing.kind = kind;
+                    existing.row = row;
+                }
+            }
+            return;
+        }
+        let chain = match kind {
+            WriteKind::Insert => self
+                .db
+                .table(table)
+                .expect("validated table id")
+                .get_or_create(key),
+            _ => match self.db.table(table).expect("validated table id").get(key) {
+                Some(c) => c,
+                None => {
+                    // Blind update/delete of a missing key: stage against a
+                    // fresh chain; commit-time validation will abort.
+                    self.db
+                        .table(table)
+                        .expect("validated table id")
+                        .get_or_create(key)
+                }
+            },
+        };
+        self.writes.insert((table, key), PendingWrite { chain, kind, row });
+        self.write_order.push((table, key));
+    }
+
+    /// Buffer a full-row update.
+    pub fn write(&mut self, table: TableId, key: Key, row: Row) -> Result<()> {
+        self.db.table(table)?; // validate id
+        self.stage(table, key, WriteKind::Update, Some(row));
+        Ok(())
+    }
+
+    /// Buffer an insert.
+    pub fn insert(&mut self, table: TableId, key: Key, row: Row) -> Result<()> {
+        self.db.table(table)?;
+        self.stage(table, key, WriteKind::Insert, Some(row));
+        Ok(())
+    }
+
+    /// Buffer a delete.
+    pub fn delete(&mut self, table: TableId, key: Key) -> Result<()> {
+        self.db.table(table)?;
+        self.stage(table, key, WriteKind::Delete, None);
+        Ok(())
+    }
+
+    /// Validate, claim a commit timestamp and install all writes, reading
+    /// the group-commit epoch as 1 (tests and epoch-less callers).
+    pub fn commit(self) -> Result<CommitInfo> {
+        self.commit_with(|| 1)
+    }
+
+    /// Validate, claim a commit timestamp and install all writes.
+    ///
+    /// `epoch_fn` is invoked *while the write latches are held* (the Silo
+    /// rule): conflicting transactions therefore obtain epochs consistent
+    /// with their serialization order, and the composed timestamp
+    /// `(epoch << EPOCH_SHIFT) | seq` makes log-batch order a refinement of
+    /// conflict order.
+    ///
+    /// On conflict the transaction aborts with [`Error::TxnAborted`]; the
+    /// caller may retry with a fresh transaction.
+    pub fn commit_with(self, epoch_fn: impl FnOnce() -> u64) -> Result<CommitInfo> {
+        // Union of read and write chains, globally ordered to avoid deadlock.
+        let mut lock_set: Vec<((TableId, Key), Arc<TupleChain>)> = Vec::with_capacity(
+            self.reads.len() + self.writes.len(),
+        );
+        for (k, r) in &self.reads {
+            lock_set.push((*k, Arc::clone(&r.chain)));
+        }
+        for (k, w) in &self.writes {
+            if !self.reads.contains_key(k) {
+                lock_set.push((*k, Arc::clone(&w.chain)));
+            }
+        }
+        lock_set.sort_by_key(|(k, _)| *k);
+
+        for (_, chain) in &lock_set {
+            chain.latch.lock();
+        }
+        let unlock = |set: &[((TableId, Key), Arc<TupleChain>)]| {
+            for (_, chain) in set {
+                chain.latch.unlock();
+            }
+        };
+
+        // Read-set stability.
+        for ((t, k), r) in &self.reads {
+            if r.chain.newest_ts() != r.observed_ts {
+                unlock(&lock_set);
+                return Err(Error::TxnAborted(format!(
+                    "read of {t}:{k} invalidated (observed ts {}, now {})",
+                    r.observed_ts,
+                    r.chain.newest_ts()
+                )));
+            }
+        }
+        // Write preconditions.
+        for ((t, k), w) in &self.writes {
+            let (_, live) = w.chain.newest();
+            match w.kind {
+                WriteKind::Insert if live.is_some() => {
+                    unlock(&lock_set);
+                    return Err(Error::TxnAborted(format!("insert of live key {t}:{k}")));
+                }
+                WriteKind::Update | WriteKind::Delete if live.is_none() => {
+                    unlock(&lock_set);
+                    return Err(Error::TxnAborted(format!(
+                        "update/delete of missing key {t}:{k}"
+                    )));
+                }
+                _ => {}
+            }
+        }
+
+        let epoch = epoch_fn();
+        let ts = self
+            .db
+            .clock()
+            .tick_at_least(pacman_common::clock::epoch_floor(epoch));
+        let floor = self.db.version_floor().min(ts);
+        let mut records = Vec::with_capacity(self.write_order.len());
+        for key in &self.write_order {
+            let w = &self.writes[key];
+            let prev_ts = w.chain.newest_ts();
+            w.chain.install_committed(ts, w.row.clone(), floor);
+            records.push(WriteRecord {
+                table: key.0,
+                key: key.1,
+                kind: w.kind,
+                after: w.row.clone(),
+                prev_ts,
+            });
+        }
+        unlock(&lock_set);
+        Ok(CommitInfo {
+            ts,
+            writes: records,
+        })
+    }
+
+    /// Discard the transaction (buffers are dropped; nothing was installed).
+    pub fn abort(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use pacman_common::Value;
+
+    fn db() -> Database {
+        let mut c = Catalog::new();
+        c.add_table("acct", 1);
+        let db = Database::new(c);
+        for k in 0..10 {
+            db.seed_row(TableId::new(0), k, Row::from([Value::Int(100)]))
+                .unwrap();
+        }
+        db
+    }
+
+    const T: TableId = TableId::new(0);
+
+    #[test]
+    fn read_modify_write_commits() {
+        let db = db();
+        let mut t = db.begin();
+        let r = t.read(T, 1).unwrap();
+        let v = r.col(0).as_int().unwrap();
+        t.write(T, 1, r.with_col(0, Value::Int(v - 30))).unwrap();
+        let info = t.commit().unwrap();
+        assert_eq!(info.writes.len(), 1);
+        assert_eq!(info.writes[0].kind, WriteKind::Update);
+        let mut t2 = db.begin();
+        assert_eq!(t2.read(T, 1).unwrap().col(0), &Value::Int(70));
+    }
+
+    #[test]
+    fn own_writes_are_visible() {
+        let db = db();
+        let mut t = db.begin();
+        t.write(T, 2, Row::from([Value::Int(5)])).unwrap();
+        assert_eq!(t.read(T, 2).unwrap().col(0), &Value::Int(5));
+        t.abort();
+        let mut t2 = db.begin();
+        assert_eq!(t2.read(T, 2).unwrap().col(0), &Value::Int(100));
+    }
+
+    #[test]
+    fn stale_read_aborts() {
+        let db = db();
+        let mut t1 = db.begin();
+        t1.read(T, 3).unwrap();
+
+        // Concurrent writer commits first.
+        let mut t2 = db.begin();
+        let r = t2.read(T, 3).unwrap();
+        t2.write(T, 3, r.with_col(0, Value::Int(0))).unwrap();
+        t2.commit().unwrap();
+
+        // t1's read is now stale; committing any write must abort.
+        t1.write(T, 4, Row::from([Value::Int(1)])).unwrap();
+        assert!(matches!(t1.commit(), Err(Error::TxnAborted(_))));
+    }
+
+    #[test]
+    fn insert_of_live_key_aborts() {
+        let db = db();
+        let mut t = db.begin();
+        t.insert(T, 5, Row::from([Value::Int(1)])).unwrap();
+        assert!(t.commit().is_err());
+    }
+
+    #[test]
+    fn insert_then_delete_is_a_noop() {
+        let db = db();
+        let mut t = db.begin();
+        t.insert(T, 77, Row::from([Value::Int(1)])).unwrap();
+        t.delete(T, 77).unwrap();
+        let info = t.commit().unwrap();
+        assert!(info.writes.is_empty());
+        let mut t2 = db.begin();
+        assert!(t2.read(T, 77).is_err());
+    }
+
+    #[test]
+    fn delete_then_reinsert() {
+        let db = db();
+        let mut t = db.begin();
+        t.delete(T, 6).unwrap();
+        t.commit().unwrap();
+        let mut t2 = db.begin();
+        assert!(t2.read(T, 6).is_err());
+        let mut t3 = db.begin();
+        t3.insert(T, 6, Row::from([Value::Int(9)])).unwrap();
+        t3.commit().unwrap();
+        let mut t4 = db.begin();
+        assert_eq!(t4.read(T, 6).unwrap().col(0), &Value::Int(9));
+    }
+
+    #[test]
+    fn update_of_missing_key_aborts() {
+        let db = db();
+        let mut t = db.begin();
+        t.write(T, 999, Row::from([Value::Int(1)])).unwrap();
+        assert!(matches!(t.commit(), Err(Error::TxnAborted(_))));
+    }
+
+    #[test]
+    fn concurrent_transfers_conserve_total() {
+        let db = std::sync::Arc::new(db());
+        let total_before: i64 = {
+            let mut s = 0;
+            db.table(T).unwrap().for_each_newest(|_, _, r| {
+                s += r.col(0).as_int().unwrap();
+            });
+            s
+        };
+        let mut handles = Vec::new();
+        for w in 0..4 {
+            let db = std::sync::Arc::clone(&db);
+            handles.push(std::thread::spawn(move || {
+                let mut rng: u64 = 0x9E37 + w;
+                let mut committed = 0;
+                for _ in 0..500 {
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let a = rng % 10;
+                    let b = (rng >> 8) % 10;
+                    if a == b {
+                        continue;
+                    }
+                    let mut t = db.begin();
+                    let go = || -> Result<CommitInfo> {
+                        let ra = t.read(T, a)?;
+                        let rb = t.read(T, b)?;
+                        let va = ra.col(0).as_int().unwrap();
+                        let vb = rb.col(0).as_int().unwrap();
+                        t.write(T, a, ra.with_col(0, Value::Int(va - 1)))?;
+                        t.write(T, b, rb.with_col(0, Value::Int(vb + 1)))?;
+                        t.commit()
+                    };
+                    if go().is_ok() {
+                        committed += 1;
+                    }
+                }
+                committed
+            }));
+        }
+        let committed: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(committed > 0);
+        let mut total_after = 0i64;
+        db.table(T).unwrap().for_each_newest(|_, _, r| {
+            total_after += r.col(0).as_int().unwrap();
+        });
+        assert_eq!(total_before, total_after, "money was created or destroyed");
+    }
+}

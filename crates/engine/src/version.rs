@@ -1,0 +1,198 @@
+//! Version lists: the per-tuple MVCC state.
+
+use pacman_common::{Row, Timestamp};
+
+/// One tuple version. `row == None` is a tombstone (deleted at `ts`).
+#[derive(Clone, Debug)]
+pub struct VersionEntry {
+    /// Commit timestamp of the transaction that installed this version.
+    pub ts: Timestamp,
+    /// The tuple image, or `None` for a delete.
+    pub row: Option<Row>,
+}
+
+/// Versions of one tuple, sorted by ascending timestamp (newest last).
+///
+/// Normal commits append (timestamps arrive in order per tuple because
+/// installation happens under the tuple latch after the timestamp is
+/// drawn). Multi-version *recovery* may install out of order — parallel
+/// LLR threads restore different versions of the same tuple (§6.2) — so
+/// [`VersionList::install_mv`] insert-sorts when needed.
+#[derive(Clone, Debug, Default)]
+pub struct VersionList {
+    entries: Vec<VersionEntry>,
+}
+
+impl VersionList {
+    /// An empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of versions retained.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the tuple has no versions at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Latest version with `ts <= at`, if any.
+    pub fn visible_at(&self, at: Timestamp) -> Option<&VersionEntry> {
+        self.entries.iter().rev().find(|e| e.ts <= at)
+    }
+
+    /// The newest version.
+    pub fn newest(&self) -> Option<&VersionEntry> {
+        self.entries.last()
+    }
+
+    /// Timestamp of the newest version (0 if none).
+    pub fn newest_ts(&self) -> Timestamp {
+        self.entries.last().map(|e| e.ts).unwrap_or(0)
+    }
+
+    /// Append a committed version. Debug-asserts monotonicity (commit path
+    /// guarantees it).
+    pub fn install_committed(&mut self, ts: Timestamp, row: Option<Row>) {
+        debug_assert!(
+            self.newest_ts() < ts || self.entries.is_empty(),
+            "non-monotonic commit install: {} then {ts}",
+            self.newest_ts()
+        );
+        self.entries.push(VersionEntry { ts, row });
+    }
+
+    /// Multi-version recovery install: insert preserving timestamp order,
+    /// tolerating out-of-order arrival. Duplicate timestamps overwrite
+    /// (idempotent replay).
+    pub fn install_mv(&mut self, ts: Timestamp, row: Option<Row>) {
+        match self.entries.binary_search_by(|e| e.ts.cmp(&ts)) {
+            Ok(i) => self.entries[i] = VersionEntry { ts, row },
+            Err(i) => self.entries.insert(i, VersionEntry { ts, row }),
+        }
+    }
+
+    /// Single-version last-writer-wins install: the list keeps exactly one
+    /// entry, replaced only by a newer-or-equal timestamp.
+    pub fn install_lww(&mut self, ts: Timestamp, row: Option<Row>) {
+        match self.entries.last_mut() {
+            Some(e) if e.ts <= ts => {
+                *e = VersionEntry { ts, row };
+                // A recovered single-version state never holds history.
+                if self.entries.len() > 1 {
+                    self.entries.drain(..self.entries.len() - 1);
+                }
+            }
+            Some(_) => {} // stale write loses
+            None => self.entries.push(VersionEntry { ts, row }),
+        }
+    }
+
+    /// Drop versions no snapshot can see: keeps every version with
+    /// `ts >= floor` plus the newest older one (the version a snapshot at
+    /// `floor` reads).
+    pub fn prune(&mut self, floor: Timestamp) {
+        if self.entries.len() <= 1 {
+            return;
+        }
+        // Index of the newest entry with ts <= floor.
+        let keep_from = match self.entries.iter().rposition(|e| e.ts <= floor) {
+            Some(i) => i,
+            None => return,
+        };
+        if keep_from > 0 {
+            self.entries.drain(..keep_from);
+        }
+    }
+
+    /// Iterate all versions (oldest first).
+    pub fn iter(&self) -> impl Iterator<Item = &VersionEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacman_common::{Row, Value};
+
+    fn row(i: i64) -> Option<Row> {
+        Some(Row::from([Value::Int(i)]))
+    }
+
+    #[test]
+    fn visibility_picks_latest_not_after() {
+        let mut vl = VersionList::new();
+        vl.install_committed(5, row(50));
+        vl.install_committed(9, row(90));
+        assert!(vl.visible_at(4).is_none());
+        assert_eq!(vl.visible_at(5).unwrap().ts, 5);
+        assert_eq!(vl.visible_at(7).unwrap().ts, 5);
+        assert_eq!(vl.visible_at(100).unwrap().ts, 9);
+        assert_eq!(vl.newest_ts(), 9);
+    }
+
+    #[test]
+    fn mv_install_tolerates_out_of_order() {
+        let mut vl = VersionList::new();
+        vl.install_mv(9, row(90));
+        vl.install_mv(5, row(50));
+        vl.install_mv(7, row(70));
+        let ts: Vec<_> = vl.iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![5, 7, 9]);
+        // Idempotent on duplicate ts.
+        vl.install_mv(7, row(71));
+        assert_eq!(vl.len(), 3);
+        assert_eq!(
+            vl.visible_at(7).unwrap().row.as_ref().unwrap().col(0),
+            &Value::Int(71)
+        );
+    }
+
+    #[test]
+    fn lww_keeps_single_newest() {
+        let mut vl = VersionList::new();
+        vl.install_lww(5, row(50));
+        vl.install_lww(3, row(30)); // stale, ignored
+        assert_eq!(vl.len(), 1);
+        assert_eq!(vl.newest_ts(), 5);
+        vl.install_lww(8, row(80));
+        assert_eq!(vl.len(), 1);
+        assert_eq!(vl.newest_ts(), 8);
+    }
+
+    #[test]
+    fn tombstones_are_versions() {
+        let mut vl = VersionList::new();
+        vl.install_committed(2, row(1));
+        vl.install_committed(4, None);
+        assert!(vl.visible_at(5).unwrap().row.is_none());
+        assert!(vl.visible_at(3).unwrap().row.is_some());
+    }
+
+    #[test]
+    fn prune_keeps_snapshot_visible_version() {
+        let mut vl = VersionList::new();
+        for ts in [2, 4, 6, 8] {
+            vl.install_committed(ts, row(ts as i64));
+        }
+        vl.prune(5);
+        let ts: Vec<_> = vl.iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![4, 6, 8], "version at 4 still visible to ts=5");
+        vl.prune(100);
+        assert_eq!(vl.len(), 1);
+        assert_eq!(vl.newest_ts(), 8);
+    }
+
+    #[test]
+    fn prune_with_all_newer_is_noop() {
+        let mut vl = VersionList::new();
+        vl.install_committed(10, row(1));
+        vl.install_committed(20, row(2));
+        vl.prune(5);
+        assert_eq!(vl.len(), 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! Runtime read/write-set computation ("parameter checking", Fig. 20).
+//!
+//! §4.3.1: "the read and write sets of each transaction piece could be
+//! identified from the piece's input arguments at replay time". Given a
+//! procedure, a subset of its ops (a slice), the invocation parameters and
+//! the variables already produced by upstream pieces, [`compute_accesses`]
+//! expands loops and evaluates keys and guards to the exact tuple set the
+//! piece will touch:
+//!
+//! * a guard that cannot be evaluated yet (it reads a variable defined
+//!   *inside* this very piece) degrades gracefully: the access is included
+//!   conservatively, which can only over-serialize, never mis-order;
+//! * a **key** that cannot be evaluated is a hard error — static analysis
+//!   (the key-computability check, §5) rejects such procedures up front.
+
+use crate::expr::EvalCtx;
+use crate::procedure::ProcedureDef;
+use crate::vars::VarStore;
+use pacman_common::{Error, Key, Result, TableId, Value};
+
+/// One tuple access of a piece.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// Table accessed.
+    pub table: TableId,
+    /// Resolved primary key.
+    pub key: Key,
+    /// Whether the access modifies the tuple.
+    pub write: bool,
+}
+
+/// Compute the access set of the ops `op_indices` (program order) of
+/// `proc`, invoked with `params`, with `vars` holding upstream pieces'
+/// outputs.
+///
+/// Returns an over-approximation: guarded-out accesses whose guard is
+/// already evaluable are excluded; unevaluable guards keep their accesses.
+pub fn compute_accesses(
+    proc: &ProcedureDef,
+    op_indices: &[usize],
+    params: &[Value],
+    vars: Option<&VarStore>,
+) -> Result<Vec<Access>> {
+    let mut out = Vec::with_capacity(op_indices.len());
+    for group in proc.groups(op_indices) {
+        let members = &op_indices[group.start..group.end];
+        let iterations: u64 = match &proc.ops[members[0]].loop_count {
+            None => 1,
+            Some(count) => {
+                let ctx = EvalCtx {
+                    params,
+                    vars,
+                    locals: None,
+                    loop_index: None,
+                };
+                match count.eval(&ctx)? {
+                    Value::Int(n) if n >= 0 => n as u64,
+                    v => {
+                        return Err(Error::InvalidProcedure(format!(
+                            "{}: loop count evaluated to {v}",
+                            proc.name
+                        )))
+                    }
+                }
+            }
+        };
+        for i in 0..iterations {
+            let ctx = EvalCtx {
+                params,
+                vars,
+                locals: None,
+                loop_index: group.loop_id.map(|_| i),
+            };
+            for &op_idx in members {
+                let op = &proc.ops[op_idx];
+                if let Some(guard) = &op.guard {
+                    match guard.eval(&ctx) {
+                        Ok(v) if !v.truthy() => continue, // statically skipped
+                        Ok(_) => {}
+                        Err(_) => {} // depends on an in-piece read: keep conservatively
+                    }
+                }
+                let key = op.key.eval_key(&ctx).map_err(|e| {
+                    Error::InvalidProcedure(format!(
+                        "{}: key of op {} not computable from piece inputs: {e}",
+                        proc.name, op.id
+                    ))
+                })?;
+                out.push(Access {
+                    table: op.table,
+                    key,
+                    write: op.is_write(),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProcBuilder;
+    use crate::expr::Expr;
+    use pacman_common::{ProcId, TableId};
+
+    const T0: TableId = TableId::new(0);
+    const T1: TableId = TableId::new(1);
+
+    #[test]
+    fn simple_rmw_access_set() {
+        let mut b = ProcBuilder::new(ProcId::new(0), "P", 2);
+        let v = b.read(T0, Expr::param(0), 0);
+        b.write(T0, Expr::param(0), 0, Expr::add(Expr::var(v), Expr::param(1)));
+        let p = b.build().unwrap();
+        let acc =
+            compute_accesses(&p, &[0, 1], &[Value::Int(42), Value::Int(5)], None).unwrap();
+        assert_eq!(
+            acc,
+            vec![
+                Access {
+                    table: T0,
+                    key: 42,
+                    write: false
+                },
+                Access {
+                    table: T0,
+                    key: 42,
+                    write: true
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn loops_expand_per_iteration_keys() {
+        // params: [n, k0, k1, ...]; writes keys k0..k(n-1)
+        let mut b = ProcBuilder::new(ProcId::new(0), "P", 1);
+        b.repeat(Expr::param(0), |b| {
+            b.write(
+                T0,
+                Expr::ParamOffset { base: 1, stride: 1 },
+                0,
+                Expr::LoopIndex,
+            );
+        });
+        let p = b.build().unwrap();
+        let acc = compute_accesses(
+            &p,
+            &[0],
+            &[Value::Int(3), Value::Int(10), Value::Int(20), Value::Int(30)],
+            None,
+        )
+        .unwrap();
+        assert_eq!(acc.iter().map(|a| a.key).collect::<Vec<_>>(), vec![10, 20, 30]);
+        assert!(acc.iter().all(|a| a.write));
+    }
+
+    #[test]
+    fn evaluable_false_guard_excludes_access() {
+        let mut b = ProcBuilder::new(ProcId::new(0), "P", 1);
+        b.guarded(Expr::gt(Expr::param(0), Expr::int(100)), |b| {
+            b.write(T0, Expr::int(1), 0, Expr::int(0));
+        });
+        let p = b.build().unwrap();
+        let acc = compute_accesses(&p, &[0], &[Value::Int(5)], None).unwrap();
+        assert!(acc.is_empty());
+        let acc = compute_accesses(&p, &[0], &[Value::Int(500)], None).unwrap();
+        assert_eq!(acc.len(), 1);
+    }
+
+    #[test]
+    fn unevaluable_guard_is_conservative() {
+        // Guard depends on a read in the same piece: keep the access.
+        let mut b = ProcBuilder::new(ProcId::new(0), "P", 1);
+        let v = b.read(T0, Expr::param(0), 0);
+        b.guarded(Expr::gt(Expr::var(v), Expr::int(0)), |b| {
+            b.write(T0, Expr::param(0), 0, Expr::int(9));
+        });
+        let p = b.build().unwrap();
+        let acc = compute_accesses(&p, &[0, 1], &[Value::Int(7)], None).unwrap();
+        assert_eq!(acc.len(), 2, "write kept despite unknown guard");
+    }
+
+    #[test]
+    fn key_from_upstream_var_resolves_through_varstore() {
+        // Piece 2 of the bank example: key is `dst`, delivered by piece 1.
+        let mut b = ProcBuilder::new(ProcId::new(0), "P", 1);
+        let dst = b.read(T0, Expr::param(0), 0);
+        b.write(T1, Expr::var(dst), 0, Expr::int(1));
+        let p = b.build().unwrap();
+
+        let vars = VarStore::new(1);
+        vars.set(dst, Value::Int(77));
+        // Access set of the *second* slice only.
+        let acc = compute_accesses(&p, &[1], &[Value::Int(5)], Some(&vars)).unwrap();
+        assert_eq!(
+            acc,
+            vec![Access {
+                table: T1,
+                key: 77,
+                write: true
+            }]
+        );
+    }
+
+    #[test]
+    fn uncomputable_key_is_a_hard_error() {
+        let mut b = ProcBuilder::new(ProcId::new(0), "P", 1);
+        let dst = b.read(T0, Expr::param(0), 0);
+        b.write(T1, Expr::var(dst), 0, Expr::int(1));
+        let p = b.build().unwrap();
+        // No var store: the key of op 1 cannot be evaluated.
+        let r = compute_accesses(&p, &[1], &[Value::Int(5)], None);
+        assert!(matches!(r, Err(Error::InvalidProcedure(_))));
+    }
+
+    #[test]
+    fn negative_loop_count_rejected() {
+        let mut b = ProcBuilder::new(ProcId::new(0), "P", 1);
+        b.repeat(Expr::param(0), |b| {
+            b.write(T0, Expr::LoopIndex, 0, Expr::int(0));
+        });
+        let p = b.build().unwrap();
+        assert!(compute_accesses(&p, &[0], &[Value::Int(-1)], None).is_err());
+    }
+}

@@ -1,0 +1,434 @@
+//! Procedure definitions and flow-dependency extraction.
+//!
+//! §4.1.1: flow dependencies capture (1) define-use relations (a value
+//! returned by a read feeds a later operation) and (2) control relations (a
+//! read's output decides whether a later operation executes). Both appear
+//! here as variable references: control conditions are guard expressions
+//! over variables, so a single "uses variable defined by op X" rule extracts
+//! exactly the dependencies of Fig. 2(b).
+
+use crate::op::{OpDef, OpKind};
+use pacman_common::{Error, OpId, ProcId, Result, VarId};
+
+/// A fully-validated stored procedure.
+#[derive(Clone, Debug)]
+pub struct ProcedureDef {
+    /// Registry id.
+    pub id: ProcId,
+    /// Human-readable name (e.g. `"Transfer"`).
+    pub name: String,
+    /// Number of *scalar* parameters (list parameters extend past this and
+    /// are validated per invocation).
+    pub num_params: usize,
+    /// Operations in program order.
+    pub ops: Vec<OpDef>,
+    /// Number of variables (reads) in the procedure.
+    pub num_vars: usize,
+    /// Per-variable: index of the defining op.
+    var_def: Vec<usize>,
+    /// Per-variable: whether it is defined inside a loop (loop-local).
+    var_loop_local: Vec<bool>,
+    /// Per-variable: whether a loop-local variable may be consumed by an op
+    /// that static analysis could place in a *different* slice (cross-piece
+    /// foreign-key pattern) — only those need per-iteration publication.
+    var_escapes: Vec<bool>,
+    /// Per-op: the ops it directly flow-depends on.
+    flow_deps: Vec<Vec<OpId>>,
+}
+
+/// A contiguous group of operations sharing a counted loop, or a single
+/// un-looped operation. The unit of iteration during execution and
+/// access-set expansion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpGroup {
+    /// Range of op indices `[start, end)`.
+    pub start: usize,
+    /// One past the final op index.
+    pub end: usize,
+    /// The shared loop id, if this group is a loop body.
+    pub loop_id: Option<u32>,
+}
+
+impl ProcedureDef {
+    /// Validate and finish a procedure (used by the builder).
+    pub fn new(
+        id: ProcId,
+        name: String,
+        num_params: usize,
+        ops: Vec<OpDef>,
+        num_vars: usize,
+    ) -> Result<Self> {
+        // Locate variable definitions and detect double definitions.
+        let mut var_def = vec![usize::MAX; num_vars];
+        let mut var_loop_local = vec![false; num_vars];
+        for (i, op) in ops.iter().enumerate() {
+            if let Some(v) = op.defined_var() {
+                if var_def[v.index()] != usize::MAX {
+                    return Err(Error::InvalidProcedure(format!(
+                        "{name}: variable {v} defined twice"
+                    )));
+                }
+                var_def[v.index()] = i;
+                var_loop_local[v.index()] = op.loop_id.is_some();
+            }
+        }
+        for (v, &d) in var_def.iter().enumerate() {
+            if d == usize::MAX {
+                return Err(Error::InvalidProcedure(format!(
+                    "{name}: variable v{v} never defined"
+                )));
+            }
+        }
+
+        // Check use-after-def, loop locality, and loop-expression scoping;
+        // derive flow dependencies.
+        let mut flow_deps: Vec<Vec<OpId>> = Vec::with_capacity(ops.len());
+        for (i, op) in ops.iter().enumerate() {
+            if op.loop_id.is_none() {
+                let loopy = op.key.uses_loop()
+                    || op.guard.as_ref().is_some_and(|g| g.uses_loop())
+                    || match &op.kind {
+                        OpKind::Write { value, .. } => value.uses_loop(),
+                        OpKind::Insert { row } => row.iter().any(|e| e.uses_loop()),
+                        _ => false,
+                    };
+                if loopy {
+                    return Err(Error::InvalidProcedure(format!(
+                        "{name}: op {} uses loop index outside a loop",
+                        op.id
+                    )));
+                }
+            }
+            if let Some(c) = &op.loop_count {
+                let mut cv = Vec::new();
+                c.collect_vars(&mut cv);
+                if c.uses_loop() {
+                    return Err(Error::InvalidProcedure(format!(
+                        "{name}: loop count of op {} may not use the loop index",
+                        op.id
+                    )));
+                }
+                for v in cv {
+                    if var_loop_local[v.index()] {
+                        return Err(Error::InvalidProcedure(format!(
+                            "{name}: loop count of op {} uses loop-local {v}",
+                            op.id
+                        )));
+                    }
+                }
+            }
+            let mut deps = Vec::new();
+            for v in op.used_vars() {
+                let def = var_def[v.index()];
+                if def >= i {
+                    return Err(Error::InvalidProcedure(format!(
+                        "{name}: op {} uses {v} before its definition",
+                        op.id
+                    )));
+                }
+                // Loop-local variables may only be used within the same loop.
+                if var_loop_local[v.index()] && ops[def].loop_id != op.loop_id {
+                    return Err(Error::InvalidProcedure(format!(
+                        "{name}: loop-local {v} used outside its loop by op {}",
+                        op.id
+                    )));
+                }
+                deps.push(ops[def].id);
+            }
+            deps.sort();
+            deps.dedup();
+            flow_deps.push(deps);
+        }
+
+        // A loop-local variable "escapes" if some using op could land in a
+        // different slice: any use from another table, or a same-table use
+        // where neither op writes (read-read pairs are not data-dependent
+        // and may be sliced apart).
+        let mut var_escapes = vec![false; num_vars];
+        for (i, op) in ops.iter().enumerate() {
+            for v in op.used_vars() {
+                if !var_loop_local[v.index()] {
+                    continue;
+                }
+                let def = var_def[v.index()];
+                if def == i {
+                    continue;
+                }
+                let def_op = &ops[def];
+                let same_table = def_op.table == op.table;
+                let write_link = op.is_write() || def_op.is_write();
+                if !(same_table && write_link) {
+                    var_escapes[v.index()] = true;
+                }
+            }
+        }
+
+        // Loop groups must be contiguous.
+        let mut seen: Vec<u32> = Vec::new();
+        let mut prev: Option<u32> = None;
+        for op in &ops {
+            match (prev, op.loop_id) {
+                (Some(p), Some(l)) if p == l => {}
+                (_, Some(l)) => {
+                    if seen.contains(&l) {
+                        return Err(Error::InvalidProcedure(format!(
+                            "{name}: loop {l} is not contiguous"
+                        )));
+                    }
+                    seen.push(l);
+                }
+                _ => {}
+            }
+            prev = op.loop_id;
+        }
+
+        Ok(ProcedureDef {
+            id,
+            name,
+            num_params,
+            ops,
+            num_vars,
+            var_def,
+            var_loop_local,
+            var_escapes,
+            flow_deps,
+        })
+    }
+
+    /// Direct flow dependencies of op `i` (ops whose outputs it consumes,
+    /// including through control guards).
+    pub fn flow_deps_of(&self, i: usize) -> &[OpId] {
+        &self.flow_deps[i]
+    }
+
+    /// The index of the op defining variable `v`.
+    pub fn defining_op(&self, v: VarId) -> usize {
+        self.var_def[v.index()]
+    }
+
+    /// Whether variable `v` is loop-local (never escapes its loop body).
+    pub fn is_loop_local(&self, v: VarId) -> bool {
+        self.var_loop_local[v.index()]
+    }
+
+    /// Whether a loop-local variable may be consumed by another piece and
+    /// therefore needs per-iteration publication to the [`crate::VarStore`].
+    pub fn loop_var_escapes(&self, v: VarId) -> bool {
+        self.var_escapes[v.index()]
+    }
+
+    /// Op groups (loop bodies and singleton ops) in program order,
+    /// optionally restricted to a subset of op indices (a slice).
+    pub fn groups(&self, op_indices: &[usize]) -> Vec<OpGroup> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < op_indices.len() {
+            let idx = op_indices[i];
+            let lid = self.ops[idx].loop_id;
+            if lid.is_none() {
+                out.push(OpGroup {
+                    start: i,
+                    end: i + 1,
+                    loop_id: None,
+                });
+                i += 1;
+                continue;
+            }
+            let mut j = i + 1;
+            while j < op_indices.len() && self.ops[op_indices[j]].loop_id == lid {
+                j += 1;
+            }
+            out.push(OpGroup {
+                start: i,
+                end: j,
+                loop_id: lid,
+            });
+            i = j;
+        }
+        out
+    }
+
+    /// Pretty-print the whole procedure (used by the examples).
+    pub fn pretty(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "PROCEDURE {}({} params) {{", self.name, self.num_params);
+        for op in &self.ops {
+            let _ = writeln!(s, "  {op}");
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use pacman_common::TableId;
+
+    fn read(id: u32, table: u32, out: u32) -> OpDef {
+        OpDef {
+            id: OpId::new(id),
+            table: TableId::new(table),
+            key: Expr::param(0),
+            kind: OpKind::Read {
+                col: 0,
+                out: VarId::new(out),
+            },
+            guard: None,
+            loop_id: None,
+            loop_count: None,
+        }
+    }
+
+    fn write_using(id: u32, table: u32, var: u32) -> OpDef {
+        OpDef {
+            id: OpId::new(id),
+            table: TableId::new(table),
+            key: Expr::param(0),
+            kind: OpKind::Write {
+                col: 0,
+                value: Expr::var(VarId::new(var)),
+            },
+            guard: None,
+            loop_id: None,
+            loop_count: None,
+        }
+    }
+
+    #[test]
+    fn flow_deps_follow_define_use() {
+        let p = ProcedureDef::new(
+            ProcId::new(0),
+            "P".into(),
+            1,
+            vec![read(0, 0, 0), write_using(1, 0, 0)],
+            1,
+        )
+        .unwrap();
+        assert_eq!(p.flow_deps_of(0), &[] as &[OpId]);
+        assert_eq!(p.flow_deps_of(1), &[OpId::new(0)]);
+        assert_eq!(p.defining_op(VarId::new(0)), 0);
+    }
+
+    #[test]
+    fn control_guards_create_flow_deps() {
+        let mut w = write_using(1, 1, 0);
+        w.kind = OpKind::Write {
+            col: 0,
+            value: Expr::int(1),
+        };
+        w.guard = Some(Expr::not_null(Expr::var(VarId::new(0))));
+        let p =
+            ProcedureDef::new(ProcId::new(0), "P".into(), 1, vec![read(0, 0, 0), w], 1).unwrap();
+        assert_eq!(p.flow_deps_of(1), &[OpId::new(0)]);
+    }
+
+    #[test]
+    fn use_before_def_rejected() {
+        let r = ProcedureDef::new(
+            ProcId::new(0),
+            "P".into(),
+            1,
+            vec![write_using(0, 0, 0), read(1, 0, 0)],
+            1,
+        );
+        assert!(matches!(r, Err(Error::InvalidProcedure(_))));
+    }
+
+    #[test]
+    fn double_definition_rejected() {
+        let r = ProcedureDef::new(
+            ProcId::new(0),
+            "P".into(),
+            1,
+            vec![read(0, 0, 0), read(1, 0, 0)],
+            1,
+        );
+        assert!(matches!(r, Err(Error::InvalidProcedure(_))));
+    }
+
+    #[test]
+    fn loop_local_escape_rejected() {
+        let mut r0 = read(0, 0, 0);
+        r0.loop_id = Some(0);
+        r0.loop_count = Some(Expr::int(3));
+        let w = write_using(1, 0, 0); // uses v0 outside the loop
+        let r = ProcedureDef::new(ProcId::new(0), "P".into(), 1, vec![r0, w], 1);
+        assert!(matches!(r, Err(Error::InvalidProcedure(_))));
+    }
+
+    #[test]
+    fn loop_index_outside_loop_rejected() {
+        let mut w = write_using(0, 0, 0);
+        w.kind = OpKind::Write {
+            col: 0,
+            value: Expr::int(0),
+        };
+        w.key = Expr::add(Expr::param(0), Expr::LoopIndex);
+        let r = ProcedureDef::new(ProcId::new(0), "P".into(), 1, vec![w], 0);
+        assert!(matches!(r, Err(Error::InvalidProcedure(_))));
+    }
+
+    #[test]
+    fn groups_split_loops_and_singletons() {
+        let mut a = read(0, 0, 0);
+        a.loop_id = Some(0);
+        a.loop_count = Some(Expr::int(2));
+        let mut b = write_using(1, 0, 0);
+        b.loop_id = Some(0);
+        b.loop_count = Some(Expr::int(2));
+        let c = {
+            let mut c = write_using(2, 1, 0);
+            c.kind = OpKind::Write {
+                col: 0,
+                value: Expr::int(5),
+            };
+            c
+        };
+        let p = ProcedureDef::new(ProcId::new(0), "P".into(), 1, vec![a, b, c], 1).unwrap();
+        let g = p.groups(&[0, 1, 2]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(
+            g[0],
+            OpGroup {
+                start: 0,
+                end: 2,
+                loop_id: Some(0)
+            }
+        );
+        assert_eq!(
+            g[1],
+            OpGroup {
+                start: 2,
+                end: 3,
+                loop_id: None
+            }
+        );
+    }
+
+    #[test]
+    fn non_contiguous_loop_rejected() {
+        let mut a = read(0, 0, 0);
+        a.loop_id = Some(0);
+        a.loop_count = Some(Expr::int(2));
+        let b = {
+            let mut b = write_using(1, 1, 0);
+            b.kind = OpKind::Write {
+                col: 0,
+                value: Expr::int(5),
+            };
+            b
+        };
+        let mut c = write_using(2, 0, 0);
+        c.kind = OpKind::Write {
+            col: 0,
+            value: Expr::int(9),
+        };
+        c.loop_id = Some(0);
+        c.loop_count = Some(Expr::int(2));
+        let r = ProcedureDef::new(ProcId::new(0), "P".into(), 1, vec![a, b, c], 1);
+        assert!(matches!(r, Err(Error::InvalidProcedure(_))));
+    }
+}

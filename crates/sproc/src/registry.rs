@@ -1,0 +1,121 @@
+//! The procedure registry.
+//!
+//! Command logging records only `(procedure id, parameters)`; the registry
+//! is the dispatch table that makes those records executable again, both by
+//! the normal transaction workers and by recovery.
+
+use crate::procedure::ProcedureDef;
+use pacman_common::{Error, ProcId, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An immutable set of registered procedures. Built once at "compile time";
+/// shared by workers, loggers and recovery.
+#[derive(Clone, Debug, Default)]
+pub struct ProcRegistry {
+    procs: Vec<Arc<ProcedureDef>>,
+    by_name: HashMap<String, ProcId>,
+}
+
+impl ProcRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a procedure. Its `id` must equal its registration order.
+    pub fn register(&mut self, proc: ProcedureDef) -> Result<ProcId> {
+        let expected = ProcId::new(self.procs.len() as u32);
+        if proc.id != expected {
+            return Err(Error::InvalidProcedure(format!(
+                "procedure {} registered out of order: has id {}, expected {expected}",
+                proc.name, proc.id
+            )));
+        }
+        if self.by_name.contains_key(&proc.name) {
+            return Err(Error::InvalidProcedure(format!(
+                "duplicate procedure name {}",
+                proc.name
+            )));
+        }
+        self.by_name.insert(proc.name.clone(), proc.id);
+        self.procs.push(Arc::new(proc));
+        Ok(expected)
+    }
+
+    /// Look up by id.
+    pub fn get(&self, id: ProcId) -> Result<&Arc<ProcedureDef>> {
+        self.procs
+            .get(id.index())
+            .ok_or_else(|| Error::Unknown(format!("procedure {id}")))
+    }
+
+    /// Look up by name.
+    pub fn by_name(&self, name: &str) -> Result<&Arc<ProcedureDef>> {
+        let id = self
+            .by_name
+            .get(name)
+            .ok_or_else(|| Error::Unknown(format!("procedure '{name}'")))?;
+        self.get(*id)
+    }
+
+    /// All procedures in id order.
+    pub fn all(&self) -> &[Arc<ProcedureDef>] {
+        &self.procs
+    }
+
+    /// Number of registered procedures.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProcBuilder;
+    use crate::expr::Expr;
+    use pacman_common::TableId;
+
+    fn proc(id: u32, name: &str) -> ProcedureDef {
+        let mut b = ProcBuilder::new(ProcId::new(id), name, 1);
+        b.write(TableId::new(0), Expr::param(0), 0, Expr::int(1));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut r = ProcRegistry::new();
+        let id = r.register(proc(0, "A")).unwrap();
+        assert_eq!(id, ProcId::new(0));
+        r.register(proc(1, "B")).unwrap();
+        assert_eq!(r.get(ProcId::new(1)).unwrap().name, "B");
+        assert_eq!(r.by_name("A").unwrap().id, ProcId::new(0));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn out_of_order_registration_rejected() {
+        let mut r = ProcRegistry::new();
+        assert!(r.register(proc(5, "X")).is_err());
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut r = ProcRegistry::new();
+        r.register(proc(0, "A")).unwrap();
+        assert!(r.register(proc(1, "A")).is_err());
+    }
+
+    #[test]
+    fn unknown_lookups_error() {
+        let r = ProcRegistry::new();
+        assert!(r.get(ProcId::new(0)).is_err());
+        assert!(r.by_name("nope").is_err());
+    }
+}

@@ -1,0 +1,21 @@
+//! Simulated storage devices for the PACMAN reproduction.
+//!
+//! The paper evaluates on two 512 GB SSDs (≈550 MB/s sequential read,
+//! ≈520 MB/s sequential write) and shows that several phenomena are driven
+//! purely by the device: log volume saturating write bandwidth (Fig. 11a,
+//! Table 2), `fsync` dominating commit latency (Table 3), and reload phases
+//! bounded by read bandwidth (Figs. 13a/14a).
+//!
+//! [`SimDisk`] reproduces those mechanisms with an in-memory file store
+//! behind per-direction bandwidth pacers plus an fsync latency model. The
+//! *numbers* are configurable so benchmarks can run at laptop scale while
+//! keeping the paper's ratios; see `DESIGN.md` ("Hardware / data
+//! substitutions").
+
+pub mod pacer;
+pub mod sim_disk;
+pub mod storage_set;
+
+pub use pacer::Pacer;
+pub use sim_disk::{DiskConfig, DiskStats, SimDisk};
+pub use storage_set::StorageSet;

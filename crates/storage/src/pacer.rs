@@ -1,0 +1,141 @@
+//! Bandwidth pacing.
+//!
+//! A [`Pacer`] serializes virtual transfer time across threads: each request
+//! of `n` bytes books `n / rate` seconds on the device timeline and sleeps
+//! until its slot has passed. This models a sequential device shared by
+//! concurrent clients — exactly the saturation behaviour behind Fig. 11a
+//! (loggers and checkpointers contending for one SSD).
+
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// A shared-bandwidth pacer.
+#[derive(Debug)]
+pub struct Pacer {
+    bytes_per_sec: f64,
+    inner: Mutex<PacerState>,
+}
+
+#[derive(Debug)]
+struct PacerState {
+    /// The device timeline: the instant at which the device becomes idle.
+    next_free: Instant,
+}
+
+/// Sleeps shorter than this are skipped; the pacer's timeline still advances
+/// so the debt is paid by later requests (OS sleep granularity is ~1 ms).
+const MIN_SLEEP: Duration = Duration::from_micros(200);
+
+impl Pacer {
+    /// A pacer with the given sustained bandwidth. `f64::INFINITY` disables
+    /// pacing entirely (used by unit tests).
+    pub fn new(bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
+        Pacer {
+            bytes_per_sec,
+            inner: Mutex::new(PacerState {
+                next_free: Instant::now(),
+            }),
+        }
+    }
+
+    /// The configured bandwidth.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// Book a transfer of `n` bytes and sleep until the device has
+    /// "performed" it. Returns the simulated service duration.
+    pub fn transfer(&self, n: usize) -> Duration {
+        if self.bytes_per_sec.is_infinite() || n == 0 {
+            return Duration::ZERO;
+        }
+        let cost = Duration::from_secs_f64(n as f64 / self.bytes_per_sec);
+        let deadline = {
+            let mut st = self.inner.lock();
+            let now = Instant::now();
+            let start = if st.next_free > now { st.next_free } else { now };
+            st.next_free = start + cost;
+            st.next_free
+        };
+        let now = Instant::now();
+        if deadline > now + MIN_SLEEP {
+            std::thread::sleep(deadline - now);
+        }
+        cost
+    }
+
+    /// Sleep until all booked transfers have completed (the flush part of an
+    /// `fsync`).
+    pub fn drain(&self) {
+        let deadline = self.inner.lock().next_free;
+        let now = Instant::now();
+        if deadline > now + MIN_SLEEP {
+            std::thread::sleep(deadline - now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn infinite_bandwidth_never_sleeps() {
+        let p = Pacer::new(f64::INFINITY);
+        let t0 = Instant::now();
+        for _ in 0..1000 {
+            p.transfer(1 << 20);
+        }
+        assert!(t0.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn rate_is_enforced_for_large_transfers() {
+        // 100 MB/s, transfer 10 MB -> ~100 ms.
+        let p = Pacer::new(100.0 * 1024.0 * 1024.0);
+        let t0 = Instant::now();
+        p.transfer(10 << 20);
+        let dt = t0.elapsed();
+        assert!(dt >= Duration::from_millis(80), "finished too fast: {dt:?}");
+        assert!(dt <= Duration::from_millis(400), "finished too slow: {dt:?}");
+    }
+
+    #[test]
+    fn concurrent_clients_share_bandwidth() {
+        // 4 threads × 2.5 MB over a 10 MB/s device -> ≥ ~1 s total.
+        let p = Arc::new(Pacer::new(10.0 * 1024.0 * 1024.0));
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let p = Arc::clone(&p);
+                std::thread::spawn(move || {
+                    for _ in 0..5 {
+                        p.transfer(512 << 10);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let dt = t0.elapsed();
+        assert!(
+            dt >= Duration::from_millis(800),
+            "bandwidth not shared: {dt:?}"
+        );
+    }
+
+    #[test]
+    fn small_transfers_accumulate_debt() {
+        // 1 MB/s; 1000 × 1 KiB ≈ 1 MB -> ~1 s even though each sleep is tiny.
+        let p = Pacer::new(1024.0 * 1024.0);
+        let t0 = Instant::now();
+        for _ in 0..1000 {
+            p.transfer(1024);
+        }
+        p.drain();
+        assert!(t0.elapsed() >= Duration::from_millis(700));
+    }
+}

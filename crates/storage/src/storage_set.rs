@@ -1,0 +1,104 @@
+//! A set of devices, mirroring the paper's "each SSD is assigned a single
+//! logging thread and a single checkpointing thread" setup (§6, Fig. 11b).
+
+use crate::sim_disk::{DiskConfig, DiskStats, SimDisk};
+use std::sync::Arc;
+
+/// The machine's persistent devices.
+#[derive(Clone, Debug)]
+pub struct StorageSet {
+    disks: Vec<Arc<SimDisk>>,
+}
+
+impl StorageSet {
+    /// Build a set of `n` identical devices.
+    pub fn identical(n: usize, template: DiskConfig) -> Self {
+        assert!(n > 0, "need at least one disk");
+        let disks = (0..n)
+            .map(|i| {
+                let mut cfg = template.clone();
+                cfg.name = format!("{}-{}", cfg.name, i);
+                Arc::new(SimDisk::new(cfg))
+            })
+            .collect();
+        StorageSet { disks }
+    }
+
+    /// Build from explicit devices.
+    pub fn new(disks: Vec<Arc<SimDisk>>) -> Self {
+        assert!(!disks.is_empty(), "need at least one disk");
+        StorageSet { disks }
+    }
+
+    /// Unthrottled single-disk set for tests.
+    pub fn for_tests() -> Self {
+        StorageSet::identical(1, DiskConfig::unthrottled("test"))
+    }
+
+    /// Number of devices.
+    pub fn num_disks(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Device `i` (wrapping), used to spread loggers/checkpointers.
+    pub fn disk(&self, i: usize) -> &Arc<SimDisk> {
+        &self.disks[i % self.disks.len()]
+    }
+
+    /// All devices.
+    pub fn disks(&self) -> &[Arc<SimDisk>] {
+        &self.disks
+    }
+
+    /// Aggregate stats across devices.
+    pub fn total_stats(&self) -> DiskStats {
+        let mut out = DiskStats::default();
+        for d in &self.disks {
+            let s = d.stats();
+            out.bytes_written += s.bytes_written;
+            out.bytes_read += s.bytes_read;
+            out.fsyncs += s.fsyncs;
+            out.elapsed_secs = out.elapsed_secs.max(s.elapsed_secs);
+        }
+        out
+    }
+
+    /// Reset all device counters.
+    pub fn reset_stats(&self) {
+        for d in &self.disks {
+            d.reset_stats();
+        }
+    }
+
+    /// Total persisted bytes across devices.
+    pub fn total_bytes(&self) -> u64 {
+        self.disks.iter().map(|d| d.total_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_assignment_wraps() {
+        let s = StorageSet::identical(2, DiskConfig::unthrottled("ssd"));
+        assert_eq!(s.num_disks(), 2);
+        assert_eq!(s.disk(0).config().name, "ssd-0");
+        assert_eq!(s.disk(1).config().name, "ssd-1");
+        assert_eq!(s.disk(2).config().name, "ssd-0");
+    }
+
+    #[test]
+    fn aggregate_stats_sum_devices() {
+        let s = StorageSet::identical(2, DiskConfig::unthrottled("ssd"));
+        s.disk(0).append("a", &[0u8; 10]);
+        s.disk(1).append("b", &[0u8; 30]);
+        let t = s.total_stats();
+        assert_eq!(t.bytes_written, 40);
+        assert_eq!(s.total_bytes(), 40);
+        s.reset_stats();
+        assert_eq!(s.total_stats().bytes_written, 0);
+        assert_eq!(s.total_bytes(), 40, "reset clears counters, not files");
+    }
+}

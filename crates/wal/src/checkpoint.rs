@@ -1,0 +1,276 @@
+//! Transactionally-consistent checkpointing (§2.2).
+//!
+//! Multi-versioning makes consistent checkpoints trivial: the checkpointer
+//! reads every table at a fixed snapshot timestamp while transactions keep
+//! committing newer versions. One checkpoint thread runs per device; each
+//! thread persists its share of the (table, shard) partitions. The manifest
+//! is written last — a crash mid-checkpoint leaves the previous manifest
+//! (and therefore the previous complete checkpoint) in effect.
+
+use pacman_common::codec::{put_u32, put_u64, put_varint, Cursor};
+use pacman_common::{Decoder, Encoder, Error, Key, Result, Row, Timestamp};
+use pacman_engine::Database;
+use pacman_storage::StorageSet;
+use std::sync::Arc;
+
+/// Name of the manifest file (device 0). Overwritten atomically after every
+/// completed checkpoint.
+pub const MANIFEST_FILE: &str = "ckpt/MANIFEST";
+
+/// One checkpoint part: the tuples of one (table, shard) partition.
+pub fn part_name(ts: Timestamp, table: u32, shard: usize) -> String {
+    format!("ckpt/{ts:020}/t{table:03}.s{shard:04}")
+}
+
+/// The manifest: what a complete checkpoint consists of.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointManifest {
+    /// Snapshot timestamp of the checkpoint.
+    pub ts: Timestamp,
+    /// `(table, shard, disk)` for each persisted part.
+    pub parts: Vec<(u32, u32, u32)>,
+}
+
+impl Encoder for CheckpointManifest {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, self.ts);
+        put_varint(buf, self.parts.len() as u64);
+        for (t, s, d) in &self.parts {
+            put_u32(buf, *t);
+            put_u32(buf, *s);
+            put_u32(buf, *d);
+        }
+    }
+}
+
+impl Decoder for CheckpointManifest {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self> {
+        let ts = cur.read_u64()?;
+        let n = cur.read_varint()? as usize;
+        if n > 1 << 24 {
+            return Err(Error::Corrupt(format!("implausible part count {n}")));
+        }
+        let mut parts = Vec::with_capacity(n);
+        for _ in 0..n {
+            parts.push((cur.read_u32()?, cur.read_u32()?, cur.read_u32()?));
+        }
+        Ok(CheckpointManifest { ts, parts })
+    }
+}
+
+/// Run one full checkpoint at the database's current timestamp using
+/// `threads` concurrent writers (one per device is the paper's setup).
+/// Returns the snapshot timestamp.
+///
+/// The snapshot hold keeps the versions visible at `ts` alive while the
+/// scan proceeds; on-going transactions are never blocked.
+pub fn run_checkpoint(db: &Arc<Database>, storage: &StorageSet, threads: usize) -> Result<Timestamp> {
+    let ts = db.clock().peek();
+    let _hold = db.snapshot_hold(ts);
+    let threads = threads.max(1);
+
+    // Partition work: every (table, shard) pair, round-robin over threads;
+    // thread i writes to disk i (mod #disks).
+    let mut units: Vec<(u32, u32)> = Vec::new();
+    for table in db.tables() {
+        for shard in 0..table.num_shards() {
+            units.push((table.meta().id.0, shard as u32));
+        }
+    }
+    let parts = parking_lot::Mutex::new(Vec::<(u32, u32, u32)>::new());
+    crossbeam::thread::scope(|scope| {
+        for ti in 0..threads {
+            let units = &units;
+            let parts = &parts;
+            let db = Arc::clone(db);
+            let storage = storage.clone();
+            scope.spawn(move |_| {
+                let disk_idx = ti % storage.num_disks();
+                let disk = storage.disk(ti);
+                let mut buf = Vec::with_capacity(64 * 1024);
+                for (ui, &(table, shard)) in units.iter().enumerate() {
+                    if ui % threads != ti {
+                        continue;
+                    }
+                    buf.clear();
+                    let t = db.table(pacman_common::TableId::new(table)).expect("table");
+                    let mut count = 0u64;
+                    t.for_each_visible_at_shard(shard as usize, ts, |key, row| {
+                        put_u64(&mut buf, key);
+                        row.encode(&mut buf);
+                        count += 1;
+                    });
+                    if count == 0 {
+                        continue;
+                    }
+                    let name = part_name(ts, table, shard as usize);
+                    disk.append(&name, &buf);
+                    parts.lock().push((table, shard, disk_idx as u32));
+                }
+                disk.fsync();
+            });
+        }
+    })
+    .expect("checkpoint scope");
+
+    let manifest = CheckpointManifest {
+        ts,
+        parts: parts.into_inner(),
+    };
+    storage.disk(0).write_file(MANIFEST_FILE, &manifest.to_bytes());
+    storage.disk(0).fsync();
+    Ok(ts)
+}
+
+/// Read the latest complete checkpoint's manifest, if any.
+pub fn read_manifest(storage: &StorageSet) -> Result<Option<CheckpointManifest>> {
+    match storage.disk(0).read(MANIFEST_FILE) {
+        Ok(bytes) => {
+            let mut cur = Cursor::new(&bytes);
+            Ok(Some(CheckpointManifest::decode(&mut cur)?))
+        }
+        Err(Error::FileNotFound(_)) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Decode one checkpoint part into `(key, row)` pairs.
+pub fn decode_part(bytes: &[u8]) -> Result<Vec<(Key, Row)>> {
+    let mut cur = Cursor::new(bytes);
+    let mut out = Vec::new();
+    while !cur.is_empty() {
+        let key = cur.read_u64()?;
+        let row = Row::decode(&mut cur)?;
+        out.push((key, row));
+    }
+    Ok(out)
+}
+
+/// Delete every part file belonging to checkpoints older than `keep_ts`
+/// (invoked after a newer checkpoint completes).
+pub fn prune_old_checkpoints(storage: &StorageSet, keep_ts: Timestamp) {
+    for disk in storage.disks() {
+        for name in disk.list("ckpt/") {
+            if name == MANIFEST_FILE {
+                continue;
+            }
+            // Format: ckpt/<ts>/...
+            if let Some(ts_str) = name.split('/').nth(1) {
+                if let Ok(ts) = ts_str.parse::<u64>() {
+                    if ts < keep_ts {
+                        disk.delete(&name);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacman_common::{TableId, Value};
+    use pacman_engine::Catalog;
+
+    fn setup() -> (Arc<Database>, StorageSet) {
+        let mut c = Catalog::new();
+        c.add_table_sharded("a", 1, 2);
+        c.add_table_sharded("b", 2, 2);
+        let db = Arc::new(Database::new(c));
+        for k in 0..100u64 {
+            db.seed_row(TableId::new(0), k, Row::from([Value::Int(k as i64)]))
+                .unwrap();
+        }
+        for k in 0..40u64 {
+            db.seed_row(
+                TableId::new(1),
+                k,
+                Row::from([Value::Int(k as i64), Value::str("z")]),
+            )
+            .unwrap();
+        }
+        (db, StorageSet::identical(2, pacman_storage::DiskConfig::unthrottled("t")))
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_every_tuple() {
+        let (db, storage) = setup();
+        let ts = run_checkpoint(&db, &storage, 2).unwrap();
+        let manifest = read_manifest(&storage).unwrap().unwrap();
+        assert_eq!(manifest.ts, ts);
+        let mut total = 0;
+        for (table, shard, disk) in &manifest.parts {
+            let bytes = storage
+                .disk(*disk as usize)
+                .read(&part_name(ts, *table, *shard as usize))
+                .unwrap();
+            total += decode_part(&bytes).unwrap().len();
+        }
+        assert_eq!(total, 140);
+    }
+
+    #[test]
+    fn checkpoint_is_snapshot_consistent() {
+        let (db, storage) = setup();
+        // Commit a change after the snapshot is taken but read parts later:
+        // simulate by taking checkpoint, then writing, then decoding.
+        let ts = run_checkpoint(&db, &storage, 1).unwrap();
+        let mut t = db.begin();
+        let r = t.read(TableId::new(0), 5).unwrap();
+        t.write(TableId::new(0), 5, r.with_col(0, Value::Int(-999)))
+            .unwrap();
+        t.commit().unwrap();
+        let manifest = read_manifest(&storage).unwrap().unwrap();
+        let mut found = None;
+        for (table, shard, disk) in &manifest.parts {
+            if *table != 0 {
+                continue;
+            }
+            let bytes = storage
+                .disk(*disk as usize)
+                .read(&part_name(ts, *table, *shard as usize))
+                .unwrap();
+            for (k, row) in decode_part(&bytes).unwrap() {
+                if k == 5 {
+                    found = Some(row);
+                }
+            }
+        }
+        assert_eq!(
+            found.unwrap().col(0),
+            &Value::Int(5),
+            "checkpoint must hold the pre-update value"
+        );
+    }
+
+    #[test]
+    fn no_manifest_means_none() {
+        let storage = StorageSet::for_tests();
+        assert!(read_manifest(&storage).unwrap().is_none());
+    }
+
+    #[test]
+    fn prune_removes_only_older_checkpoints() {
+        let (db, storage) = setup();
+        let ts1 = run_checkpoint(&db, &storage, 1).unwrap();
+        let mut t = db.begin();
+        let r = t.read(TableId::new(0), 1).unwrap();
+        t.write(TableId::new(0), 1, r.with_col(0, Value::Int(0)))
+            .unwrap();
+        t.commit().unwrap();
+        let ts2 = run_checkpoint(&db, &storage, 1).unwrap();
+        assert!(ts2 > ts1);
+        prune_old_checkpoints(&storage, ts2);
+        let remaining: Vec<String> = storage
+            .disks()
+            .iter()
+            .flat_map(|d| d.list("ckpt/"))
+            .filter(|n| n != MANIFEST_FILE)
+            .collect();
+        assert!(!remaining.is_empty());
+        assert!(
+            remaining.iter().all(|n| n.contains(&format!("{ts2:020}"))),
+            "old parts remain: {remaining:?}"
+        );
+    }
+}

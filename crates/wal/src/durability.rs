@@ -1,0 +1,479 @@
+//! The durability manager: wires epoch management, loggers, pepoch and
+//! checkpointing around a running database.
+
+use crate::batch::{batch_index_of_epoch, batch_name};
+use crate::checkpoint::{prune_old_checkpoints, run_checkpoint};
+use crate::logger::{LoggerHandle, QueuedRecord};
+use crate::pepoch::PepochHandle;
+use crate::record::{LogPayload, TxnLogRecord};
+use pacman_common::{Encoder, ProcId};
+use pacman_engine::epoch::WorkerEpoch;
+use pacman_engine::{CommitInfo, Database, EpochManager};
+use pacman_sproc::Params;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Which logging scheme the system runs (§2.1). `Off` disables durability
+/// entirely (the paper's "OFF" baseline in Fig. 11).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LogScheme {
+    /// No logging, no checkpointing.
+    Off,
+    /// Physical tuple-level logging (PL).
+    Physical,
+    /// Logical tuple-level logging (LL).
+    Logical,
+    /// Transaction-level command logging (CL).
+    Command,
+}
+
+impl LogScheme {
+    /// Short label used in result tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LogScheme::Off => "OFF",
+            LogScheme::Physical => "PL",
+            LogScheme::Logical => "LL",
+            LogScheme::Command => "CL",
+        }
+    }
+}
+
+/// Configuration of the durability subsystem.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Logging scheme.
+    pub scheme: LogScheme,
+    /// Logger threads (paper: one per device).
+    pub num_loggers: usize,
+    /// Group-commit epoch length.
+    pub epoch_interval: Duration,
+    /// Epochs per log batch file (paper: 100).
+    pub batch_epochs: u64,
+    /// Checkpoint cadence; `None` disables checkpointing.
+    pub checkpoint_interval: Option<Duration>,
+    /// Checkpoint writer threads (paper: one per device).
+    pub checkpoint_threads: usize,
+    /// Whether loggers fsync on epoch seal (Table 3 ablation).
+    pub fsync: bool,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            scheme: LogScheme::Command,
+            num_loggers: 1,
+            epoch_interval: Duration::from_millis(5),
+            batch_epochs: 10,
+            checkpoint_interval: None,
+            checkpoint_threads: 1,
+            fsync: true,
+        }
+    }
+}
+
+/// Running durability subsystem. Workers interact with it on every commit;
+/// recovery consumes what it leaves on the devices.
+pub struct Durability {
+    config: DurabilityConfig,
+    em: Arc<EpochManager>,
+    loggers: RwLock<Vec<LoggerHandle>>,
+    pepoch: Mutex<Option<PepochHandle>>,
+    pepoch_value: Arc<AtomicU64>,
+    storage: pacman_storage::StorageSet,
+    ckpt_stop: Arc<AtomicBool>,
+    ckpt_active: Arc<AtomicBool>,
+    last_ckpt_ts: Arc<AtomicU64>,
+    ckpt_join: Mutex<Option<JoinHandle<()>>>,
+    bytes_logged: AtomicU64,
+}
+
+impl Durability {
+    /// Start loggers, the pepoch watcher and (optionally) the checkpointer.
+    pub fn start(
+        db: Arc<Database>,
+        storage: pacman_storage::StorageSet,
+        config: DurabilityConfig,
+    ) -> Arc<Self> {
+        let em = EpochManager::start(config.epoch_interval);
+        let mut loggers = Vec::new();
+        let mut sealed = Vec::new();
+        if config.scheme != LogScheme::Off {
+            for i in 0..config.num_loggers.max(1) {
+                let logger = LoggerHandle::spawn(
+                    i,
+                    Arc::clone(storage.disk(i)),
+                    Arc::clone(&em),
+                    config.batch_epochs,
+                    config.fsync,
+                );
+                sealed.push(logger.sealed_arc());
+                loggers.push(logger);
+            }
+        }
+        let (pepoch, pepoch_value) = if sealed.is_empty() {
+            (None, Arc::new(AtomicU64::new(u64::MAX))) // OFF: everything "durable"
+        } else {
+            let h = PepochHandle::spawn(
+                sealed,
+                Arc::clone(storage.disk(0)),
+                config.epoch_interval / 4,
+            );
+            let v = h.value_arc();
+            (Some(h), v)
+        };
+
+        let ckpt_stop = Arc::new(AtomicBool::new(false));
+        let ckpt_active = Arc::new(AtomicBool::new(false));
+        let last_ckpt_ts = Arc::new(AtomicU64::new(0));
+        let ckpt_join = match (config.checkpoint_interval, config.scheme) {
+            (Some(interval), scheme) if scheme != LogScheme::Off => {
+                let stop = Arc::clone(&ckpt_stop);
+                let active = Arc::clone(&ckpt_active);
+                let last = Arc::clone(&last_ckpt_ts);
+                let storage2 = storage.clone();
+                let threads = config.checkpoint_threads.max(1);
+                let batch_epochs = config.batch_epochs;
+                let num_loggers = config.num_loggers.max(1);
+                Some(
+                    std::thread::Builder::new()
+                        .name("checkpointer".into())
+                        .spawn(move || loop {
+                            // Sleep in small steps so stop is responsive.
+                            let mut slept = Duration::ZERO;
+                            while slept < interval {
+                                if stop.load(Ordering::Acquire) {
+                                    return;
+                                }
+                                let step = Duration::from_millis(2).min(interval - slept);
+                                std::thread::sleep(step);
+                                slept += step;
+                            }
+                            if stop.load(Ordering::Acquire) {
+                                return;
+                            }
+                            active.store(true, Ordering::Release);
+                            if let Ok(ts) = run_checkpoint(&db, &storage2, threads) {
+                                prune_old_checkpoints(&storage2, ts);
+                                // Drop batches that lie entirely below the
+                                // checkpoint's epoch.
+                                let ckpt_epoch = pacman_common::clock::epoch_of(ts);
+                                let done_batch =
+                                    batch_index_of_epoch(ckpt_epoch, batch_epochs);
+                                for b in 0..done_batch {
+                                    for l in 0..num_loggers {
+                                        storage2.disk(l).delete(&batch_name(l, b));
+                                    }
+                                }
+                                last.store(ts, Ordering::Release);
+                            }
+                            active.store(false, Ordering::Release);
+                        })
+                        .expect("spawn checkpointer"),
+                )
+            }
+            _ => None,
+        };
+
+        Arc::new(Durability {
+            config,
+            em,
+            loggers: RwLock::new(loggers),
+            pepoch: Mutex::new(pepoch),
+            pepoch_value,
+            storage,
+            ckpt_stop,
+            ckpt_active,
+            last_ckpt_ts,
+            ckpt_join: Mutex::new(ckpt_join),
+            bytes_logged: AtomicU64::new(0),
+        })
+    }
+
+    /// The epoch manager (workers register with it).
+    pub fn epoch_manager(&self) -> &Arc<EpochManager> {
+        &self.em
+    }
+
+    /// Register a transaction worker.
+    pub fn register_worker(&self) -> WorkerEpoch {
+        self.em.register_worker()
+    }
+
+    /// The configured scheme.
+    pub fn scheme(&self) -> LogScheme {
+        self.config.scheme
+    }
+
+    /// The attached storage.
+    pub fn storage(&self) -> &pacman_storage::StorageSet {
+        &self.storage
+    }
+
+    /// Serialize and enqueue the log record for a committed transaction.
+    /// `worker` selects the logger (sub-group mapping). Returns the record
+    /// size in bytes (0 when logging is off).
+    pub fn log_commit(
+        &self,
+        worker: usize,
+        info: &CommitInfo,
+        proc: ProcId,
+        params: &Params,
+        adhoc: bool,
+    ) -> usize {
+        let payload = match (self.config.scheme, adhoc) {
+            (LogScheme::Off, _) => return 0,
+            (LogScheme::Command, false) => LogPayload::Command {
+                proc,
+                params: Arc::clone(params),
+            },
+            (LogScheme::Command, true) => LogPayload::Writes {
+                writes: info.writes.clone(),
+                physical: false,
+                adhoc: true,
+            },
+            (LogScheme::Logical, _) => LogPayload::Writes {
+                writes: info.writes.clone(),
+                physical: false,
+                adhoc: false,
+            },
+            (LogScheme::Physical, _) => LogPayload::Writes {
+                writes: info.writes.clone(),
+                physical: true,
+                adhoc: false,
+            },
+        };
+        let record = TxnLogRecord {
+            ts: info.ts,
+            payload,
+        };
+        // Worker-side serialization (this is the per-txn CPU cost that
+        // separates tuple-level from command logging in §6.1.1).
+        let bytes = record.to_bytes();
+        let len = bytes.len();
+        self.bytes_logged.fetch_add(len as u64, Ordering::Relaxed);
+        let loggers = self.loggers.read();
+        if loggers.is_empty() {
+            return 0;
+        }
+        let idx = worker % loggers.len();
+        let _ = loggers[idx].sender.send(QueuedRecord {
+            epoch: record.epoch(),
+            bytes,
+        });
+        len
+    }
+
+    /// The durability frontier (highest epoch all loggers sealed).
+    pub fn pepoch(&self) -> u64 {
+        self.pepoch_value.load(Ordering::Acquire)
+    }
+
+    /// Shared handle to the frontier (latency measurement in drivers).
+    pub fn pepoch_arc(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.pepoch_value)
+    }
+
+    /// Block until `epoch` is durable (test helper).
+    pub fn wait_durable(&self, epoch: u64) {
+        while self.pepoch() < epoch {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Whether a checkpoint is currently being written (Fig. 11 shading).
+    pub fn checkpoint_active(&self) -> bool {
+        self.ckpt_active.load(Ordering::Acquire)
+    }
+
+    /// Snapshot timestamp of the last completed checkpoint (0 = none).
+    pub fn last_checkpoint_ts(&self) -> u64 {
+        self.last_ckpt_ts.load(Ordering::Acquire)
+    }
+
+    /// Total bytes handed to loggers.
+    pub fn bytes_logged(&self) -> u64 {
+        self.bytes_logged.load(Ordering::Relaxed)
+    }
+
+    /// Graceful shutdown: seal everything queued, then stop all threads.
+    pub fn shutdown(&self) {
+        self.ckpt_stop.store(true, Ordering::Release);
+        if let Some(j) = self.ckpt_join.lock().take() {
+            let _ = j.join();
+        }
+        for logger in self.loggers.write().iter_mut() {
+            logger.stop(true);
+        }
+        if let Some(mut p) = self.pepoch.lock().take() {
+            p.stop();
+        }
+        self.em.stop();
+    }
+
+    /// Crash: stop everything abruptly. Unsealed epochs are lost; the
+    /// devices retain exactly what a real crash would leave behind.
+    pub fn crash(&self) {
+        self.ckpt_stop.store(true, Ordering::Release);
+        if let Some(j) = self.ckpt_join.lock().take() {
+            let _ = j.join();
+        }
+        for logger in self.loggers.write().iter_mut() {
+            logger.stop(false);
+        }
+        if let Some(mut p) = self.pepoch.lock().take() {
+            p.stop();
+        }
+        self.em.stop();
+    }
+}
+
+use std::sync::Arc as StdArc;
+type _AssertSend = StdArc<Durability>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacman_common::{Row, TableId, Value};
+    use pacman_engine::Catalog;
+    use pacman_storage::{DiskConfig, StorageSet};
+
+    fn setup(scheme: LogScheme) -> (Arc<Database>, Arc<Durability>) {
+        let mut c = Catalog::new();
+        c.add_table("t", 1);
+        let db = Arc::new(Database::new(c));
+        for k in 0..16u64 {
+            db.seed_row(TableId::new(0), k, Row::from([Value::Int(0)]))
+                .unwrap();
+        }
+        let storage = StorageSet::identical(2, DiskConfig::unthrottled("d"));
+        let config = DurabilityConfig {
+            scheme,
+            num_loggers: 2,
+            epoch_interval: Duration::from_millis(2),
+            batch_epochs: 4,
+            checkpoint_interval: None,
+            checkpoint_threads: 1,
+            fsync: true,
+        };
+        let dur = Durability::start(Arc::clone(&db), storage, config);
+        (db, dur)
+    }
+
+    fn commit_one(db: &Database, dur: &Durability, worker: &WorkerEpoch, k: u64, v: i64) -> u64 {
+        loop {
+            let e = worker.enter();
+            let mut t = db.begin();
+            let r = t.read(TableId::new(0), k).unwrap();
+            t.write(TableId::new(0), k, r.with_col(0, Value::Int(v)))
+                .unwrap();
+            match t.commit_with(|| e) {
+                Ok(info) => {
+                    dur.log_commit(
+                        0,
+                        &info,
+                        ProcId::new(0),
+                        &pacman_sproc::params([Value::Int(k as i64), Value::Int(v)]),
+                        false,
+                    );
+                    return pacman_common::clock::epoch_of(info.ts);
+                }
+                Err(_) => continue,
+            }
+        }
+    }
+
+    #[test]
+    fn commits_become_durable() {
+        let (db, dur) = setup(LogScheme::Command);
+        let worker = dur.register_worker();
+        let mut max_epoch = 0;
+        for k in 0..16u64 {
+            max_epoch = commit_one(&db, &dur, &worker, k, k as i64 + 1);
+        }
+        worker.retire();
+        dur.wait_durable(max_epoch);
+        assert!(dur.pepoch() >= max_epoch);
+        assert!(dur.bytes_logged() > 0);
+        dur.shutdown();
+        // Batches exist on the devices.
+        let batches = crate::batch::list_batch_indices(dur.storage());
+        assert!(!batches.is_empty());
+    }
+
+    #[test]
+    fn off_scheme_logs_nothing() {
+        let (db, dur) = setup(LogScheme::Off);
+        let worker = dur.register_worker();
+        commit_one(&db, &dur, &worker, 1, 5);
+        assert_eq!(dur.bytes_logged(), 0);
+        assert_eq!(dur.pepoch(), u64::MAX);
+        dur.shutdown();
+        assert!(crate::batch::list_batch_indices(dur.storage()).is_empty());
+    }
+
+    #[test]
+    fn crash_preserves_only_sealed_epochs() {
+        let (db, dur) = setup(LogScheme::Logical);
+        let worker = dur.register_worker();
+        for k in 0..8u64 {
+            commit_one(&db, &dur, &worker, k, 42);
+        }
+        // Crash immediately: the current epoch cannot have sealed.
+        let pepoch_before = dur.pepoch();
+        dur.crash();
+        let persisted = PepochHandle::read_persisted(dur.storage().disk(0));
+        assert!(persisted >= pepoch_before.saturating_sub(1));
+        // All batch contents decode cleanly.
+        for idx in crate::batch::list_batch_indices(dur.storage()) {
+            let b =
+                crate::batch::read_merged_batch(dur.storage(), 2, idx, persisted, 0).unwrap();
+            for r in &b.records {
+                assert!(r.epoch() <= persisted);
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointer_runs_and_truncates() {
+        let mut c = Catalog::new();
+        c.add_table("t", 1);
+        let db = Arc::new(Database::new(c));
+        for k in 0..64u64 {
+            db.seed_row(TableId::new(0), k, Row::from([Value::Int(0)]))
+                .unwrap();
+        }
+        let storage = StorageSet::identical(1, DiskConfig::unthrottled("d"));
+        let dur = Durability::start(
+            Arc::clone(&db),
+            storage,
+            DurabilityConfig {
+                scheme: LogScheme::Command,
+                num_loggers: 1,
+                epoch_interval: Duration::from_millis(1),
+                batch_epochs: 2,
+                checkpoint_interval: Some(Duration::from_millis(25)),
+                checkpoint_threads: 1,
+                fsync: false,
+            },
+        );
+        let worker = dur.register_worker();
+        let t0 = std::time::Instant::now();
+        let mut k = 0u64;
+        while t0.elapsed() < Duration::from_millis(120) {
+            commit_one(&db, &dur, &worker, k % 64, k as i64);
+            k += 1;
+        }
+        worker.retire();
+        std::thread::sleep(Duration::from_millis(40));
+        dur.shutdown();
+        assert!(dur.last_checkpoint_ts() > 0, "checkpoint never completed");
+        assert!(
+            crate::checkpoint::read_manifest(dur.storage()).unwrap().is_some(),
+            "manifest missing"
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Durability: logging and checkpointing (paper §2, Appendix A).
+//!
+//! The implementation follows the SiloR-style design the paper describes:
+//! worker threads serialize their own commit records and hand them to
+//! logger threads (one per device); loggers group-commit in units of
+//! epochs, truncating their output into fixed-size *log batches* (files);
+//! a *pepoch* watcher publishes the slowest logger's progress, which is the
+//! durability frontier transactions are acknowledged at; checkpointer
+//! threads (one per device) periodically persist a transactionally
+//! consistent snapshot taken against the multi-version store without
+//! blocking transactions.
+//!
+//! Three logging schemes are implemented (§2.1):
+//!
+//! * **Physical** (`PL`) — after-images plus old/new version locations;
+//! * **Logical** (`LL`) — after-images only;
+//! * **Command** (`CL`) — procedure id + parameters (+ logical records for
+//!   ad-hoc transactions, §4.5).
+
+pub mod batch;
+pub mod checkpoint;
+pub mod durability;
+pub mod logger;
+pub mod pepoch;
+pub mod record;
+
+pub use batch::{batch_index_of_epoch, batch_name, list_batch_indices, read_merged_batch, LogBatch};
+pub use checkpoint::{run_checkpoint, CheckpointManifest};
+pub use durability::{Durability, DurabilityConfig, LogScheme};
+pub use record::{LogPayload, TxnLogRecord};

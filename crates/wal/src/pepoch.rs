@@ -1,0 +1,132 @@
+//! The persistent-epoch (pepoch) watcher.
+//!
+//! Appendix A: "a new thread, called pepoch thread, … continuously detects
+//! the slowest progress of these logger threads. If all the loggers have
+//! finished persisting epoch `i`, the pepoch thread writes the number `i`
+//! into a file named pepoch.log and notifies the workers that query results
+//! generated for any transaction before epoch `i+1` can be returned."
+
+use pacman_storage::SimDisk;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Name of the persisted epoch file (on device 0).
+pub const PEPOCH_FILE: &str = "pepoch.log";
+
+/// Handle to the pepoch thread.
+pub struct PepochHandle {
+    value: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl PepochHandle {
+    /// Spawn the watcher over the given loggers' sealed-epoch counters.
+    pub fn spawn(
+        sealed: Vec<Arc<AtomicU64>>,
+        disk: Arc<SimDisk>,
+        poll: Duration,
+    ) -> Self {
+        let value = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let v2 = Arc::clone(&value);
+        let s2 = Arc::clone(&stop);
+        let join = std::thread::Builder::new()
+            .name("pepoch".into())
+            .spawn(move || {
+                let mut published = 0u64;
+                loop {
+                    let min = sealed
+                        .iter()
+                        .map(|s| s.load(Ordering::Acquire))
+                        .min()
+                        .unwrap_or(0);
+                    if min > published {
+                        published = min;
+                        disk.write_file(PEPOCH_FILE, &min.to_le_bytes());
+                        disk.fsync();
+                        v2.store(min, Ordering::Release);
+                    }
+                    if s2.load(Ordering::Acquire) {
+                        return;
+                    }
+                    std::thread::sleep(poll);
+                }
+            })
+            .expect("spawn pepoch");
+        PepochHandle {
+            value,
+            stop,
+            join: Some(join),
+        }
+    }
+
+    /// The current durability frontier.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Acquire)
+    }
+
+    /// Shared handle to the frontier for lock-free polling by workers.
+    pub fn value_arc(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.value)
+    }
+
+    /// Stop the watcher (performs one final publish pass first).
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+
+    /// Read the persisted pepoch from a device (recovery entry point).
+    pub fn read_persisted(disk: &SimDisk) -> u64 {
+        match disk.read(PEPOCH_FILE) {
+            Ok(bytes) if bytes.len() >= 8 => u64::from_le_bytes(bytes[..8].try_into().unwrap()),
+            _ => 0,
+        }
+    }
+}
+
+impl Drop for PepochHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacman_storage::DiskConfig;
+
+    #[test]
+    fn pepoch_is_min_of_loggers() {
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+        let disk = Arc::new(SimDisk::new(DiskConfig::unthrottled("t")));
+        let mut h = PepochHandle::spawn(
+            vec![Arc::clone(&a), Arc::clone(&b)],
+            Arc::clone(&disk),
+            Duration::from_micros(100),
+        );
+        a.store(5, Ordering::Release);
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(h.value(), 0, "slowest logger pins pepoch");
+        b.store(3, Ordering::Release);
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(h.value(), 3);
+        assert_eq!(PepochHandle::read_persisted(&disk), 3);
+        b.store(7, Ordering::Release);
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(h.value(), 5);
+        h.stop();
+    }
+
+    #[test]
+    fn missing_pepoch_file_reads_zero() {
+        let disk = SimDisk::new(DiskConfig::unthrottled("t"));
+        assert_eq!(PepochHandle::read_persisted(&disk), 0);
+    }
+}

@@ -1,0 +1,378 @@
+//! Log record formats.
+//!
+//! One record per committed transaction. The three schemes differ only in
+//! the payload:
+//!
+//! * `Command` — `(proc id, params)`: tiny, independent of the write-set
+//!   size (the 10×+ size advantage of Table 1);
+//! * `Logical` — the write set's after-images;
+//! * `Physical` — after-images plus the old/new version locations a
+//!   physical scheme must record (§6.1.1: "physical logging yields an even
+//!   larger log size because it must record the locations of the old and
+//!   new versions of every modified tuple"). Our stand-in for a location is
+//!   `(prev_ts, slot)` pairs, 24 bytes per write.
+//! * `AdHoc` — logical payload logged under command logging for
+//!   transactions not issued from stored procedures (§4.5).
+
+use pacman_common::codec::{put_u32, put_u64, put_varint, Cursor};
+use pacman_common::{Decoder, Encoder, Error, ProcId, Result, Row, Timestamp, Value};
+use pacman_engine::{WriteKind, WriteRecord};
+use pacman_sproc::Params;
+
+/// A transaction's log record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TxnLogRecord {
+    /// Commit timestamp (encodes the epoch in its upper bits).
+    pub ts: Timestamp,
+    /// Scheme-dependent payload.
+    pub payload: LogPayload,
+}
+
+/// The payload of a [`TxnLogRecord`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum LogPayload {
+    /// Command logging: the transaction's logic.
+    Command {
+        /// Stored procedure invoked.
+        proc: ProcId,
+        /// Invocation arguments.
+        params: Params,
+    },
+    /// Tuple-level logging: the write set.
+    Writes {
+        /// After-images in write order.
+        writes: Vec<WriteRecord>,
+        /// Whether locations are included (physical logging).
+        physical: bool,
+        /// Whether this is an ad-hoc transaction logged under command
+        /// logging (replayed as a write-only transaction, §4.5).
+        adhoc: bool,
+    },
+}
+
+impl TxnLogRecord {
+    /// The epoch this record belongs to.
+    pub fn epoch(&self) -> u64 {
+        pacman_common::clock::epoch_of(self.ts)
+    }
+}
+
+fn encode_write(buf: &mut Vec<u8>, w: &WriteRecord, physical: bool) {
+    put_u32(buf, w.table.0);
+    put_u64(buf, w.key);
+    buf.push(match w.kind {
+        WriteKind::Update => 0,
+        WriteKind::Insert => 1,
+        WriteKind::Delete => 2,
+    });
+    match &w.after {
+        Some(row) => {
+            buf.push(1);
+            row.encode(buf);
+        }
+        None => buf.push(0),
+    }
+    if physical {
+        // Old/new "locations": previous version timestamp + a slot token.
+        put_u64(buf, w.prev_ts);
+        put_u64(buf, w.key ^ 0xA5A5_A5A5_A5A5_A5A5); // fabricated slot address
+        put_u64(buf, w.prev_ts.wrapping_add(1)); // fabricated new location
+    }
+}
+
+fn decode_write(cur: &mut Cursor<'_>, physical: bool) -> Result<WriteRecord> {
+    let table = pacman_common::TableId::new(cur.read_u32()?);
+    let key = cur.read_u64()?;
+    let kind = match cur.read_u8()? {
+        0 => WriteKind::Update,
+        1 => WriteKind::Insert,
+        2 => WriteKind::Delete,
+        t => return Err(Error::Corrupt(format!("bad write kind {t}"))),
+    };
+    let after = match cur.read_u8()? {
+        1 => Some(Row::decode(cur)?),
+        0 => None,
+        t => return Err(Error::Corrupt(format!("bad after flag {t}"))),
+    };
+    let mut prev_ts = 0;
+    if physical {
+        prev_ts = cur.read_u64()?;
+        let _slot = cur.read_u64()?;
+        let _new_loc = cur.read_u64()?;
+    }
+    Ok(WriteRecord {
+        table,
+        key,
+        kind,
+        after,
+        prev_ts,
+    })
+}
+
+impl Encoder for TxnLogRecord {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match &self.payload {
+            LogPayload::Command { proc, params } => {
+                buf.push(1);
+                put_u64(buf, self.ts);
+                put_u32(buf, proc.0);
+                put_varint(buf, params.len() as u64);
+                for p in params.iter() {
+                    p.encode(buf);
+                }
+            }
+            LogPayload::Writes {
+                writes,
+                physical,
+                adhoc,
+            } => {
+                buf.push(match (physical, adhoc) {
+                    (false, false) => 2,
+                    (true, false) => 3,
+                    (false, true) => 4,
+                    (true, true) => 5, // not produced in practice
+                });
+                put_u64(buf, self.ts);
+                put_varint(buf, writes.len() as u64);
+                for w in writes {
+                    encode_write(buf, w, *physical);
+                }
+            }
+        }
+    }
+}
+
+impl Decoder for TxnLogRecord {
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self> {
+        let tag = cur.read_u8()?;
+        let ts = cur.read_u64()?;
+        let payload = match tag {
+            1 => {
+                let proc = ProcId::new(cur.read_u32()?);
+                let n = cur.read_varint()? as usize;
+                if n > 1 << 22 {
+                    return Err(Error::Corrupt(format!("implausible param count {n}")));
+                }
+                let mut params = Vec::with_capacity(n);
+                for _ in 0..n {
+                    params.push(Value::decode(cur)?);
+                }
+                LogPayload::Command {
+                    proc,
+                    params: params.into(),
+                }
+            }
+            2 | 3 | 4 | 5 => {
+                let physical = tag == 3 || tag == 5;
+                let adhoc = tag == 4 || tag == 5;
+                let n = cur.read_varint()? as usize;
+                if n > 1 << 22 {
+                    return Err(Error::Corrupt(format!("implausible write count {n}")));
+                }
+                let mut writes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    writes.push(decode_write(cur, physical)?);
+                }
+                LogPayload::Writes {
+                    writes,
+                    physical,
+                    adhoc,
+                }
+            }
+            t => return Err(Error::Corrupt(format!("bad record tag {t}"))),
+        };
+        Ok(TxnLogRecord { ts, payload })
+    }
+}
+
+// `WriteRecord` equality is needed by the round-trip tests but lives in the
+// engine crate without `PartialEq`; compare field-wise here.
+impl TxnLogRecord {
+    /// Structural equality helper used by tests (WriteRecord lacks Eq).
+    pub fn structurally_equal(&self, other: &Self) -> bool {
+        if self.ts != other.ts {
+            return false;
+        }
+        match (&self.payload, &other.payload) {
+            (
+                LogPayload::Command { proc: p1, params: a1 },
+                LogPayload::Command { proc: p2, params: a2 },
+            ) => p1 == p2 && a1 == a2,
+            (
+                LogPayload::Writes {
+                    writes: w1,
+                    physical: f1,
+                    adhoc: h1,
+                },
+                LogPayload::Writes {
+                    writes: w2,
+                    physical: f2,
+                    adhoc: h2,
+                },
+            ) => {
+                f1 == f2
+                    && h1 == h2
+                    && w1.len() == w2.len()
+                    && w1.iter().zip(w2).all(|(x, y)| {
+                        x.table == y.table
+                            && x.key == y.key
+                            && x.kind == y.kind
+                            && x.after == y.after
+                            && (!f1 || x.prev_ts == y.prev_ts)
+                    })
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacman_common::TableId;
+
+    fn roundtrip(r: &TxnLogRecord) {
+        let bytes = r.to_bytes();
+        let mut cur = Cursor::new(&bytes);
+        let back = TxnLogRecord::decode(&mut cur).expect("decode");
+        assert!(cur.is_empty());
+        assert!(r.structurally_equal(&back), "{r:?} != {back:?}");
+    }
+
+    fn write(key: u64, val: i64) -> WriteRecord {
+        WriteRecord {
+            table: TableId::new(1),
+            key,
+            kind: WriteKind::Update,
+            after: Some(Row::from([Value::Int(val), Value::str("pad")])),
+            prev_ts: 7,
+        }
+    }
+
+    #[test]
+    fn command_roundtrip() {
+        roundtrip(&TxnLogRecord {
+            ts: pacman_common::clock::epoch_floor(3) | 42,
+            payload: LogPayload::Command {
+                proc: ProcId::new(2),
+                params: vec![Value::Int(1), Value::str("x"), Value::Float(0.5)].into(),
+            },
+        });
+    }
+
+    #[test]
+    fn logical_and_physical_roundtrip() {
+        for physical in [false, true] {
+            roundtrip(&TxnLogRecord {
+                ts: 99,
+                payload: LogPayload::Writes {
+                    writes: vec![write(1, 10), write(2, 20)],
+                    physical,
+                    adhoc: false,
+                },
+            });
+        }
+    }
+
+    #[test]
+    fn adhoc_flag_survives() {
+        let r = TxnLogRecord {
+            ts: 5,
+            payload: LogPayload::Writes {
+                writes: vec![write(9, 1)],
+                physical: false,
+                adhoc: true,
+            },
+        };
+        let bytes = r.to_bytes();
+        let back = TxnLogRecord::decode(&mut Cursor::new(&bytes)).unwrap();
+        match back.payload {
+            LogPayload::Writes { adhoc, .. } => assert!(adhoc),
+            _ => panic!("wrong payload"),
+        }
+    }
+
+    #[test]
+    fn deletes_encode_without_after_image() {
+        roundtrip(&TxnLogRecord {
+            ts: 8,
+            payload: LogPayload::Writes {
+                writes: vec![WriteRecord {
+                    table: TableId::new(0),
+                    key: 3,
+                    kind: WriteKind::Delete,
+                    after: None,
+                    prev_ts: 2,
+                }],
+                physical: true,
+                adhoc: false,
+            },
+        });
+    }
+
+    #[test]
+    fn physical_records_are_larger_than_logical() {
+        let writes = vec![write(1, 10), write(2, 20), write(3, 30)];
+        let ll = TxnLogRecord {
+            ts: 1,
+            payload: LogPayload::Writes {
+                writes: writes.clone(),
+                physical: false,
+                adhoc: false,
+            },
+        };
+        let pl = TxnLogRecord {
+            ts: 1,
+            payload: LogPayload::Writes {
+                writes,
+                physical: true,
+                adhoc: false,
+            },
+        };
+        let (lb, pb) = (ll.to_bytes().len(), pl.to_bytes().len());
+        assert_eq!(pb, lb + 3 * 24, "physical adds 24 bytes/write: {lb} vs {pb}");
+    }
+
+    #[test]
+    fn command_records_are_much_smaller_than_logical_for_wide_writes() {
+        let writes: Vec<WriteRecord> = (0..20).map(|i| write(i, i as i64)).collect();
+        let ll = TxnLogRecord {
+            ts: 1,
+            payload: LogPayload::Writes {
+                writes,
+                physical: false,
+                adhoc: false,
+            },
+        }
+        .to_bytes()
+        .len();
+        let cl = TxnLogRecord {
+            ts: 1,
+            payload: LogPayload::Command {
+                proc: ProcId::new(0),
+                params: vec![Value::Int(1), Value::Int(2), Value::Int(3)].into(),
+            },
+        }
+        .to_bytes()
+        .len();
+        assert!(ll > 8 * cl, "LL {ll}B should dwarf CL {cl}B");
+    }
+
+    #[test]
+    fn epoch_extraction() {
+        let r = TxnLogRecord {
+            ts: pacman_common::clock::epoch_floor(9) | 123,
+            payload: LogPayload::Command {
+                proc: ProcId::new(0),
+                params: vec![].into(),
+            },
+        };
+        assert_eq!(r.epoch(), 9);
+    }
+
+    #[test]
+    fn corrupt_tag_rejected() {
+        let mut cur = Cursor::new(&[99u8, 0, 0, 0, 0, 0, 0, 0, 0]);
+        assert!(TxnLogRecord::decode(&mut cur).is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! Composite-key packing for TPC-C.
+//!
+//! Bit layout keeps all rows of one (warehouse, district) adjacent in the
+//! ordered index. The same arithmetic is expressible in the procedure
+//! expression language (`w * 256 + d`, …) so keys remain computable from
+//! parameters — the §5 requirement.
+
+use pacman_common::key::KeyPacker;
+use pacman_common::Key;
+
+/// `[w:16, d:8]`.
+pub const DISTRICT_PACKER: KeyPacker<2> = KeyPacker::new([16, 8]);
+/// `[w:16, d:8, c:24]`.
+pub const CUSTOMER_PACKER: KeyPacker<3> = KeyPacker::new([16, 8, 24]);
+/// `[w:16, i:24]`.
+pub const STOCK_PACKER: KeyPacker<2> = KeyPacker::new([16, 24]);
+/// `[w:16, d:8, o:32]`.
+pub const ORDER_PACKER: KeyPacker<3> = KeyPacker::new([16, 8, 32]);
+
+/// District key.
+#[inline]
+pub fn district_key(w: u64, d: u64) -> Key {
+    DISTRICT_PACKER.pack([w, d])
+}
+
+/// Customer key.
+#[inline]
+pub fn customer_key(w: u64, d: u64, c: u64) -> Key {
+    CUSTOMER_PACKER.pack([w, d, c])
+}
+
+/// Stock key.
+#[inline]
+pub fn stock_key(w: u64, i: u64) -> Key {
+    STOCK_PACKER.pack([w, i])
+}
+
+/// Order key.
+#[inline]
+pub fn order_key(w: u64, d: u64, o: u64) -> Key {
+    ORDER_PACKER.pack([w, d, o])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packers_roundtrip() {
+        assert_eq!(DISTRICT_PACKER.unpack(district_key(3, 7)), [3, 7]);
+        assert_eq!(CUSTOMER_PACKER.unpack(customer_key(3, 7, 42)), [3, 7, 42]);
+        assert_eq!(STOCK_PACKER.unpack(stock_key(5, 999)), [5, 999]);
+        assert_eq!(ORDER_PACKER.unpack(order_key(1, 2, 77)), [1, 2, 77]);
+    }
+
+    #[test]
+    fn district_prefix_keeps_rows_adjacent() {
+        // All customers of (w=2, d=3) sort between the district bounds.
+        let lo = customer_key(2, 3, 0);
+        let hi = customer_key(2, 3, (1 << 24) - 1);
+        let c = customer_key(2, 3, 500);
+        assert!(lo <= c && c <= hi);
+        assert!(customer_key(2, 4, 0) > hi);
+    }
+
+    /// The expression-language arithmetic matches the packers: procedures
+    /// compute `w*256 + d` etc. and must land on identical keys.
+    #[test]
+    fn expression_arithmetic_matches_packing() {
+        let (w, d, c, i, o) = (9u64, 4u64, 123u64, 4567u64, 89u64);
+        assert_eq!(district_key(w, d), (w << 8) | d);
+        assert_eq!(customer_key(w, d, c), (((w << 8) | d) << 24) | c);
+        assert_eq!(stock_key(w, i), (w << 24) | i);
+        assert_eq!(order_key(w, d, o), (((w << 8) | d) << 32) | o);
+    }
+}

@@ -1,0 +1,48 @@
+//! Print the static-analysis artifacts for the paper's bank example and
+//! for TPC-C: local dependency graphs (Fig. 5a/b), the global dependency
+//! graph (Fig. 5c / Fig. 21), and the transaction-chopping comparison.
+//!
+//! ```sh
+//! cargo run --release --example dependency_graphs
+//! ```
+
+use pacman_core::static_analysis::{ChoppingGraph, GlobalGraph, LocalGraph};
+use pacman_workloads::bank::Bank;
+use pacman_workloads::tpcc::{procs, TpccConfig};
+use pacman_workloads::Workload;
+
+fn show(reg: &pacman_sproc::ProcRegistry, title: &str) {
+    println!("==== {title} ====");
+    for proc in reg.all() {
+        println!("\n{}", proc.pretty());
+        let lg = LocalGraph::analyze(proc);
+        println!("local dependency graph: {} slices", lg.len());
+        for s in &lg.slices {
+            println!("  slice {}: ops {:?}", s.id, s.ops);
+        }
+        for (a, b) in &lg.edges {
+            println!("  {a} -> {b}");
+        }
+    }
+    let gdg = GlobalGraph::analyze(reg.all()).expect("analyzable");
+    println!("\nglobal dependency graph ({} blocks):", gdg.num_blocks());
+    print!("{}", gdg.pretty());
+    let chop = ChoppingGraph::analyze(reg.all());
+    let pacman_pieces: usize = reg.all().iter().map(|p| LocalGraph::analyze(p).len()).sum();
+    println!(
+        "\ngranularity: PACMAN {} slices vs transaction chopping {} pieces\n",
+        pacman_pieces,
+        chop.total_pieces()
+    );
+}
+
+fn main() {
+    let bank = Bank::default();
+    show(&bank.registry(), "Bank example (paper Figs. 2-5)");
+    show(
+        &procs::registry(TpccConfig::default().districts_per_warehouse),
+        "TPC-C (paper Fig. 21)",
+    );
+    let sb = pacman_workloads::smallbank::Smallbank::default();
+    show(&sb.registry(), "Smallbank");
+}

@@ -1,0 +1,60 @@
+//! Compare the runtime cost of the three logging schemes on Smallbank —
+//! a miniature of Fig. 11 / Table 1.
+//!
+//! ```sh
+//! cargo run --release --example smallbank_logging
+//! ```
+
+use pacman_repro::harness::System;
+use pacman_storage::{DiskConfig, StorageSet};
+use pacman_wal::{DurabilityConfig, LogScheme};
+use pacman_workloads::smallbank::Smallbank;
+use pacman_workloads::DriverConfig;
+use std::time::Duration;
+
+fn main() {
+    println!(
+        "{:<6} {:>12} {:>12} {:>14} {:>12}",
+        "scheme", "throughput", "p99 (us)", "log (MB/min)", "aborts"
+    );
+    for scheme in [
+        LogScheme::Off,
+        LogScheme::Physical,
+        LogScheme::Logical,
+        LogScheme::Command,
+    ] {
+        let sb = Smallbank::default();
+        let storage = StorageSet::identical(2, DiskConfig::scaled_ssd("ssd", 0.05));
+        let sys = System::boot(
+            &sb,
+            storage,
+            DurabilityConfig {
+                scheme,
+                num_loggers: 2,
+                epoch_interval: Duration::from_millis(3),
+                batch_epochs: 16,
+                checkpoint_interval: Some(Duration::from_millis(700)),
+                checkpoint_threads: 2,
+                fsync: true,
+            },
+        );
+        let result = sys.run(
+            &sb,
+            &DriverConfig {
+                workers: 6,
+                duration: Duration::from_secs(2),
+                ..DriverConfig::default()
+            },
+        );
+        println!(
+            "{:<6} {:>9.0} tps {:>12} {:>14.1} {:>12}",
+            scheme.label(),
+            result.throughput,
+            result.latency_us.quantile(0.99),
+            result.bytes_logged as f64 / 1e6 / (result.wall_secs / 60.0),
+            result.aborted
+        );
+        sys.durability.shutdown();
+    }
+    println!("\n(expect: OFF fastest; CL close behind; PL/LL throttled by the simulated device)");
+}

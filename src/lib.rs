@@ -1,0 +1,100 @@
+//! Umbrella crate for the PACMAN reproduction workspace.
+//!
+//! Re-exports the member crates under one roof so the examples and
+//! integration tests read naturally. See `README.md` for the architecture
+//! overview, `DESIGN.md` for the system inventory, and `EXPERIMENTS.md`
+//! for paper-vs-measured results.
+
+pub use pacman_common as common;
+pub use pacman_core as core;
+pub use pacman_engine as engine;
+pub use pacman_sproc as sproc;
+pub use pacman_storage as storage;
+pub use pacman_wal as wal;
+pub use pacman_workloads as workloads;
+
+/// End-to-end convenience: build a database + durability stack for a
+/// workload, run it for a while, crash, and recover with a chosen scheme.
+/// Used by the examples; the figure harnesses use the pieces directly.
+pub mod harness {
+    use pacman_core::recovery::{recover, RecoveryConfig, RecoveryOutcome};
+    use pacman_engine::Database;
+    use pacman_sproc::ProcRegistry;
+    use pacman_storage::{DiskConfig, StorageSet};
+    use pacman_wal::{Durability, DurabilityConfig};
+    use pacman_workloads::{run_workload, DriverConfig, DriverResult, Workload};
+    use std::sync::Arc;
+
+    /// A running system: database, durability, registry.
+    pub struct System {
+        /// The live database.
+        pub db: Arc<Database>,
+        /// The durability subsystem.
+        pub durability: Arc<Durability>,
+        /// Registered procedures.
+        pub registry: ProcRegistry,
+        /// The devices.
+        pub storage: StorageSet,
+    }
+
+    impl System {
+        /// Boot a workload on fresh devices.
+        pub fn boot(
+            workload: &dyn Workload,
+            storage: StorageSet,
+            config: DurabilityConfig,
+        ) -> System {
+            let db = Arc::new(Database::new(workload.catalog()));
+            workload.load(&db);
+            let registry = workload.registry();
+            let durability = Durability::start(Arc::clone(&db), storage.clone(), config);
+            System {
+                db,
+                durability,
+                registry,
+                storage,
+            }
+        }
+
+        /// Boot with unthrottled test devices.
+        pub fn boot_for_tests(workload: &dyn Workload, config: DurabilityConfig) -> System {
+            Self::boot(
+                workload,
+                StorageSet::identical(2, DiskConfig::unthrottled("dev")),
+                config,
+            )
+        }
+
+        /// Run the driver.
+        pub fn run(&self, workload: &dyn Workload, config: &DriverConfig) -> DriverResult {
+            run_workload(&self.db, workload, &self.registry, &self.durability, config)
+        }
+
+        /// Crash the system: all in-memory state is dropped; only the
+        /// devices survive. Returns what recovery needs.
+        pub fn crash(self) -> (StorageSet, ProcRegistry, pacman_engine::Catalog) {
+            self.durability.crash();
+            let catalog = self.db.catalog().clone();
+            (self.storage, self.registry, catalog)
+        }
+
+        /// Shut down gracefully (everything sealed + durable).
+        pub fn shutdown(
+            self,
+        ) -> (StorageSet, ProcRegistry, pacman_engine::Catalog, Arc<Database>) {
+            self.durability.shutdown();
+            let catalog = self.db.catalog().clone();
+            (self.storage, self.registry, catalog, self.db)
+        }
+    }
+
+    /// Recover a crashed system.
+    pub fn recover_crashed(
+        storage: &StorageSet,
+        catalog: &pacman_engine::Catalog,
+        registry: &ProcRegistry,
+        config: &RecoveryConfig,
+    ) -> pacman_common::Result<RecoveryOutcome> {
+        recover(storage, catalog, registry, config)
+    }
+}
