@@ -4,7 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use pacman_common::{Row, TableId, Value};
 use pacman_core::runtime::exec::replay_record_serial;
-use pacman_engine::{Catalog, Database};
+use pacman_engine::Database;
 use pacman_sproc::ProcRegistry;
 use pacman_wal::{LogPayload, TxnLogRecord};
 use pacman_workloads::bank::{Bank, TRANSFER};
@@ -37,7 +37,7 @@ fn bench_replay(c: &mut Criterion) {
                     params: vec![Value::Int(k as i64), Value::Int(1)].into(),
                 },
             };
-            black_box(replay_record_serial(&db, &reg, &rec).unwrap())
+            replay_record_serial(&db, &reg, black_box(&rec)).unwrap()
         })
     });
     g.bench_function("llrp_install_write", |b| {

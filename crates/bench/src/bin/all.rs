@@ -7,15 +7,17 @@ fn main() {
     let me = std::env::current_exe().expect("current exe");
     let dir = me.parent().expect("bin dir");
     for target in [
-        "fig11", "table1", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-        "fig19", "fig20", "fig21", "table2", "table3",
+        "fig11", "table1", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+        "fig20", "fig21", "table2", "table3",
     ] {
         let mut cmd = Command::new(dir.join(target));
         if quick {
             cmd.arg("--quick");
         }
         println!();
-        let status = cmd.status().unwrap_or_else(|e| panic!("spawn {target}: {e}"));
+        let status = cmd
+            .status()
+            .unwrap_or_else(|e| panic!("spawn {target}: {e}"));
         assert!(status.success(), "{target} failed");
     }
 }

@@ -15,7 +15,7 @@ fn main() {
          does not close the gap",
     );
     let secs = opts.run_secs() + 2;
-    let workers = (num_threads() - 4).max(2);
+    let workers = num_threads().saturating_sub(4).max(2);
     for disks in [1usize, 2] {
         println!("\n--- {disks} SSD(s), {workers} workers, {secs}s ---");
         println!(

@@ -15,11 +15,29 @@ fn main() {
          contention; CLR-P scales with threads",
     );
     let secs = opts.run_secs();
-    let workers = (num_threads() - 4).max(2);
+    let workers = num_threads().saturating_sub(4).max(2);
     // One crashed image per log type.
-    let cl = prepare_crashed(&bench_tpcc(opts.quick), LogScheme::Command, secs, workers, 0.0);
-    let ll = prepare_crashed(&bench_tpcc(opts.quick), LogScheme::Logical, secs, workers, 0.0);
-    let pl = prepare_crashed(&bench_tpcc(opts.quick), LogScheme::Physical, secs, workers, 0.0);
+    let cl = prepare_crashed(
+        &bench_tpcc(opts.quick),
+        LogScheme::Command,
+        secs,
+        workers,
+        0.0,
+    );
+    let ll = prepare_crashed(
+        &bench_tpcc(opts.quick),
+        LogScheme::Logical,
+        secs,
+        workers,
+        0.0,
+    );
+    let pl = prepare_crashed(
+        &bench_tpcc(opts.quick),
+        LogScheme::Physical,
+        secs,
+        workers,
+        0.0,
+    );
     println!(
         "log volumes: CL {:.1} MB ({} txns), LL {:.1} MB, PL {:.1} MB",
         cl.log_bytes as f64 / 1e6,

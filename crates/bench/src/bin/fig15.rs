@@ -17,7 +17,7 @@ fn main() {
     // One warehouse concentrates contention on a handful of hot tuples.
     let workload = Tpcc::new(TpccConfig::bench(1));
     let secs = opts.run_secs();
-    let workers = (num_threads() - 4).max(2);
+    let workers = num_threads().saturating_sub(4).max(2);
     let ll = prepare_crashed(&workload, LogScheme::Logical, secs, workers, 0.0);
     let pl = prepare_crashed(&workload, LogScheme::Physical, secs, workers, 0.0);
     println!(

@@ -18,7 +18,7 @@ fn main() {
     );
     let threads = num_threads().min(24);
     let secs = opts.run_secs();
-    let workers = (num_threads() - 4).max(2);
+    let workers = num_threads().saturating_sub(4).max(2);
     for wl in ["tpcc", "smallbank"] {
         println!("\n--- {wl} ({threads} recovery threads) ---");
         println!(
@@ -28,14 +28,50 @@ fn main() {
         let (cl, ll, pl);
         match wl {
             "tpcc" => {
-                cl = prepare_crashed(&bench_tpcc(opts.quick), LogScheme::Command, secs, workers, 0.0);
-                ll = prepare_crashed(&bench_tpcc(opts.quick), LogScheme::Logical, secs, workers, 0.0);
-                pl = prepare_crashed(&bench_tpcc(opts.quick), LogScheme::Physical, secs, workers, 0.0);
+                cl = prepare_crashed(
+                    &bench_tpcc(opts.quick),
+                    LogScheme::Command,
+                    secs,
+                    workers,
+                    0.0,
+                );
+                ll = prepare_crashed(
+                    &bench_tpcc(opts.quick),
+                    LogScheme::Logical,
+                    secs,
+                    workers,
+                    0.0,
+                );
+                pl = prepare_crashed(
+                    &bench_tpcc(opts.quick),
+                    LogScheme::Physical,
+                    secs,
+                    workers,
+                    0.0,
+                );
             }
             _ => {
-                cl = prepare_crashed(&bench_smallbank(opts.quick), LogScheme::Command, secs, workers, 0.0);
-                ll = prepare_crashed(&bench_smallbank(opts.quick), LogScheme::Logical, secs, workers, 0.0);
-                pl = prepare_crashed(&bench_smallbank(opts.quick), LogScheme::Physical, secs, workers, 0.0);
+                cl = prepare_crashed(
+                    &bench_smallbank(opts.quick),
+                    LogScheme::Command,
+                    secs,
+                    workers,
+                    0.0,
+                );
+                ll = prepare_crashed(
+                    &bench_smallbank(opts.quick),
+                    LogScheme::Logical,
+                    secs,
+                    workers,
+                    0.0,
+                );
+                pl = prepare_crashed(
+                    &bench_smallbank(opts.quick),
+                    LogScheme::Physical,
+                    secs,
+                    workers,
+                    0.0,
+                );
             }
         }
         for (crashed, scheme) in [
@@ -50,7 +86,11 @@ fn main() {
                 },
             ),
         ] {
-            let t = if scheme == RecoveryScheme::Clr { 1 } else { threads };
+            let t = if scheme == RecoveryScheme::Clr {
+                1
+            } else {
+                threads
+            };
             let out = recover_checked(crashed, scheme, t);
             println!(
                 "{:>12} {:>16.4} {:>12.4} {:>12.4}",

@@ -18,7 +18,7 @@ fn main() {
     );
     let threads = num_threads().min(24);
     let secs = opts.run_secs();
-    let workers = (num_threads() - 4).max(2);
+    let workers = num_threads().saturating_sub(4).max(2);
     let fractions: &[f64] = if opts.quick {
         &[0.0, 0.5, 1.0]
     } else {

@@ -20,8 +20,14 @@ fn main() {
          available without dynamic analysis",
     );
     let secs = opts.run_secs();
-    let workers = (num_threads() - 4).max(2);
-    let crashed = prepare_crashed(&bench_tpcc(opts.quick), LogScheme::Command, secs, workers, 0.0);
+    let workers = num_threads().saturating_sub(4).max(2);
+    let crashed = prepare_crashed(
+        &bench_tpcc(opts.quick),
+        LogScheme::Command,
+        secs,
+        workers,
+        0.0,
+    );
     let procs = crashed.registry.all();
     let pacman_gdg = Arc::new(GlobalGraph::analyze(procs).unwrap());
     let chop = ChoppingGraph::analyze(procs);

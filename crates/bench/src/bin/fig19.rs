@@ -15,8 +15,14 @@ fn main() {
          full thread count; pipelined execution improves it further",
     );
     let secs = opts.run_secs();
-    let workers = (num_threads() - 4).max(2);
-    let crashed = prepare_crashed(&bench_tpcc(opts.quick), LogScheme::Command, secs, workers, 0.0);
+    let workers = num_threads().saturating_sub(4).max(2);
+    let crashed = prepare_crashed(
+        &bench_tpcc(opts.quick),
+        LogScheme::Command,
+        secs,
+        workers,
+        0.0,
+    );
     println!("replaying {} txns", crashed.committed);
     println!(
         "\n{:>8} {:>16} {:>16} {:>16}",

@@ -14,8 +14,14 @@ fn main() {
          loading and parameter checking stay lightweight",
     );
     let secs = opts.run_secs();
-    let workers = (num_threads() - 4).max(2);
-    let crashed = prepare_crashed(&bench_tpcc(opts.quick), LogScheme::Command, secs, workers, 0.0);
+    let workers = num_threads().saturating_sub(4).max(2);
+    let crashed = prepare_crashed(
+        &bench_tpcc(opts.quick),
+        LogScheme::Command,
+        secs,
+        workers,
+        0.0,
+    );
     println!(
         "{:>8} {:>12} {:>14} {:>18} {:>14}",
         "threads", "work %", "loading %", "param check %", "scheduling %"

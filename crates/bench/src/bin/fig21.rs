@@ -30,7 +30,12 @@ fn main() {
                 .collect::<std::collections::BTreeSet<_>>()
                 .into_iter()
                 .collect();
-            println!("  slice {}: ops {:?} on tables {}", s.id, s.ops, tables.join(","));
+            println!(
+                "  slice {}: ops {:?} on tables {}",
+                s.id,
+                s.ops,
+                tables.join(",")
+            );
         }
     }
     let gdg = GlobalGraph::analyze(reg.all()).unwrap();

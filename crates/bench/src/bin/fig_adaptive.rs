@@ -1,0 +1,177 @@
+//! Adaptive hybrid logging (ALR): runtime log volume vs recovery time,
+//! CLR-P / LLR-P / ALR-P compared on a replay-cost-skewed TPC-C and on
+//! Smallbank.
+//!
+//! The ALR scheme classifies each committing transaction with the
+//! static+EWMA cost model (`pacman_core::static_analysis::cost`): cheap
+//! transactions emit command records, replay-heavy ones (TPC-C NewOrder's
+//! order-line loop; Smallbank's read-heavy WriteCheck/Amalgamate) emit
+//! proc-tagged logical records. Expected shape, after Yao et al.:
+//! ALR-P's recovery time approaches LLR-P's (the expensive re-executions
+//! were short-circuited) while its log volume approaches CL's (most
+//! records are still tiny commands) — i.e. recovery ≤ CLR-P and bytes ≤
+//! LLR-P.
+//!
+//! `--scheme <name>` narrows the runtime row to one scheme; `--quick`
+//! shrinks run lengths.
+
+use pacman_bench::{
+    banner, bench_smallbank, bench_tpcc, num_threads, prepare_crashed_on, recover_checked,
+    BenchOpts,
+};
+use pacman_core::recovery::RecoveryScheme;
+use pacman_core::runtime::ReplayMode;
+use pacman_storage::DiskConfig;
+use pacman_wal::LogScheme;
+use pacman_workloads::Workload;
+
+/// The paper's evaluation device (≈550/520 MB/s SSD), unscaled.
+fn full_speed_ssd() -> DiskConfig {
+    DiskConfig::scaled_ssd("ssd", 1.0)
+}
+
+struct Row {
+    label: &'static str,
+    bytes_logged: u64,
+    committed: u64,
+    mix: (u64, u64),
+    recovery_secs: f64,
+    log_secs: f64,
+}
+
+fn run_one(
+    workload: &dyn Workload,
+    log: LogScheme,
+    rec: RecoveryScheme,
+    label: &'static str,
+    secs: u64,
+    workers: usize,
+    threads: usize,
+) -> Row {
+    // Full-speed device: the 1/10-scaled disk of the throughput figures
+    // makes every scheme reload-bound and would mask the replay-cost
+    // difference this figure isolates.
+    let crashed = prepare_crashed_on(workload, log, secs, workers, 0.0, full_speed_ssd());
+    let out = recover_checked(&crashed, rec, threads);
+    Row {
+        label,
+        bytes_logged: crashed.bytes_logged,
+        committed: crashed.committed,
+        mix: (crashed.command_records, crashed.logical_records),
+        recovery_secs: out.report.total_secs,
+        log_secs: out.report.log_total_secs,
+    }
+}
+
+fn print_rows(rows: &[Row]) {
+    println!(
+        "{:>8} {:>12} {:>14} {:>14} {:>20} {:>12} {:>12}",
+        "scheme", "committed", "log MiB", "B/txn", "mix (cmd/logical)", "log rec (s)", "total (s)"
+    );
+    for r in rows {
+        println!(
+            "{:>8} {:>12} {:>14.2} {:>14.1} {:>20} {:>12.4} {:>12.4}",
+            r.label,
+            r.committed,
+            r.bytes_logged as f64 / (1024.0 * 1024.0),
+            r.bytes_logged as f64 / r.committed.max(1) as f64,
+            format!("{}/{}", r.mix.0, r.mix.1),
+            r.log_secs,
+            r.recovery_secs,
+        );
+    }
+}
+
+fn verdict(rows: &[Row]) {
+    let clr = &rows[0];
+    let llr = &rows[1];
+    let alr = &rows[2];
+    let time_ok = alr.log_secs <= clr.log_secs;
+    let bytes_ok = alr.bytes_logged as f64 / alr.committed.max(1) as f64
+        <= llr.bytes_logged as f64 / llr.committed.max(1) as f64;
+    println!(
+        "  ALR-P log-recovery {} CLR-P ({:.4}s vs {:.4}s) — {}",
+        if time_ok { "<=" } else { ">" },
+        alr.log_secs,
+        clr.log_secs,
+        if time_ok { "as expected" } else { "UNEXPECTED" }
+    );
+    println!(
+        "  ALR bytes/txn {} LL bytes/txn ({:.1} vs {:.1}) — {}",
+        if bytes_ok { "<=" } else { ">" },
+        alr.bytes_logged as f64 / alr.committed.max(1) as f64,
+        llr.bytes_logged as f64 / llr.committed.max(1) as f64,
+        if bytes_ok {
+            "as expected"
+        } else {
+            "UNEXPECTED"
+        }
+    );
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let only = std::env::args()
+        .any(|a| a == "--scheme")
+        .then(|| pacman_bench::BenchOpts::scheme_from_args(LogScheme::Adaptive));
+    banner(
+        "Adaptive hybrid logging — CLR-P vs LLR-P vs ALR-P",
+        "per-transaction format choice: command-log the cheap-to-replay \
+         transactions, value-log the expensive ones; ALR-P recovers like \
+         LLR-P while logging like CL (Yao et al., adaptive logging)",
+    );
+    let threads = num_threads().min(24);
+    let secs = opts.run_secs();
+    let workers = num_threads().saturating_sub(4).max(2);
+    let pipelined = ReplayMode::Pipelined;
+
+    // Workloads are stateless generators: one instance serves all three
+    // logging schemes.
+    let scenarios: Vec<(&str, Box<dyn Workload>)> = vec![
+        (
+            "tpcc (skewed replay cost: loop-heavy mix)",
+            Box::new(pacman_workloads::tpcc::Tpcc::new(
+                bench_tpcc(opts.quick).cfg.skewed_replay(),
+            )),
+        ),
+        ("smallbank", Box::new(bench_smallbank(opts.quick))),
+    ];
+
+    for (name, wl) in scenarios {
+        println!("\n--- {name} ({workers} workers, {threads} recovery threads) ---");
+        let mut rows = Vec::new();
+        let configs: [(LogScheme, RecoveryScheme, &'static str); 3] = [
+            (
+                LogScheme::Command,
+                RecoveryScheme::ClrP { mode: pipelined },
+                "CLR-P",
+            ),
+            (LogScheme::Logical, RecoveryScheme::LlrP, "LLR-P"),
+            (
+                LogScheme::Adaptive,
+                RecoveryScheme::AlrP { mode: pipelined },
+                "ALR-P",
+            ),
+        ];
+        for (log, rec, label) in configs {
+            if let Some(o) = only {
+                if o != log {
+                    continue;
+                }
+            }
+            rows.push(run_one(
+                wl.as_ref(),
+                log,
+                rec,
+                label,
+                secs,
+                workers,
+                threads,
+            ));
+        }
+        print_rows(&rows);
+        if rows.len() == 3 {
+            verdict(&rows);
+        }
+    }
+}

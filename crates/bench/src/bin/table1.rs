@@ -12,7 +12,7 @@ fn main() {
          (small write sets), CL still fastest",
     );
     let secs = opts.run_secs();
-    let workers = (num_threads() - 4).max(2);
+    let workers = num_threads().saturating_sub(4).max(2);
     for wl in ["tpcc", "smallbank"] {
         let mut tput = Vec::new();
         let mut rate = Vec::new();
@@ -38,7 +38,12 @@ fn main() {
         println!(
             "\n{wl:<10} | K tps: PL {:.1}  LL {:.1}  CL {:.1} | log MB/min: \
              PL {:.0}  LL {:.0}  CL {:.0} | ratios: PL/CL {:.2}  LL/CL {:.2}",
-            tput[0], tput[1], tput[2], rate[0], rate[1], rate[2],
+            tput[0],
+            tput[1],
+            tput[2],
+            rate[0],
+            rate[1],
+            rate[2],
             rate[0] / rate[2],
             rate[1] / rate[2],
         );

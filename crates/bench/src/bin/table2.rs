@@ -14,7 +14,7 @@ fn main() {
          constrains it",
     );
     let secs = opts.run_secs();
-    let workers = (num_threads() - 4).max(2);
+    let workers = num_threads().saturating_sub(4).max(2);
     println!(
         "{:>6} {:>8} {:>12} {:>16} {:>12}",
         "disks", "ckpt", "scheme", "write MB/s", "MB logged"

@@ -12,7 +12,7 @@ fn main() {
          command logging is least affected because its records are small",
     );
     let secs = opts.run_secs();
-    let workers = (num_threads() - 4).max(2);
+    let workers = num_threads().saturating_sub(4).max(2);
     println!(
         "{:>6} {:>8} {:>12} {:>16} {:>14}",
         "disks", "fsync", "scheme", "mean lat (us)", "p99 (us)"

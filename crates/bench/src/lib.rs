@@ -41,6 +41,20 @@ impl BenchOpts {
         }
     }
 
+    /// Parse `--scheme <name>` from `std::env::args` (off / physical /
+    /// logical / command / adaptive), falling back to `default`.
+    pub fn scheme_from_args(default: LogScheme) -> LogScheme {
+        let mut args = std::env::args();
+        while let Some(a) = args.next() {
+            if a == "--scheme" {
+                let name = args.next().expect("--scheme requires a value");
+                return LogScheme::parse(&name)
+                    .unwrap_or_else(|| panic!("unknown --scheme {name}"));
+            }
+        }
+        default
+    }
+
     /// Seconds of transaction processing before the crash.
     pub fn run_secs(&self) -> u64 {
         if self.quick {
@@ -102,7 +116,8 @@ pub struct LiveSystem {
     pub storage: StorageSet,
 }
 
-/// Boot a workload on `disks` simulated devices.
+/// Boot a workload on `disks` simulated devices with the standard
+/// (1/10-scaled) bench disk.
 pub fn boot(
     workload: &dyn Workload,
     disks: usize,
@@ -110,7 +125,26 @@ pub fn boot(
     checkpoint_interval: Option<Duration>,
     fsync: bool,
 ) -> LiveSystem {
-    let storage = StorageSet::identical(disks, bench_disk());
+    boot_on(
+        workload,
+        disks,
+        bench_disk(),
+        scheme,
+        checkpoint_interval,
+        fsync,
+    )
+}
+
+/// [`boot`] with an explicit device model.
+pub fn boot_on(
+    workload: &dyn Workload,
+    disks: usize,
+    disk: DiskConfig,
+    scheme: LogScheme,
+    checkpoint_interval: Option<Duration>,
+    fsync: bool,
+) -> LiveSystem {
+    let storage = StorageSet::identical(disks, disk);
     let db = Arc::new(Database::new(workload.catalog()));
     workload.load(&db);
     let registry = workload.registry();
@@ -127,6 +161,14 @@ pub fn boot(
             fsync,
         },
     );
+    if scheme == LogScheme::Adaptive {
+        // Wire the static-analysis cost model into the commit-time
+        // classifier; the driver feeds execution costs back through
+        // `Durability::observe_execution`.
+        durability.set_classifier(Arc::new(
+            pacman_core::static_analysis::CostModel::for_procs(registry.all()),
+        ));
+    }
     LiveSystem {
         db,
         durability,
@@ -173,6 +215,12 @@ pub struct Crashed {
     pub committed: u64,
     /// Log bytes on the devices.
     pub log_bytes: u64,
+    /// Bytes handed to the loggers during the measured window.
+    pub bytes_logged: u64,
+    /// Command records emitted (adaptive-mix accounting).
+    pub command_records: u64,
+    /// Tuple-level records emitted (adaptive-mix accounting).
+    pub logical_records: u64,
 }
 
 /// Boot, checkpoint the load, run for `secs`, stop gracefully (so recovery
@@ -185,13 +233,28 @@ pub fn prepare_crashed(
     workers: usize,
     adhoc: f64,
 ) -> Crashed {
-    let sys = boot(workload, 2, scheme, None, true);
+    prepare_crashed_on(workload, scheme, secs, workers, adhoc, bench_disk())
+}
+
+/// [`prepare_crashed`] with an explicit device model (the adaptive-logging
+/// figure measures replay-cost differences on the paper's full-speed SSD,
+/// where recovery is not purely reload-bound).
+pub fn prepare_crashed_on(
+    workload: &dyn Workload,
+    scheme: LogScheme,
+    secs: u64,
+    workers: usize,
+    adhoc: f64,
+    disk: DiskConfig,
+) -> Crashed {
+    let sys = boot_on(workload, 2, disk, scheme, None, true);
     pacman_wal::run_checkpoint(&sys.db, &sys.storage, 2).expect("initial checkpoint");
     sys.storage.reset_stats();
-    let committed = if secs == 0 {
-        0 // checkpoint-only image (Fig. 13 isolates checkpoint recovery)
+    let (committed, bytes_logged) = if secs == 0 {
+        (0, 0) // checkpoint-only image (Fig. 13 isolates checkpoint recovery)
     } else {
-        drive(&sys, workload, secs, workers, adhoc).committed
+        let r = drive(&sys, workload, secs, workers, adhoc);
+        (r.committed, r.bytes_logged)
     };
     sys.durability.shutdown();
     let reference = sys.db.fingerprint();
@@ -204,11 +267,18 @@ pub fn prepare_crashed(
         reference,
         committed,
         log_bytes,
+        bytes_logged,
+        command_records: sys.durability.command_records(),
+        logical_records: sys.durability.logical_records(),
     }
 }
 
 /// Recover a crashed system, asserting exactness against the reference.
-pub fn recover_checked(crashed: &Crashed, scheme: RecoveryScheme, threads: usize) -> RecoveryOutcome {
+pub fn recover_checked(
+    crashed: &Crashed,
+    scheme: RecoveryScheme,
+    threads: usize,
+) -> RecoveryOutcome {
     let out = recover(
         &crashed.storage,
         &crashed.catalog,
@@ -264,13 +334,7 @@ mod tests {
 
     #[test]
     fn quick_prepare_and_recover_smoke() {
-        let crashed = prepare_crashed(
-            &bench_smallbank(true),
-            LogScheme::Command,
-            1,
-            4,
-            0.0,
-        );
+        let crashed = prepare_crashed(&bench_smallbank(true), LogScheme::Command, 1, 4, 0.0);
         assert!(crashed.committed > 0);
         let out = recover_checked(
             &crashed,

@@ -291,7 +291,9 @@ mod tests {
     fn value_strategy() -> impl Strategy<Value = Value> {
         prop_oneof![
             any::<i64>().prop_map(Value::Int),
-            any::<f64>().prop_filter("nan != nan", |f| !f.is_nan()).prop_map(Value::Float),
+            any::<f64>()
+                .prop_filter("nan != nan", |f| !f.is_nan())
+                .prop_map(Value::Float),
             ".{0,24}".prop_map(|s| Value::str(&s)),
         ]
     }

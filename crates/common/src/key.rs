@@ -35,14 +35,13 @@ impl<const N: usize> KeyPacker<N> {
     #[inline]
     pub fn pack(&self, fields: [u64; N]) -> Key {
         let mut k: u64 = 0;
-        for i in 0..N {
+        for (i, &field) in fields.iter().enumerate() {
             let w = self.widths[i];
             debug_assert!(
-                w == 64 || fields[i] < (1u64 << w),
-                "field {i} value {} exceeds {w} bits",
-                fields[i]
+                w == 64 || field < (1u64 << w),
+                "field {i} value {field} exceeds {w} bits"
             );
-            k = (k << w) | fields[i];
+            k = (k << w) | field;
         }
         k
     }

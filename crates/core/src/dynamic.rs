@@ -149,7 +149,12 @@ mod tests {
     fn rmw_proc() -> Arc<ProcedureDef> {
         let mut b = ProcBuilder::new(ProcId::new(0), "RMW", 2);
         let v = b.read(T, Expr::param(0), 0);
-        b.write(T, Expr::param(0), 0, Expr::add(Expr::var(v), Expr::param(1)));
+        b.write(
+            T,
+            Expr::param(0),
+            0,
+            Expr::add(Expr::var(v), Expr::param(1)),
+        );
         Arc::new(b.build().unwrap())
     }
 

@@ -48,12 +48,7 @@ impl Breakdown {
         if t <= 0.0 {
             return (0.0, 0.0, 0.0, 0.0);
         }
-        (
-            self.work / t,
-            self.load / t,
-            self.param / t,
-            self.sched / t,
-        )
+        (self.work / t, self.load / t, self.param / t, self.sched / t)
     }
 }
 
@@ -66,25 +61,29 @@ impl RecoveryMetrics {
     /// Add to the useful-work bucket.
     #[inline]
     pub fn add_work(&self, d: Duration) {
-        self.work_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.work_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Add to the data-loading bucket.
     #[inline]
     pub fn add_load(&self, d: Duration) {
-        self.load_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.load_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Add to the parameter-checking bucket.
     #[inline]
     pub fn add_param(&self, d: Duration) {
-        self.param_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.param_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Add to the scheduling bucket.
     #[inline]
     pub fn add_sched(&self, d: Duration) {
-        self.sched_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.sched_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Count a replayed transaction.

@@ -53,8 +53,10 @@ pub fn recover_checkpoint(
 
     // Phase 1: reload all parts (parallel, device-bandwidth bound).
     let parts = &manifest.parts;
-    let loaded: Vec<parking_lot::Mutex<Option<Bytes>>> =
-        parts.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    let loaded: Vec<parking_lot::Mutex<Option<Bytes>>> = parts
+        .iter()
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
     let next = AtomicUsize::new(0);
     let err = parking_lot::Mutex::new(None::<pacman_common::Error>);
     crossbeam::thread::scope(|scope| {
@@ -170,8 +172,8 @@ mod tests {
     fn tables_target_restores_equivalent_state() {
         let (db, storage, manifest) = seeded();
         let fresh = Arc::new(Database::new(db.catalog().clone()));
-        let r = recover_checkpoint(&storage, &manifest, 4, CheckpointTarget::Tables(&fresh))
-            .unwrap();
+        let r =
+            recover_checkpoint(&storage, &manifest, 4, CheckpointTarget::Tables(&fresh)).unwrap();
         assert_eq!(r.tuples, 200);
         assert_eq!(fresh.fingerprint(), db.fingerprint());
         assert!(r.total >= r.reload);

@@ -49,6 +49,7 @@ pub fn recover_log(
         total: t0.elapsed(),
         max_ts,
         txns,
+        ..Default::default()
     })
 }
 
@@ -68,7 +69,12 @@ mod tests {
         let mut reg = ProcRegistry::new();
         let mut b = ProcBuilder::new(ProcId::new(0), "SetAdd", 2);
         let v = b.read(T, Expr::param(0), 0);
-        b.write(T, Expr::param(0), 0, Expr::add(Expr::var(v), Expr::param(1)));
+        b.write(
+            T,
+            Expr::param(0),
+            0,
+            Expr::add(Expr::var(v), Expr::param(1)),
+        );
         reg.register(b.build().unwrap()).unwrap();
 
         let storage = StorageSet::for_tests();

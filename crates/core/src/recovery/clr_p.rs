@@ -17,9 +17,25 @@ use pacman_common::{Error, Result, Timestamp};
 use pacman_engine::Database;
 use pacman_sproc::ProcRegistry;
 use pacman_storage::StorageSet;
+use pacman_wal::{LogBatch, LogPayload};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Count one reloaded batch's format mix: (command records, tuple-level
+/// records). Under CL the second component counts ad-hoc records; under
+/// ALR it additionally counts the cost model's logical choices.
+fn mix_of(batch: &LogBatch) -> (u64, u64) {
+    let mut commands = 0;
+    let mut logical = 0;
+    for r in &batch.records {
+        match &r.payload {
+            LogPayload::Command { .. } => commands += 1,
+            LogPayload::Writes { .. } | LogPayload::TaggedWrites { .. } => logical += 1,
+        }
+    }
+    (commands, logical)
+}
 
 /// CLR-P (PACMAN) log recovery.
 #[allow(clippy::too_many_arguments)]
@@ -45,6 +61,7 @@ pub fn recover_log(
     // distribution estimate for core assignment (§4.4).
     let tload = Instant::now();
     let first_batch = read_merged_batch(storage, inventory, batches[0], pepoch, after_ts)?;
+    let (c0, l0) = mix_of(&first_batch);
     let first = ExecutionSchedule::build(gdg, registry, &first_batch)?;
     metrics.add_load(tload.elapsed());
     let estimate = {
@@ -61,6 +78,8 @@ pub fn recover_log(
         first_batch.records.last().map(|r| r.ts).unwrap_or(0),
     ));
     let txn_count = Arc::new(AtomicU64::new(first_batch.records.len() as u64));
+    let commands = Arc::new(AtomicU64::new(c0));
+    let logicals = Arc::new(AtomicU64::new(l0));
     let reload_ns = Arc::new(AtomicU64::new(0));
 
     let (tx, rx) = crossbeam::channel::bounded::<ExecutionSchedule>(4);
@@ -72,6 +91,8 @@ pub fn recover_log(
             let loader_err = Arc::clone(&loader_err);
             let max_ts = Arc::clone(&max_ts);
             let txn_count = Arc::clone(&txn_count);
+            let commands = Arc::clone(&commands);
+            let logicals = Arc::clone(&logicals);
             let reload_ns = Arc::clone(&reload_ns);
             let metrics = Arc::clone(metrics);
             let batches = batches.clone();
@@ -79,18 +100,20 @@ pub fn recover_log(
                 let _ = tx.send(first);
                 for &b in &batches[1..] {
                     let t0 = Instant::now();
-                    let merged =
-                        match read_merged_batch(storage, inventory, b, pepoch, after_ts) {
-                            Ok(m) => m,
-                            Err(e) => {
-                                *loader_err.lock() = Some(e);
-                                return; // dropping tx ends the replay
-                            }
-                        };
+                    let merged = match read_merged_batch(storage, inventory, b, pepoch, after_ts) {
+                        Ok(m) => m,
+                        Err(e) => {
+                            *loader_err.lock() = Some(e);
+                            return; // dropping tx ends the replay
+                        }
+                    };
                     if let Some(last) = merged.records.last() {
                         max_ts.fetch_max(last.ts, Ordering::Relaxed);
                     }
                     txn_count.fetch_add(merged.records.len() as u64, Ordering::Relaxed);
+                    let (c, l) = mix_of(&merged);
+                    commands.fetch_add(c, Ordering::Relaxed);
+                    logicals.fetch_add(l, Ordering::Relaxed);
                     let schedule = match ExecutionSchedule::build(gdg, registry, &merged) {
                         Ok(s) => s,
                         Err(e) => {
@@ -121,6 +144,8 @@ pub fn recover_log(
         total: t0.elapsed(),
         max_ts: max_ts.load(Ordering::Relaxed),
         txns: txn_count.load(Ordering::Relaxed),
+        replayed_commands: commands.load(Ordering::Relaxed),
+        applied_writes: logicals.load(Ordering::Relaxed),
     })
 }
 
@@ -182,7 +207,8 @@ mod tests {
                 Value::str("NULL")
             };
             db.seed_row(FAMILY, k, Row::from([spouse_val])).unwrap();
-            db.seed_row(CURRENT, k, Row::from([Value::Int(1000)])).unwrap();
+            db.seed_row(CURRENT, k, Row::from([Value::Int(1000)]))
+                .unwrap();
             db.seed_row(SAVING, k, Row::from([Value::Int(0)])).unwrap();
         }
         db
@@ -202,17 +228,13 @@ mod tests {
             }
             .encode(&mut buf);
             if (i + 1) % per_batch == 0 {
-                storage
-                    .disk(0)
-                    .append(&format!("log/00/{batch:010}"), &buf);
+                storage.disk(0).append(&format!("log/00/{batch:010}"), &buf);
                 buf.clear();
                 batch += 1;
             }
         }
         if !buf.is_empty() {
-            storage
-                .disk(0)
-                .append(&format!("log/00/{batch:010}"), &buf);
+            storage.disk(0).append(&format!("log/00/{batch:010}"), &buf);
         }
     }
 

@@ -57,17 +57,19 @@ pub fn recover_log(
                 };
                 let t0 = Instant::now();
                 for rec in records {
-                    let LogPayload::Writes {
+                    // Plain logical records and adaptive proc-tagged ones
+                    // are both tuple-level; LLR accepts either (matching
+                    // LLR-P on the same bytes).
+                    let (LogPayload::Writes {
                         writes,
                         physical: false,
                         ..
-                    } = &rec.payload
+                    }
+                    | LogPayload::TaggedWrites { writes, .. }) = &rec.payload
                     else {
                         let mut s = err.lock();
                         if s.is_none() {
-                            *s = Some(Error::Corrupt(
-                                "LLR requires logical log records".into(),
-                            ));
+                            *s = Some(Error::Corrupt("LLR requires logical log records".into()));
                         }
                         return;
                     };
@@ -108,6 +110,7 @@ pub fn recover_log(
         total: t0.elapsed(),
         max_ts: max_ts.load(Ordering::Relaxed),
         txns: txns.load(Ordering::Relaxed),
+        ..Default::default()
     })
 }
 
@@ -162,7 +165,14 @@ mod tests {
         assert_eq!(chain.num_versions(), 2, "multi-versioned restore");
         assert_eq!(chain.newest().1.unwrap().col(0), &Value::Int(20));
         // Key 4 deleted.
-        assert!(db.table(TableId::new(0)).unwrap().get(4).unwrap().newest().1.is_none());
+        assert!(db
+            .table(TableId::new(0))
+            .unwrap()
+            .get(4)
+            .unwrap()
+            .newest()
+            .1
+            .is_none());
     }
 
     #[test]

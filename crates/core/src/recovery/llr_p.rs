@@ -36,8 +36,7 @@ pub fn recover_log(
 
     // Producer: reload + merge + shuffle the next batch while consumers
     // reinstall the current one (batch pipelining adopted from PACMAN).
-    let (tx, rx) =
-        crossbeam::channel::bounded::<Vec<Vec<(Timestamp, WriteRecord)>>>(2);
+    let (tx, rx) = crossbeam::channel::bounded::<Vec<Vec<(Timestamp, WriteRecord)>>>(2);
     crossbeam::thread::scope(|scope| {
         {
             let err = &err;
@@ -55,8 +54,10 @@ pub fn recover_log(
                                 return;
                             }
                         };
-                    reload_ns
-                        .fetch_add(tr.elapsed().as_nanos() as u64, std::sync::atomic::Ordering::Relaxed);
+                    reload_ns.fetch_add(
+                        tr.elapsed().as_nanos() as u64,
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
                     metrics.add_load(tr.elapsed());
                     if merged.records.is_empty() {
                         continue;
@@ -68,11 +69,15 @@ pub fn recover_log(
                     {
                         let mut st = stats.lock();
                         for rec in &merged.records {
-                            let LogPayload::Writes { writes, .. } = &rec.payload else {
-                                *err.lock() = Some(Error::Corrupt(
-                                    "LLR-P requires tuple-level log records".into(),
-                                ));
-                                return;
+                            let writes = match &rec.payload {
+                                LogPayload::Writes { writes, .. }
+                                | LogPayload::TaggedWrites { writes, .. } => writes,
+                                LogPayload::Command { .. } => {
+                                    *err.lock() = Some(Error::Corrupt(
+                                        "LLR-P requires tuple-level log records".into(),
+                                    ));
+                                    return;
+                                }
                             };
                             st.0 = st.0.max(rec.ts);
                             st.1 += 1;
@@ -96,8 +101,7 @@ pub fn recover_log(
         // Consumers: one persistent worker per partition lane, latch-free.
         let lanes: Vec<crossbeam::channel::Sender<Vec<(Timestamp, WriteRecord)>>> = (0..threads)
             .map(|_| {
-                let (ltx, lrx) =
-                    crossbeam::channel::bounded::<Vec<(Timestamp, WriteRecord)>>(2);
+                let (ltx, lrx) = crossbeam::channel::bounded::<Vec<(Timestamp, WriteRecord)>>(2);
                 let err = &err;
                 let metrics = &metrics;
                 scope.spawn(move |_| {
@@ -149,6 +153,7 @@ pub fn recover_log(
         total: t0.elapsed(),
         max_ts,
         txns,
+        ..Default::default()
     })
 }
 
@@ -199,8 +204,14 @@ mod tests {
         let r = recover_log(&storage, &inv, &db, 4, 5, 0, &m).unwrap();
         assert_eq!(r.txns, 4);
         let t = db.table(TableId::new(0)).unwrap();
-        assert_eq!(t.get(7).unwrap().newest().1.unwrap().col(0), &Value::Int(30));
-        assert_eq!(t.get(8).unwrap().newest().1.unwrap().col(0), &Value::Int(40));
+        assert_eq!(
+            t.get(7).unwrap().newest().1.unwrap().col(0),
+            &Value::Int(30)
+        );
+        assert_eq!(
+            t.get(8).unwrap().newest().1.unwrap().col(0),
+            &Value::Int(40)
+        );
         // Single-version recovered state.
         assert_eq!(t.get(7).unwrap().num_versions(), 1);
     }

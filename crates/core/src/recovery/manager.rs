@@ -4,7 +4,7 @@
 use crate::metrics::{Breakdown, RecoveryMetrics};
 use crate::recovery::checkpoint::{recover_checkpoint, CheckpointRecovery, CheckpointTarget};
 use crate::recovery::raw::RawStore;
-use crate::recovery::{clr, clr_p, llr, llr_p, plr, LogInventory};
+use crate::recovery::{alr_p, clr, clr_p, llr, llr_p, plr, LogInventory};
 use crate::runtime::ReplayMode;
 use crate::static_analysis::GlobalGraph;
 use pacman_common::{Result, Timestamp};
@@ -38,6 +38,12 @@ pub enum RecoveryScheme {
         /// Replay mode (Fig. 19 ablation; `Pipelined` is full PACMAN).
         mode: ReplayMode,
     },
+    /// Adaptive hybrid log recovery: PACMAN's partitioned schedule over a
+    /// mixed command/logical log (`LogScheme::Adaptive`).
+    AlrP {
+        /// Replay mode (`Pipelined` is the full scheme).
+        mode: ReplayMode,
+    },
 }
 
 impl RecoveryScheme {
@@ -59,6 +65,15 @@ impl RecoveryScheme {
             RecoveryScheme::ClrP {
                 mode: ReplayMode::Pipelined,
             } => "CLR-P",
+            RecoveryScheme::AlrP {
+                mode: ReplayMode::PureStatic,
+            } => "ALR-P/static",
+            RecoveryScheme::AlrP {
+                mode: ReplayMode::Synchronous,
+            } => "ALR-P/sync",
+            RecoveryScheme::AlrP {
+                mode: ReplayMode::Pipelined,
+            } => "ALR-P",
         }
     }
 }
@@ -93,6 +108,10 @@ pub struct RecoveryReport {
     pub breakdown: Breakdown,
     /// Transactions replayed.
     pub txns: u64,
+    /// Command records re-executed (mixed-log replay accounting).
+    pub replayed_commands: u64,
+    /// Tuple-level records applied as after-images.
+    pub applied_writes: u64,
     /// Tuples restored from the checkpoint.
     pub checkpoint_tuples: u64,
     /// The durability frontier used.
@@ -156,8 +175,13 @@ pub fn recover(
             // recovery time.
             let gdg = Arc::new(GlobalGraph::analyze(registry.all())?);
             clr_p::recover_log(
-                storage, &inventory, &db, &gdg, registry, threads, mode, pepoch, after_ts,
-                &metrics,
+                storage, &inventory, &db, &gdg, registry, threads, mode, pepoch, after_ts, &metrics,
+            )?
+        }
+        RecoveryScheme::AlrP { mode } => {
+            let gdg = Arc::new(GlobalGraph::analyze(registry.all())?);
+            alr_p::recover_log(
+                storage, &inventory, &db, &gdg, registry, threads, mode, pepoch, after_ts, &metrics,
             )?
         }
     };
@@ -175,6 +199,8 @@ pub fn recover(
         total_secs: t_all.elapsed().as_secs_f64(),
         breakdown: metrics.breakdown(),
         txns: log.txns,
+        replayed_commands: log.replayed_commands,
+        applied_writes: log.applied_writes,
         checkpoint_tuples: ckpt.tuples,
         pepoch,
         ckpt_ts: after_ts,
@@ -185,7 +211,6 @@ pub fn recover(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pacman_common::clock::epoch_floor;
     use pacman_common::{Encoder, ProcId, Row, TableId, Value};
     use pacman_sproc::{Expr, ProcBuilder};
     use pacman_wal::{LogPayload, TxnLogRecord};
@@ -198,7 +223,12 @@ mod tests {
         let mut reg = ProcRegistry::new();
         let mut b = ProcBuilder::new(ProcId::new(0), "Add", 2);
         let v = b.read(T, Expr::param(0), 0);
-        b.write(T, Expr::param(0), 0, Expr::add(Expr::var(v), Expr::param(1)));
+        b.write(
+            T,
+            Expr::param(0),
+            0,
+            Expr::add(Expr::var(v), Expr::param(1)),
+        );
         reg.register(b.build().unwrap()).unwrap();
         (c, reg, StorageSet::for_tests())
     }
@@ -211,7 +241,9 @@ mod tests {
         let (catalog, reg, storage) = setup();
         let reference = Arc::new(Database::new(catalog.clone()));
         for k in 0..8u64 {
-            reference.seed_row(T, k, Row::from([Value::Int(0)])).unwrap();
+            reference
+                .seed_row(T, k, Row::from([Value::Int(0)]))
+                .unwrap();
         }
         // Checkpoint the seeded state so recovery has a base image.
         pacman_wal::run_checkpoint(&reference, &storage, 1).unwrap();

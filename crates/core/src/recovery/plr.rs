@@ -27,6 +27,10 @@ pub struct LogRecovery {
     pub max_ts: Timestamp,
     /// Records replayed.
     pub txns: u64,
+    /// Command records re-executed through the interpreter (ALR-P/CLR).
+    pub replayed_commands: u64,
+    /// Tuple-level records applied as after-images (ALR-P/LLR paths).
+    pub applied_writes: u64,
 }
 
 /// Phase A shared by the tuple-level schemes: read every log file into
@@ -122,9 +126,7 @@ pub fn recover_log(
                     else {
                         let mut s = err.lock();
                         if s.is_none() {
-                            *s = Some(Error::Corrupt(
-                                "PLR requires physical log records".into(),
-                            ));
+                            *s = Some(Error::Corrupt("PLR requires physical log records".into()));
                         }
                         return;
                     };
@@ -160,6 +162,7 @@ pub fn recover_log(
         total: t0.elapsed(),
         max_ts: max_ts.load(Ordering::Relaxed),
         txns: txns.load(Ordering::Relaxed),
+        ..Default::default()
     })
 }
 

@@ -34,7 +34,11 @@ impl RawTable {
     /// Fetch or create the chain for `key`.
     pub fn get_or_create(&self, key: Key) -> Arc<TupleChain> {
         let mut shard = self.shards[self.shard_of(key)].lock();
-        Arc::clone(shard.entry(key).or_insert_with(|| Arc::new(TupleChain::new())))
+        Arc::clone(
+            shard
+                .entry(key)
+                .or_insert_with(|| Arc::new(TupleChain::new())),
+        )
     }
 
     /// Number of tuples.

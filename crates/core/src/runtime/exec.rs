@@ -20,7 +20,9 @@ pub fn apply_writes(db: &Database, ts: Timestamp, writes: &[WriteRecord]) -> Res
                 table.get_or_create(w.key).install_lww(ts, None);
             }
             (_, Some(row)) => {
-                table.get_or_create(w.key).install_lww(ts, Some(row.clone()));
+                table
+                    .get_or_create(w.key)
+                    .install_lww(ts, Some(row.clone()));
             }
         }
     }
@@ -35,8 +37,8 @@ pub fn execute_piece(db: &Database, piece: &Piece, txns: &[TxnCtx]) -> Result<u6
             let ctx = &txns[piece.txn];
             let proc = ctx.proc.as_ref().expect("slice piece has a procedure");
             let mut access = ReplayAccess::new(db, piece.ts);
-            execute_ops(proc, ops, &ctx.params, &ctx.vars, &mut access)?;
-            Ok(ops.len() as u64)
+            let executed = execute_ops(proc, ops, &ctx.params, &ctx.vars, &mut access)?;
+            Ok(executed)
         }
         PieceOps::Writes(writes) => {
             apply_writes(db, piece.ts, writes)?;
@@ -58,9 +60,11 @@ pub fn replay_record_serial(
             let vars = VarStore::new(def.num_vars);
             let ops: Vec<usize> = (0..def.ops.len()).collect();
             let mut access = ReplayAccess::new(db, record.ts);
-            execute_ops(def, &ops, params, &vars, &mut access)
+            execute_ops(def, &ops, params, &vars, &mut access).map(|_| ())
         }
-        LogPayload::Writes { writes, .. } => apply_writes(db, record.ts, writes),
+        LogPayload::Writes { writes, .. } | LogPayload::TaggedWrites { writes, .. } => {
+            apply_writes(db, record.ts, writes)
+        }
     }
 }
 
@@ -119,7 +123,12 @@ mod tests {
         let mut reg = ProcRegistry::new();
         let mut b = ProcBuilder::new(ProcId::new(0), "Inc", 2);
         let v = b.read(T, Expr::param(0), 0);
-        b.write(T, Expr::param(0), 0, Expr::add(Expr::var(v), Expr::param(1)));
+        b.write(
+            T,
+            Expr::param(0),
+            0,
+            Expr::add(Expr::var(v), Expr::param(1)),
+        );
         reg.register(b.build().unwrap()).unwrap();
         let rec = TxnLogRecord {
             ts: 7,

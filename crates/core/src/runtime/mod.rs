@@ -155,15 +155,11 @@ impl Shared {
         let preds_ok = gdg
             .preds(pacman_common::BlockId::new(block as u32))
             .iter()
-            .all(|a| self.done[a.index()].load(Ordering::Acquire) >= batch + 1);
+            .all(|a| self.done[a.index()].load(Ordering::Acquire) > batch);
         match self.mode {
             ReplayMode::Pipelined => preds_ok,
             ReplayMode::Synchronous | ReplayMode::PureStatic => {
-                preds_ok
-                    && self
-                        .done
-                        .iter()
-                        .all(|d| d.load(Ordering::Acquire) >= batch)
+                preds_ok && self.done.iter().all(|d| d.load(Ordering::Acquire) >= batch)
             }
         }
     }
@@ -174,9 +170,7 @@ impl Shared {
             return false;
         }
         let total = self.entries.lock().len() as u64;
-        self.done
-            .iter()
-            .all(|d| d.load(Ordering::Acquire) >= total)
+        self.done.iter().all(|d| d.load(Ordering::Acquire) >= total)
     }
 }
 
@@ -254,7 +248,10 @@ fn try_activate(shared: &Shared, gdg: &GlobalGraph, metrics: &RecoveryMetrics) -
 fn complete_set(shared: &Shared, gdg: &GlobalGraph, set: &ActiveSet, metrics: &RecoveryMetrics) {
     set.done_flag.store(true, Ordering::Release);
     shared.done[set.block].fetch_add(1, Ordering::AcqRel);
-    shared.active.lock().retain(|s| !s.done_flag.load(Ordering::Acquire));
+    shared
+        .active
+        .lock()
+        .retain(|s| !s.done_flag.load(Ordering::Acquire));
     try_activate(shared, gdg, metrics);
     shared.notify();
 }
@@ -303,10 +300,10 @@ pub fn run_replay(
                     let activated = (0..schedule.piece_sets.len())
                         .map(|_| AtomicBool::new(false))
                         .collect();
-                    shared
-                        .entries
-                        .lock()
-                        .push(Arc::new(BatchEntry { schedule, activated }));
+                    shared.entries.lock().push(Arc::new(BatchEntry {
+                        schedule,
+                        activated,
+                    }));
                     try_activate(&shared, &gdg, &metrics);
                     shared.notify();
                 }

@@ -98,15 +98,16 @@ impl ExecutionSchedule {
                         vars,
                     });
                 }
-                LogPayload::Writes { writes, .. } => {
+                // Tuple-level records — ad-hoc transactions (§4.5) and
+                // adaptive logical records — short-circuit re-execution:
+                // their write sets install directly, dispatched per block.
+                LogPayload::Writes { writes, .. } | LogPayload::TaggedWrites { writes, .. } => {
                     // Group the write set by owning block (§4.5): each write
                     // operation is dispatched to the piece-subset of the
                     // block that owns its table.
                     let mut by_block: Vec<(BlockId, Vec<WriteRecord>)> = Vec::new();
                     for w in writes {
-                        let block = gdg
-                            .block_for_write(w.table)
-                            .unwrap_or(BlockId::new(0));
+                        let block = gdg.block_for_write(w.table).unwrap_or(BlockId::new(0));
                         match by_block.iter_mut().find(|(b, _)| *b == block) {
                             Some((_, v)) => v.push(w.clone()),
                             None => by_block.push((block, vec![w.clone()])),
@@ -166,24 +167,54 @@ mod tests {
         let dst = b.read(FAMILY, Expr::param(0), 0);
         b.guarded(Expr::not_null(Expr::var(dst)), |b| {
             let src_val = b.read(CURRENT, Expr::param(0), 0);
-            b.write(CURRENT, Expr::param(0), 0, Expr::sub(Expr::var(src_val), Expr::param(1)));
+            b.write(
+                CURRENT,
+                Expr::param(0),
+                0,
+                Expr::sub(Expr::var(src_val), Expr::param(1)),
+            );
             let dst_val = b.read(CURRENT, Expr::var(dst), 0);
-            b.write(CURRENT, Expr::var(dst), 0, Expr::add(Expr::var(dst_val), Expr::param(1)));
+            b.write(
+                CURRENT,
+                Expr::var(dst),
+                0,
+                Expr::add(Expr::var(dst_val), Expr::param(1)),
+            );
             let bonus = b.read(SAVING, Expr::param(0), 0);
-            b.write(SAVING, Expr::param(0), 0, Expr::add(Expr::var(bonus), Expr::int(1)));
+            b.write(
+                SAVING,
+                Expr::param(0),
+                0,
+                Expr::add(Expr::var(bonus), Expr::int(1)),
+            );
         });
         reg.register(b.build().unwrap()).unwrap();
         let mut b = ProcBuilder::new(ProcId::new(1), "Deposit", 3);
         let tmp = b.read(CURRENT, Expr::param(0), 0);
-        b.write(CURRENT, Expr::param(0), 0, Expr::add(Expr::var(tmp), Expr::param(1)));
+        b.write(
+            CURRENT,
+            Expr::param(0),
+            0,
+            Expr::add(Expr::var(tmp), Expr::param(1)),
+        );
         let rich = Expr::gt(Expr::add(Expr::var(tmp), Expr::param(1)), Expr::int(10000));
         b.guarded(rich.clone(), |b| {
             let bonus = b.read(SAVING, Expr::param(0), 0);
-            b.write(SAVING, Expr::param(0), 0, Expr::add(Expr::var(bonus), Expr::int(2)));
+            b.write(
+                SAVING,
+                Expr::param(0),
+                0,
+                Expr::add(Expr::var(bonus), Expr::int(2)),
+            );
         });
         b.guarded(rich, |b| {
             let count = b.read(STATS, Expr::param(2), 0);
-            b.write(STATS, Expr::param(2), 0, Expr::add(Expr::var(count), Expr::int(1)));
+            b.write(
+                STATS,
+                Expr::param(2),
+                0,
+                Expr::add(Expr::var(count), Expr::int(1)),
+            );
         });
         reg.register(b.build().unwrap()).unwrap();
         reg

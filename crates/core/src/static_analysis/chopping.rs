@@ -46,8 +46,10 @@ impl ChoppingGraph {
             .collect();
 
         let conflict = |pa: &ProcedureDef, a: &[usize], pb: &ProcedureDef, b: &[usize]| {
-            a.iter()
-                .any(|&oa| b.iter().any(|&ob| ops_data_dependent(&pa.ops[oa], &pb.ops[ob])))
+            a.iter().any(|&oa| {
+                b.iter()
+                    .any(|&ob| ops_data_dependent(&pa.ops[oa], &pb.ops[ob]))
+            })
         };
 
         // Merge to fixpoint: pieces i<j of procedure P merge when some piece
@@ -168,10 +170,8 @@ mod tests {
         let mut b = ProcBuilder::new(ProcId::new(1), "B", 2);
         let w = b.read(SAVING, Expr::param(0), 0);
         b.write(SAVING, Expr::param(0), 0, Expr::var(w));
-        let chop = ChoppingGraph::analyze(&[
-            Arc::new(a.build().unwrap()),
-            Arc::new(b.build().unwrap()),
-        ]);
+        let chop =
+            ChoppingGraph::analyze(&[Arc::new(a.build().unwrap()), Arc::new(b.build().unwrap())]);
         assert_eq!(chop.total_pieces(), 2);
     }
 

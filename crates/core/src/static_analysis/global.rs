@@ -9,8 +9,8 @@
 //! core assignment of the recovery runtime.
 
 use super::local::LocalGraph;
-use super::union_find::UnionFind;
 use super::ops_data_dependent;
+use super::union_find::UnionFind;
 use pacman_common::{BlockId, Error, ProcId, Result, SliceId, TableId};
 use pacman_sproc::ProcedureDef;
 use std::collections::HashMap;
@@ -85,7 +85,6 @@ impl GlobalGraph {
         locals: Vec<LocalGraph>,
         validate_keys: bool,
     ) -> Result<GlobalGraph> {
-
         // Flatten the slice universe.
         let mut universe: Vec<(usize, usize)> = Vec::new(); // (proc idx, slice idx)
         let mut base: Vec<usize> = Vec::with_capacity(procs.len());
@@ -137,6 +136,8 @@ impl GlobalGraph {
                 }
             }
             let mut reach = adj.clone();
+            // Floyd-Warshall closure: the index form is the algorithm.
+            #[allow(clippy::needless_range_loop)]
             for k in 0..m {
                 for i in 0..m {
                     if reach[i][k] {
@@ -210,6 +211,8 @@ impl GlobalGraph {
         }
         edges.sort();
         let mut reach = adj;
+        // Floyd-Warshall closure: the index form is the algorithm.
+        #[allow(clippy::needless_range_loop)]
         for k in 0..m {
             for i in 0..m {
                 if reach[i][k] {
@@ -256,11 +259,7 @@ impl GlobalGraph {
                     let si = locals[pi].slice_of(oi);
                     let b = BlockId::new(block_of[flat(pi, si.index())] as u32);
                     if let Some(prev) = write_block.insert(op.table, b) {
-                        debug_assert_eq!(
-                            prev, b,
-                            "written table {} owned by two blocks",
-                            op.table
-                        );
+                        debug_assert_eq!(prev, b, "written table {} owned by two blocks", op.table);
                     }
                 }
             }
@@ -519,10 +518,10 @@ mod tests {
         assert_eq!(
             member_sets,
             vec![
-                vec![(0, 0)],          // Bα = {T1}
-                vec![(0, 1), (1, 0)],  // Bβ = {T2, D1}
-                vec![(0, 2), (1, 1)],  // Bγ = {T3, D2}
-                vec![(1, 2)],          // Bδ = {D3}
+                vec![(0, 0)],         // Bα = {T1}
+                vec![(0, 1), (1, 0)], // Bβ = {T2, D1}
+                vec![(0, 2), (1, 1)], // Bγ = {T3, D2}
+                vec![(1, 2)],         // Bδ = {D3}
             ]
         );
     }

@@ -96,6 +96,8 @@ impl LocalGraph {
             }
             // Transitive closure (procedures are small).
             let mut reach = adj.clone();
+            // Floyd-Warshall closure: the index form is the algorithm.
+            #[allow(clippy::needless_range_loop)]
             for k in 0..m {
                 for i in 0..m {
                     if reach[i][k] {
@@ -261,17 +263,20 @@ mod tests {
             0,
             Expr::add(Expr::var(tmp), Expr::param(1)),
         );
-        let rich = Expr::gt(
-            Expr::add(Expr::var(tmp), Expr::param(1)),
-            Expr::int(10000),
-        );
+        let rich = Expr::gt(Expr::add(Expr::var(tmp), Expr::param(1)), Expr::int(10000));
         b.guarded(rich.clone(), |b| {
             let bonus = b.read(SAVING, Expr::param(0), 0);
             b.write(
                 SAVING,
                 Expr::param(0),
                 0,
-                Expr::add(Expr::var(bonus), Expr::mul(Expr::var(tmp), Expr::Const(pacman_common::Value::Float(0.02)))),
+                Expr::add(
+                    Expr::var(bonus),
+                    Expr::mul(
+                        Expr::var(tmp),
+                        Expr::Const(pacman_common::Value::Float(0.02)),
+                    ),
+                ),
             );
         });
         b.guarded(rich, |b| {
@@ -331,17 +336,26 @@ mod tests {
         let p = b.build().unwrap();
         let g = LocalGraph::analyze(&p);
         assert_eq!(g.len(), 2);
-        assert!(g.edges.is_empty(), "no cross-slice flow deps: {:?}", g.edges);
+        assert!(
+            g.edges.is_empty(),
+            "no cross-slice flow deps: {:?}",
+            g.edges
+        );
     }
 
     #[test]
-    fn read_only_ops_on_same_table_do_not_merge()  {
+    fn read_only_ops_on_same_table_do_not_merge() {
         let t = TableId::new(0);
         let other = TableId::new(1);
         let mut b = ProcBuilder::new(ProcId::new(0), "R", 2);
         let v1 = b.read(t, Expr::param(0), 0);
         let v2 = b.read(t, Expr::param(1), 0);
-        b.write(other, Expr::param(0), 0, Expr::add(Expr::var(v1), Expr::var(v2)));
+        b.write(
+            other,
+            Expr::param(0),
+            0,
+            Expr::add(Expr::var(v1), Expr::var(v2)),
+        );
         let p = b.build().unwrap();
         let g = LocalGraph::analyze(&p);
         // Two read slices (no data dep between reads) + one write slice.

@@ -1,11 +1,13 @@
 //! Compile-time analysis of stored procedures (§4.1).
 
 pub mod chopping;
+pub mod cost;
 pub mod global;
 pub mod local;
 mod union_find;
 
 pub use chopping::ChoppingGraph;
+pub use cost::{static_replay_cost, CostModel, CostModelConfig};
 pub use global::{Block, GlobalGraph, PieceTemplate};
 pub use local::{LocalGraph, Slice};
 pub use union_find::UnionFind;
@@ -51,7 +53,13 @@ mod tests {
     fn data_dependence_is_table_granular() {
         assert!(ops_data_dependent(&op(0, true), &op(0, false)));
         assert!(ops_data_dependent(&op(0, true), &op(0, true)));
-        assert!(!ops_data_dependent(&op(0, false), &op(0, false)), "read-read");
-        assert!(!ops_data_dependent(&op(0, true), &op(1, true)), "different tables");
+        assert!(
+            !ops_data_dependent(&op(0, false), &op(0, false)),
+            "read-read"
+        );
+        assert!(
+            !ops_data_dependent(&op(0, true), &op(1, true)),
+            "different tables"
+        );
     }
 }

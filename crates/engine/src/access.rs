@@ -81,13 +81,15 @@ impl<'a> ReplayAccess<'a> {
 
 impl DataAccess for ReplayAccess<'_> {
     fn read(&mut self, table: TableId, key: Key, col: usize) -> Result<Value> {
-        let chain = self
-            .db
-            .table(table)?
-            .get(key)
-            .ok_or(Error::KeyNotFound { table: table.0, key })?;
+        let chain = self.db.table(table)?.get(key).ok_or(Error::KeyNotFound {
+            table: table.0,
+            key,
+        })?;
         let (_, row) = chain.newest();
-        let row = row.ok_or(Error::KeyNotFound { table: table.0, key })?;
+        let row = row.ok_or(Error::KeyNotFound {
+            table: table.0,
+            key,
+        })?;
         row.cols()
             .get(col)
             .cloned()
@@ -95,13 +97,15 @@ impl DataAccess for ReplayAccess<'_> {
     }
 
     fn write_col(&mut self, table: TableId, key: Key, col: usize, value: Value) -> Result<()> {
-        let chain = self
-            .db
-            .table(table)?
-            .get(key)
-            .ok_or(Error::KeyNotFound { table: table.0, key })?;
+        let chain = self.db.table(table)?.get(key).ok_or(Error::KeyNotFound {
+            table: table.0,
+            key,
+        })?;
         let (_, row) = chain.newest();
-        let row = row.ok_or(Error::KeyNotFound { table: table.0, key })?;
+        let row = row.ok_or(Error::KeyNotFound {
+            table: table.0,
+            key,
+        })?;
         chain.install_lww(self.ts, Some(row.with_col(col, value)));
         Ok(())
     }
@@ -115,11 +119,10 @@ impl DataAccess for ReplayAccess<'_> {
     }
 
     fn delete(&mut self, table: TableId, key: Key) -> Result<()> {
-        let chain = self
-            .db
-            .table(table)?
-            .get(key)
-            .ok_or(Error::KeyNotFound { table: table.0, key })?;
+        let chain = self.db.table(table)?.get(key).ok_or(Error::KeyNotFound {
+            table: table.0,
+            key,
+        })?;
         chain.install_lww(self.ts, None);
         Ok(())
     }

@@ -48,7 +48,10 @@ impl TupleChain {
 
     /// Latest row visible at `ts` (None if absent or deleted).
     pub fn read_at(&self, ts: Timestamp) -> Option<Row> {
-        self.versions.lock().visible_at(ts).and_then(|e| e.row.clone())
+        self.versions
+            .lock()
+            .visible_at(ts)
+            .and_then(|e| e.row.clone())
     }
 
     /// Commit-path install (callers hold the latch; monotonic timestamps).

@@ -23,7 +23,11 @@ pub struct Database {
 impl Database {
     /// Create an empty database for `catalog`.
     pub fn new(catalog: Catalog) -> Self {
-        let tables = catalog.tables().iter().map(|m| Table::new(m.clone())).collect();
+        let tables = catalog
+            .tables()
+            .iter()
+            .map(|m| Table::new(m.clone()))
+            .collect();
         Database {
             catalog,
             tables,
@@ -56,7 +60,9 @@ impl Database {
 
     /// Seed a row during initial load (timestamp 0, not logged).
     pub fn seed_row(&self, table: TableId, key: Key, row: Row) -> Result<()> {
-        self.table(table)?.get_or_create(key).install_lww(0, Some(row));
+        self.table(table)?
+            .get_or_create(key)
+            .install_lww(0, Some(row));
         Ok(())
     }
 
@@ -154,8 +160,12 @@ mod tests {
         }
         assert_eq!(d1.fingerprint(), d2.fingerprint());
         assert_eq!(d1.total_tuples(), 50);
-        d2.seed_row(TableId::new(1), 1, Row::from([Value::Int(0), Value::Int(0)]))
-            .unwrap();
+        d2.seed_row(
+            TableId::new(1),
+            1,
+            Row::from([Value::Int(0), Value::Int(0)]),
+        )
+        .unwrap();
         assert_ne!(d1.fingerprint(), d2.fingerprint());
     }
 

@@ -14,13 +14,17 @@ use pacman_common::{Error, Result, Row, Value};
 use pacman_sproc::{EvalCtx, LocalBindings, OpKind, Params, ProcedureDef, VarStore};
 
 /// Execute ops `op_indices` (ascending program order) of `proc`.
+/// Returns the number of operations actually executed (loops unrolled,
+/// guard-skipped ops excluded) — the dynamic replay-cost signal of the
+/// adaptive-logging cost model.
 pub fn execute_ops(
     proc: &ProcedureDef,
     op_indices: &[usize],
     params: &Params,
     vars: &VarStore,
     access: &mut dyn DataAccess,
-) -> Result<()> {
+) -> Result<u64> {
+    let mut executed = 0u64;
     for group in proc.groups(op_indices) {
         let members = &op_indices[group.start..group.end];
         let iterations: u64 = match &proc.ops[members[0]].loop_count {
@@ -65,6 +69,7 @@ pub fn execute_ops(
                 if skip {
                     continue;
                 }
+                executed += 1;
                 let key = {
                     let ctx = EvalCtx {
                         params,
@@ -121,7 +126,7 @@ pub fn execute_ops(
             }
         }
     }
-    Ok(())
+    Ok(executed)
 }
 
 /// All op indices of a procedure, in program order.
@@ -146,7 +151,7 @@ pub fn run_procedure_with_epoch(
 ) -> Result<CommitInfo> {
     let mut txn = db.begin();
     let vars = VarStore::new(proc.num_vars);
-    {
+    let executed = {
         let mut access = TxnAccess::new(&mut txn);
         let ops = all_ops(proc);
         execute_ops(proc, &ops, params, &vars, &mut access).map_err(|e| match e {
@@ -155,9 +160,11 @@ pub fn run_procedure_with_epoch(
                 Error::TxnAborted(format!("missing key t{table}:{key}"))
             }
             other => other,
-        })?;
-    }
-    txn.commit_with(epoch_fn)
+        })?
+    };
+    let mut info = txn.commit_with(epoch_fn)?;
+    info.ops = executed;
+    Ok(info)
 }
 
 #[cfg(test)]
@@ -210,9 +217,11 @@ mod tests {
         let db = Database::new(c);
         // Account 1's spouse is account 2; account 3 has no spouse.
         db.seed_row(FAMILY, 1, Row::from([Value::Int(2)])).unwrap();
-        db.seed_row(FAMILY, 3, Row::from([Value::str("NULL")])).unwrap();
+        db.seed_row(FAMILY, 3, Row::from([Value::str("NULL")]))
+            .unwrap();
         for k in [1, 2, 3] {
-            db.seed_row(CURRENT, k, Row::from([Value::Int(100)])).unwrap();
+            db.seed_row(CURRENT, k, Row::from([Value::Int(100)]))
+                .unwrap();
             db.seed_row(SAVING, k, Row::from([Value::Int(0)])).unwrap();
         }
         db

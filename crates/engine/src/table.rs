@@ -13,11 +13,14 @@ use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// One ordered shard: keys to their version chains.
+type Shard = RwLock<BTreeMap<Key, Arc<TupleChain>>>;
+
 /// One table: `2^shard_bits` ordered shards of tuple chains.
 #[derive(Debug)]
 pub struct Table {
     meta: TableMeta,
-    shards: Box<[RwLock<BTreeMap<Key, Arc<TupleChain>>>]>,
+    shards: Box<[Shard]>,
     mask: u64,
 }
 
@@ -111,7 +114,12 @@ impl Table {
 
     /// Visit the rows of one shard visible at snapshot `at` (checkpointer
     /// partition unit).
-    pub fn for_each_visible_at_shard(&self, shard: usize, at: Timestamp, mut f: impl FnMut(Key, &Row)) {
+    pub fn for_each_visible_at_shard(
+        &self,
+        shard: usize,
+        at: Timestamp,
+        mut f: impl FnMut(Key, &Row),
+    ) {
         let entries: Vec<(Key, Arc<TupleChain>)> = self.shards[shard % self.shards.len()]
             .read()
             .iter()

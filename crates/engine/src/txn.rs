@@ -46,6 +46,10 @@ pub struct CommitInfo {
     pub ts: Timestamp,
     /// Installed writes in buffer order.
     pub writes: Vec<WriteRecord>,
+    /// Operations the interpreter executed to produce this transaction
+    /// (guards skipped, loops unrolled); 0 for raw `Txn` use. Feeds the
+    /// adaptive-logging cost model's dynamic replay-cost estimator.
+    pub ops: u64,
 }
 
 struct PendingWrite {
@@ -88,16 +92,19 @@ impl<'db> Txn<'db> {
                 (_, Some(row)) => Ok(row.clone()),
             };
         }
-        let chain = self
-            .db
-            .table(table)?
-            .get(key)
-            .ok_or(Error::KeyNotFound { table: table.0, key })?;
+        let chain = self.db.table(table)?.get(key).ok_or(Error::KeyNotFound {
+            table: table.0,
+            key,
+        })?;
         let (ts, row) = chain.newest();
-        let row = row.ok_or(Error::KeyNotFound { table: table.0, key })?;
-        self.reads
-            .entry((table, key))
-            .or_insert(ReadEntry { chain, observed_ts: ts });
+        let row = row.ok_or(Error::KeyNotFound {
+            table: table.0,
+            key,
+        })?;
+        self.reads.entry((table, key)).or_insert(ReadEntry {
+            chain,
+            observed_ts: ts,
+        });
         Ok(row)
     }
 
@@ -136,7 +143,8 @@ impl<'db> Txn<'db> {
                 }
             },
         };
-        self.writes.insert((table, key), PendingWrite { chain, kind, row });
+        self.writes
+            .insert((table, key), PendingWrite { chain, kind, row });
         self.write_order.push((table, key));
     }
 
@@ -179,9 +187,8 @@ impl<'db> Txn<'db> {
     /// caller may retry with a fresh transaction.
     pub fn commit_with(self, epoch_fn: impl FnOnce() -> u64) -> Result<CommitInfo> {
         // Union of read and write chains, globally ordered to avoid deadlock.
-        let mut lock_set: Vec<((TableId, Key), Arc<TupleChain>)> = Vec::with_capacity(
-            self.reads.len() + self.writes.len(),
-        );
+        let mut lock_set: Vec<((TableId, Key), Arc<TupleChain>)> =
+            Vec::with_capacity(self.reads.len() + self.writes.len());
         for (k, r) in &self.reads {
             lock_set.push((*k, Arc::clone(&r.chain)));
         }
@@ -253,6 +260,7 @@ impl<'db> Txn<'db> {
         Ok(CommitInfo {
             ts,
             writes: records,
+            ops: 0,
         })
     }
 

@@ -1,0 +1,81 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no crates.io access, so this vendors the tiny
+//! subset the workspace uses: an immutable, cheaply-cloneable byte buffer.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable contiguous slice of memory.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes {
+            data: Arc::from(Vec::new()),
+        }
+    }
+
+    /// Copy `src` into a fresh buffer.
+    pub fn copy_from_slice(src: &[u8]) -> Bytes {
+        Bytes {
+            data: Arc::from(src.to_vec()),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_clone_share_storage() {
+        let b = Bytes::copy_from_slice(b"hello");
+        let c = b.clone();
+        assert_eq!(&*b, b"hello");
+        assert_eq!(b, c);
+        assert_eq!(b.len(), 5);
+        assert!(!b.is_empty());
+        assert!(Bytes::new().is_empty());
+    }
+}

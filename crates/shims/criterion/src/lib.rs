@@ -1,0 +1,233 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal benchmark harness exposing the API surface the workspace's
+//! benches use: `Criterion`, `benchmark_group`, `bench_function`,
+//! `Throughput`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros. Timing is a simple warm-up + fixed-sample mean; output is one
+//! line per benchmark.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box (prevents constant folding).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units a benchmark's throughput is expressed in.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f`, storing the mean per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: discover an iteration count that fills the window.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(f());
+            iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters.max(1) as f64;
+        let per_sample =
+            (self.measurement.as_secs_f64() / self.sample_size.max(1) as f64 / per_iter.max(1e-9))
+                .ceil()
+                .max(1.0) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size.max(1) {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            total += t0.elapsed();
+            total_iters += per_sample;
+        }
+        self.last_ns = total.as_secs_f64() * 1e9 / total_iters.max(1) as f64;
+    }
+}
+
+/// The benchmark harness configuration and entry point.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the warm-up window.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Set the number of samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        run_one(self, &name, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(self.criterion, &full, self.throughput, f);
+        self
+    }
+
+    /// End the group (formatting no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    c: &Criterion,
+    name: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        warm_up: c.warm_up,
+        measurement: c.measurement,
+        sample_size: c.sample_size,
+        last_ns: 0.0,
+    };
+    f(&mut b);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 * 1e9 / b.last_ns.max(1e-9))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  {:>12.1} MiB/s",
+                n as f64 * 1e9 / b.last_ns.max(1e-9) / (1024.0 * 1024.0)
+            )
+        }
+        None => String::new(),
+    };
+    println!("{name:<48} {:>12.1} ns/iter{rate}", b.last_ns);
+}
+
+/// Declare a benchmark group function, mirroring criterion's two macro
+/// forms (positional targets, or `name/config/targets` fields).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2))
+            .sample_size(2)
+    }
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = quick();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn groups_and_throughput() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(128));
+        g.bench_function("memcpy", |b| {
+            let src = vec![1u8; 128];
+            b.iter(|| src.clone())
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,239 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the subset the workspace uses — `channel::{bounded, unbounded}`
+//! MPSC channels and `thread::scope` — over `std::sync::mpsc` and
+//! `std::thread::scope`.
+
+pub mod channel {
+    //! Multi-producer channels with bounded and unbounded flavors.
+
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders disconnected and the channel drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with the channel still empty.
+        Timeout,
+        /// All senders disconnected and the channel drained.
+        Disconnected,
+    }
+
+    enum SenderInner<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        inner: SenderInner<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender {
+                inner: match &self.inner {
+                    SenderInner::Unbounded(s) => SenderInner::Unbounded(s.clone()),
+                    SenderInner::Bounded(s) => SenderInner::Bounded(s.clone()),
+                },
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send `value`, blocking if a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.inner {
+                SenderInner::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+                SenderInner::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Receive with a timeout.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Blocking iterator over received values; ends on disconnect.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.into_iter()
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                inner: SenderInner::Unbounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+
+    /// Create a bounded channel with capacity `cap` (senders block when
+    /// full).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                inner: SenderInner::Bounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with crossbeam's `|scope|`-taking spawn closures.
+
+    use std::any::Any;
+
+    /// A scope handle: closures spawned through it may borrow from the
+    /// enclosing stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope again so
+        /// it can spawn siblings (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads are joined before this
+    /// returns. A child panic propagates as a panic (crossbeam would return
+    /// `Err` instead; every call site here unwraps immediately, so the
+    /// observable behavior is identical).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_channel_roundtrip() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn bounded_channel_blocks_then_drains() {
+        let (tx, rx) = channel::bounded(1);
+        tx.send(7).unwrap();
+        let t = std::thread::spawn(move || tx.send(8).unwrap());
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(8));
+        t.join().unwrap();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = vec![1, 2, 3];
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        thread::scope(|s| {
+            for &x in &data {
+                let sum = &sum;
+                s.spawn(move |inner| {
+                    // Nested spawn through the scope argument.
+                    inner.spawn(move |_| {
+                        sum.fetch_add(x, std::sync::atomic::Ordering::Relaxed);
+                    });
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn receiver_iter_ends_on_disconnect() {
+        let (tx, rx) = channel::bounded::<u32>(4);
+        std::thread::spawn(move || {
+            for i in 0..5 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = rx.iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,635 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! `proptest!` macro (with `#![proptest_config(...)]`), strategies for
+//! numeric ranges, tuples, `any::<T>()`, `Just`, string patterns of the
+//! form `".{a,b}"`, `prop_oneof!`, `collection::vec`, the `prop_map` /
+//! `prop_filter` combinators, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Generation is deterministic per test (seeded from the test name, with a
+//! `PROPTEST_SEED` environment override) and unshrunk: a failing case
+//! panics with the generated inputs' `Debug` rendering.
+
+pub mod test_runner {
+    //! Test-case plumbing: config, RNG and failure type.
+
+    use std::fmt;
+
+    /// Failure raised by `prop_assert!` or returned from a test body.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A test-case failure with a message.
+        pub fn fail(message: impl Into<String>) -> TestCaseError {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+
+        /// A rejected (filtered) case; treated like a failure here.
+        pub fn reject(message: impl Into<String>) -> TestCaseError {
+            TestCaseError {
+                message: format!("rejected: {}", message.into()),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic generator driving strategies (xoshiro256**).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        /// Seed from the test name (stable across runs) unless
+        /// `PROPTEST_SEED` overrides it.
+        pub fn deterministic(name: &str) -> TestRng {
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            if let Ok(s) = std::env::var("PROPTEST_SEED") {
+                if let Ok(v) = s.parse::<u64>() {
+                    seed ^= v;
+                }
+            }
+            let mut sm = seed;
+            TestRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw from `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            if bound == 0 {
+                return 0;
+            }
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    //! Strategies: composable random-value generators.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of random values of type `Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keep only values satisfying `f` (bounded retries).
+        fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason,
+                f,
+            }
+        }
+
+        /// Type-erase the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: std::rc::Rc::new(self),
+            }
+        }
+    }
+
+    /// Object-safe sampling, used by [`BoxedStrategy`].
+    trait DynStrategy {
+        type Value;
+        fn sample_dyn(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    #[derive(Clone)]
+    pub struct BoxedStrategy<T> {
+        inner: std::rc::Rc<dyn DynStrategy<Value = T>>,
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.inner.sample_dyn(rng)
+        }
+    }
+
+    /// Uniform choice among boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `options` (must be non-empty).
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].sample(rng)
+        }
+    }
+
+    /// Always produce a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` combinator.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// `prop_filter` combinator.
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.inner.sample(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter exhausted retries: {}", self.reason);
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    (self.start as i128 + (wide % span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    (lo as i128 + (wide % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+);)*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A);
+        (A, B);
+        (A, B, C);
+        (A, B, C, D);
+        (A, B, C, D, E);
+        (A, B, C, D, E, F);
+        (A, B, C, D, E, F, G);
+        (A, B, C, D, E, F, G, H);
+    }
+
+    /// String pattern strategy. Supports the `".{a,b}"` form (random
+    /// printable ASCII of length in `[a, b]`); any other pattern generates
+    /// itself literally.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            if let Some(body) = self.strip_prefix(".{").and_then(|s| s.strip_suffix('}')) {
+                if let Some((lo, hi)) = body.split_once(',') {
+                    if let (Ok(lo), Ok(hi)) = (lo.parse::<u64>(), hi.parse::<u64>()) {
+                        let len = lo + rng.below(hi.saturating_sub(lo) + 1);
+                        return (0..len)
+                            .map(|_| (0x20 + rng.below(0x5f) as u8) as char)
+                            .collect();
+                    }
+                }
+            }
+            (*self).to_string()
+        }
+    }
+
+    /// Values with a canonical "any" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Mix exact bit patterns (infinities, subnormals, NaNs — callers
+            // filter what they cannot use) with plain uniform values.
+            if rng.next_u64() & 1 == 0 {
+                f64::from_bits(rng.next_u64())
+            } else {
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                (unit - 0.5) * 2e6
+            }
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f64::arbitrary(rng) as f32
+        }
+    }
+
+    /// The strategy returned by [`any`](crate::prelude::any).
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T> Default for Any<T> {
+        fn default() -> Any<T> {
+            Any {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Length bounds for [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with length in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of `element` values with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.lo + rng.below((self.size.hi - self.size.lo) as u64 + 1) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test conventionally imports.
+
+    pub use crate::strategy::{Any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any::default()
+    }
+}
+
+/// Assert inside a property test, returning a [`test_runner::TestCaseError`]
+/// instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let config: $crate::test_runner::Config = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = ($strategy).sample(&mut rng);)+
+                let rendered = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}\ninputs: {}",
+                        stringify!($name), case, config.cases, e, rendered,
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u64..17, b in -5i64..=5) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-5..=5).contains(&b));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in crate::collection::vec(0u32..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6, "len = {}", v.len());
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn oneof_map_filter_compose(
+            x in prop_oneof![
+                (0u64..10).prop_map(|v| v * 2),
+                Just(99u64),
+                any::<u64>().prop_filter("odd", |v| v % 2 == 1),
+            ],
+        ) {
+            prop_assert!(x % 2 == 0 || x == 99 || x % 2 == 1);
+        }
+
+        #[test]
+        fn string_pattern_lengths(s in ".{0,24}") {
+            prop_assert!(s.len() <= 24);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        let mut c = TestRng::deterministic("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let _ = c.next_u64();
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_inputs() {
+        // No #[test] attribute on the inner fn: it is invoked manually.
+        proptest! {
+            fn inner(v in 0u64..10) {
+                prop_assert!(v > 100, "v = {v}");
+            }
+        }
+        inner();
+    }
+}

@@ -111,10 +111,14 @@ mod tests {
     fn simple_rmw_access_set() {
         let mut b = ProcBuilder::new(ProcId::new(0), "P", 2);
         let v = b.read(T0, Expr::param(0), 0);
-        b.write(T0, Expr::param(0), 0, Expr::add(Expr::var(v), Expr::param(1)));
+        b.write(
+            T0,
+            Expr::param(0),
+            0,
+            Expr::add(Expr::var(v), Expr::param(1)),
+        );
         let p = b.build().unwrap();
-        let acc =
-            compute_accesses(&p, &[0, 1], &[Value::Int(42), Value::Int(5)], None).unwrap();
+        let acc = compute_accesses(&p, &[0, 1], &[Value::Int(42), Value::Int(5)], None).unwrap();
         assert_eq!(
             acc,
             vec![
@@ -148,11 +152,19 @@ mod tests {
         let acc = compute_accesses(
             &p,
             &[0],
-            &[Value::Int(3), Value::Int(10), Value::Int(20), Value::Int(30)],
+            &[
+                Value::Int(3),
+                Value::Int(10),
+                Value::Int(20),
+                Value::Int(30),
+            ],
             None,
         )
         .unwrap();
-        assert_eq!(acc.iter().map(|a| a.key).collect::<Vec<_>>(), vec![10, 20, 30]);
+        assert_eq!(
+            acc.iter().map(|a| a.key).collect::<Vec<_>>(),
+            vec![10, 20, 30]
+        );
         assert!(acc.iter().all(|a| a.write));
     }
 

@@ -88,6 +88,10 @@ pub enum Expr {
 }
 
 /// Shorthand constructors, used heavily by workload definitions.
+// The DSL constructors (`Expr::add(a, b)`) are associated functions, not
+// operator methods on `self`; the names mirror the paper's expression
+// grammar, so the trait-name collision lint does not apply usefully here.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Integer literal.
     pub fn int(i: i64) -> Expr {
@@ -198,9 +202,9 @@ impl Expr {
             Expr::Const(v) => Ok(v.clone()),
             Expr::Param(i) => ctx.param(*i),
             Expr::ParamOffset { base, stride } => {
-                let idx = ctx.loop_index.ok_or_else(|| {
-                    Error::Unknown("ParamOffset outside of a loop".to_string())
-                })?;
+                let idx = ctx
+                    .loop_index
+                    .ok_or_else(|| Error::Unknown("ParamOffset outside of a loop".to_string()))?;
                 ctx.param(base + stride * idx as usize)
             }
             Expr::Var(v) => ctx.var(*v),
@@ -221,9 +225,9 @@ impl Expr {
             }
             Expr::Eq(a, b) => Ok(Value::Int((a.eval(ctx)? == b.eval(ctx)?) as i64)),
             Expr::Ne(a, b) => Ok(Value::Int((a.eval(ctx)? != b.eval(ctx)?) as i64)),
-            Expr::And(a, b) => {
-                Ok(Value::Int((a.eval(ctx)?.truthy() && b.eval(ctx)?.truthy()) as i64))
-            }
+            Expr::And(a, b) => Ok(Value::Int(
+                (a.eval(ctx)?.truthy() && b.eval(ctx)?.truthy()) as i64,
+            )),
             Expr::Not(a) => Ok(Value::Int(!a.eval(ctx)?.truthy() as i64)),
         }
     }

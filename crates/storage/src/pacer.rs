@@ -54,7 +54,11 @@ impl Pacer {
         let deadline = {
             let mut st = self.inner.lock();
             let now = Instant::now();
-            let start = if st.next_free > now { st.next_free } else { now };
+            let start = if st.next_free > now {
+                st.next_free
+            } else {
+                now
+            };
             st.next_free = start + cost;
             st.next_free
         };
@@ -99,7 +103,10 @@ mod tests {
         p.transfer(10 << 20);
         let dt = t0.elapsed();
         assert!(dt >= Duration::from_millis(80), "finished too fast: {dt:?}");
-        assert!(dt <= Duration::from_millis(400), "finished too slow: {dt:?}");
+        assert!(
+            dt <= Duration::from_millis(400),
+            "finished too slow: {dt:?}"
+        );
     }
 
     #[test]

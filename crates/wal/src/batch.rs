@@ -121,7 +121,10 @@ mod tests {
         // pepoch = 2: the epoch-3 record is not yet durable.
         let batch = read_merged_batch(&storage, 2, 0, 2, 0).unwrap();
         let ts: Vec<u64> = batch.records.iter().map(|r| r.ts).collect();
-        assert_eq!(ts, vec![epoch_floor(1) | 3, epoch_floor(1) | 5, epoch_floor(2) | 1]);
+        assert_eq!(
+            ts,
+            vec![epoch_floor(1) | 3, epoch_floor(1) | 5, epoch_floor(2) | 1]
+        );
 
         // after_ts filters checkpoint-covered records.
         let batch = read_merged_batch(&storage, 2, 0, 2, epoch_floor(1) | 4).unwrap();

@@ -64,7 +64,11 @@ impl Decoder for CheckpointManifest {
 ///
 /// The snapshot hold keeps the versions visible at `ts` alive while the
 /// scan proceeds; on-going transactions are never blocked.
-pub fn run_checkpoint(db: &Arc<Database>, storage: &StorageSet, threads: usize) -> Result<Timestamp> {
+pub fn run_checkpoint(
+    db: &Arc<Database>,
+    storage: &StorageSet,
+    threads: usize,
+) -> Result<Timestamp> {
     let ts = db.clock().peek();
     let _hold = db.snapshot_hold(ts);
     let threads = threads.max(1);
@@ -117,7 +121,9 @@ pub fn run_checkpoint(db: &Arc<Database>, storage: &StorageSet, threads: usize) 
         ts,
         parts: parts.into_inner(),
     };
-    storage.disk(0).write_file(MANIFEST_FILE, &manifest.to_bytes());
+    storage
+        .disk(0)
+        .write_file(MANIFEST_FILE, &manifest.to_bytes());
     storage.disk(0).fsync();
     Ok(ts)
 }
@@ -189,7 +195,10 @@ mod tests {
             )
             .unwrap();
         }
-        (db, StorageSet::identical(2, pacman_storage::DiskConfig::unthrottled("t")))
+        (
+            db,
+            StorageSet::identical(2, pacman_storage::DiskConfig::unthrottled("t")),
+        )
     }
 
     #[test]

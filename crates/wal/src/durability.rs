@@ -3,6 +3,7 @@
 
 use crate::batch::{batch_index_of_epoch, batch_name};
 use crate::checkpoint::{prune_old_checkpoints, run_checkpoint};
+use crate::classify::{CommitClassifier, LogChoice, WriteCountClassifier};
 use crate::logger::{LoggerHandle, QueuedRecord};
 use crate::pepoch::PepochHandle;
 use crate::record::{LogPayload, TxnLogRecord};
@@ -28,6 +29,11 @@ pub enum LogScheme {
     Logical,
     /// Transaction-level command logging (CL).
     Command,
+    /// Adaptive hybrid logging (ALR): each committing transaction is
+    /// classified by a [`CommitClassifier`] and emits either a command
+    /// record or a proc-tagged logical record into the same epoch-batched
+    /// stream.
+    Adaptive,
 }
 
 impl LogScheme {
@@ -38,6 +44,19 @@ impl LogScheme {
             LogScheme::Physical => "PL",
             LogScheme::Logical => "LL",
             LogScheme::Command => "CL",
+            LogScheme::Adaptive => "ALR",
+        }
+    }
+
+    /// Parse a command-line scheme name (`--scheme adaptive` and friends).
+    pub fn parse(s: &str) -> Option<LogScheme> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" => Some(LogScheme::Off),
+            "physical" | "pl" => Some(LogScheme::Physical),
+            "logical" | "ll" => Some(LogScheme::Logical),
+            "command" | "cl" => Some(LogScheme::Command),
+            "adaptive" | "alr" => Some(LogScheme::Adaptive),
+            _ => None,
         }
     }
 }
@@ -89,6 +108,9 @@ pub struct Durability {
     last_ckpt_ts: Arc<AtomicU64>,
     ckpt_join: Mutex<Option<JoinHandle<()>>>,
     bytes_logged: AtomicU64,
+    classifier: RwLock<Arc<dyn CommitClassifier>>,
+    command_records: AtomicU64,
+    logical_records: AtomicU64,
 }
 
 impl Durability {
@@ -161,8 +183,7 @@ impl Durability {
                                 // Drop batches that lie entirely below the
                                 // checkpoint's epoch.
                                 let ckpt_epoch = pacman_common::clock::epoch_of(ts);
-                                let done_batch =
-                                    batch_index_of_epoch(ckpt_epoch, batch_epochs);
+                                let done_batch = batch_index_of_epoch(ckpt_epoch, batch_epochs);
                                 for b in 0..done_batch {
                                     for l in 0..num_loggers {
                                         storage2.disk(l).delete(&batch_name(l, b));
@@ -190,7 +211,34 @@ impl Durability {
             last_ckpt_ts,
             ckpt_join: Mutex::new(ckpt_join),
             bytes_logged: AtomicU64::new(0),
+            classifier: RwLock::new(Arc::new(WriteCountClassifier::default())),
+            command_records: AtomicU64::new(0),
+            logical_records: AtomicU64::new(0),
         })
+    }
+
+    /// Install the classifier consulted under [`LogScheme::Adaptive`]
+    /// (e.g. `pacman_core`'s cost model). Replaces the write-count
+    /// fallback installed at start.
+    pub fn set_classifier(&self, classifier: Arc<dyn CommitClassifier>) {
+        *self.classifier.write() = classifier;
+    }
+
+    /// Forward runtime execution feedback (interpreter ops executed,
+    /// tuples written) to the installed classifier so its dynamic
+    /// estimators adapt mid-run.
+    pub fn observe_execution(&self, proc: ProcId, replay_ops: f64, writes: usize) {
+        self.classifier.read().observe(proc, replay_ops, writes);
+    }
+
+    /// Command records emitted so far (adaptive-mix reporting).
+    pub fn command_records(&self) -> u64 {
+        self.command_records.load(Ordering::Relaxed)
+    }
+
+    /// Logical (tuple-level) records emitted so far, including ad-hoc ones.
+    pub fn logical_records(&self) -> u64 {
+        self.logical_records.load(Ordering::Relaxed)
     }
 
     /// The epoch manager (workers register with it).
@@ -230,10 +278,20 @@ impl Durability {
                 proc,
                 params: Arc::clone(params),
             },
-            (LogScheme::Command, true) => LogPayload::Writes {
+            (LogScheme::Command, true) | (LogScheme::Adaptive, true) => LogPayload::Writes {
                 writes: info.writes.clone(),
                 physical: false,
                 adhoc: true,
+            },
+            (LogScheme::Adaptive, false) => match self.classifier.read().classify(proc, info) {
+                LogChoice::Command => LogPayload::Command {
+                    proc,
+                    params: Arc::clone(params),
+                },
+                LogChoice::Logical => LogPayload::TaggedWrites {
+                    proc,
+                    writes: info.writes.clone(),
+                },
             },
             (LogScheme::Logical, _) => LogPayload::Writes {
                 writes: info.writes.clone(),
@@ -246,6 +304,14 @@ impl Durability {
                 adhoc: false,
             },
         };
+        match &payload {
+            LogPayload::Command { .. } => {
+                self.command_records.fetch_add(1, Ordering::Relaxed);
+            }
+            LogPayload::Writes { .. } | LogPayload::TaggedWrites { .. } => {
+                self.logical_records.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         let record = TxnLogRecord {
             ts: info.ts,
             payload,
@@ -429,12 +495,102 @@ mod tests {
         assert!(persisted >= pepoch_before.saturating_sub(1));
         // All batch contents decode cleanly.
         for idx in crate::batch::list_batch_indices(dur.storage()) {
-            let b =
-                crate::batch::read_merged_batch(dur.storage(), 2, idx, persisted, 0).unwrap();
+            let b = crate::batch::read_merged_batch(dur.storage(), 2, idx, persisted, 0).unwrap();
             for r in &b.records {
                 assert!(r.epoch() <= persisted);
             }
         }
+    }
+
+    #[test]
+    fn adaptive_scheme_mixes_record_formats() {
+        // Classifier: even keys (params[0]) log as commands, odd ones
+        // logically — exercised via a custom classifier reading the info.
+        struct ByKeyParity;
+        impl crate::classify::CommitClassifier for ByKeyParity {
+            fn classify(
+                &self,
+                _proc: ProcId,
+                info: &pacman_engine::CommitInfo,
+            ) -> crate::classify::LogChoice {
+                if info.writes[0].key.is_multiple_of(2) {
+                    crate::classify::LogChoice::Command
+                } else {
+                    crate::classify::LogChoice::Logical
+                }
+            }
+        }
+        let (db, dur) = setup(LogScheme::Adaptive);
+        dur.set_classifier(Arc::new(ByKeyParity));
+        let worker = dur.register_worker();
+        let mut max_epoch = 0;
+        for k in 0..16u64 {
+            max_epoch = commit_one(&db, &dur, &worker, k, 7);
+        }
+        worker.retire();
+        dur.wait_durable(max_epoch);
+        assert_eq!(dur.command_records(), 8);
+        assert_eq!(dur.logical_records(), 8);
+        dur.shutdown();
+        // Both formats decode from the same stream.
+        let mut commands = 0;
+        let mut tagged = 0;
+        for idx in crate::batch::list_batch_indices(dur.storage()) {
+            let b = crate::batch::read_merged_batch(dur.storage(), 2, idx, u64::MAX, 0).unwrap();
+            for r in &b.records {
+                match &r.payload {
+                    LogPayload::Command { .. } => commands += 1,
+                    LogPayload::TaggedWrites { proc, writes } => {
+                        assert_eq!(*proc, ProcId::new(0));
+                        assert_eq!(writes.len(), 1);
+                        tagged += 1;
+                    }
+                    other => panic!("unexpected payload {other:?}"),
+                }
+            }
+        }
+        assert_eq!(commands, 8);
+        assert_eq!(tagged, 8);
+    }
+
+    #[test]
+    fn adaptive_adhoc_still_logs_plain_writes() {
+        let (db, dur) = setup(LogScheme::Adaptive);
+        let worker = dur.register_worker();
+        let epoch = {
+            loop {
+                let e = worker.enter();
+                let mut t = db.begin();
+                let r = t.read(TableId::new(0), 1).unwrap();
+                t.write(TableId::new(0), 1, r.with_col(0, Value::Int(9)))
+                    .unwrap();
+                match t.commit_with(|| e) {
+                    Ok(info) => {
+                        dur.log_commit(0, &info, ProcId::new(0), &pacman_sproc::params([]), true);
+                        break pacman_common::clock::epoch_of(info.ts);
+                    }
+                    Err(_) => continue,
+                }
+            }
+        };
+        worker.retire();
+        dur.wait_durable(epoch);
+        dur.shutdown();
+        let idx = crate::batch::list_batch_indices(dur.storage());
+        let b = crate::batch::read_merged_batch(dur.storage(), 2, idx[0], u64::MAX, 0).unwrap();
+        assert!(matches!(
+            b.records[0].payload,
+            LogPayload::Writes { adhoc: true, .. }
+        ));
+    }
+
+    #[test]
+    fn scheme_parsing() {
+        assert_eq!(LogScheme::parse("adaptive"), Some(LogScheme::Adaptive));
+        assert_eq!(LogScheme::parse("ALR"), Some(LogScheme::Adaptive));
+        assert_eq!(LogScheme::parse("command"), Some(LogScheme::Command));
+        assert_eq!(LogScheme::parse("LL"), Some(LogScheme::Logical));
+        assert_eq!(LogScheme::parse("nope"), None);
     }
 
     #[test]
@@ -472,7 +628,9 @@ mod tests {
         dur.shutdown();
         assert!(dur.last_checkpoint_ts() > 0, "checkpoint never completed");
         assert!(
-            crate::checkpoint::read_manifest(dur.storage()).unwrap().is_some(),
+            crate::checkpoint::read_manifest(dur.storage())
+                .unwrap()
+                .is_some(),
             "manifest missing"
         );
     }

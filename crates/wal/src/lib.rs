@@ -10,21 +10,30 @@
 //! consistent snapshot taken against the multi-version store without
 //! blocking transactions.
 //!
-//! Three logging schemes are implemented (§2.1):
+//! Four logging schemes are implemented (§2.1 plus adaptive hybrid
+//! logging after Yao et al.):
 //!
 //! * **Physical** (`PL`) — after-images plus old/new version locations;
 //! * **Logical** (`LL`) — after-images only;
 //! * **Command** (`CL`) — procedure id + parameters (+ logical records for
-//!   ad-hoc transactions, §4.5).
+//!   ad-hoc transactions, §4.5);
+//! * **Adaptive** (`ALR`) — per-transaction choice between a command
+//!   record and a proc-tagged logical record, made at commit time by a
+//!   pluggable [`classify::CommitClassifier`] (cost model in
+//!   `pacman_core::static_analysis::cost`). Recovered by `ALR-P`.
 
 pub mod batch;
 pub mod checkpoint;
+pub mod classify;
 pub mod durability;
 pub mod logger;
 pub mod pepoch;
 pub mod record;
 
-pub use batch::{batch_index_of_epoch, batch_name, list_batch_indices, read_merged_batch, LogBatch};
+pub use batch::{
+    batch_index_of_epoch, batch_name, list_batch_indices, read_merged_batch, LogBatch,
+};
 pub use checkpoint::{run_checkpoint, CheckpointManifest};
+pub use classify::{CommitClassifier, LogChoice, WriteCountClassifier};
 pub use durability::{Durability, DurabilityConfig, LogScheme};
 pub use record::{LogPayload, TxnLogRecord};

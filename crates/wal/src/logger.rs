@@ -152,6 +152,12 @@ fn logger_loop(
             sealed.store(cursor, Ordering::Release);
         }
         if disconnected {
+            // Graceful drain: everything this logger will ever receive is
+            // on the device. Report the stream complete rather than the
+            // highest epoch that happened to be queued here — otherwise a
+            // logger whose queue ended one epoch early would pin the
+            // pepoch below records its peers durably wrote.
+            sealed.store(u64::MAX, Ordering::Release);
             return;
         }
         // Wait for more work without burning a core.
@@ -200,7 +206,11 @@ mod tests {
             })
             .unwrap();
         std::thread::sleep(std::time::Duration::from_millis(20));
-        assert_eq!(logger.sealed_epoch(), 0, "epoch 1 not yet acknowledged past");
+        assert_eq!(
+            logger.sealed_epoch(),
+            0,
+            "epoch 1 not yet acknowledged past"
+        );
 
         em.advance(); // epoch 2
         worker.enter(); // ack = 2
@@ -225,7 +235,9 @@ mod tests {
                 .unwrap();
         }
         logger.stop(true);
-        assert_eq!(logger.sealed_epoch(), 25);
+        // A graceful drain reports the stream complete (nothing further
+        // can arrive), so the pepoch never pins below a peer's records.
+        assert_eq!(logger.sealed_epoch(), u64::MAX);
         // Batch files 0,1,2 exist (epochs 1-9, 10-19, 20-25).
         assert!(disk.len(&batch_name(0, 0)).unwrap() > 0);
         assert!(disk.len(&batch_name(0, 1)).unwrap() > 0);

@@ -24,11 +24,7 @@ pub struct PepochHandle {
 
 impl PepochHandle {
     /// Spawn the watcher over the given loggers' sealed-epoch counters.
-    pub fn spawn(
-        sealed: Vec<Arc<AtomicU64>>,
-        disk: Arc<SimDisk>,
-        poll: Duration,
-    ) -> Self {
+    pub fn spawn(sealed: Vec<Arc<AtomicU64>>, disk: Arc<SimDisk>, poll: Duration) -> Self {
         let value = Arc::new(AtomicU64::new(0));
         let stop = Arc::new(AtomicBool::new(false));
         let v2 = Arc::clone(&value);
@@ -38,6 +34,11 @@ impl PepochHandle {
             .spawn(move || {
                 let mut published = 0u64;
                 loop {
+                    // Sample the stop flag *before* the logger counters:
+                    // shutdown stops the loggers first, so a post-stop
+                    // sample sees their final sealed epochs and the last
+                    // publish below covers everything on the devices.
+                    let stopping = s2.load(Ordering::Acquire);
                     let min = sealed
                         .iter()
                         .map(|s| s.load(Ordering::Acquire))
@@ -49,7 +50,7 @@ impl PepochHandle {
                         disk.fsync();
                         v2.store(min, Ordering::Release);
                     }
-                    if s2.load(Ordering::Acquire) {
+                    if stopping {
                         return;
                     }
                     std::thread::sleep(poll);

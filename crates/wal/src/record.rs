@@ -48,6 +48,16 @@ pub enum LogPayload {
         /// logging (replayed as a write-only transaction, §4.5).
         adhoc: bool,
     },
+    /// Adaptive logging (ALR): a logical record that remembers the stored
+    /// procedure that produced it. Replay installs the after-images without
+    /// re-execution; the procedure id feeds the cost model's replay
+    /// statistics and keeps mixed batches attributable per procedure.
+    TaggedWrites {
+        /// Stored procedure that produced the writes.
+        proc: ProcId,
+        /// After-images in write order.
+        writes: Vec<WriteRecord>,
+    },
 }
 
 impl TxnLogRecord {
@@ -138,6 +148,15 @@ impl Encoder for TxnLogRecord {
                     encode_write(buf, w, *physical);
                 }
             }
+            LogPayload::TaggedWrites { proc, writes } => {
+                buf.push(6);
+                put_u64(buf, self.ts);
+                put_u32(buf, proc.0);
+                put_varint(buf, writes.len() as u64);
+                for w in writes {
+                    encode_write(buf, w, false);
+                }
+            }
         }
     }
 }
@@ -162,7 +181,7 @@ impl Decoder for TxnLogRecord {
                     params: params.into(),
                 }
             }
-            2 | 3 | 4 | 5 => {
+            2..=5 => {
                 let physical = tag == 3 || tag == 5;
                 let adhoc = tag == 4 || tag == 5;
                 let n = cur.read_varint()? as usize;
@@ -178,6 +197,18 @@ impl Decoder for TxnLogRecord {
                     physical,
                     adhoc,
                 }
+            }
+            6 => {
+                let proc = ProcId::new(cur.read_u32()?);
+                let n = cur.read_varint()? as usize;
+                if n > 1 << 22 {
+                    return Err(Error::Corrupt(format!("implausible write count {n}")));
+                }
+                let mut writes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    writes.push(decode_write(cur, false)?);
+                }
+                LogPayload::TaggedWrites { proc, writes }
             }
             t => return Err(Error::Corrupt(format!("bad record tag {t}"))),
         };
@@ -195,8 +226,14 @@ impl TxnLogRecord {
         }
         match (&self.payload, &other.payload) {
             (
-                LogPayload::Command { proc: p1, params: a1 },
-                LogPayload::Command { proc: p2, params: a2 },
+                LogPayload::Command {
+                    proc: p1,
+                    params: a1,
+                },
+                LogPayload::Command {
+                    proc: p2,
+                    params: a2,
+                },
             ) => p1 == p2 && a1 == a2,
             (
                 LogPayload::Writes {
@@ -219,6 +256,25 @@ impl TxnLogRecord {
                             && x.kind == y.kind
                             && x.after == y.after
                             && (!f1 || x.prev_ts == y.prev_ts)
+                    })
+            }
+            (
+                LogPayload::TaggedWrites {
+                    proc: p1,
+                    writes: w1,
+                },
+                LogPayload::TaggedWrites {
+                    proc: p2,
+                    writes: w2,
+                },
+            ) => {
+                p1 == p2
+                    && w1.len() == w2.len()
+                    && w1.iter().zip(w2).all(|(x, y)| {
+                        x.table == y.table
+                            && x.key == y.key
+                            && x.kind == y.kind
+                            && x.after == y.after
                     })
             }
             _ => false,
@@ -330,7 +386,11 @@ mod tests {
             },
         };
         let (lb, pb) = (ll.to_bytes().len(), pl.to_bytes().len());
-        assert_eq!(pb, lb + 3 * 24, "physical adds 24 bytes/write: {lb} vs {pb}");
+        assert_eq!(
+            pb,
+            lb + 3 * 24,
+            "physical adds 24 bytes/write: {lb} vs {pb}"
+        );
     }
 
     #[test]
@@ -356,6 +416,42 @@ mod tests {
         .to_bytes()
         .len();
         assert!(ll > 8 * cl, "LL {ll}B should dwarf CL {cl}B");
+    }
+
+    #[test]
+    fn tagged_writes_roundtrip() {
+        roundtrip(&TxnLogRecord {
+            ts: pacman_common::clock::epoch_floor(4) | 17,
+            payload: LogPayload::TaggedWrites {
+                proc: ProcId::new(3),
+                writes: vec![write(1, 10), write(2, 20)],
+            },
+        });
+    }
+
+    #[test]
+    fn tagged_writes_cost_logical_size_plus_proc_id() {
+        let writes = vec![write(1, 10), write(2, 20), write(3, 30)];
+        let ll = TxnLogRecord {
+            ts: 1,
+            payload: LogPayload::Writes {
+                writes: writes.clone(),
+                physical: false,
+                adhoc: false,
+            },
+        };
+        let alr = TxnLogRecord {
+            ts: 1,
+            payload: LogPayload::TaggedWrites {
+                proc: ProcId::new(9),
+                writes,
+            },
+        };
+        assert_eq!(
+            alr.to_bytes().len(),
+            ll.to_bytes().len() + 4,
+            "the proc tag costs exactly one u32"
+        );
     }
 
     #[test]

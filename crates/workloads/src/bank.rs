@@ -162,7 +162,8 @@ impl Workload for Bank {
                 .expect("seed");
         }
         for n in 0..self.nations {
-            db.seed_row(STATS, n, Row::from([Value::Int(0)])).expect("seed");
+            db.seed_row(STATS, n, Row::from([Value::Int(0)]))
+                .expect("seed");
         }
     }
 
@@ -170,10 +171,7 @@ impl Workload for Bank {
         if rng.gen_bool(0.6) {
             let src = rng.gen_range(0..self.accounts) as i64;
             let amount = rng.gen_range(1..100) as i64;
-            (
-                TRANSFER,
-                vec![Value::Int(src), Value::Int(amount)].into(),
-            )
+            (TRANSFER, vec![Value::Int(src), Value::Int(amount)].into())
         } else {
             let name = rng.gen_range(0..self.accounts) as i64;
             let amount = rng.gen_range(1..8_000) as i64;

@@ -127,6 +127,9 @@ pub fn run_workload(
                 let we = durability.register_worker();
                 let pepoch = durability.pepoch_arc();
                 let em = Arc::clone(durability.epoch_manager());
+                // Under adaptive logging, feed per-procedure execution
+                // costs back into the classifier's dynamic estimator.
+                let adaptive = durability.scheme() == pacman_wal::LogScheme::Adaptive;
                 let mut rng = SmallRng::seed_from_u64(config.seed ^ (worker as u64) << 32);
                 let mut pending: VecDeque<(u64, Instant)> = VecDeque::new();
                 let mut local_hist = Histogram::new();
@@ -145,13 +148,24 @@ pub fn run_workload(
 
                     let (pid, params) = workload.next_txn(&mut rng);
                     let proc = registry.get(pid).expect("registered procedure");
-                    let adhoc = config.adhoc_fraction > 0.0
-                        && rng.gen_bool(config.adhoc_fraction);
+                    let adhoc = config.adhoc_fraction > 0.0 && rng.gen_bool(config.adhoc_fraction);
                     let submit = Instant::now();
                     let mut tries = 0;
                     loop {
                         match run_procedure_with_epoch(&db, proc, &params, || em.current()) {
                             Ok(info) => {
+                                // Feed the classifier only from commits
+                                // that produce log records: read-only (and
+                                // guard-skipped) invocations execute few
+                                // ops and would bias the replay-cost EWMA
+                                // low for the invocations that do log.
+                                if adaptive && !info.writes.is_empty() {
+                                    durability.observe_execution(
+                                        pid,
+                                        info.ops as f64,
+                                        info.writes.len(),
+                                    );
+                                }
                                 let sec = start.elapsed().as_secs() as usize;
                                 if sec < buckets.len() {
                                     buckets[sec].fetch_add(1, Ordering::Relaxed);
@@ -159,8 +173,7 @@ pub fn run_workload(
                                 committed.fetch_add(1, Ordering::Relaxed);
                                 if info.writes.is_empty() {
                                     // Read-only: acknowledged immediately.
-                                    local_hist
-                                        .record(submit.elapsed().as_micros() as u64);
+                                    local_hist.record(submit.elapsed().as_micros() as u64);
                                 } else {
                                     durability.log_commit(worker, &info, pid, &params, adhoc);
                                     pending.push_back((epoch_of(info.ts), submit));
@@ -170,8 +183,7 @@ pub fn run_workload(
                             Err(Error::TxnAborted(_)) => {
                                 aborted.fetch_add(1, Ordering::Relaxed);
                                 tries += 1;
-                                if tries > config.max_retries || stop.load(Ordering::Acquire)
-                                {
+                                if tries > config.max_retries || stop.load(Ordering::Acquire) {
                                     break;
                                 }
                             }

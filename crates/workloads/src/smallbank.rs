@@ -142,10 +142,7 @@ impl Workload for Smallbank {
         let _name = b.read(ACCOUNTS, Expr::param(0), 0);
         let s = b.read(SAVINGS, Expr::param(0), 0);
         let c = b.read(CHECKING, Expr::param(0), 0);
-        let low = Expr::gt(
-            Expr::param(1),
-            Expr::add(Expr::var(s), Expr::var(c)),
-        );
+        let low = Expr::gt(Expr::param(1), Expr::add(Expr::var(s), Expr::var(c)));
         b.guarded(low.clone(), |b| {
             b.write(
                 CHECKING,
@@ -354,6 +351,9 @@ mod tests {
             let (pid, _) = sb.next_txn(&mut rng);
             seen[pid.index()] = true;
         }
-        assert!(seen.iter().all(|&s| s), "not all procedures drawn: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "not all procedures drawn: {seen:?}"
+        );
     }
 }

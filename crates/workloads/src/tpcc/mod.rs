@@ -32,6 +32,11 @@ pub struct TpccConfig {
     pub stock_data_bytes: usize,
     /// Fraction of remote (cross-warehouse) stock accesses in NewOrder.
     pub remote_fraction: f64,
+    /// Transaction-mix weights `[NewOrder, Payment, Delivery, OrderStatus,
+    /// StockLevel]` (need not sum to 100). The default is the standard-ish
+    /// 45/43/4/4/4; skewing Delivery up creates the replay-cost-skewed
+    /// scenario the adaptive-logging bench exercises.
+    pub mix: [u32; 5],
 }
 
 impl TpccConfig {
@@ -46,6 +51,7 @@ impl TpccConfig {
             customer_data_bytes: 64,
             stock_data_bytes: 16,
             remote_fraction: 0.01,
+            mix: TpccConfig::STANDARD_MIX,
         }
     }
 
@@ -60,7 +66,25 @@ impl TpccConfig {
             customer_data_bytes: 200,
             stock_data_bytes: 40,
             remote_fraction: 0.01,
+            mix: TpccConfig::STANDARD_MIX,
         }
+    }
+
+    /// The standard-ish mix: 45% NewOrder, 43% Payment, 4% Delivery,
+    /// 4% OrderStatus, 4% StockLevel.
+    pub const STANDARD_MIX: [u32; 5] = [45, 43, 4, 4, 4];
+
+    /// A replay-cost-skewed scenario: the loop-heavy procedures
+    /// (NewOrder's order-line loop, Delivery's ten districts of
+    /// read-modify-write) dominate the logged work, while the filler
+    /// payloads stay narrow so after-images are cheap to ship — i.e.
+    /// re-execution compute per logged byte is maximal. This is the
+    /// regime where per-transaction adaptive logging pays off.
+    pub fn skewed_replay(mut self) -> Self {
+        self.mix = [45, 25, 26, 2, 2];
+        self.customer_data_bytes = 24;
+        self.stock_data_bytes = 12;
+        self
     }
 }
 
@@ -186,14 +210,25 @@ impl Workload for Tpcc {
         schema::load(&self.cfg, db);
     }
 
-    /// The standard-ish mix: 45% NewOrder, 43% Payment, 4% Delivery,
-    /// 4% OrderStatus, 4% StockLevel.
+    /// Draw from the configured mix (default: 45% NewOrder, 43% Payment,
+    /// 4% Delivery, 4% OrderStatus, 4% StockLevel).
     fn next_txn(&self, rng: &mut SmallRng) -> (ProcId, Params) {
-        match rng.gen_range(0..100) {
-            0..=44 => (procs::NEW_ORDER, self.gen_new_order(rng)),
-            45..=87 => (procs::PAYMENT, self.gen_payment(rng)),
-            88..=91 => (procs::DELIVERY, self.gen_delivery(rng)),
-            92..=95 => (procs::ORDER_STATUS, self.gen_order_status(rng)),
+        let total: u32 = self.cfg.mix.iter().sum();
+        assert!(total > 0, "TPC-C mix weights must not all be zero");
+        let mut draw = rng.gen_range(0..total);
+        let mut which = 0;
+        for (i, &w) in self.cfg.mix.iter().enumerate() {
+            if draw < w {
+                which = i;
+                break;
+            }
+            draw -= w;
+        }
+        match which {
+            0 => (procs::NEW_ORDER, self.gen_new_order(rng)),
+            1 => (procs::PAYMENT, self.gen_payment(rng)),
+            2 => (procs::DELIVERY, self.gen_delivery(rng)),
+            3 => (procs::ORDER_STATUS, self.gen_order_status(rng)),
             _ => (procs::STOCK_LEVEL, self.gen_stock_level(rng)),
         }
     }
@@ -271,12 +306,20 @@ mod tests {
         let dkey = keys::district_key(0, 2);
         let before = {
             let mut t = db.begin();
-            t.read(DISTRICT, dkey).unwrap().col(d_col::NEXT_O_ID).as_int().unwrap()
+            t.read(DISTRICT, dkey)
+                .unwrap()
+                .col(d_col::NEXT_O_ID)
+                .as_int()
+                .unwrap()
         };
         run_procedure(&db, reg.get(procs::NEW_ORDER).unwrap(), &params).unwrap();
         let mut t = db.begin();
         assert_eq!(
-            t.read(DISTRICT, dkey).unwrap().col(d_col::NEXT_O_ID).as_int().unwrap(),
+            t.read(DISTRICT, dkey)
+                .unwrap()
+                .col(d_col::NEXT_O_ID)
+                .as_int()
+                .unwrap(),
             before + 1
         );
         let s = t.read(super::schema::STOCK, keys::stock_key(0, 5)).unwrap();
@@ -306,9 +349,13 @@ mod tests {
         run_procedure(&db, reg.get(procs::DELIVERY).unwrap(), &params.into()).unwrap();
         let mut t = db.begin();
         for d in 1..=10u64 {
-            let ord = t.read(super::schema::ORDER, keys::order_key(0, d, o)).unwrap();
+            let ord = t
+                .read(super::schema::ORDER, keys::order_key(0, d, o))
+                .unwrap();
             assert_eq!(ord.col(0).as_int().unwrap(), 7, "carrier in district {d}");
-            let cust = t.read(super::schema::CUSTOMER, keys::customer_key(0, d, c)).unwrap();
+            let cust = t
+                .read(super::schema::CUSTOMER, keys::customer_key(0, d, c))
+                .unwrap();
             assert_eq!(cust.col(c_col_delivery()).as_int().unwrap(), 1);
         }
     }

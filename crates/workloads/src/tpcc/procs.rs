@@ -79,7 +79,12 @@ pub fn new_order() -> ProcedureDef {
             );
         });
         let s_ytd = b.read(STOCK, skey(), s_col::YTD);
-        b.write(STOCK, skey(), s_col::YTD, Expr::add(Expr::var(s_ytd), qty()));
+        b.write(
+            STOCK,
+            skey(),
+            s_col::YTD,
+            Expr::add(Expr::var(s_ytd), qty()),
+        );
         let s_cnt = b.read(STOCK, skey(), s_col::ORDER_CNT);
         b.write(
             STOCK,
@@ -182,7 +187,11 @@ pub fn stock_level() -> ProcedureDef {
     let _next = b.read(DISTRICT, dkey, d_col::NEXT_O_ID);
     let item = || Expr::ParamOffset { base: 2, stride: 1 };
     b.repeat(Expr::int(5), |b| {
-        let _q = b.read(STOCK, stock_key_expr(Expr::param(0), item()), s_col::QUANTITY);
+        let _q = b.read(
+            STOCK,
+            stock_key_expr(Expr::param(0), item()),
+            s_col::QUANTITY,
+        );
     });
     b.build().expect("StockLevel is valid")
 }
@@ -192,7 +201,8 @@ pub fn registry(districts_per_warehouse: u64) -> ProcRegistry {
     let mut reg = ProcRegistry::new();
     reg.register(new_order()).expect("register");
     reg.register(payment()).expect("register");
-    reg.register(delivery(districts_per_warehouse)).expect("register");
+    reg.register(delivery(districts_per_warehouse))
+        .expect("register");
     reg.register(order_status()).expect("register");
     reg.register(stock_level()).expect("register");
     reg
@@ -228,11 +238,7 @@ mod tests {
     fn pacman_is_finer_than_chopping_on_tpcc() {
         let reg = registry(10);
         let chop = ChoppingGraph::analyze(reg.all());
-        let pacman_total: usize = reg
-            .all()
-            .iter()
-            .map(|p| LocalGraph::analyze(p).len())
-            .sum();
+        let pacman_total: usize = reg.all().iter().map(|p| LocalGraph::analyze(p).len()).sum();
         assert!(
             chop.total_pieces() < pacman_total,
             "chopping {} vs pacman {}",

@@ -210,10 +210,7 @@ mod tests {
         load(&cfg, &db);
         let expect = |t: TableId| db.table(t).unwrap().num_keys();
         assert_eq!(expect(WAREHOUSE), 2);
-        assert_eq!(
-            expect(DISTRICT),
-            (2 * cfg.districts_per_warehouse) as usize
-        );
+        assert_eq!(expect(DISTRICT), (2 * cfg.districts_per_warehouse) as usize);
         assert_eq!(
             expect(CUSTOMER),
             (2 * cfg.districts_per_warehouse * cfg.customers_per_district) as usize

@@ -49,9 +49,8 @@ fn main() {
     for (pid, params) in &txns {
         worker.enter();
         let proc = sys.registry.get(*pid).unwrap();
-        let info =
-            pacman_engine::run_procedure_with_epoch(&sys.db, proc, params, || em.current())
-                .expect("commit");
+        let info = pacman_engine::run_procedure_with_epoch(&sys.db, proc, params, || em.current())
+            .expect("commit");
         sys.durability.log_commit(0, &info, *pid, params, false);
         println!("committed {} at ts {:#x}", proc.name, info.ts);
     }
@@ -65,10 +64,9 @@ fn main() {
     let gdg = GlobalGraph::analyze(registry.all()).unwrap();
     let inventory = pacman_core::recovery::LogInventory::scan(&storage);
     for batch_idx in inventory.batches() {
-        let batch = pacman_core::recovery::read_merged_batch(
-            &storage, &inventory, batch_idx, u64::MAX, 1,
-        )
-        .unwrap();
+        let batch =
+            pacman_core::recovery::read_merged_batch(&storage, &inventory, batch_idx, u64::MAX, 1)
+                .unwrap();
         if batch.records.is_empty() {
             continue;
         }

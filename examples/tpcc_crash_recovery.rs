@@ -56,7 +56,10 @@ fn main() {
     let want = reference.fingerprint();
     drop(reference);
 
-    println!("\n{:<14} {:>9} {:>10} {:>10} {:>8}", "scheme", "threads", "log (s)", "total (s)", "exact");
+    println!(
+        "\n{:<14} {:>9} {:>10} {:>10} {:>8}",
+        "scheme", "threads", "log (s)", "total (s)", "exact"
+    );
     for scheme in [
         RecoveryScheme::Clr,
         RecoveryScheme::ClrP {
@@ -80,7 +83,11 @@ fn main() {
                 threads,
                 out.report.log_total_secs,
                 out.report.total_secs,
-                if out.db.fingerprint() == want { "yes" } else { "NO" }
+                if out.db.fingerprint() == want {
+                    "yes"
+                } else {
+                    "NO"
+                }
             );
         }
     }

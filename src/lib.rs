@@ -81,7 +81,12 @@ pub mod harness {
         /// Shut down gracefully (everything sealed + durable).
         pub fn shutdown(
             self,
-        ) -> (StorageSet, ProcRegistry, pacman_engine::Catalog, Arc<Database>) {
+        ) -> (
+            StorageSet,
+            ProcRegistry,
+            pacman_engine::Catalog,
+            Arc<Database>,
+        ) {
             self.durability.shutdown();
             let catalog = self.db.catalog().clone();
             (self.storage, self.registry, catalog, self.db)

@@ -141,7 +141,9 @@ fn concurrent_commit_order_witnesses() {
             scope.spawn(move |_| {
                 let mut rng = w as u64;
                 for _ in 0..400 {
-                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    rng = rng
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     let k = rng % 8;
                     let mut t = db.begin();
                     let Ok(r) = t.read(T, k) else { continue };

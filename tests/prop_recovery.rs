@@ -2,11 +2,12 @@
 //! recovered bit-exactly by every command-log scheme, and the GDG
 //! properties of §4.1.2 must hold for arbitrary procedure sets.
 
-use pacman_common::{Encoder, ProcId, Row, TableId, Value};
+use pacman_common::codec::Cursor;
+use pacman_common::{Decoder, Encoder, ProcId, Row, TableId, Value};
 use pacman_core::recovery::{RecoveryConfig, RecoveryScheme};
 use pacman_core::runtime::ReplayMode;
 use pacman_core::static_analysis::{GlobalGraph, LocalGraph};
-use pacman_engine::Database;
+use pacman_engine::{Database, WriteKind, WriteRecord};
 use pacman_sproc::{Expr, ProcBuilder, ProcRegistry};
 use pacman_storage::StorageSet;
 use pacman_wal::{LogPayload, TxnLogRecord};
@@ -32,14 +33,29 @@ fn registry() -> ProcRegistry {
 
     let mut b = ProcBuilder::new(ProcId::new(1), "IncA", 2);
     let v = b.read(T_A, Expr::param(0), 0);
-    b.write(T_A, Expr::param(0), 0, Expr::add(Expr::var(v), Expr::param(1)));
+    b.write(
+        T_A,
+        Expr::param(0),
+        0,
+        Expr::add(Expr::var(v), Expr::param(1)),
+    );
     reg.register(b.build().unwrap()).unwrap();
 
     let mut b = ProcBuilder::new(ProcId::new(2), "IncBC", 2);
     let v = b.read(T_B, Expr::param(0), 0);
-    b.write(T_B, Expr::param(0), 0, Expr::add(Expr::var(v), Expr::param(1)));
+    b.write(
+        T_B,
+        Expr::param(0),
+        0,
+        Expr::add(Expr::var(v), Expr::param(1)),
+    );
     let w = b.read(T_C, Expr::param(0), 0);
-    b.write(T_C, Expr::param(0), 0, Expr::mul(Expr::var(w), Expr::int(3)));
+    b.write(
+        T_C,
+        Expr::param(0),
+        0,
+        Expr::mul(Expr::var(w), Expr::int(3)),
+    );
     reg.register(b.build().unwrap()).unwrap();
 
     reg
@@ -58,7 +74,8 @@ const KEYS: u64 = 12;
 fn seeded_db() -> Database {
     let db = Database::new(catalog());
     for k in 0..KEYS {
-        db.seed_row(T_A, k, Row::from([Value::Int(100 + k as i64)])).unwrap();
+        db.seed_row(T_A, k, Row::from([Value::Int(100 + k as i64)]))
+            .unwrap();
         db.seed_row(T_B, k, Row::from([Value::Int(10)])).unwrap();
         db.seed_row(T_C, k, Row::from([Value::Int(2)])).unwrap();
     }
@@ -83,8 +100,181 @@ fn txn_strategy() -> impl Strategy<Value = RandTxn> {
     })
 }
 
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>()
+            .prop_filter("nan != nan", |f| !f.is_nan())
+            .prop_map(Value::Float),
+        ".{0,16}".prop_map(|s| Value::str(&s)),
+    ]
+}
+
+fn write_strategy() -> impl Strategy<Value = WriteRecord> {
+    (
+        0u32..4,
+        any::<u64>(),
+        0u32..3,
+        proptest::collection::vec(value_strategy(), 1..4),
+        any::<u64>(),
+    )
+        .prop_map(|(table, key, kind, cols, prev_ts)| {
+            let kind = match kind {
+                0 => WriteKind::Update,
+                1 => WriteKind::Insert,
+                _ => WriteKind::Delete,
+            };
+            WriteRecord {
+                table: TableId::new(table),
+                key,
+                kind,
+                after: if kind == WriteKind::Delete {
+                    None
+                } else {
+                    Some(Row::new(cols))
+                },
+                prev_ts,
+            }
+        })
+}
+
+/// Every [`LogPayload`] variant, including the adaptive `TaggedWrites`.
+fn payload_strategy() -> impl Strategy<Value = LogPayload> {
+    let writes = || proptest::collection::vec(write_strategy(), 0..6);
+    prop_oneof![
+        (0u32..8, proptest::collection::vec(value_strategy(), 0..6)).prop_map(|(p, params)| {
+            LogPayload::Command {
+                proc: ProcId::new(p),
+                params: params.into(),
+            }
+        }),
+        (writes(), any::<bool>()).prop_map(|(w, physical)| LogPayload::Writes {
+            writes: w,
+            physical,
+            adhoc: false,
+        }),
+        writes().prop_map(|w| LogPayload::Writes {
+            writes: w,
+            physical: false,
+            adhoc: true,
+        }),
+        (0u32..8, writes()).prop_map(|(p, w)| LogPayload::TaggedWrites {
+            proc: ProcId::new(p),
+            writes: w,
+        }),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Codec totality: any record of any payload variant round-trips
+    /// byte-exactly, alone and concatenated into a mixed stream.
+    #[test]
+    fn any_payload_roundtrips(
+        records in proptest::collection::vec((1u64..1 << 48, payload_strategy()), 1..12),
+    ) {
+        let records: Vec<TxnLogRecord> = records
+            .into_iter()
+            .map(|(ts, payload)| TxnLogRecord { ts, payload })
+            .collect();
+        let mut stream = Vec::new();
+        for r in &records {
+            // Individual roundtrip.
+            let bytes = r.to_bytes();
+            let mut cur = Cursor::new(&bytes);
+            let back = TxnLogRecord::decode(&mut cur)
+                .map_err(|e| TestCaseError::fail(format!("decode: {e}")))?;
+            prop_assert!(cur.is_empty(), "trailing bytes");
+            prop_assert!(r.structurally_equal(&back), "{r:?} != {back:?}");
+            r.encode(&mut stream);
+        }
+        // Mixed-stream roundtrip (what a log batch file holds).
+        let mut cur = Cursor::new(&stream);
+        for r in &records {
+            let back = TxnLogRecord::decode(&mut cur)
+                .map_err(|e| TestCaseError::fail(format!("stream decode: {e}")))?;
+            prop_assert!(r.structurally_equal(&back));
+        }
+        prop_assert!(cur.is_empty());
+    }
+
+    /// Truncating a record anywhere must error, never panic (corrupt-tail
+    /// handling during reload).
+    #[test]
+    fn truncated_records_error_cleanly(ts in 1u64..1 << 48, payload in payload_strategy()) {
+        let bytes = TxnLogRecord { ts, payload }.to_bytes();
+        for cut in 0..bytes.len() {
+            let mut cur = Cursor::new(&bytes[..cut]);
+            prop_assert!(TxnLogRecord::decode(&mut cur).is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    /// Serially commit a random history, logging each transaction in a
+    /// randomly chosen adaptive format (command or proc-tagged logical):
+    /// ALR-P in every replay mode must recover the exact state.
+    #[test]
+    fn random_mixed_histories_recover_exactly(
+        txns in proptest::collection::vec((txn_strategy(), any::<bool>()), 1..60),
+    ) {
+        let reg = registry();
+        let reference = seeded_db();
+        let storage = StorageSet::for_tests();
+        pacman_wal::run_checkpoint(&std::sync::Arc::new(seeded_db()), &storage, 1).unwrap();
+
+        let mut buf = Vec::new();
+        let mut batch = 0u64;
+        let mut count = 0u64;
+        for (i, (t, logical)) in txns.iter().enumerate() {
+            let params: pacman_sproc::Params = vec![
+                Value::Int(t.k1 as i64),
+                if t.proc == 0 { Value::Int(t.k2 as i64) } else { Value::Int(t.amt) },
+            ].into();
+            let proc = reg.get(ProcId::new(t.proc)).unwrap();
+            let epoch = 1 + (i as u64) / 7;
+            match pacman_engine::run_procedure_with_epoch(&reference, proc, &params, || epoch) {
+                Ok(info) => {
+                    let payload = if *logical {
+                        LogPayload::TaggedWrites { proc: proc.id, writes: info.writes.clone() }
+                    } else {
+                        LogPayload::Command { proc: proc.id, params }
+                    };
+                    TxnLogRecord { ts: info.ts, payload }.encode(&mut buf);
+                    count += 1;
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("serial commit failed: {e}"))),
+            }
+            if (i + 1) % 10 == 0 {
+                storage.disk(0).append(&format!("log/00/{batch:010}"), &buf);
+                buf.clear();
+                batch += 1;
+            }
+        }
+        if !buf.is_empty() {
+            storage.disk(0).append(&format!("log/00/{batch:010}"), &buf);
+        }
+        storage.disk(0).write_file("pepoch.log", &u64::MAX.to_le_bytes());
+
+        let want = reference.fingerprint();
+        for scheme in [
+            RecoveryScheme::AlrP { mode: ReplayMode::PureStatic },
+            RecoveryScheme::AlrP { mode: ReplayMode::Synchronous },
+            RecoveryScheme::AlrP { mode: ReplayMode::Pipelined },
+            RecoveryScheme::Clr,
+        ] {
+            let out = pacman_core::recovery::recover(
+                &storage,
+                &catalog(),
+                &reg,
+                &RecoveryConfig { scheme, threads: 4 },
+            ).map_err(|e| TestCaseError::fail(format!("{}: {e}", scheme.label())))?;
+            prop_assert_eq!(out.report.txns, count);
+            prop_assert_eq!(
+                out.db.fingerprint(), want,
+                "{} diverged on {} txns", scheme.label(), txns.len()
+            );
+        }
+    }
 
     /// Serially commit a random history under command logging, then recover
     /// with CLR and all three CLR-P modes: fingerprints must match.

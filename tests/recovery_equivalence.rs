@@ -48,7 +48,11 @@ fn graceful_roundtrip(
     let sys = System::boot_for_tests(workload, durability(log_scheme));
     pacman_wal::run_checkpoint(&sys.db, &sys.storage, 2).expect("initial checkpoint");
     let result = sys.run(workload, &driver());
-    assert!(result.committed > 50, "too few commits: {}", result.committed);
+    assert!(
+        result.committed > 50,
+        "too few commits: {}",
+        result.committed
+    );
     let (storage, registry, catalog, reference) = sys.shutdown();
     let want = reference.fingerprint();
 
@@ -186,6 +190,227 @@ fn tpcc_physical_and_logical() {
         LogScheme::Logical,
         &[RecoveryScheme::Llr { latch: true }, RecoveryScheme::LlrP],
     );
+}
+
+/// Adaptive logging end to end: driver → durability (cost-model
+/// classifier) → graceful stop → ALR-P recovery, exact on bank and
+/// Smallbank.
+#[test]
+fn adaptive_logging_alr_p_roundtrip() {
+    for workload in [
+        &Bank {
+            accounts: 512,
+            ..Bank::default()
+        } as &dyn Workload,
+        &Smallbank {
+            accounts: 1024,
+            ..Smallbank::default()
+        },
+    ] {
+        let sys = System::boot_for_tests(workload, durability(LogScheme::Adaptive));
+        sys.durability.set_classifier(std::sync::Arc::new(
+            pacman_core::static_analysis::CostModel::for_procs(sys.registry.all()),
+        ));
+        pacman_wal::run_checkpoint(&sys.db, &sys.storage, 2).unwrap();
+        let result = sys.run(workload, &driver());
+        assert!(result.committed > 50);
+        let (storage, registry, catalog, reference) = sys.shutdown();
+        for scheme in [
+            RecoveryScheme::AlrP {
+                mode: ReplayMode::Pipelined,
+            },
+            RecoveryScheme::AlrP {
+                mode: ReplayMode::Synchronous,
+            },
+            RecoveryScheme::AlrP {
+                mode: ReplayMode::PureStatic,
+            },
+        ] {
+            for threads in [1usize, 4] {
+                let out = recover_crashed(
+                    &storage,
+                    &catalog,
+                    &registry,
+                    &RecoveryConfig { scheme, threads },
+                )
+                .unwrap_or_else(|e| panic!("{} recovery failed: {e}", scheme.label()));
+                assert_eq!(
+                    out.db.fingerprint(),
+                    reference.fingerprint(),
+                    "{} with {threads} threads diverged",
+                    scheme.label()
+                );
+            }
+        }
+    }
+}
+
+/// Adaptive logging after a hard crash: the durable prefix recovers
+/// without error and the recovered transaction count is sane.
+#[test]
+fn adaptive_logging_survives_hard_crash() {
+    let bank = Bank {
+        accounts: 256,
+        ..Bank::default()
+    };
+    let sys = System::boot_for_tests(&bank, durability(LogScheme::Adaptive));
+    sys.durability.set_classifier(std::sync::Arc::new(
+        pacman_core::static_analysis::CostModel::for_procs(sys.registry.all()),
+    ));
+    pacman_wal::run_checkpoint(&sys.db, &sys.storage, 2).unwrap();
+    let result = sys.run(&bank, &driver());
+    let (storage, registry, catalog) = sys.crash();
+    let out = recover_crashed(
+        &storage,
+        &catalog,
+        &registry,
+        &RecoveryConfig {
+            scheme: RecoveryScheme::AlrP {
+                mode: ReplayMode::Pipelined,
+            },
+            threads: 4,
+        },
+    )
+    .unwrap();
+    assert!(out.report.txns > 0, "nothing durable after crash");
+    assert!(out.report.txns <= result.committed);
+}
+
+/// The ISSUE's core equivalence property: from the *same* crash point —
+/// one serial history, logged three ways (command / logical / adaptive
+/// mix), truncated at the same durability frontier — ALR-P, CLR-P and
+/// LLR-P recover byte-identical table states.
+#[test]
+fn alr_p_clr_p_llr_p_byte_identical_from_same_crash_point() {
+    use pacman_common::{Encoder, Fingerprint};
+    use pacman_engine::Database;
+    use pacman_sproc::Params;
+    use pacman_wal::{LogPayload, TxnLogRecord};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    let scenarios: Vec<Box<dyn Workload>> = vec![
+        Box::new(Bank {
+            accounts: 64,
+            ..Bank::default()
+        }),
+        Box::new(Smallbank {
+            accounts: 128,
+            ..Smallbank::default()
+        }),
+    ];
+    for workload in scenarios {
+        let registry = workload.registry();
+        let catalog = workload.catalog();
+        let db = Database::new(catalog.clone());
+        workload.load(&db);
+
+        // One deterministic serial history. Epochs advance every 8
+        // commits; the crash point is the durability frontier `pepoch`,
+        // which truncates the log mid-history for every scheme alike.
+        const TXNS: u64 = 96;
+        const PER_EPOCH: u64 = 8;
+        const PEPOCH: u64 = 1 + (TXNS / PER_EPOCH) / 2; // half the history
+        let mut rng = SmallRng::seed_from_u64(0xADA97);
+        let mut cl_log = Vec::new();
+        let mut ll_log = Vec::new();
+        let mut alr_log = Vec::new();
+        let mut reference: Option<Fingerprint> = None;
+        let mut i = 0u64;
+        while i < TXNS {
+            let (pid, params): (pacman_common::ProcId, Params) = workload.next_txn(&mut rng);
+            let proc = registry.get(pid).unwrap();
+            let epoch = 1 + i / PER_EPOCH;
+            let info = match pacman_engine::run_procedure_with_epoch(&db, proc, &params, || epoch) {
+                Ok(info) => info,
+                Err(pacman_common::Error::TxnAborted(_)) => continue,
+                Err(e) => panic!("history execution failed: {e}"),
+            };
+            if info.writes.is_empty() {
+                continue; // read-only: not logged under any scheme
+            }
+            i += 1;
+            TxnLogRecord {
+                ts: info.ts,
+                payload: LogPayload::Command {
+                    proc: pid,
+                    params: params.clone(),
+                },
+            }
+            .encode(&mut cl_log);
+            TxnLogRecord {
+                ts: info.ts,
+                payload: LogPayload::Writes {
+                    writes: info.writes.clone(),
+                    physical: false,
+                    adhoc: false,
+                },
+            }
+            .encode(&mut ll_log);
+            // Adaptive mix: every third transaction is "expensive" and
+            // carries its after-images; the rest stay commands.
+            let payload = if i.is_multiple_of(3) {
+                LogPayload::TaggedWrites {
+                    proc: pid,
+                    writes: info.writes.clone(),
+                }
+            } else {
+                LogPayload::Command {
+                    proc: pid,
+                    params: params.clone(),
+                }
+            };
+            TxnLogRecord {
+                ts: info.ts,
+                payload,
+            }
+            .encode(&mut alr_log);
+
+            if epoch == PEPOCH && i.is_multiple_of(PER_EPOCH) {
+                // State at the crash point: everything with epoch <= PEPOCH.
+                reference = Some(db.fingerprint());
+            }
+        }
+        let want = reference.expect("crash point inside the history");
+
+        // Each scheme recovers from the same checkpointed base + its log,
+        // truncated at the same pepoch.
+        let run = |bytes: &[u8], scheme: RecoveryScheme| -> Fingerprint {
+            let storage = pacman_storage::StorageSet::for_tests();
+            let base = std::sync::Arc::new(Database::new(catalog.clone()));
+            workload.load(&base);
+            pacman_wal::run_checkpoint(&base, &storage, 1).unwrap();
+            storage.disk(0).append("log/00/0000000000", bytes);
+            storage
+                .disk(0)
+                .write_file("pepoch.log", &PEPOCH.to_le_bytes());
+            let out = recover_crashed(
+                &storage,
+                &catalog,
+                &registry,
+                &RecoveryConfig { scheme, threads: 4 },
+            )
+            .unwrap_or_else(|e| panic!("{} failed: {e}", scheme.label()));
+            out.db.fingerprint()
+        };
+
+        let clr_p = run(
+            &cl_log,
+            RecoveryScheme::ClrP {
+                mode: ReplayMode::Pipelined,
+            },
+        );
+        let llr_p = run(&ll_log, RecoveryScheme::LlrP);
+        let alr_p = run(
+            &alr_log,
+            RecoveryScheme::AlrP {
+                mode: ReplayMode::Pipelined,
+            },
+        );
+        assert_eq!(clr_p, want, "CLR-P diverged on {}", workload.name());
+        assert_eq!(llr_p, want, "LLR-P diverged on {}", workload.name());
+        assert_eq!(alr_p, want, "ALR-P diverged on {}", workload.name());
+    }
 }
 
 /// After a *hard crash*, only the durable prefix is recoverable; CLR and
