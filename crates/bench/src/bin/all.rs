@@ -1,14 +1,29 @@
 //! Run every table/figure harness in sequence (pass --quick through).
 
+use pacman_bench::BenchOpts;
 use std::process::Command;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = BenchOpts::from_args().quick;
     let me = std::env::current_exe().expect("current exe");
     let dir = me.parent().expect("bin dir");
     for target in [
-        "fig11", "table1", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
-        "fig20", "fig21", "table2", "table3",
+        "fig11",
+        "table1",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "fig19",
+        "fig20",
+        "fig21",
+        "table2",
+        "table3",
+        "fig_adaptive",
+        "fig_restart",
     ] {
         let mut cmd = Command::new(dir.join(target));
         if quick {

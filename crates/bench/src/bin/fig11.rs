@@ -2,7 +2,7 @@
 //! PL / LL / CL / OFF, with one vs two simulated SSDs and periodic
 //! checkpointing (checkpoint seconds flagged `*`).
 
-use pacman_bench::{banner, bench_tpcc, boot, drive, num_threads, BenchOpts};
+use pacman_bench::{banner, bench_tpcc, boot, default_workers, drive, BenchOpts};
 use pacman_wal::LogScheme;
 use std::time::Duration;
 
@@ -15,7 +15,7 @@ fn main() {
          does not close the gap",
     );
     let secs = opts.run_secs() + 2;
-    let workers = num_threads().saturating_sub(4).max(2);
+    let workers = default_workers();
     for disks in [1usize, 2] {
         println!("\n--- {disks} SSD(s), {workers} workers, {secs}s ---");
         println!(

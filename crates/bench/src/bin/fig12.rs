@@ -2,7 +2,7 @@
 //! latency grows roughly linearly with the ad-hoc fraction under command
 //! logging.
 
-use pacman_bench::{banner, bench_tpcc, boot, drive, num_threads, BenchOpts};
+use pacman_bench::{banner, bench_tpcc, boot, default_workers, drive, BenchOpts};
 use pacman_wal::LogScheme;
 use std::time::Duration;
 
@@ -14,7 +14,7 @@ fn main() {
          100% the system effectively performs logical logging",
     );
     let secs = opts.run_secs();
-    let workers = num_threads().saturating_sub(4).max(2);
+    let workers = default_workers();
     let fractions: &[f64] = if opts.quick {
         &[0.0, 0.5, 1.0]
     } else {

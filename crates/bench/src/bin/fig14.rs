@@ -1,7 +1,9 @@
 //! Fig. 14: log recovery — pure log reloading (a) and overall duration (b)
 //! for the five schemes across thread counts.
 
-use pacman_bench::{banner, bench_tpcc, num_threads, prepare_crashed, recover_checked, BenchOpts};
+use pacman_bench::{
+    banner, bench_tpcc, default_workers, prepare_crashed, recover_checked, BenchOpts,
+};
 use pacman_core::recovery::RecoveryScheme;
 use pacman_core::runtime::ReplayMode;
 use pacman_wal::LogScheme;
@@ -15,7 +17,7 @@ fn main() {
          contention; CLR-P scales with threads",
     );
     let secs = opts.run_secs();
-    let workers = num_threads().saturating_sub(4).max(2);
+    let workers = default_workers();
     // One crashed image per log type.
     let cl = prepare_crashed(
         &bench_tpcc(opts.quick),

@@ -2,7 +2,7 @@
 //! latches across thread counts (without latches is unsafe in general and
 //! serves only to expose the ceiling).
 
-use pacman_bench::{banner, num_threads, prepare_crashed, recover_checked, BenchOpts};
+use pacman_bench::{banner, default_workers, prepare_crashed, recover_checked, BenchOpts};
 use pacman_core::recovery::RecoveryScheme;
 use pacman_wal::LogScheme;
 use pacman_workloads::tpcc::{Tpcc, TpccConfig};
@@ -17,7 +17,7 @@ fn main() {
     // One warehouse concentrates contention on a handful of hot tuples.
     let workload = Tpcc::new(TpccConfig::bench(1));
     let secs = opts.run_secs();
-    let workers = num_threads().saturating_sub(4).max(2);
+    let workers = default_workers();
     let ll = prepare_crashed(&workload, LogScheme::Logical, secs, workers, 0.0);
     let pl = prepare_crashed(&workload, LogScheme::Physical, secs, workers, 0.0);
     println!(

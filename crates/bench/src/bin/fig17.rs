@@ -3,7 +3,8 @@
 //! fraction grows (write-only replay skips the reads).
 
 use pacman_bench::{
-    banner, bench_smallbank, bench_tpcc, num_threads, prepare_crashed, recover_checked, BenchOpts,
+    banner, bench_smallbank, bench_tpcc, default_workers, num_threads, prepare_crashed,
+    recover_checked, BenchOpts,
 };
 use pacman_core::recovery::RecoveryScheme;
 use pacman_core::runtime::ReplayMode;
@@ -18,7 +19,7 @@ fn main() {
     );
     let threads = num_threads().min(24);
     let secs = opts.run_secs();
-    let workers = num_threads().saturating_sub(4).max(2);
+    let workers = default_workers();
     let fractions: &[f64] = if opts.quick {
         &[0.0, 0.5, 1.0]
     } else {

@@ -2,7 +2,7 @@
 //! decomposition vs the transaction-chopping baseline, dynamic analysis
 //! disabled (pure-static replay), 1-8 threads.
 
-use pacman_bench::{banner, bench_tpcc, num_threads, prepare_crashed, BenchOpts};
+use pacman_bench::{banner, bench_tpcc, default_workers, prepare_crashed, BenchOpts};
 use pacman_core::metrics::RecoveryMetrics;
 use pacman_core::recovery::{clr_p, LogInventory};
 use pacman_core::runtime::ReplayMode;
@@ -20,7 +20,7 @@ fn main() {
          available without dynamic analysis",
     );
     let secs = opts.run_secs();
-    let workers = num_threads().saturating_sub(4).max(2);
+    let workers = default_workers();
     let crashed = prepare_crashed(
         &bench_tpcc(opts.quick),
         LogScheme::Command,

@@ -2,7 +2,9 @@
 //! synchronous (static + intra-batch) vs pipelined (full PACMAN) across
 //! thread counts.
 
-use pacman_bench::{banner, bench_tpcc, num_threads, prepare_crashed, recover_checked, BenchOpts};
+use pacman_bench::{
+    banner, bench_tpcc, default_workers, prepare_crashed, recover_checked, BenchOpts,
+};
 use pacman_core::recovery::RecoveryScheme;
 use pacman_core::runtime::ReplayMode;
 use pacman_wal::LogScheme;
@@ -15,7 +17,7 @@ fn main() {
          full thread count; pipelined execution improves it further",
     );
     let secs = opts.run_secs();
-    let workers = num_threads().saturating_sub(4).max(2);
+    let workers = default_workers();
     let crashed = prepare_crashed(
         &bench_tpcc(opts.quick),
         LogScheme::Command,

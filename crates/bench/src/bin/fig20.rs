@@ -1,7 +1,9 @@
 //! Fig. 20: log recovery time breakdown — useful work / data loading /
 //! parameter checking / scheduling fractions across thread counts.
 
-use pacman_bench::{banner, bench_tpcc, num_threads, prepare_crashed, recover_checked, BenchOpts};
+use pacman_bench::{
+    banner, bench_tpcc, default_workers, prepare_crashed, recover_checked, BenchOpts,
+};
 use pacman_core::recovery::RecoveryScheme;
 use pacman_core::runtime::ReplayMode;
 use pacman_wal::LogScheme;
@@ -14,7 +16,7 @@ fn main() {
          loading and parameter checking stay lightweight",
     );
     let secs = opts.run_secs();
-    let workers = num_threads().saturating_sub(4).max(2);
+    let workers = default_workers();
     let crashed = prepare_crashed(
         &bench_tpcc(opts.quick),
         LogScheme::Command,

@@ -16,19 +16,13 @@
 //! shrinks run lengths.
 
 use pacman_bench::{
-    banner, bench_smallbank, bench_tpcc, num_threads, prepare_crashed_on, recover_checked,
-    BenchOpts,
+    banner, bench_smallbank, bench_tpcc, default_workers, full_speed_ssd, num_threads,
+    prepare_crashed_on, recover_checked, BenchOpts,
 };
 use pacman_core::recovery::RecoveryScheme;
 use pacman_core::runtime::ReplayMode;
-use pacman_storage::DiskConfig;
 use pacman_wal::LogScheme;
 use pacman_workloads::Workload;
-
-/// The paper's evaluation device (≈550/520 MB/s SSD), unscaled.
-fn full_speed_ssd() -> DiskConfig {
-    DiskConfig::scaled_ssd("ssd", 1.0)
-}
 
 struct Row {
     label: &'static str,
@@ -111,9 +105,7 @@ fn verdict(rows: &[Row]) {
 
 fn main() {
     let opts = BenchOpts::from_args();
-    let only = std::env::args()
-        .any(|a| a == "--scheme")
-        .then(|| pacman_bench::BenchOpts::scheme_from_args(LogScheme::Adaptive));
+    let only = BenchOpts::scheme_filter();
     banner(
         "Adaptive hybrid logging — CLR-P vs LLR-P vs ALR-P",
         "per-transaction format choice: command-log the cheap-to-replay \
@@ -122,7 +114,7 @@ fn main() {
     );
     let threads = num_threads().min(24);
     let secs = opts.run_secs();
-    let workers = num_threads().saturating_sub(4).max(2);
+    let workers = default_workers();
     let pipelined = ReplayMode::Pipelined;
 
     // Workloads are stateless generators: one instance serves all three

@@ -1,0 +1,124 @@
+//! Instant restart: offline recovery vs. online recovery with on-demand
+//! replay, across CLR-P / LLR-P / ALR-P on the replay-cost-skewed TPC-C.
+//!
+//! Offline recovery acknowledges its first post-crash transaction only
+//! after the *entire* log has replayed, so its time-to-first-commit is the
+//! recovery wall time. Instant restart serves a transaction as soon as
+//! the transaction's own static footprint (dependency-graph blocks for
+//! command schemes, table shards for LLR-P) reaches its final state, with
+//! waiting transactions prioritizing the replay of exactly those
+//! partitions (Sauer & Härder's on-demand redo). The availability ramp —
+//! time-to-first-commit and time-to-90%-throughput — is the measurement.
+//!
+//! Full-speed device + loop-heavy mix: replay compute dominates reload,
+//! which is the regime where serving during replay pays.
+//!
+//! `--quick` shrinks the run; `--scheme <name>` narrows to one scheme.
+
+use pacman_bench::{
+    banner, bench_tpcc, default_workers, full_speed_ssd, instant_restart, num_threads,
+    prepare_crashed_on, recover_checked, BenchOpts,
+};
+use pacman_core::recovery::RecoveryScheme;
+use pacman_core::runtime::ReplayMode;
+use pacman_wal::LogScheme;
+use pacman_workloads::RampConfig;
+use std::time::Duration;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let only = BenchOpts::scheme_filter();
+    banner(
+        "Instant restart — offline recovery vs. online recovery + on-demand replay",
+        "first new commit is acknowledged in a small fraction of the offline \
+         recovery wall time; throughput ramps to steady state while replay \
+         is still draining cold partitions",
+    );
+    let threads = num_threads().min(24);
+    let workers = default_workers();
+    let secs = opts.run_secs();
+    let tpcc = pacman_workloads::tpcc::Tpcc::new(bench_tpcc(opts.quick).cfg.skewed_restart());
+
+    let configs: [(LogScheme, RecoveryScheme, &'static str); 3] = [
+        (
+            LogScheme::Command,
+            RecoveryScheme::ClrP {
+                mode: ReplayMode::Pipelined,
+            },
+            "CLR-P",
+        ),
+        (LogScheme::Logical, RecoveryScheme::LlrP, "LLR-P"),
+        (
+            LogScheme::Adaptive,
+            RecoveryScheme::AlrP {
+                mode: ReplayMode::Pipelined,
+            },
+            "ALR-P",
+        ),
+    ];
+
+    println!(
+        "\n{:>8} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "scheme", "txns", "offline (s)", "first (s)", "t90 (s)", "ratio", "gated", "steady tps"
+    );
+    for (log, rec, label) in configs {
+        if let Some(o) = only {
+            if o != log {
+                continue;
+            }
+        }
+        let crashed = prepare_crashed_on(&tpcc, log, secs, workers, 0.0, full_speed_ssd());
+        // Offline baseline: the database is unavailable for the whole
+        // recovery — time-to-first-commit = recovery wall time.
+        let offline = recover_checked(&crashed, rec, threads);
+        let offline_secs = offline.report.total_secs;
+
+        // Instant restart on the same image: serve through the gate while
+        // background workers replay, then extend the log (resumed epochs).
+        let ramp_len = Duration::from_secs_f64((2.0 * offline_secs).clamp(1.0, 30.0));
+        let run = instant_restart(
+            &crashed,
+            &tpcc,
+            log,
+            rec,
+            threads,
+            &RampConfig {
+                workers,
+                duration: ramp_len,
+                ..RampConfig::default()
+            },
+        );
+        let first = run.ramp.first_commit_secs.unwrap_or(f64::NAN);
+        let ratio = first / offline_secs;
+        println!(
+            "{:>8} {:>10} {:>12.3} {:>12.3} {:>12} {:>9.0}% {:>10} {:>10.0}",
+            label,
+            run.outcome.report.txns,
+            offline_secs,
+            first,
+            run.ramp
+                .t90_secs
+                .map(|t| format!("{t:.3}"))
+                .unwrap_or_else(|| "-".into()),
+            ratio * 100.0,
+            run.ramp.gated_admissions,
+            run.ramp.steady_tps,
+        );
+        assert_eq!(
+            run.outcome.report.txns, offline.report.txns,
+            "{label}: online replayed a different transaction count"
+        );
+    }
+    println!(
+        "\n(first = time-to-first-commit of the online session; ratio = first / offline wall; \
+         gated = admissions that found their footprint still cold)"
+    );
+    println!(
+        "(CLR-P is the instant-restart story: command replay dominates its recovery, so \
+         on-demand redo of a waiting footprint lands far ahead of the full wall. LLR-P and \
+         ALR-P replays are reload-bound / short-circuited — no admission can clear before \
+         the whole log is read, so their ratio floors at the load share and can exceed \
+         100% on a single hardware thread, where the serving workers time-slice against \
+         the load itself.)"
+    );
+}

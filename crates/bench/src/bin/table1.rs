@@ -1,7 +1,7 @@
 //! Table 1: throughput and log size (MB/min) for PL / LL / CL on TPC-C
 //! and Smallbank, with the PL/CL and LL/CL size ratios.
 
-use pacman_bench::{banner, bench_smallbank, bench_tpcc, boot, drive, num_threads, BenchOpts};
+use pacman_bench::{banner, bench_smallbank, bench_tpcc, boot, default_workers, drive, BenchOpts};
 use pacman_wal::LogScheme;
 
 fn main() {
@@ -12,7 +12,7 @@ fn main() {
          (small write sets), CL still fastest",
     );
     let secs = opts.run_secs();
-    let workers = num_threads().saturating_sub(4).max(2);
+    let workers = default_workers();
     for wl in ["tpcc", "smallbank"] {
         let mut tput = Vec::new();
         let mut rate = Vec::new();

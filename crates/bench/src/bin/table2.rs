@@ -1,7 +1,7 @@
 //! Table 2 (Appendix D): overall SSD write bandwidth per logging scheme,
 //! one vs two devices, with and without checkpointing.
 
-use pacman_bench::{banner, bench_tpcc, boot, drive, num_threads, BenchOpts};
+use pacman_bench::{banner, bench_tpcc, boot, default_workers, drive, BenchOpts};
 use pacman_wal::LogScheme;
 use std::time::Duration;
 
@@ -14,7 +14,7 @@ fn main() {
          constrains it",
     );
     let secs = opts.run_secs();
-    let workers = num_threads().saturating_sub(4).max(2);
+    let workers = default_workers();
     println!(
         "{:>6} {:>8} {:>12} {:>16} {:>12}",
         "disks", "ckpt", "scheme", "write MB/s", "MB logged"

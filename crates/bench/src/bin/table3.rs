@@ -1,7 +1,7 @@
 //! Table 3 (Appendix D): average transaction latency with and without
 //! fsync, one vs two devices (checkpointing disabled, as in the paper).
 
-use pacman_bench::{banner, bench_tpcc, boot, drive, num_threads, BenchOpts};
+use pacman_bench::{banner, bench_tpcc, boot, default_workers, drive, BenchOpts};
 use pacman_wal::LogScheme;
 
 fn main() {
@@ -12,7 +12,7 @@ fn main() {
          command logging is least affected because its records are small",
     );
     let secs = opts.run_secs();
-    let workers = num_threads().saturating_sub(4).max(2);
+    let workers = default_workers();
     println!(
         "{:>6} {:>8} {:>12} {:>16} {:>14}",
         "disks", "fsync", "scheme", "mean lat (us)", "p99 (us)"

@@ -44,15 +44,22 @@ impl BenchOpts {
     /// Parse `--scheme <name>` from `std::env::args` (off / physical /
     /// logical / command / adaptive), falling back to `default`.
     pub fn scheme_from_args(default: LogScheme) -> LogScheme {
+        Self::scheme_filter().unwrap_or(default)
+    }
+
+    /// `--scheme <name>` as a filter: `None` when the flag is absent
+    /// (= run every scheme), `Some` to narrow a sweep to one scheme.
+    pub fn scheme_filter() -> Option<LogScheme> {
         let mut args = std::env::args();
         while let Some(a) = args.next() {
             if a == "--scheme" {
                 let name = args.next().expect("--scheme requires a value");
-                return LogScheme::parse(&name)
-                    .unwrap_or_else(|| panic!("unknown --scheme {name}"));
+                return Some(
+                    LogScheme::parse(&name).unwrap_or_else(|| panic!("unknown --scheme {name}")),
+                );
             }
         }
-        default
+        None
     }
 
     /// Seconds of transaction processing before the crash.
@@ -84,11 +91,24 @@ pub fn num_threads() -> usize {
         .unwrap_or(8)
 }
 
+/// The standard transaction-worker count of the harness binaries: leave
+/// headroom for loggers/checkpointer/pepoch threads, floor at 2.
+pub fn default_workers() -> usize {
+    num_threads().saturating_sub(4).max(2)
+}
+
 /// The scaled simulated SSD used throughout the harness (1/10 of the
 /// paper's 550/520 MB/s device so second-long runs saturate it the way the
 /// paper's 10-minute runs saturate the real one).
 pub fn bench_disk() -> DiskConfig {
     DiskConfig::scaled_ssd("ssd", 0.1)
+}
+
+/// The paper's evaluation device (≈550/520 MB/s SSD), unscaled — used
+/// where replay *compute* (not reload bandwidth) is the effect under
+/// measurement (adaptive logging, instant restart).
+pub fn full_speed_ssd() -> DiskConfig {
+    DiskConfig::scaled_ssd("ssd", 1.0)
 }
 
 /// The benchmark TPC-C scale.
@@ -270,6 +290,76 @@ pub fn prepare_crashed_on(
         bytes_logged,
         command_records: sys.durability.command_records(),
         logical_records: sys.durability.logical_records(),
+    }
+}
+
+/// One instant-restart run: the availability ramp measured while replay
+/// was still running, plus the settled recovery outcome.
+pub struct RestartRun {
+    /// Ramp measured from the moment the online session went live.
+    pub ramp: pacman_workloads::RampResult,
+    /// The settled session (report of the background replay).
+    pub outcome: RecoveryOutcome,
+    /// What the reopened durability stack resumed from.
+    pub resume: pacman_wal::ResumeInfo,
+}
+
+/// The durability configuration [`boot_on`] uses — `reopen` must mirror
+/// it (batch naming derives from `num_loggers`/`batch_epochs`).
+pub fn bench_durability(scheme: LogScheme, disks: usize) -> DurabilityConfig {
+    DurabilityConfig {
+        scheme,
+        num_loggers: disks,
+        epoch_interval: Duration::from_millis(3),
+        batch_epochs: 16,
+        checkpoint_interval: None,
+        checkpoint_threads: disks,
+        fsync: true,
+    }
+}
+
+/// Instant restart against a crashed image: start an online recovery
+/// session, reopen the surviving log for resumed logging, and drive the
+/// workload through the admission gate while replay runs in the
+/// background. Returns the measured ramp and the settled outcome.
+pub fn instant_restart(
+    crashed: &Crashed,
+    workload: &dyn Workload,
+    log_scheme: LogScheme,
+    scheme: RecoveryScheme,
+    threads: usize,
+    ramp: &pacman_workloads::RampConfig,
+) -> RestartRun {
+    let session = pacman_core::recovery::recover_online(
+        &crashed.storage,
+        &crashed.catalog,
+        &crashed.registry,
+        &RecoveryConfig { scheme, threads },
+    )
+    .unwrap_or_else(|e| panic!("{} online recovery failed: {e}", scheme.label()));
+    let (durability, resume) = Durability::reopen(
+        Arc::clone(session.db()),
+        crashed.storage.clone(),
+        bench_durability(log_scheme, 2),
+    );
+    session.release_checkpoints_on(&durability);
+    let admission = session.admission();
+    let ramp = pacman_workloads::run_ramp(
+        session.db(),
+        workload,
+        &crashed.registry,
+        &durability,
+        Some(&admission),
+        ramp,
+    );
+    let outcome = session
+        .wait()
+        .unwrap_or_else(|e| panic!("{} replay failed: {e}", scheme.label()));
+    durability.shutdown();
+    RestartRun {
+        ramp,
+        outcome,
+        resume,
     }
 }
 

@@ -47,6 +47,27 @@ pub fn recover_log(
     )
 }
 
+/// [`recover_log`] with an online-recovery gate (shares CLR-P's gated
+/// pipeline: per-block watermarks, wanted-block priority).
+#[allow(clippy::too_many_arguments)]
+pub fn recover_log_online(
+    storage: &StorageSet,
+    inventory: &LogInventory,
+    db: &Arc<Database>,
+    gdg: &Arc<GlobalGraph>,
+    registry: &ProcRegistry,
+    threads: usize,
+    mode: ReplayMode,
+    pepoch: u64,
+    after_ts: Timestamp,
+    metrics: &Arc<RecoveryMetrics>,
+    gate: Option<Arc<pacman_engine::RecoveryGate>>,
+) -> Result<LogRecovery> {
+    crate::recovery::clr_p::recover_log_online(
+        storage, inventory, db, gdg, registry, threads, mode, pepoch, after_ts, metrics, gate,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

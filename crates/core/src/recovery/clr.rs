@@ -26,11 +26,31 @@ pub fn recover_log(
     after_ts: Timestamp,
     metrics: &RecoveryMetrics,
 ) -> Result<LogRecovery> {
+    recover_log_online(
+        storage, inventory, db, registry, pepoch, after_ts, metrics, None,
+    )
+}
+
+/// [`recover_log`] publishing batch watermarks to an online-recovery
+/// gate. CLR replays strictly serially, so every block advances together:
+/// after batch `k`, every partition's watermark is `k + 1` (on-demand
+/// priority has nothing to reorder on a single thread).
+#[allow(clippy::too_many_arguments)]
+pub fn recover_log_online(
+    storage: &StorageSet,
+    inventory: &LogInventory,
+    db: &Database,
+    registry: &ProcRegistry,
+    pepoch: u64,
+    after_ts: Timestamp,
+    metrics: &RecoveryMetrics,
+    gate: Option<&pacman_engine::RecoveryGate>,
+) -> Result<LogRecovery> {
     let t0 = Instant::now();
     let mut reload = std::time::Duration::ZERO;
     let mut max_ts = 0u64;
     let mut txns = 0u64;
-    for batch in inventory.batches() {
+    for (bi, batch) in inventory.batches().into_iter().enumerate() {
         let tr = Instant::now();
         let merged = read_merged_batch(storage, inventory, batch, pepoch, after_ts)?;
         reload += tr.elapsed();
@@ -43,6 +63,11 @@ pub fn recover_log(
             metrics.count_txn();
         }
         metrics.add_work(tw.elapsed());
+        if let Some(g) = gate {
+            for p in 0..g.num_partitions() {
+                g.publish(p, bi as u64 + 1);
+            }
+        }
     }
     Ok(LogRecovery {
         reload,

@@ -10,11 +10,11 @@
 use crate::metrics::RecoveryMetrics;
 use crate::recovery::plr::LogRecovery;
 use crate::recovery::{read_merged_batch, LogInventory};
-use crate::runtime::{run_replay, ReplayMode};
+use crate::runtime::{run_replay_gated, ReplayMode};
 use crate::schedule::ExecutionSchedule;
 use crate::static_analysis::GlobalGraph;
 use pacman_common::{Error, Result, Timestamp};
-use pacman_engine::Database;
+use pacman_engine::{Database, RecoveryGate};
 use pacman_sproc::ProcRegistry;
 use pacman_storage::StorageSet;
 use pacman_wal::{LogBatch, LogPayload};
@@ -50,6 +50,27 @@ pub fn recover_log(
     pepoch: u64,
     after_ts: Timestamp,
     metrics: &Arc<RecoveryMetrics>,
+) -> Result<LogRecovery> {
+    recover_log_online(
+        storage, inventory, db, gdg, registry, threads, mode, pepoch, after_ts, metrics, None,
+    )
+}
+
+/// [`recover_log`] publishing per-block batch watermarks to an
+/// online-recovery gate and prioritizing blocks with waiting admissions.
+#[allow(clippy::too_many_arguments)]
+pub fn recover_log_online(
+    storage: &StorageSet,
+    inventory: &LogInventory,
+    db: &Arc<Database>,
+    gdg: &Arc<GlobalGraph>,
+    registry: &ProcRegistry,
+    threads: usize,
+    mode: ReplayMode,
+    pepoch: u64,
+    after_ts: Timestamp,
+    metrics: &Arc<RecoveryMetrics>,
+    gate: Option<Arc<RecoveryGate>>,
 ) -> Result<LogRecovery> {
     let t0 = Instant::now();
     let batches = inventory.batches();
@@ -130,7 +151,7 @@ pub fn recover_log(
                 }
             });
         }
-        run_replay(db, gdg, mode, threads, &estimate, metrics, rx)?;
+        run_replay_gated(db, gdg, mode, threads, &estimate, metrics, rx, gate)?;
         if let Some(e) = loader_err.lock().take() {
             return Err(e);
         }

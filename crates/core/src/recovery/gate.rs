@@ -1,0 +1,285 @@
+//! Footprint mapping for online recovery admission.
+//!
+//! The engine-level [`RecoveryGate`] tracks replay watermarks over opaque
+//! *partition* indices. This module owns the semantics of those indices
+//! and the mapping from a transaction invocation to the partitions it can
+//! touch — its **static footprint**:
+//!
+//! * **command schemes** (CLR / CLR-P / ALR-P) replay by re-executing
+//!   procedure pieces block by block, so a partition is one global
+//!   dependency-graph block. A procedure's footprint is the blocks of its
+//!   piece templates plus their ancestors (a block only reaches its final
+//!   state once every upstream block has, so flagging ancestors lets the
+//!   replay workers pull the whole chain forward);
+//! * **tuple schemes** (LLR-P) replay by reinstalling after-images, so a
+//!   partition is one (table, index-shard) pair. A procedure's footprint
+//!   resolves each op's key against the invocation parameters where the
+//!   key is parameter-computable; ops whose keys depend on upstream reads
+//!   or loop indices fall back to every shard of the op's table.
+//!
+//! [`GatedAdmission`] packages a gate plus a map behind the engine's
+//! [`AdmissionControl`] trait, which is what transaction drivers consume.
+
+use crate::static_analysis::GlobalGraph;
+use pacman_common::{BlockId, Key, ProcId, Result, TableId};
+use pacman_engine::{AdmissionControl, Database, RecoveryGate};
+use pacman_sproc::{EvalCtx, Params, ProcRegistry, ProcedureDef};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+/// Dense numbering of every (table, shard) pair of a database — the
+/// partition space tuple-level online replay publishes watermarks over.
+#[derive(Clone, Debug)]
+pub struct ShardMap {
+    /// Partition index of table `t`'s shard 0.
+    offsets: Vec<usize>,
+    total: usize,
+}
+
+impl ShardMap {
+    /// Build the map for `db`'s catalog.
+    pub fn new(db: &Database) -> ShardMap {
+        let mut offsets = Vec::with_capacity(db.tables().len());
+        let mut total = 0;
+        for t in db.tables() {
+            offsets.push(total);
+            total += t.num_shards();
+        }
+        ShardMap { offsets, total }
+    }
+
+    /// Total number of partitions.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Partition of `(table, key)`.
+    pub fn partition(&self, db: &Database, table: TableId, key: Key) -> Result<usize> {
+        let t = db.table(table)?;
+        Ok(self.offsets[table.index()] + t.shard_index(key))
+    }
+
+    /// All partitions of one table.
+    pub fn table_partitions(
+        &self,
+        db: &Database,
+        table: TableId,
+    ) -> Result<std::ops::Range<usize>> {
+        let t = db.table(table)?;
+        let base = self.offsets[table.index()];
+        Ok(base..base + t.num_shards())
+    }
+}
+
+/// One op's contribution to a tuple-scheme static footprint.
+#[derive(Clone, Debug)]
+enum ShardFp {
+    /// Key computable from the parameters alone: op index to evaluate.
+    Exact { table: TableId, op: usize },
+    /// Key depends on runtime state: every shard of the table.
+    Whole(TableId),
+}
+
+/// Invocation-to-partition mapping for one recovery scheme.
+pub struct GateMap {
+    kind: MapKind,
+}
+
+enum MapKind {
+    /// Command schemes: per-procedure block sets (ancestors included).
+    Blocks {
+        /// Footprints indexed by `ProcId::index()`.
+        footprints: Vec<Vec<usize>>,
+    },
+    /// Tuple schemes: per-procedure shard resolvers.
+    Shards {
+        /// The database whose sharding defines the partitions.
+        db: Arc<Database>,
+        /// The partition numbering.
+        map: ShardMap,
+        /// Procedures indexed by `ProcId::index()` (`None` = id gap).
+        procs: Vec<Option<Arc<ProcedureDef>>>,
+        /// Static per-op resolvers, same indexing.
+        footprints: Vec<Vec<ShardFp>>,
+    },
+}
+
+impl GateMap {
+    /// Build the command-scheme (per-block) map.
+    pub fn blocks(gdg: &GlobalGraph, registry: &ProcRegistry) -> GateMap {
+        let max_id = registry
+            .all()
+            .iter()
+            .map(|p| p.id.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut footprints = vec![Vec::new(); max_id];
+        for def in registry.all() {
+            let mut blocks: Vec<usize> = gdg
+                .templates_for(def.id)
+                .iter()
+                .map(|t| t.block.index())
+                .collect();
+            // Ancestor closure: a block is only final once its upstream
+            // blocks are, and prioritizing the ancestors is what makes
+            // on-demand redo actually pull the chain forward.
+            for b in 0..gdg.num_blocks() {
+                if blocks.contains(&b) {
+                    continue;
+                }
+                let bid = BlockId::new(b as u32);
+                if blocks
+                    .iter()
+                    .any(|&t| gdg.is_ancestor(bid, BlockId::new(t as u32)))
+                {
+                    blocks.push(b);
+                }
+            }
+            blocks.sort_unstable();
+            blocks.dedup();
+            footprints[def.id.index()] = blocks;
+        }
+        GateMap {
+            kind: MapKind::Blocks { footprints },
+        }
+    }
+
+    /// Build the tuple-scheme (per-table-shard) map over an existing
+    /// partition numbering (the same `ShardMap` the replay publishes
+    /// watermarks through — one numbering, one source of truth).
+    pub fn shards(db: Arc<Database>, map: ShardMap, registry: &ProcRegistry) -> GateMap {
+        let max_id = registry
+            .all()
+            .iter()
+            .map(|p| p.id.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut procs: Vec<Option<Arc<ProcedureDef>>> = vec![None; max_id];
+        let mut footprints = vec![Vec::new(); max_id];
+        for def in registry.all() {
+            let mut fp = Vec::with_capacity(def.ops.len());
+            for (oi, op) in def.ops.iter().enumerate() {
+                let mut vars = Vec::new();
+                op.key.collect_vars(&mut vars);
+                if vars.is_empty() && !op.key.uses_loop() {
+                    fp.push(ShardFp::Exact {
+                        table: op.table,
+                        op: oi,
+                    });
+                } else {
+                    fp.push(ShardFp::Whole(op.table));
+                }
+            }
+            footprints[def.id.index()] = fp;
+            procs[def.id.index()] = Some(Arc::clone(def));
+        }
+        GateMap {
+            kind: MapKind::Shards {
+                db,
+                map,
+                procs,
+                footprints,
+            },
+        }
+    }
+
+    /// The static footprint of `proc(params)`, as partition indices.
+    pub fn footprint(&self, proc: ProcId, params: &Params) -> Vec<usize> {
+        match &self.kind {
+            MapKind::Blocks { footprints } => {
+                footprints.get(proc.index()).cloned().unwrap_or_default()
+            }
+            MapKind::Shards {
+                db,
+                map,
+                procs,
+                footprints,
+            } => {
+                let (Some(fp), Some(Some(def))) =
+                    (footprints.get(proc.index()), procs.get(proc.index()))
+                else {
+                    return Vec::new();
+                };
+                let ctx = EvalCtx::of_params(params);
+                let mut out = Vec::new();
+                for entry in fp {
+                    match entry {
+                        ShardFp::Exact { table, op } => {
+                            match def.ops[*op].key.eval_key(&ctx) {
+                                Ok(key) => {
+                                    if let Ok(p) = map.partition(db, *table, key) {
+                                        out.push(p);
+                                    }
+                                }
+                                Err(_) => {
+                                    // Parameter shape surprised us (e.g. a
+                                    // list param): degrade to the table.
+                                    if let Ok(r) = map.table_partitions(db, *table) {
+                                        out.extend(r);
+                                    }
+                                }
+                            }
+                        }
+                        ShardFp::Whole(table) => {
+                            if let Ok(r) = map.table_partitions(db, *table) {
+                                out.extend(r);
+                            }
+                        }
+                    }
+                }
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+        }
+    }
+}
+
+/// A [`RecoveryGate`] plus the scheme's [`GateMap`], implementing the
+/// engine's [`AdmissionControl`]: what a transaction driver holds while an
+/// online recovery session replays in the background.
+pub struct GatedAdmission {
+    gate: Arc<RecoveryGate>,
+    map: GateMap,
+}
+
+impl GatedAdmission {
+    /// Package a gate and its map.
+    pub fn new(gate: Arc<RecoveryGate>, map: GateMap) -> Arc<Self> {
+        Arc::new(GatedAdmission { gate, map })
+    }
+
+    /// The underlying gate.
+    pub fn gate(&self) -> &Arc<RecoveryGate> {
+        &self.gate
+    }
+
+    /// Resolve a footprint without waiting (introspection / tests).
+    pub fn footprint(&self, proc: ProcId, params: &Params) -> Vec<usize> {
+        self.map.footprint(proc, params)
+    }
+}
+
+impl AdmissionControl for GatedAdmission {
+    fn admit(&self, proc: ProcId, params: &Params, give_up: &AtomicBool) -> bool {
+        if self.gate.is_complete() {
+            return true;
+        }
+        let fp = self.map.footprint(proc, params);
+        self.gate.admit(&fp, give_up)
+    }
+
+    fn try_admit(&self, proc: ProcId, params: &Params) -> bool {
+        self.gate.is_complete() || self.gate.try_admit(&self.map.footprint(proc, params))
+    }
+
+    fn request(&self, proc: ProcId, params: &Params) {
+        if !self.gate.is_complete() {
+            self.gate.request(&self.map.footprint(proc, params));
+        }
+    }
+
+    fn is_open(&self) -> bool {
+        self.gate.is_complete()
+    }
+}

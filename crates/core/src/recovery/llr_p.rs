@@ -157,6 +157,217 @@ pub fn recover_log(
     })
 }
 
+/// Online LLR-P: per-(table, shard) replay with admission watermarks.
+///
+/// The offline path partitions writes by key hash onto thread-private
+/// lanes; the online path partitions by *index shard* instead — the unit
+/// the [`RecoveryGate`] tracks — so a waiting transaction's cold shards
+/// can be redone on demand:
+///
+/// * a loader streams batches in order and appends each batch's writes to
+///   per-shard queues, bumping the loaded-batch frontier;
+/// * workers drain whole shard queues (shards with blocked admissions
+///   first), install latch-free, and publish the shard's applied-batch
+///   watermark;
+/// * a shard's stream is applied by one worker at a time (the queue lock
+///   is held across the install), preserving per-key commitment order.
+#[allow(clippy::too_many_arguments)]
+pub fn recover_log_online(
+    storage: &StorageSet,
+    inventory: &LogInventory,
+    db: &std::sync::Arc<Database>,
+    gate: &std::sync::Arc<pacman_engine::RecoveryGate>,
+    map: &crate::recovery::gate::ShardMap,
+    threads: usize,
+    pepoch: u64,
+    after_ts: Timestamp,
+    metrics: &RecoveryMetrics,
+) -> Result<LogRecovery> {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    let threads = threads.max(1);
+    let t0 = Instant::now();
+    let batches = inventory.batches();
+    let total = batches.len() as u64;
+    let reload_ns = AtomicU64::new(0);
+    let stats = parking_lot::Mutex::new((0u64, 0u64)); // (max_ts, txns)
+    let err = parking_lot::Mutex::new(None::<Error>);
+
+    struct Shard {
+        queue: parking_lot::Mutex<Vec<(Timestamp, WriteRecord)>>,
+        applied: AtomicU64,
+    }
+    let shards: Vec<Shard> = (0..map.total())
+        .map(|_| Shard {
+            queue: parking_lot::Mutex::new(Vec::new()),
+            applied: AtomicU64::new(0),
+        })
+        .collect();
+    let loaded = AtomicU64::new(0);
+    let loader_done = AtomicBool::new(false);
+
+    crossbeam::thread::scope(|scope| {
+        {
+            let err = &err;
+            let stats = &stats;
+            let reload_ns = &reload_ns;
+            let metrics = &metrics;
+            let shards = &shards;
+            let loaded = &loaded;
+            let loader_done = &loader_done;
+            let batches = &batches;
+            scope.spawn(move |_| {
+                let mut groups: Vec<Vec<(Timestamp, WriteRecord)>> =
+                    (0..shards.len()).map(|_| Vec::new()).collect();
+                for (bi, &batch) in batches.iter().enumerate() {
+                    let tr = Instant::now();
+                    let merged =
+                        match read_merged_batch(storage, inventory, batch, pepoch, after_ts) {
+                            Ok(m) => m,
+                            Err(e) => {
+                                *err.lock() = Some(e);
+                                break;
+                            }
+                        };
+                    reload_ns.fetch_add(tr.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    metrics.add_load(tr.elapsed());
+                    {
+                        let mut st = stats.lock();
+                        for rec in &merged.records {
+                            let writes = match &rec.payload {
+                                LogPayload::Writes { writes, .. }
+                                | LogPayload::TaggedWrites { writes, .. } => writes,
+                                LogPayload::Command { .. } => {
+                                    *err.lock() = Some(Error::Corrupt(
+                                        "LLR-P requires tuple-level log records".into(),
+                                    ));
+                                    break;
+                                }
+                            };
+                            st.0 = st.0.max(rec.ts);
+                            st.1 += 1;
+                            for w in writes {
+                                match map.partition(db, w.table, w.key) {
+                                    Ok(p) => groups[p].push((rec.ts, w.clone())),
+                                    Err(e) => {
+                                        *err.lock() = Some(e);
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if err.lock().is_some() {
+                        break;
+                    }
+                    for (p, g) in groups.iter_mut().enumerate() {
+                        if !g.is_empty() {
+                            shards[p].queue.lock().append(g);
+                        }
+                    }
+                    loaded.store(bi as u64 + 1, Ordering::Release);
+                }
+                loader_done.store(true, Ordering::Release);
+            });
+        }
+
+        for worker in 0..threads {
+            let err = &err;
+            let metrics = &metrics;
+            let shards = &shards;
+            let loaded = &loaded;
+            let loader_done = &loader_done;
+            scope.spawn(move |_| {
+                let n = shards.len();
+                let mut rot = worker;
+                loop {
+                    if err.lock().is_some() {
+                        return;
+                    }
+                    let frontier = loaded.load(Ordering::Acquire);
+                    let done_loading = loader_done.load(Ordering::Acquire);
+                    let mut progressed = false;
+                    let prioritize = gate.any_wanted();
+                    let passes = if prioritize { 2 } else { 1 };
+                    'scan: for pass in 0..passes {
+                        for k in 0..n {
+                            let p = (rot + k) % n;
+                            if prioritize && pass == 0 && !gate.is_wanted(p) {
+                                continue;
+                            }
+                            let shard = &shards[p];
+                            if shard.applied.load(Ordering::Acquire) >= frontier {
+                                continue;
+                            }
+                            let Some(mut q) = shard.queue.try_lock() else {
+                                continue; // another worker owns this shard
+                            };
+                            if shard.applied.load(Ordering::Acquire) >= frontier {
+                                continue;
+                            }
+                            let drained = std::mem::take(&mut *q);
+                            let tw = Instant::now();
+                            for (ts, w) in &drained {
+                                match db.table(w.table) {
+                                    Ok(t) => {
+                                        t.get_or_create(w.key).install_lww(*ts, w.after.clone());
+                                    }
+                                    Err(e) => {
+                                        let mut s = err.lock();
+                                        if s.is_none() {
+                                            *s = Some(e);
+                                        }
+                                        return;
+                                    }
+                                }
+                            }
+                            metrics.add_work(tw.elapsed());
+                            // The queue lock was held across the install:
+                            // everything enqueued before `frontier` was
+                            // published is now applied.
+                            shard.applied.fetch_max(frontier, Ordering::AcqRel);
+                            drop(q);
+                            gate.publish(p, frontier);
+                            rot = rot.wrapping_add(1);
+                            progressed = true;
+                            break 'scan;
+                        }
+                    }
+                    if progressed {
+                        continue;
+                    }
+                    if done_loading
+                        && shards
+                            .iter()
+                            .all(|s| s.applied.load(Ordering::Acquire) >= total)
+                    {
+                        return;
+                    }
+                    if done_loading && err.lock().is_some() {
+                        return;
+                    }
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                }
+            });
+        }
+    })
+    .expect("llr-p online scope");
+    if let Some(e) = err.into_inner() {
+        return Err(e);
+    }
+
+    let (max_ts, txns) = stats.into_inner();
+    Ok(LogRecovery {
+        reload: std::time::Duration::from_nanos(
+            reload_ns.load(std::sync::atomic::Ordering::Relaxed),
+        ),
+        total: t0.elapsed(),
+        max_ts,
+        txns,
+        ..Default::default()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +425,66 @@ mod tests {
         );
         // Single-version recovered state.
         assert_eq!(t.get(7).unwrap().num_versions(), 1);
+    }
+
+    #[test]
+    fn llr_p_online_applies_and_publishes_watermarks() {
+        let storage = StorageSet::for_tests();
+        let mut a = Vec::new();
+        logical(epoch_floor(1) | 1, 7, 10).encode(&mut a);
+        logical(epoch_floor(1) | 3, 7, 30).encode(&mut a);
+        storage.disk(0).append("log/00/0000000000", &a);
+        let mut b = Vec::new();
+        logical(epoch_floor(2) | 5, 8, 40).encode(&mut b);
+        storage.disk(0).append("log/00/0000000001", &b);
+
+        let mut c = Catalog::new();
+        c.add_table_sharded("t", 1, 2);
+        let db = std::sync::Arc::new(Database::new(c));
+        let map = crate::recovery::gate::ShardMap::new(&db);
+        let gate = pacman_engine::RecoveryGate::new(map.total());
+        gate.set_total_batches(2);
+        let inv = LogInventory::scan(&storage);
+        let m = RecoveryMetrics::new();
+        let r = recover_log_online(&storage, &inv, &db, &gate, &map, 3, u64::MAX, 0, &m).unwrap();
+        assert_eq!(r.txns, 3);
+        let t = db.table(TableId::new(0)).unwrap();
+        assert_eq!(
+            t.get(7).unwrap().newest().1.unwrap().col(0),
+            &Value::Int(30)
+        );
+        assert_eq!(
+            t.get(8).unwrap().newest().1.unwrap().col(0),
+            &Value::Int(40)
+        );
+        // Every shard partition reached the final watermark.
+        for p in 0..gate.num_partitions() {
+            assert!(gate.is_ready(p), "partition {p} never completed");
+        }
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        assert!(gate.admit(&[0, gate.num_partitions() - 1], &stop));
+    }
+
+    #[test]
+    fn llr_p_online_rejects_command_records() {
+        let storage = StorageSet::for_tests();
+        let rec = TxnLogRecord {
+            ts: epoch_floor(1) | 1,
+            payload: LogPayload::Command {
+                proc: pacman_common::ProcId::new(0),
+                params: vec![].into(),
+            },
+        };
+        storage.disk(0).append("log/00/0000000000", &rec.to_bytes());
+        let mut c = Catalog::new();
+        c.add_table("t", 1);
+        let db = std::sync::Arc::new(Database::new(c));
+        let map = crate::recovery::gate::ShardMap::new(&db);
+        let gate = pacman_engine::RecoveryGate::new(map.total());
+        gate.set_total_batches(1);
+        let inv = LogInventory::scan(&storage);
+        let m = RecoveryMetrics::new();
+        assert!(recover_log_online(&storage, &inv, &db, &gate, &map, 2, u64::MAX, 0, &m).is_err());
     }
 
     #[test]

@@ -1,19 +1,31 @@
-//! End-to-end recovery orchestration: checkpoint recovery followed by log
-//! recovery (§2.3), for any of the five schemes.
+//! End-to-end recovery orchestration (§2.3), in two shapes:
+//!
+//! * [`recover`] — the classic *offline* call: checkpoint restore + log
+//!   replay run to completion before the database is handed back;
+//! * [`recover_online`] — *instant restart*: checkpoint restore runs
+//!   inline, then a [`RecoverySession`] replays the log on background
+//!   workers while the engine serves new transactions, gated per replay
+//!   partition through a [`pacman_engine::RecoveryGate`] (see
+//!   `docs/RECOVERY.md`, "Online recovery lifecycle").
 
 use crate::metrics::{Breakdown, RecoveryMetrics};
 use crate::recovery::checkpoint::{recover_checkpoint, CheckpointRecovery, CheckpointTarget};
+use crate::recovery::gate::{GateMap, GatedAdmission, ShardMap};
 use crate::recovery::raw::RawStore;
 use crate::recovery::{alr_p, clr, clr_p, llr, llr_p, plr, LogInventory};
 use crate::runtime::ReplayMode;
 use crate::static_analysis::GlobalGraph;
-use pacman_common::{Result, Timestamp};
-use pacman_engine::{Catalog, Database};
+use pacman_common::clock::{epoch_floor, EPOCH_SHIFT};
+use pacman_common::{Error, Result, Timestamp};
+use pacman_engine::{AdmissionControl, Catalog, Database, RecoveryGate};
 use pacman_sproc::ProcRegistry;
 use pacman_storage::StorageSet;
 use pacman_wal::checkpoint::read_manifest;
 use pacman_wal::pepoch::PepochHandle;
+use pacman_wal::Durability;
+use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// Which recovery scheme to run (§6.2's five competitors).
@@ -208,6 +220,327 @@ pub fn recover(
     Ok(RecoveryOutcome { db, report })
 }
 
+/// Lifecycle state of an online recovery session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionState {
+    /// Background workers are still replaying the log; admission is
+    /// partition-gated.
+    Replaying,
+    /// Replay finished; the gate is permanently open.
+    Complete,
+    /// Replay hit an error; the gate was opened to unblock waiters but the
+    /// recovered state is *not* trustworthy. [`RecoverySession::wait`]
+    /// returns the error.
+    Failed,
+}
+
+struct SessionInner {
+    state: SessionState,
+    report: Option<RecoveryReport>,
+    error: Option<Error>,
+    /// Durability stack whose checkpointer is held back until replay
+    /// completes (see [`RecoverySession::release_checkpoints_on`]).
+    paused_durability: Option<Arc<Durability>>,
+}
+
+struct SessionShared {
+    inner: Mutex<SessionInner>,
+    cv: Condvar,
+}
+
+/// Handle to an in-flight online recovery: the database is live and may
+/// serve admitted transactions while PACMAN replay proceeds on background
+/// workers. Dropping the handle without calling [`RecoverySession::wait`]
+/// detaches the replay (it still runs to completion through the shared
+/// state, but errors go unobserved), so call `wait` when the outcome
+/// matters.
+pub struct RecoverySession {
+    db: Arc<Database>,
+    gate: Arc<RecoveryGate>,
+    admission: Arc<GatedAdmission>,
+    shared: Arc<SessionShared>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl RecoverySession {
+    /// The live (still-recovering) database.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The replay-watermark gate (partition-level introspection).
+    pub fn gate(&self) -> &Arc<RecoveryGate> {
+        &self.gate
+    }
+
+    /// Admission control for transaction drivers: blocks a transaction
+    /// until its static footprint is fully replayed.
+    pub fn admission(&self) -> Arc<dyn AdmissionControl> {
+        Arc::clone(&self.admission) as Arc<dyn AdmissionControl>
+    }
+
+    /// The typed admission handle (footprint introspection in tests).
+    pub fn gated_admission(&self) -> &Arc<GatedAdmission> {
+        &self.admission
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> SessionState {
+        self.shared.inner.lock().state
+    }
+
+    /// Whether replay has finished (successfully or not).
+    pub fn is_settled(&self) -> bool {
+        self.state() != SessionState::Replaying
+    }
+
+    /// Pause `durability`'s periodic checkpointer until replay completes.
+    ///
+    /// A checkpoint taken mid-replay would snapshot at a fresh timestamp
+    /// while old-timestamp installs are still racing the scan — its
+    /// manifest would then filter log records the snapshot never saw. A
+    /// reopened [`Durability`] must therefore hold checkpoints while the
+    /// session is live; this arms the hand-off: released at completion,
+    /// kept paused on failure.
+    pub fn release_checkpoints_on(&self, durability: &Arc<Durability>) {
+        let mut inner = self.shared.inner.lock();
+        match inner.state {
+            SessionState::Complete => durability.set_checkpoints_paused(false),
+            SessionState::Replaying => {
+                durability.set_checkpoints_paused(true);
+                inner.paused_durability = Some(Arc::clone(durability));
+            }
+            // A checkpoint of the suspect state would replace the last
+            // good one (and GC the log below it) — pause, never release.
+            SessionState::Failed => durability.set_checkpoints_paused(true),
+        }
+    }
+
+    /// Block until replay completes and return the recovered database plus
+    /// the report (the offline-equivalent outcome).
+    pub fn wait(mut self) -> Result<RecoveryOutcome> {
+        {
+            let mut inner = self.shared.inner.lock();
+            while inner.state == SessionState::Replaying {
+                self.shared.cv.wait(&mut inner);
+            }
+        }
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+        let mut inner = self.shared.inner.lock();
+        if let Some(e) = inner.error.take() {
+            return Err(e);
+        }
+        let report = inner
+            .report
+            .take()
+            .ok_or_else(|| Error::Unknown("recovery session finished without a report".into()))?;
+        Ok(RecoveryOutcome {
+            db: Arc::clone(&self.db),
+            report,
+        })
+    }
+}
+
+/// Start an online recovery session: restore the checkpoint inline, then
+/// replay the log on background workers while the returned session's
+/// database serves admitted transactions.
+///
+/// Supported schemes: `Clr`, `ClrP`, `AlrP` (per-block gating) and `LlrP`
+/// (per-table-shard gating). `Plr`/`Llr` recover multi-version state with
+/// per-tuple latches and have no partition watermark to gate on — use
+/// [`recover`] for those.
+pub fn recover_online(
+    storage: &StorageSet,
+    catalog: &Catalog,
+    registry: &ProcRegistry,
+    config: &RecoveryConfig,
+) -> Result<RecoverySession> {
+    if matches!(
+        config.scheme,
+        RecoveryScheme::Plr { .. } | RecoveryScheme::Llr { .. }
+    ) {
+        return Err(Error::InvalidConfig(format!(
+            "online recovery is not defined for {}: no partition watermark to gate on",
+            config.scheme.label()
+        )));
+    }
+    let t_all = Instant::now();
+    let metrics = Arc::new(RecoveryMetrics::new());
+    let pepoch = PepochHandle::read_persisted(storage.disk(0));
+    let manifest = read_manifest(storage)?;
+    let inventory = LogInventory::scan(storage);
+    let db = Arc::new(Database::new(catalog.clone()));
+    let threads = config.threads.max(1);
+
+    // Stage 1 (inline): checkpoint restore. The session is handed back
+    // with the base image installed; only log replay runs concurrently.
+    let ckpt: CheckpointRecovery = match &manifest {
+        None => CheckpointRecovery::default(),
+        Some(m) => recover_checkpoint(storage, m, threads, CheckpointTarget::Tables(&db))?,
+    };
+    let after_ts = ckpt.ckpt_ts;
+
+    // New commits must sort strictly after everything the log can still
+    // install: push the clock past the durability frontier's epoch (every
+    // replayable record has epoch <= pepoch) and the checkpoint snapshot.
+    // A legacy `u64::MAX` frontier ("everything durable" sentinel) gives
+    // no epoch bound up front; the post-replay advance to `max_ts + 1`
+    // covers it once the log has been read.
+    let mut clock_floor = after_ts.saturating_add(1);
+    if pepoch != u64::MAX {
+        let next_epoch = pepoch.saturating_add(1).min(u64::MAX >> EPOCH_SHIFT);
+        clock_floor = clock_floor.max(epoch_floor(next_epoch));
+    }
+    db.clock().advance_to(clock_floor);
+
+    // Gate + footprint map, sized by the scheme's partition space. The
+    // tuple scheme's shard numbering is built once and shared by the gate
+    // size, the footprint map, and the replay publisher.
+    let gdg = Arc::new(GlobalGraph::analyze(registry.all())?);
+    let mut session_shards = None;
+    let (gate, map) = match config.scheme {
+        RecoveryScheme::LlrP => {
+            let shards = ShardMap::new(&db);
+            let gate = RecoveryGate::new(shards.total());
+            let map = GateMap::shards(Arc::clone(&db), shards.clone(), registry);
+            session_shards = Some(shards);
+            (gate, map)
+        }
+        _ => {
+            let map = GateMap::blocks(&gdg, registry);
+            let gate = RecoveryGate::new(gdg.num_blocks());
+            (gate, map)
+        }
+    };
+    gate.set_total_batches(inventory.batches().len() as u64);
+    let admission = GatedAdmission::new(Arc::clone(&gate), map);
+
+    let shared = Arc::new(SessionShared {
+        inner: Mutex::new(SessionInner {
+            state: SessionState::Replaying,
+            report: None,
+            error: None,
+            paused_durability: None,
+        }),
+        cv: Condvar::new(),
+    });
+
+    let join = {
+        let shared = Arc::clone(&shared);
+        let gate = Arc::clone(&gate);
+        let db = Arc::clone(&db);
+        let storage = storage.clone();
+        let registry = registry.clone();
+        let scheme = config.scheme;
+        let metrics = Arc::clone(&metrics);
+        std::thread::Builder::new()
+            .name("recovery-session".into())
+            .spawn(move || {
+                let result = (|| -> Result<RecoveryReport> {
+                    let log = match scheme {
+                        RecoveryScheme::Clr => clr::recover_log_online(
+                            &storage,
+                            &inventory,
+                            &db,
+                            &registry,
+                            pepoch,
+                            after_ts,
+                            &metrics,
+                            Some(&gate),
+                        )?,
+                        RecoveryScheme::ClrP { mode } => clr_p::recover_log_online(
+                            &storage,
+                            &inventory,
+                            &db,
+                            &gdg,
+                            &registry,
+                            threads,
+                            mode,
+                            pepoch,
+                            after_ts,
+                            &metrics,
+                            Some(Arc::clone(&gate)),
+                        )?,
+                        RecoveryScheme::AlrP { mode } => alr_p::recover_log_online(
+                            &storage,
+                            &inventory,
+                            &db,
+                            &gdg,
+                            &registry,
+                            threads,
+                            mode,
+                            pepoch,
+                            after_ts,
+                            &metrics,
+                            Some(Arc::clone(&gate)),
+                        )?,
+                        RecoveryScheme::LlrP => llr_p::recover_log_online(
+                            &storage,
+                            &inventory,
+                            &db,
+                            &gate,
+                            session_shards.as_ref().expect("LlrP built its shard map"),
+                            threads,
+                            pepoch,
+                            after_ts,
+                            &metrics,
+                        )?,
+                        RecoveryScheme::Plr { .. } | RecoveryScheme::Llr { .. } => unreachable!(),
+                    };
+                    db.clock().advance_to(log.max_ts.max(after_ts) + 1);
+                    Ok(RecoveryReport {
+                        scheme: scheme.label().to_string(),
+                        threads,
+                        checkpoint_reload_secs: ckpt.reload.as_secs_f64(),
+                        checkpoint_total_secs: ckpt.total.as_secs_f64(),
+                        log_reload_secs: log.reload.as_secs_f64(),
+                        log_total_secs: log.total.as_secs_f64(),
+                        total_secs: t_all.elapsed().as_secs_f64(),
+                        breakdown: metrics.breakdown(),
+                        txns: log.txns,
+                        replayed_commands: log.replayed_commands,
+                        applied_writes: log.applied_writes,
+                        checkpoint_tuples: ckpt.tuples,
+                        pepoch,
+                        ckpt_ts: after_ts,
+                    })
+                })();
+                // Open the gate in every outcome so waiters never hang,
+                // then settle the session state atomically with the
+                // checkpoint hand-off.
+                gate.finish();
+                let mut inner = shared.inner.lock();
+                match result {
+                    Ok(report) => {
+                        inner.state = SessionState::Complete;
+                        inner.report = Some(report);
+                        if let Some(dur) = inner.paused_durability.take() {
+                            dur.set_checkpoints_paused(false);
+                        }
+                    }
+                    Err(e) => {
+                        inner.state = SessionState::Failed;
+                        inner.error = Some(e);
+                        // Checkpoints stay paused: the state is suspect.
+                        inner.paused_durability = None;
+                    }
+                }
+                shared.cv.notify_all();
+            })
+            .map_err(|e| Error::Unknown(format!("spawn recovery session: {e}")))?
+    };
+
+    Ok(RecoverySession {
+        db,
+        gate,
+        admission,
+        shared,
+        join: Some(join),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +637,126 @@ mod tests {
             );
             assert_eq!(out.report.txns, 30);
         }
+    }
+
+    /// Online recovery must converge to exactly the offline result, and
+    /// its gate must go from closed to permanently open.
+    #[test]
+    fn online_recovery_matches_offline() {
+        let (catalog, reg, storage) = setup();
+        let reference = Arc::new(Database::new(catalog.clone()));
+        for k in 0..8u64 {
+            reference
+                .seed_row(T, k, Row::from([Value::Int(0)]))
+                .unwrap();
+        }
+        pacman_wal::run_checkpoint(&reference, &storage, 1).unwrap();
+        let mut buf = Vec::new();
+        for i in 0..30u64 {
+            let key = i % 8;
+            let params: Vec<Value> = vec![Value::Int(key as i64), Value::Int(1)];
+            let mut txn = reference.begin();
+            let r = txn.read(T, key).unwrap();
+            let v = r.col(0).as_int().unwrap();
+            txn.write(T, key, r.with_col(0, Value::Int(v + 1))).unwrap();
+            let info = txn.commit_with(|| 1 + i / 10).unwrap();
+            TxnLogRecord {
+                ts: info.ts,
+                payload: LogPayload::Command {
+                    proc: ProcId::new(0),
+                    params: params.into(),
+                },
+            }
+            .encode(&mut buf);
+            if (i + 1) % 10 == 0 {
+                storage
+                    .disk(0)
+                    .append(&format!("log/00/{:010}", i / 10), &buf);
+                buf.clear();
+            }
+        }
+        storage
+            .disk(0)
+            .write_file("pepoch.log", &u64::MAX.to_le_bytes());
+
+        for scheme in [
+            RecoveryScheme::Clr,
+            RecoveryScheme::ClrP {
+                mode: ReplayMode::Pipelined,
+            },
+            RecoveryScheme::AlrP {
+                mode: ReplayMode::Pipelined,
+            },
+        ] {
+            let session = recover_online(
+                &storage,
+                &catalog,
+                &reg,
+                &RecoveryConfig { scheme, threads: 4 },
+            )
+            .unwrap();
+            // Admission through the public trait: blocks until the proc's
+            // footprint (here: the single block) is replayed, then passes.
+            let admission = session.admission();
+            let stop = std::sync::atomic::AtomicBool::new(false);
+            assert!(admission.admit(
+                ProcId::new(0),
+                &pacman_sproc::params([Value::Int(3), Value::Int(1)]),
+                &stop
+            ));
+            let out = session.wait().unwrap();
+            assert_eq!(out.report.txns, 30, "{}", out.report.scheme);
+            assert_eq!(
+                out.db.fingerprint(),
+                reference.fingerprint(),
+                "{} diverged online",
+                out.report.scheme
+            );
+            assert!(admission.is_open());
+            // The clock resumed past everything replayed: a fresh commit
+            // must take a strictly newer timestamp.
+            let mut t = out.db.begin();
+            let r = t.read(T, 0).unwrap();
+            t.write(T, 0, r.clone()).unwrap();
+            assert!(t.commit().is_ok());
+        }
+    }
+
+    #[test]
+    fn online_rejects_latched_schemes() {
+        let (catalog, reg, storage) = setup();
+        for scheme in [
+            RecoveryScheme::Plr { latch: true },
+            RecoveryScheme::Llr { latch: false },
+        ] {
+            assert!(recover_online(
+                &storage,
+                &catalog,
+                &reg,
+                &RecoveryConfig { scheme, threads: 2 }
+            )
+            .is_err());
+        }
+    }
+
+    #[test]
+    fn online_empty_directory_opens_immediately() {
+        let (catalog, reg, storage) = setup();
+        let session = recover_online(
+            &storage,
+            &catalog,
+            &reg,
+            &RecoveryConfig {
+                scheme: RecoveryScheme::ClrP {
+                    mode: ReplayMode::Pipelined,
+                },
+                threads: 2,
+            },
+        )
+        .unwrap();
+        let out = session.wait().unwrap();
+        assert_eq!(out.report.txns, 0);
+        assert_eq!(out.db.total_tuples(), 0);
     }
 
     #[test]

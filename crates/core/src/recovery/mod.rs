@@ -18,13 +18,18 @@ pub mod alr_p;
 pub mod checkpoint;
 pub mod clr;
 pub mod clr_p;
+pub mod gate;
 pub mod llr;
 pub mod llr_p;
 pub mod manager;
 pub mod plr;
 pub mod raw;
 
-pub use manager::{recover, RecoveryConfig, RecoveryOutcome, RecoveryReport, RecoveryScheme};
+pub use gate::{GateMap, GatedAdmission, ShardMap};
+pub use manager::{
+    recover, recover_online, RecoveryConfig, RecoveryOutcome, RecoveryReport, RecoveryScheme,
+    RecoverySession, SessionState,
+};
 
 use pacman_common::codec::Cursor;
 use pacman_common::{Decoder, Result, Timestamp};

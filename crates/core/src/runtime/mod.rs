@@ -26,7 +26,7 @@ use crate::metrics::RecoveryMetrics;
 use crate::schedule::ExecutionSchedule;
 use crate::static_analysis::GlobalGraph;
 use pacman_common::{Error, Result};
-use pacman_engine::Database;
+use pacman_engine::{Database, RecoveryGate};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -107,7 +107,13 @@ struct ActiveSet {
     batch: usize,
     block: usize,
     entry: Arc<BatchEntry>,
-    dag: PieceDag,
+    /// Dynamic-analysis DAG, built *lazily* by the first worker that picks
+    /// the set (not at activation): parameter checking is a large share of
+    /// replay time, and deferring it lets online recovery's priority order
+    /// govern where that time goes. Empty (pre-set) in pure-static mode.
+    dag: std::sync::OnceLock<PieceDag>,
+    /// Claimed by the worker building the DAG.
+    dag_claim: AtomicBool,
     ready: Mutex<VecDeque<u32>>,
     remaining: AtomicUsize,
     /// Pure-static: the whole set is claimed and executed by one worker.
@@ -133,12 +139,30 @@ struct Shared {
     error: Mutex<Option<Error>>,
     aborted: AtomicBool,
     mode: ReplayMode,
+    /// Online recovery: per-block batch watermarks are published here and
+    /// blocks a waiting transaction needs are executed first.
+    gate: Option<Arc<RecoveryGate>>,
+    /// Blocks in ascending estimated-work order (from the §4.4 piece
+    /// distribution). Among *wanted* blocks the runtime drains the
+    /// cheapest first — shortest-job-first on-demand redo: when many
+    /// admissions wait, the partition that can unblock someone soonest is
+    /// finished first.
+    sjf_order: Vec<usize>,
 }
 
 impl Shared {
     fn notify(&self) {
         let _g = self.wake_mutex.lock();
         self.wake_cv.notify_all();
+    }
+
+    /// Record one completed batch for `block`, publishing the watermark to
+    /// the online-recovery gate if one is attached.
+    fn complete_batch(&self, block: usize) {
+        let done = self.done[block].fetch_add(1, Ordering::AcqRel) + 1;
+        if let Some(gate) = &self.gate {
+            gate.publish(block, done);
+        }
     }
 
     fn fail(&self, e: Error) {
@@ -177,11 +201,32 @@ impl Shared {
 /// Activate every piece-set whose gate is open. Returns true if anything
 /// new became active. DAG construction (parameter checking) happens here,
 /// on the activating thread.
-fn try_activate(shared: &Shared, gdg: &GlobalGraph, metrics: &RecoveryMetrics) -> bool {
+///
+/// When an online-recovery gate reports blocked admissions, a first sweep
+/// activates only the *wanted* blocks; cold blocks are activated (and
+/// their parameter-checking cost paid) only once no wanted block could be
+/// advanced — on-demand redo extends to dynamic analysis, not just
+/// execution order.
+fn try_activate(shared: &Shared, gdg: &GlobalGraph) -> bool {
+    if shared.gate.as_ref().is_some_and(|g| g.any_wanted()) {
+        let wanted = activation_sweep(shared, gdg, true);
+        if wanted {
+            return true;
+        }
+    }
+    activation_sweep(shared, gdg, false)
+}
+
+/// One activation sweep; `wanted_only` restricts it to blocks with
+/// blocked admissions.
+fn activation_sweep(shared: &Shared, gdg: &GlobalGraph, wanted_only: bool) -> bool {
     let mut activated_any = false;
     loop {
         let mut progressed = false;
-        for block in 0..shared.done.len() {
+        for &block in &shared.sjf_order {
+            if wanted_only && !shared.gate.as_ref().is_some_and(|g| g.is_wanted(block)) {
+                continue;
+            }
             let batch = shared.done[block].load(Ordering::Acquire);
             let entry = {
                 let entries = shared.entries.lock();
@@ -200,33 +245,30 @@ fn try_activate(shared: &Shared, gdg: &GlobalGraph, metrics: &RecoveryMetrics) -
             let pieces = &entry.schedule.piece_sets[block];
             if pieces.pieces.is_empty() {
                 // Nothing to do: complete immediately and keep sweeping.
-                shared.done[block].fetch_add(1, Ordering::AcqRel);
+                shared.complete_batch(block);
                 progressed = true;
                 continue;
             }
             // Pure static mode never consults the DAG (no dynamic
-            // analysis — that is the Fig. 18/19 baseline).
-            let dag = if shared.mode == ReplayMode::PureStatic {
-                PieceDag {
+            // analysis — that is the Fig. 18/19 baseline); otherwise the
+            // DAG is built lazily by the first worker to pick the set.
+            let n = pieces.pieces.len();
+            let dag = std::sync::OnceLock::new();
+            if shared.mode == ReplayMode::PureStatic {
+                let _ = dag.set(PieceDag {
                     indeg: Vec::new(),
                     dependents: Vec::new(),
                     initial_ready: Vec::new(),
-                    n: pieces.pieces.len(),
-                }
-            } else {
-                let t0 = Instant::now();
-                let dag = build_piece_dag(pieces, &entry.schedule.txns);
-                metrics.add_param(t0.elapsed());
-                dag
-            };
-            let ready: VecDeque<u32> = dag.initial_ready.iter().copied().collect();
-            let n = dag.n;
+                    n,
+                });
+            }
             let set = Arc::new(ActiveSet {
                 batch: batch as usize,
                 block,
                 entry: Arc::clone(&entry),
                 dag,
-                ready: Mutex::new(ready),
+                dag_claim: AtomicBool::new(false),
+                ready: Mutex::new(VecDeque::new()),
                 remaining: AtomicUsize::new(n),
                 serial_claim: AtomicBool::new(false),
                 done_flag: AtomicBool::new(false),
@@ -245,14 +287,14 @@ fn try_activate(shared: &Shared, gdg: &GlobalGraph, metrics: &RecoveryMetrics) -
     activated_any
 }
 
-fn complete_set(shared: &Shared, gdg: &GlobalGraph, set: &ActiveSet, metrics: &RecoveryMetrics) {
+fn complete_set(shared: &Shared, gdg: &GlobalGraph, set: &ActiveSet) {
     set.done_flag.store(true, Ordering::Release);
-    shared.done[set.block].fetch_add(1, Ordering::AcqRel);
+    shared.complete_batch(set.block);
     shared
         .active
         .lock()
         .retain(|s| !s.done_flag.load(Ordering::Acquire));
-    try_activate(shared, gdg, metrics);
+    try_activate(shared, gdg);
     shared.notify();
 }
 
@@ -269,6 +311,24 @@ pub fn run_replay(
     metrics: &Arc<RecoveryMetrics>,
     rx: crossbeam::channel::Receiver<ExecutionSchedule>,
 ) -> Result<()> {
+    run_replay_gated(db, gdg, mode, threads, piece_estimate, metrics, rx, None)
+}
+
+/// [`run_replay`] with an online-recovery gate attached: per-block batch
+/// watermarks are published as piece-sets complete, and piece-sets of
+/// blocks a waiting transaction needs (`gate.is_wanted`) are picked first —
+/// the runtime half of on-demand redo.
+#[allow(clippy::too_many_arguments)]
+pub fn run_replay_gated(
+    db: &Arc<Database>,
+    gdg: &Arc<GlobalGraph>,
+    mode: ReplayMode,
+    threads: usize,
+    piece_estimate: &[usize],
+    metrics: &Arc<RecoveryMetrics>,
+    rx: crossbeam::channel::Receiver<ExecutionSchedule>,
+    gate: Option<Arc<RecoveryGate>>,
+) -> Result<()> {
     let blocks = gdg.num_blocks();
     if blocks == 0 {
         while rx.recv().is_ok() {}
@@ -276,6 +336,8 @@ pub fn run_replay(
     }
     // The reference static assignment (kept for §4.4 fidelity/reporting).
     let _assignment = assign_cores(piece_estimate, threads);
+    let mut sjf_order: Vec<usize> = (0..blocks).collect();
+    sjf_order.sort_by_key(|&b| piece_estimate.get(b).copied().unwrap_or(0));
 
     let shared = Arc::new(Shared {
         entries: Mutex::new(Vec::new()),
@@ -287,6 +349,8 @@ pub fn run_replay(
         error: Mutex::new(None),
         aborted: AtomicBool::new(false),
         mode,
+        gate,
+        sjf_order,
     });
 
     crossbeam::thread::scope(|scope| {
@@ -294,7 +358,6 @@ pub fn run_replay(
         {
             let shared = Arc::clone(&shared);
             let gdg = Arc::clone(gdg);
-            let metrics = Arc::clone(metrics);
             scope.spawn(move |_| {
                 for schedule in rx.iter() {
                     let activated = (0..schedule.piece_sets.len())
@@ -304,7 +367,7 @@ pub fn run_replay(
                         schedule,
                         activated,
                     }));
-                    try_activate(&shared, &gdg, &metrics);
+                    try_activate(&shared, &gdg);
                     shared.notify();
                 }
                 shared.loading_done.store(true, Ordering::Release);
@@ -334,29 +397,91 @@ pub fn run_replay(
 const CHUNK: usize = 16;
 
 /// Pick a chunk of runnable pieces from the active sets. `rot` staggers
-/// the scan start per worker to avoid convoying on one set.
-fn pick_work(shared: &Shared, rot: usize) -> Option<(Arc<ActiveSet>, Vec<u32>)> {
+/// the scan start per worker to avoid convoying on one set. When an
+/// online-recovery gate reports blocked admissions, sets of the wanted
+/// blocks are scanned first (on-demand redo priority). The picking worker
+/// builds a set's dynamic-analysis DAG on first contact.
+fn pick_work(
+    shared: &Shared,
+    rot: usize,
+    metrics: &RecoveryMetrics,
+) -> Option<(Arc<ActiveSet>, Vec<u32>)> {
     let active = shared.active.lock();
     let n = active.len();
-    for k in 0..n {
-        let set = &active[(rot + k) % n];
-        if set.done_flag.load(Ordering::Acquire) {
-            continue;
+    let prioritize = shared.gate.as_ref().is_some_and(|g| g.any_wanted());
+    let passes = if prioritize { 2 } else { 1 };
+    // The priority pass visits wanted blocks cheapest-first (SJF, see
+    // `Shared::sjf_order`); the normal pass keeps the rotating scan.
+    let sjf_rank: Vec<usize> = if prioritize {
+        let mut rank = vec![usize::MAX; shared.sjf_order.len()];
+        for (pos, &b) in shared.sjf_order.iter().enumerate() {
+            rank[b] = pos;
         }
-        if shared.mode == ReplayMode::PureStatic {
-            if !set.serial_claim.swap(true, Ordering::AcqRel) {
-                return Some((Arc::clone(set), Vec::new()));
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| rank.get(active[i].block).copied().unwrap_or(usize::MAX));
+        order
+    } else {
+        Vec::new()
+    };
+    let mut to_build: Option<Arc<ActiveSet>> = None;
+    'scan: for pass in 0..passes {
+        for k in 0..n {
+            let set = if pass == 0 && prioritize {
+                &active[sjf_rank[k]]
+            } else {
+                &active[(rot + k) % n]
+            };
+            if prioritize && pass == 0 {
+                let wanted = shared.gate.as_ref().is_some_and(|g| g.is_wanted(set.block));
+                if !wanted {
+                    continue;
+                }
             }
-            continue;
-        }
-        let mut ready = set.ready.lock();
-        if !ready.is_empty() {
-            let take = ready.len().min(CHUNK);
-            let chunk: Vec<u32> = ready.drain(..take).collect();
-            return Some((Arc::clone(set), chunk));
+            if set.done_flag.load(Ordering::Acquire) {
+                continue;
+            }
+            if shared.mode == ReplayMode::PureStatic {
+                if !set.serial_claim.swap(true, Ordering::AcqRel) {
+                    return Some((Arc::clone(set), Vec::new()));
+                }
+                continue;
+            }
+            if set.dag.get().is_none() {
+                if set.dag_claim.swap(true, Ordering::AcqRel) {
+                    continue; // another worker is building this set's DAG
+                }
+                // Claimed: build outside the active-sets lock below, so
+                // parameter checking never serializes the other workers.
+                to_build = Some(Arc::clone(set));
+                break 'scan;
+            }
+            let mut ready = set.ready.lock();
+            if !ready.is_empty() {
+                let take = ready.len().min(CHUNK);
+                let chunk: Vec<u32> = ready.drain(..take).collect();
+                return Some((Arc::clone(set), chunk));
+            }
         }
     }
-    None
+    drop(active);
+    let set = to_build?;
+    let t0 = Instant::now();
+    let pieces = &set.entry.schedule.piece_sets[set.block];
+    let dag = build_piece_dag(pieces, &set.entry.schedule.txns);
+    metrics.add_param(t0.elapsed());
+    let initial: Vec<u32> = dag.initial_ready.clone();
+    let _ = set.dag.set(dag);
+    let chunk: Vec<u32> = {
+        let mut ready = set.ready.lock();
+        ready.extend(initial);
+        let take = ready.len().min(CHUNK);
+        ready.drain(..take).collect()
+    };
+    shared.notify();
+    if chunk.is_empty() {
+        return None;
+    }
+    Some((set, chunk))
 }
 
 fn worker_loop(
@@ -371,7 +496,7 @@ fn worker_loop(
         if shared.aborted.load(Ordering::Acquire) {
             return;
         }
-        let Some((set, chunk)) = pick_work(shared, rot) else {
+        let Some((set, chunk)) = pick_work(shared, rot, metrics) else {
             if shared.finished() {
                 shared.notify();
                 return;
@@ -379,7 +504,7 @@ fn worker_loop(
             // Heal any activation missed by the benign CAS race in
             // try_activate, then block briefly.
             let t0 = Instant::now();
-            if !try_activate(shared, gdg, metrics) {
+            if !try_activate(shared, gdg) {
                 let mut g = shared.wake_mutex.lock();
                 shared
                     .wake_cv
@@ -404,13 +529,14 @@ fn worker_loop(
                 }
             }
             metrics.add_work(t0.elapsed());
-            complete_set(shared, gdg, &set, metrics);
+            complete_set(shared, gdg, &set);
             continue;
         }
 
         // Work-following: execute the chunk, preferring locally-unblocked
         // pieces; spill surplus back to the shared queue.
         let pieces = &set.entry.schedule.piece_sets[set.block];
+        let dag = set.dag.get().expect("chunk implies a built DAG");
         let mut local: Vec<u32> = chunk;
         let mut finished = 0usize;
         let t0 = Instant::now();
@@ -423,8 +549,8 @@ fn worker_loop(
                 }
             }
             finished += 1;
-            for &d in &set.dag.dependents[pi as usize] {
-                if set.dag.indeg[d as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+            for &d in &dag.dependents[pi as usize] {
+                if dag.indeg[d as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
                     local.push(d);
                 }
             }
@@ -436,7 +562,7 @@ fn worker_loop(
         }
         metrics.add_work(t0.elapsed());
         if set.remaining.fetch_sub(finished, Ordering::AcqRel) == finished {
-            complete_set(shared, gdg, &set, metrics);
+            complete_set(shared, gdg, &set);
         }
     }
 }

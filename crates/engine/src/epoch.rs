@@ -57,7 +57,15 @@ impl EpochManager {
 
     /// A manager whose epoch advances every `interval`.
     pub fn start(interval: Duration) -> Arc<Self> {
+        Self::start_at(interval, 1)
+    }
+
+    /// A manager starting at `initial` epoch, advancing every `interval`.
+    /// Reopening a surviving log directory resumes epoch numbering
+    /// strictly past the recovered durability frontier this way.
+    pub fn start_at(interval: Duration, initial: u64) -> Arc<Self> {
         let em = Self::new_manual();
+        em.epoch.store(initial.max(1), Ordering::Release);
         let epoch = Arc::clone(&em.epoch);
         let stop = Arc::clone(&em.stop);
         let handle = std::thread::Builder::new()

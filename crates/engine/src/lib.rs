@@ -25,6 +25,7 @@ pub mod chain;
 pub mod database;
 pub mod epoch;
 pub mod interp;
+pub mod recovery_gate;
 pub mod table;
 pub mod txn;
 pub mod version;
@@ -35,6 +36,7 @@ pub use chain::TupleChain;
 pub use database::Database;
 pub use epoch::EpochManager;
 pub use interp::{all_ops, execute_ops, run_procedure, run_procedure_with_epoch};
+pub use recovery_gate::{AdmissionControl, RecoveryGate};
 pub use table::Table;
 pub use txn::{CommitInfo, Txn, WriteKind, WriteRecord};
 pub use version::{VersionEntry, VersionList};

@@ -1,0 +1,270 @@
+//! Admission gating for online ("instant") recovery.
+//!
+//! During an online recovery session the engine serves new transactions
+//! *while* log replay is still running on background workers. The
+//! [`RecoveryGate`] is the synchronization point between the two sides:
+//!
+//! * the replay runtime **publishes** a monotonically increasing
+//!   watermark per *partition* — the number of log batches fully applied
+//!   to that partition. A partition is one global-dependency-graph block
+//!   for command-log schemes, or one (table, shard) pair for tuple-level
+//!   schemes; the gate itself is agnostic and only sees dense indices;
+//! * the transaction layer **admits** a new transaction once every
+//!   partition in its static footprint has been replayed through the
+//!   final batch, i.e. the tuples it can touch are in their final
+//!   recovered state;
+//! * a blocked admission marks its cold partitions as *wanted*, and the
+//!   replay workers prioritize wanted partitions — the on-demand redo of
+//!   instant-recovery designs (Sauer & Härder): the backlog a waiting
+//!   transaction needs jumps the queue.
+//!
+//! Once [`RecoveryGate::finish`] is called (replay complete), the gate is
+//! permanently open and admission is a single atomic load.
+
+use pacman_common::ProcId;
+use pacman_sproc::Params;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Sentinel meaning "total batch count not yet published".
+const TOTAL_UNKNOWN: u64 = u64::MAX;
+
+/// Replay-progress gate shared between the recovery runtime (publisher)
+/// and the transaction layer (admission). See the module docs.
+pub struct RecoveryGate {
+    /// Batches each partition must apply before it is final.
+    total: AtomicU64,
+    /// Per-partition applied-batch watermarks.
+    watermarks: Vec<AtomicU64>,
+    /// Per-partition "a waiting transaction needs this" flags.
+    wanted: Vec<AtomicBool>,
+    /// Set by [`RecoveryGate::finish`]: replay fully done, gate open.
+    complete: AtomicBool,
+    wake_mutex: Mutex<()>,
+    wake_cv: Condvar,
+}
+
+impl RecoveryGate {
+    /// A gate over `partitions` replay partitions, initially fully cold.
+    pub fn new(partitions: usize) -> Arc<Self> {
+        Arc::new(RecoveryGate {
+            total: AtomicU64::new(TOTAL_UNKNOWN),
+            watermarks: (0..partitions).map(|_| AtomicU64::new(0)).collect(),
+            wanted: (0..partitions).map(|_| AtomicBool::new(false)).collect(),
+            complete: AtomicBool::new(false),
+            wake_mutex: Mutex::new(()),
+            wake_cv: Condvar::new(),
+        })
+    }
+
+    /// Number of partitions tracked.
+    pub fn num_partitions(&self) -> usize {
+        self.watermarks.len()
+    }
+
+    /// Publish how many batches every partition must apply (known once the
+    /// log inventory is scanned). Admission cannot succeed before this —
+    /// except through [`RecoveryGate::finish`].
+    pub fn set_total_batches(&self, total: u64) {
+        self.total.store(total, Ordering::Release);
+        self.notify();
+    }
+
+    /// Publish partition `p`'s applied-batch watermark (monotonic).
+    pub fn publish(&self, p: usize, applied_batches: u64) {
+        let w = &self.watermarks[p];
+        let prev = w.fetch_max(applied_batches, Ordering::AcqRel);
+        if applied_batches > prev {
+            // A finished partition no longer needs priority.
+            let total = self.total.load(Ordering::Acquire);
+            if total != TOTAL_UNKNOWN && applied_batches >= total {
+                self.wanted[p].store(false, Ordering::Release);
+            }
+            self.notify();
+        }
+    }
+
+    /// Applied-batch watermark of partition `p`.
+    pub fn watermark(&self, p: usize) -> u64 {
+        self.watermarks[p].load(Ordering::Acquire)
+    }
+
+    /// Mark the whole replay complete; the gate is permanently open.
+    pub fn finish(&self) {
+        self.complete.store(true, Ordering::Release);
+        self.notify();
+    }
+
+    /// Whether replay has fully completed.
+    pub fn is_complete(&self) -> bool {
+        self.complete.load(Ordering::Acquire)
+    }
+
+    /// Whether partition `p` has reached its final state.
+    pub fn is_ready(&self, p: usize) -> bool {
+        if self.is_complete() {
+            return true;
+        }
+        let total = self.total.load(Ordering::Acquire);
+        total != TOTAL_UNKNOWN && self.watermarks[p].load(Ordering::Acquire) >= total
+    }
+
+    /// Whether a blocked admission is waiting on partition `p` — replay
+    /// workers consult this to prioritize on-demand redo.
+    pub fn is_wanted(&self, p: usize) -> bool {
+        self.wanted[p].load(Ordering::Acquire)
+    }
+
+    /// Whether any partition is currently wanted (cheap pre-check for the
+    /// replay workers' priority scan).
+    pub fn any_wanted(&self) -> bool {
+        !self.is_complete() && self.wanted.iter().any(|w| w.load(Ordering::Acquire))
+    }
+
+    /// Non-blocking admission check for `footprint` (partition indices).
+    pub fn try_admit(&self, footprint: &[usize]) -> bool {
+        self.is_complete() || footprint.iter().all(|&p| self.is_ready(p))
+    }
+
+    /// Flag `footprint`'s cold partitions as wanted *without* waiting —
+    /// an open-loop driver parks the transaction and keeps serving, while
+    /// replay starts pulling the parked footprint forward.
+    pub fn request(&self, footprint: &[usize]) {
+        if self.is_complete() {
+            return;
+        }
+        for &p in footprint {
+            if !self.is_ready(p) {
+                self.wanted[p].store(true, Ordering::Release);
+            }
+        }
+    }
+
+    /// Block until every partition in `footprint` is final, flagging cold
+    /// partitions as wanted so replay prioritizes them. Returns `false` if
+    /// `give_up` became true before admission succeeded.
+    pub fn admit(&self, footprint: &[usize], give_up: &AtomicBool) -> bool {
+        loop {
+            if self.try_admit(footprint) {
+                return true;
+            }
+            if give_up.load(Ordering::Acquire) {
+                return false;
+            }
+            // Mark what we're missing *before* re-checking, so a publish
+            // racing with the flag store is never lost.
+            for &p in footprint {
+                if !self.is_ready(p) {
+                    self.wanted[p].store(true, Ordering::Release);
+                }
+            }
+            if self.try_admit(footprint) {
+                return true;
+            }
+            let mut g = self.wake_mutex.lock();
+            self.wake_cv.wait_for(&mut g, Duration::from_micros(500));
+        }
+    }
+
+    fn notify(&self) {
+        let _g = self.wake_mutex.lock();
+        self.wake_cv.notify_all();
+    }
+}
+
+/// Transaction-level admission control: maps an invocation to its replay
+/// footprint and waits on the [`RecoveryGate`]. Implemented by the
+/// recovery layer (which owns the proc-to-partition mapping); consumed by
+/// drivers serving transactions during an online recovery session.
+pub trait AdmissionControl: Send + Sync {
+    /// Block until `proc(params)`'s static footprint is fully replayed.
+    /// Returns `false` if `give_up` became true while waiting.
+    fn admit(&self, proc: ProcId, params: &Params, give_up: &AtomicBool) -> bool;
+
+    /// Non-blocking check: is `proc(params)`'s footprint fully replayed?
+    fn try_admit(&self, proc: ProcId, params: &Params) -> bool;
+
+    /// Flag the footprint for on-demand redo without waiting (the caller
+    /// parks the transaction and retries via `try_admit`).
+    fn request(&self, proc: ProcId, params: &Params);
+
+    /// Whether the gate is permanently open (replay complete).
+    fn is_open(&self) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn admission_opens_per_partition() {
+        let gate = RecoveryGate::new(3);
+        gate.set_total_batches(2);
+        let stop = AtomicBool::new(false);
+        assert!(!gate.try_admit(&[0]));
+        gate.publish(0, 1);
+        assert!(!gate.try_admit(&[0]));
+        gate.publish(0, 2);
+        assert!(gate.try_admit(&[0]));
+        assert!(!gate.try_admit(&[0, 2]));
+        gate.publish(2, 2);
+        assert!(gate.admit(&[0, 2], &stop));
+        assert!(!gate.is_ready(1));
+    }
+
+    #[test]
+    fn finish_opens_everything() {
+        let gate = RecoveryGate::new(2);
+        // Total never published: only finish() can open the gate.
+        assert!(!gate.try_admit(&[0]));
+        gate.finish();
+        assert!(gate.try_admit(&[0, 1]));
+        let stop = AtomicBool::new(false);
+        assert!(gate.admit(&[1], &stop));
+    }
+
+    #[test]
+    fn blocked_admission_flags_wanted_partitions() {
+        let gate = RecoveryGate::new(4);
+        gate.set_total_batches(1);
+        gate.publish(1, 1);
+        let g2 = Arc::clone(&gate);
+        let waiter = std::thread::spawn(move || {
+            let stop = AtomicBool::new(false);
+            g2.admit(&[1, 3], &stop)
+        });
+        let t0 = Instant::now();
+        while !gate.is_wanted(3) {
+            assert!(t0.elapsed() < Duration::from_secs(2), "flag never raised");
+            std::thread::yield_now();
+        }
+        assert!(!gate.is_wanted(0), "ready/untouched partitions not wanted");
+        assert!(gate.any_wanted());
+        gate.publish(3, 1);
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn give_up_unblocks_waiters() {
+        let gate = RecoveryGate::new(1);
+        gate.set_total_batches(5);
+        let stop = Arc::new(AtomicBool::new(false));
+        let g2 = Arc::clone(&gate);
+        let s2 = Arc::clone(&stop);
+        let waiter = std::thread::spawn(move || g2.admit(&[0], &s2));
+        std::thread::sleep(Duration::from_millis(5));
+        stop.store(true, Ordering::Release);
+        assert!(!waiter.join().unwrap(), "admit must report the give-up");
+    }
+
+    #[test]
+    fn empty_footprint_admits_immediately() {
+        let gate = RecoveryGate::new(2);
+        gate.set_total_batches(10);
+        let stop = AtomicBool::new(false);
+        assert!(gate.admit(&[], &stop), "read-only/footprint-free txns pass");
+    }
+}

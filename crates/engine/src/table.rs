@@ -51,6 +51,13 @@ impl Table {
         (spread(key) & self.mask) as usize
     }
 
+    /// The shard that owns `key` — the partition unit tuple-level online
+    /// recovery tracks replay watermarks at.
+    #[inline]
+    pub fn shard_index(&self, key: Key) -> usize {
+        self.shard_of(key)
+    }
+
     /// Look up a chain.
     pub fn get(&self, key: Key) -> Option<Arc<TupleChain>> {
         self.shards[self.shard_of(key)].read().get(&key).cloned()

@@ -10,7 +10,7 @@
 
 use crate::record::TxnLogRecord;
 use pacman_common::codec::Cursor;
-use pacman_common::{Decoder, Result};
+use pacman_common::{Decoder, Encoder, Result};
 use pacman_storage::StorageSet;
 use std::collections::BTreeSet;
 
@@ -45,6 +45,78 @@ pub fn list_batch_indices(storage: &StorageSet) -> Vec<u64> {
         }
     }
     set.into_iter().collect()
+}
+
+/// Truncate every log file down to the records with `epoch <= pepoch`,
+/// deleting files left empty. Returns `(records dropped, highest epoch
+/// surviving in the files that were scanned)` — the latter is the resume
+/// floor when the persisted pepoch is the legacy `u64::MAX` "everything
+/// durable" sentinel (that sentinel disables the skip-fast path below, so
+/// every file is scanned and the maximum is exact).
+///
+/// A crash can leave a logger ahead of the pepoch frontier: it sealed (and
+/// wrote) epochs a slower peer never confirmed, so those records were never
+/// acknowledged and recovery skips them. Before *resuming* logging into the
+/// same directory that stale tail must physically go — otherwise fresh
+/// records reusing epochs past the frontier would interleave with ghost
+/// records from the previous incarnation and a second recovery would
+/// replay transactions that were never acknowledged. Undecodable bytes
+/// (a torn trailing write) are dropped with the tail.
+///
+/// `batch_epochs` (the file-naming granularity) bounds the scan: batch
+/// file `b` can only hold epochs `[b·E, (b+1)·E)`, so files wholly below
+/// the frontier are skipped by name — reopening after a clean shutdown
+/// touches only the tail batch instead of re-reading the whole log.
+pub fn truncate_log_tail(storage: &StorageSet, pepoch: u64, batch_epochs: u64) -> (u64, u64) {
+    let epochs = batch_epochs.max(1);
+    let mut dropped = 0u64;
+    let mut max_kept = 0u64;
+    for disk in storage.disks() {
+        for name in disk.list("log/") {
+            if pepoch != u64::MAX {
+                if let Some(b) = name.rsplit('/').next().and_then(|s| s.parse::<u64>().ok()) {
+                    let highest_possible = (b + 1).saturating_mul(epochs).saturating_sub(1);
+                    if highest_possible <= pepoch {
+                        continue; // no record in this file can exceed the frontier
+                    }
+                }
+            }
+            let Ok(bytes) = disk.read(&name) else {
+                continue;
+            };
+            let mut cur = Cursor::new(&bytes);
+            let mut keep = Vec::new();
+            let mut kept = 0u64;
+            let mut lost = 0u64;
+            while !cur.is_empty() {
+                let before = keep.len();
+                match TxnLogRecord::decode(&mut cur) {
+                    Ok(rec) if rec.epoch() <= pepoch => {
+                        max_kept = max_kept.max(rec.epoch());
+                        rec.encode(&mut keep);
+                        debug_assert!(keep.len() > before);
+                        kept += 1;
+                    }
+                    Ok(_) => lost += 1,
+                    Err(_) => {
+                        lost += 1; // torn tail: count it and stop
+                        break;
+                    }
+                }
+            }
+            if lost == 0 {
+                continue;
+            }
+            dropped += lost;
+            if kept == 0 {
+                disk.delete(&name);
+            } else {
+                disk.write_file(&name, &keep);
+            }
+        }
+        disk.fsync();
+    }
+    (dropped, max_kept)
 }
 
 /// Read batch `index` from every logger's device, keeping only records with
@@ -129,6 +201,50 @@ mod tests {
         // after_ts filters checkpoint-covered records.
         let batch = read_merged_batch(&storage, 2, 0, 2, epoch_floor(1) | 4).unwrap();
         assert_eq!(batch.records.len(), 2);
+    }
+
+    #[test]
+    fn truncate_drops_only_the_unacknowledged_tail() {
+        let storage = StorageSet::identical(2, pacman_storage::DiskConfig::unthrottled("t"));
+        // Logger 0 ran ahead: epochs 1-3 written, but the frontier stopped
+        // at 2 because logger 1 only sealed epoch 2.
+        let mut buf0 = Vec::new();
+        cmd(epoch_floor(1) | 1).encode(&mut buf0);
+        cmd(epoch_floor(2) | 2).encode(&mut buf0);
+        cmd(epoch_floor(3) | 3).encode(&mut buf0);
+        storage.disk(0).append(&batch_name(0, 0), &buf0);
+        let mut buf1 = Vec::new();
+        cmd(epoch_floor(2) | 4).encode(&mut buf1);
+        storage.disk(1).append(&batch_name(1, 0), &buf1);
+        // A batch entirely past the frontier disappears.
+        let mut buf2 = Vec::new();
+        cmd(epoch_floor(30) | 5).encode(&mut buf2);
+        storage.disk(0).append(&batch_name(0, 3), &buf2);
+
+        let (dropped, max_kept) = truncate_log_tail(&storage, 2, 10);
+        assert_eq!(dropped, 2);
+        assert_eq!(max_kept, 2);
+        let b = read_merged_batch(&storage, 2, 0, u64::MAX, 0).unwrap();
+        let ts: Vec<u64> = b.records.iter().map(|r| r.ts).collect();
+        assert_eq!(
+            ts,
+            vec![epoch_floor(1) | 1, epoch_floor(2) | 2, epoch_floor(2) | 4]
+        );
+        assert!(storage.disk(0).read(&batch_name(0, 3)).is_err());
+        // Idempotent: a second pass drops nothing.
+        assert_eq!(truncate_log_tail(&storage, 2, 10).0, 0);
+    }
+
+    #[test]
+    fn truncate_drops_torn_trailing_bytes() {
+        let storage = StorageSet::identical(1, pacman_storage::DiskConfig::unthrottled("t"));
+        let mut buf = Vec::new();
+        cmd(epoch_floor(1) | 1).encode(&mut buf);
+        buf.extend_from_slice(&[0xFF; 3]); // torn write
+        storage.disk(0).append(&batch_name(0, 0), &buf);
+        assert_eq!(truncate_log_tail(&storage, 5, 10), (1, 1));
+        let b = read_merged_batch(&storage, 1, 0, u64::MAX, 0).unwrap();
+        assert_eq!(b.records.len(), 1);
     }
 
     #[test]

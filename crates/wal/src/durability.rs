@@ -1,12 +1,13 @@
 //! The durability manager: wires epoch management, loggers, pepoch and
 //! checkpointing around a running database.
 
-use crate::batch::{batch_index_of_epoch, batch_name};
-use crate::checkpoint::{prune_old_checkpoints, run_checkpoint};
+use crate::batch::{batch_index_of_epoch, batch_name, truncate_log_tail};
+use crate::checkpoint::{prune_old_checkpoints, read_manifest, run_checkpoint};
 use crate::classify::{CommitClassifier, LogChoice, WriteCountClassifier};
 use crate::logger::{LoggerHandle, QueuedRecord};
 use crate::pepoch::PepochHandle;
 use crate::record::{LogPayload, TxnLogRecord};
+use pacman_common::clock::epoch_of;
 use pacman_common::{Encoder, ProcId};
 use pacman_engine::epoch::WorkerEpoch;
 use pacman_engine::{CommitInfo, Database, EpochManager};
@@ -104,6 +105,7 @@ pub struct Durability {
     pepoch_value: Arc<AtomicU64>,
     storage: pacman_storage::StorageSet,
     ckpt_stop: Arc<AtomicBool>,
+    ckpt_paused: Arc<AtomicBool>,
     ckpt_active: Arc<AtomicBool>,
     last_ckpt_ts: Arc<AtomicU64>,
     ckpt_join: Mutex<Option<JoinHandle<()>>>,
@@ -113,6 +115,19 @@ pub struct Durability {
     logical_records: AtomicU64,
 }
 
+/// What [`Durability::reopen`] found and resumed from.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResumeInfo {
+    /// Durability frontier persisted by the previous incarnation.
+    pub persisted_pepoch: u64,
+    /// Epoch the new incarnation resumes strictly past: the max of the
+    /// pepoch frontier, the recovered checkpoint's epoch and the recovered
+    /// clock's epoch. The first fresh epoch is `base_epoch + 1`.
+    pub base_epoch: u64,
+    /// Unacknowledged tail records truncated from the surviving log.
+    pub truncated_records: u64,
+}
+
 impl Durability {
     /// Start loggers, the pepoch watcher and (optionally) the checkpointer.
     pub fn start(
@@ -120,19 +135,75 @@ impl Durability {
         storage: pacman_storage::StorageSet,
         config: DurabilityConfig,
     ) -> Arc<Self> {
-        let em = EpochManager::start(config.epoch_interval);
+        Self::boot(db, storage, config, 0)
+    }
+
+    /// Reopen an existing log directory after recovery: truncate the
+    /// unacknowledged tail past the persisted pepoch, resume epoch
+    /// numbering (and therefore batch naming) strictly past the recovered
+    /// frontier, and re-arm checkpointing. Crash → recover → reopen →
+    /// crash loops are first-class: a second recovery sees one continuous
+    /// log stream.
+    ///
+    /// `db` must be the *recovered* database (its clock advanced past
+    /// everything replayed) and `config` must use the same `num_loggers`
+    /// and `batch_epochs` as the previous incarnation — batch file naming
+    /// is derived from both.
+    ///
+    /// An online recovery session may still be replaying when this runs;
+    /// pair it with `set_checkpoints_paused(true)` until the session
+    /// completes so a checkpoint can never snapshot half-replayed state.
+    pub fn reopen(
+        db: Arc<Database>,
+        storage: pacman_storage::StorageSet,
+        config: DurabilityConfig,
+    ) -> (Arc<Self>, ResumeInfo) {
+        let pepoch = PepochHandle::read_persisted(storage.disk(0));
+        let (truncated_records, max_kept) =
+            truncate_log_tail(&storage, pepoch, config.batch_epochs);
+        let ckpt_epoch = match read_manifest(&storage) {
+            Ok(Some(m)) => epoch_of(m.ts),
+            _ => 0,
+        };
+        // Everything recovered (log frontier, checkpoint snapshot, clock)
+        // must sort strictly below the first fresh epoch, so resumed
+        // commit timestamps extend the recovered history. A legacy
+        // `u64::MAX` pepoch ("everything durable" sentinel) resumes from
+        // the highest epoch actually present instead.
+        let log_floor = if pepoch == u64::MAX { max_kept } else { pepoch };
+        let base_epoch = log_floor.max(ckpt_epoch).max(epoch_of(db.clock().peek()));
+        let info = ResumeInfo {
+            persisted_pepoch: pepoch,
+            base_epoch,
+            truncated_records,
+        };
+        (Self::boot(db, storage, config, base_epoch), info)
+    }
+
+    /// Shared start/reopen body. `base_epoch = 0` is a fresh directory;
+    /// otherwise epochs `<= base_epoch` are the recovered prefix.
+    fn boot(
+        db: Arc<Database>,
+        storage: pacman_storage::StorageSet,
+        config: DurabilityConfig,
+        base_epoch: u64,
+    ) -> Arc<Self> {
+        let em = EpochManager::start_at(config.epoch_interval, base_epoch + 1);
         let mut loggers = Vec::new();
         let mut sealed = Vec::new();
+        let mut real = Vec::new();
         if config.scheme != LogScheme::Off {
             for i in 0..config.num_loggers.max(1) {
-                let logger = LoggerHandle::spawn(
+                let logger = LoggerHandle::spawn_resuming(
                     i,
                     Arc::clone(storage.disk(i)),
                     Arc::clone(&em),
                     config.batch_epochs,
                     config.fsync,
+                    base_epoch,
                 );
                 sealed.push(logger.sealed_arc());
+                real.push(logger.real_sealed_arc());
                 loggers.push(logger);
             }
         }
@@ -141,6 +212,7 @@ impl Durability {
         } else {
             let h = PepochHandle::spawn(
                 sealed,
+                real,
                 Arc::clone(storage.disk(0)),
                 config.epoch_interval / 4,
             );
@@ -149,11 +221,13 @@ impl Durability {
         };
 
         let ckpt_stop = Arc::new(AtomicBool::new(false));
+        let ckpt_paused = Arc::new(AtomicBool::new(false));
         let ckpt_active = Arc::new(AtomicBool::new(false));
         let last_ckpt_ts = Arc::new(AtomicU64::new(0));
         let ckpt_join = match (config.checkpoint_interval, config.scheme) {
             (Some(interval), scheme) if scheme != LogScheme::Off => {
                 let stop = Arc::clone(&ckpt_stop);
+                let paused = Arc::clone(&ckpt_paused);
                 let active = Arc::clone(&ckpt_active);
                 let last = Arc::clone(&last_ckpt_ts);
                 let storage2 = storage.clone();
@@ -176,6 +250,9 @@ impl Durability {
                             }
                             if stop.load(Ordering::Acquire) {
                                 return;
+                            }
+                            if paused.load(Ordering::Acquire) {
+                                continue; // held back (e.g. online replay)
                             }
                             active.store(true, Ordering::Release);
                             if let Ok(ts) = run_checkpoint(&db, &storage2, threads) {
@@ -207,6 +284,7 @@ impl Durability {
             pepoch_value,
             storage,
             ckpt_stop,
+            ckpt_paused,
             ckpt_active,
             last_ckpt_ts,
             ckpt_join: Mutex::new(ckpt_join),
@@ -353,6 +431,19 @@ impl Durability {
     /// Whether a checkpoint is currently being written (Fig. 11 shading).
     pub fn checkpoint_active(&self) -> bool {
         self.ckpt_active.load(Ordering::Acquire)
+    }
+
+    /// Hold back (or release) the periodic checkpointer without tearing it
+    /// down. An online recovery session pauses checkpoints while replay is
+    /// still installing old-timestamp versions: a snapshot taken then
+    /// would claim to cover timestamps whose installs race the scan.
+    pub fn set_checkpoints_paused(&self, paused: bool) {
+        self.ckpt_paused.store(paused, Ordering::Release);
+    }
+
+    /// Whether the periodic checkpointer is currently held back.
+    pub fn checkpoints_paused(&self) -> bool {
+        self.ckpt_paused.load(Ordering::Acquire)
     }
 
     /// Snapshot timestamp of the last completed checkpoint (0 = none).
@@ -582,6 +673,125 @@ mod tests {
             b.records[0].payload,
             LogPayload::Writes { adhoc: true, .. }
         ));
+    }
+
+    #[test]
+    fn reopen_resumes_epochs_past_the_frontier() {
+        let (db, dur) = setup(LogScheme::Command);
+        let worker = dur.register_worker();
+        let mut max_epoch = 0;
+        for k in 0..8u64 {
+            max_epoch = commit_one(&db, &dur, &worker, k, 1);
+        }
+        worker.retire();
+        dur.wait_durable(max_epoch);
+        let storage = dur.storage().clone();
+        dur.crash();
+        let frontier = PepochHandle::read_persisted(storage.disk(0));
+        assert!(frontier >= max_epoch);
+
+        // Reopen against the same directory (db stands in for a recovered
+        // instance: its clock is already past everything it committed).
+        let config = DurabilityConfig {
+            scheme: LogScheme::Command,
+            num_loggers: 2,
+            epoch_interval: Duration::from_millis(2),
+            batch_epochs: 4,
+            checkpoint_interval: None,
+            checkpoint_threads: 1,
+            fsync: true,
+        };
+        let (dur2, info) = Durability::reopen(Arc::clone(&db), storage.clone(), config);
+        assert!(info.base_epoch >= frontier);
+        let worker = dur2.register_worker();
+        let mut max2 = 0;
+        for k in 0..8u64 {
+            max2 = commit_one(&db, &dur2, &worker, k, 2);
+        }
+        assert!(
+            max2 > info.base_epoch,
+            "fresh commits must use epochs past the resumed base"
+        );
+        worker.retire();
+        dur2.wait_durable(max2);
+        dur2.shutdown();
+        // One continuous stream: all 16 records decode, epochs never exceed
+        // the final frontier, and the old records survived untouched.
+        let final_pepoch = PepochHandle::read_persisted(storage.disk(0));
+        assert!(final_pepoch >= max2);
+        let mut n = 0;
+        for idx in crate::batch::list_batch_indices(&storage) {
+            let b = crate::batch::read_merged_batch(&storage, 2, idx, final_pepoch, 0).unwrap();
+            n += b.records.len();
+        }
+        assert_eq!(n, 16);
+    }
+
+    #[test]
+    fn reopen_truncates_unacknowledged_tail() {
+        use pacman_common::clock::epoch_floor;
+        let storage = StorageSet::identical(1, DiskConfig::unthrottled("d"));
+        // Fake a crashed directory: pepoch = 3, but one record at epoch 5
+        // was written by a logger that ran ahead.
+        let mut buf = Vec::new();
+        TxnLogRecord {
+            ts: epoch_floor(3) | 1,
+            payload: LogPayload::Command {
+                proc: ProcId::new(0),
+                params: vec![].into(),
+            },
+        }
+        .encode(&mut buf);
+        storage
+            .disk(0)
+            .append(&crate::batch::batch_name(0, 0), &buf);
+        // The unacknowledged tail lives in its own batch file (epoch 5,
+        // batch_epochs = 4 => batch 1), exactly where a logger that ran
+        // ahead would have put it.
+        let mut tail = Vec::new();
+        TxnLogRecord {
+            ts: epoch_floor(5) | 2,
+            payload: LogPayload::Command {
+                proc: ProcId::new(0),
+                params: vec![].into(),
+            },
+        }
+        .encode(&mut tail);
+        storage
+            .disk(0)
+            .append(&crate::batch::batch_name(0, 1), &tail);
+        storage
+            .disk(0)
+            .write_file("pepoch.log", &3u64.to_le_bytes());
+
+        let mut c = Catalog::new();
+        c.add_table("t", 1);
+        let db = Arc::new(Database::new(c));
+        let (dur, info) = Durability::reopen(
+            db,
+            storage.clone(),
+            DurabilityConfig {
+                scheme: LogScheme::Command,
+                num_loggers: 1,
+                epoch_interval: Duration::from_millis(2),
+                batch_epochs: 4,
+                checkpoint_interval: None,
+                checkpoint_threads: 1,
+                fsync: false,
+            },
+        );
+        assert_eq!(info.persisted_pepoch, 3);
+        assert_eq!(info.truncated_records, 1);
+        assert_eq!(info.base_epoch, 3);
+        dur.shutdown();
+        let b = crate::batch::read_merged_batch(&storage, 1, 0, u64::MAX, 0).unwrap();
+        assert_eq!(b.records.len(), 1);
+        assert_eq!(b.records[0].ts, epoch_floor(3) | 1);
+        // The ghost batch file disappeared entirely.
+        assert!(storage
+            .disk(0)
+            .read(&crate::batch::batch_name(0, 1))
+            .is_err());
     }
 
     #[test]

@@ -31,9 +31,10 @@ pub mod pepoch;
 pub mod record;
 
 pub use batch::{
-    batch_index_of_epoch, batch_name, list_batch_indices, read_merged_batch, LogBatch,
+    batch_index_of_epoch, batch_name, list_batch_indices, read_merged_batch, truncate_log_tail,
+    LogBatch,
 };
 pub use checkpoint::{run_checkpoint, CheckpointManifest};
 pub use classify::{CommitClassifier, LogChoice, WriteCountClassifier};
-pub use durability::{Durability, DurabilityConfig, LogScheme};
+pub use durability::{Durability, DurabilityConfig, LogScheme, ResumeInfo};
 pub use record::{LogPayload, TxnLogRecord};

@@ -31,6 +31,7 @@ pub struct LoggerHandle {
     /// Queue the assigned workers push to.
     pub sender: crossbeam::channel::Sender<QueuedRecord>,
     sealed: Arc<AtomicU64>,
+    real_sealed: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
     join: Option<JoinHandle<()>>,
 }
@@ -45,26 +46,55 @@ impl LoggerHandle {
         batch_epochs: u64,
         fsync: bool,
     ) -> Self {
+        Self::spawn_resuming(id, disk, em, batch_epochs, fsync, 0)
+    }
+
+    /// [`LoggerHandle::spawn`] resuming a surviving log directory: epochs
+    /// `<= resume_from` are treated as already sealed (they belong to the
+    /// recovered prefix), so the logger never rewrites recovered batches
+    /// and the pepoch watcher's min starts at the resumed frontier.
+    pub fn spawn_resuming(
+        id: usize,
+        disk: Arc<SimDisk>,
+        em: Arc<EpochManager>,
+        batch_epochs: u64,
+        fsync: bool,
+        resume_from: u64,
+    ) -> Self {
         let (sender, receiver) = crossbeam::channel::unbounded::<QueuedRecord>();
-        let sealed = Arc::new(AtomicU64::new(0));
+        let sealed = Arc::new(AtomicU64::new(resume_from));
+        let real_sealed = Arc::new(AtomicU64::new(resume_from));
         let stop = Arc::new(AtomicBool::new(false));
         let sealed2 = Arc::clone(&sealed);
+        let real2 = Arc::clone(&real_sealed);
         let stop2 = Arc::clone(&stop);
         let join = std::thread::Builder::new()
             .name(format!("logger-{id}"))
             .spawn(move || {
-                logger_loop(id, disk, em, batch_epochs, fsync, receiver, sealed2, stop2);
+                logger_loop(
+                    id,
+                    disk,
+                    em,
+                    batch_epochs,
+                    fsync,
+                    receiver,
+                    sealed2,
+                    real2,
+                    stop2,
+                );
             })
             .expect("spawn logger");
         LoggerHandle {
             sender,
             sealed,
+            real_sealed,
             stop,
             join: Some(join),
         }
     }
 
-    /// Highest epoch durably sealed by this logger.
+    /// Highest epoch durably sealed by this logger. Reports `u64::MAX`
+    /// after a graceful drain ("stream complete").
     pub fn sealed_epoch(&self) -> u64 {
         self.sealed.load(Ordering::Acquire)
     }
@@ -72,6 +102,14 @@ impl LoggerHandle {
     /// Shared counter of the sealed epoch (wired into the pepoch watcher).
     pub fn sealed_arc(&self) -> Arc<AtomicU64> {
         Arc::clone(&self.sealed)
+    }
+
+    /// Shared counter of the *numeric* sealed epoch: tracks `sealed` but
+    /// never becomes the `u64::MAX` stream-complete sentinel, so the
+    /// pepoch file persists a real epoch the next incarnation can resume
+    /// numbering from.
+    pub fn real_sealed_arc(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.real_sealed)
     }
 
     /// Stop the logger. With `graceful = true` it first drains and seals
@@ -106,6 +144,7 @@ fn logger_loop(
     fsync: bool,
     receiver: crossbeam::channel::Receiver<QueuedRecord>,
     sealed: Arc<AtomicU64>,
+    real_sealed: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
 ) {
     let mut pending: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
@@ -150,13 +189,16 @@ fn logger_loop(
                 disk.fsync();
             }
             sealed.store(cursor, Ordering::Release);
+            real_sealed.store(cursor, Ordering::Release);
         }
         if disconnected {
             // Graceful drain: everything this logger will ever receive is
             // on the device. Report the stream complete rather than the
             // highest epoch that happened to be queued here — otherwise a
             // logger whose queue ended one epoch early would pin the
-            // pepoch below records its peers durably wrote.
+            // pepoch below records its peers durably wrote. `real_sealed`
+            // keeps the numeric cursor: the pepoch watcher persists a real
+            // epoch, never the sentinel.
             sealed.store(u64::MAX, Ordering::Release);
             return;
         }

@@ -24,7 +24,14 @@ pub struct PepochHandle {
 
 impl PepochHandle {
     /// Spawn the watcher over the given loggers' sealed-epoch counters.
-    pub fn spawn(sealed: Vec<Arc<AtomicU64>>, disk: Arc<SimDisk>, poll: Duration) -> Self {
+    /// `sealed` reports `u64::MAX` once a logger's stream is complete
+    /// (graceful drain); `real` tracks the same cursor but stays numeric.
+    pub fn spawn(
+        sealed: Vec<Arc<AtomicU64>>,
+        real: Vec<Arc<AtomicU64>>,
+        disk: Arc<SimDisk>,
+        poll: Duration,
+    ) -> Self {
         let value = Arc::new(AtomicU64::new(0));
         let stop = Arc::new(AtomicBool::new(false));
         let v2 = Arc::clone(&value);
@@ -44,11 +51,24 @@ impl PepochHandle {
                         .map(|s| s.load(Ordering::Acquire))
                         .min()
                         .unwrap_or(0);
-                    if min > published {
-                        published = min;
-                        disk.write_file(PEPOCH_FILE, &min.to_le_bytes());
+                    // Every stream complete: the frontier is the highest
+                    // epoch anyone actually wrote. The persisted value is
+                    // always a *real* epoch — never the `u64::MAX`
+                    // sentinel — so a reopened log can resume numbering
+                    // from it.
+                    let frontier = if min == u64::MAX {
+                        real.iter()
+                            .map(|s| s.load(Ordering::Acquire))
+                            .max()
+                            .unwrap_or(0)
+                    } else {
+                        min
+                    };
+                    if frontier > published {
+                        published = frontier;
+                        disk.write_file(PEPOCH_FILE, &frontier.to_le_bytes());
                         disk.fsync();
-                        v2.store(min, Ordering::Release);
+                        v2.store(frontier, Ordering::Release);
                     }
                     if stopping {
                         return;
@@ -107,8 +127,11 @@ mod tests {
         let a = Arc::new(AtomicU64::new(0));
         let b = Arc::new(AtomicU64::new(0));
         let disk = Arc::new(SimDisk::new(DiskConfig::unthrottled("t")));
+        let ra = Arc::new(AtomicU64::new(0));
+        let rb = Arc::new(AtomicU64::new(0));
         let mut h = PepochHandle::spawn(
             vec![Arc::clone(&a), Arc::clone(&b)],
+            vec![Arc::clone(&ra), Arc::clone(&rb)],
             Arc::clone(&disk),
             Duration::from_micros(100),
         );

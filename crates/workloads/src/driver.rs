@@ -18,7 +18,7 @@
 use crate::Workload;
 use pacman_common::clock::epoch_of;
 use pacman_common::{Error, Histogram};
-use pacman_engine::{run_procedure_with_epoch, Database};
+use pacman_engine::{run_procedure_with_epoch, AdmissionControl, Database};
 use pacman_sproc::ProcRegistry;
 use pacman_wal::Durability;
 use rand::rngs::SmallRng;
@@ -240,6 +240,264 @@ pub fn run_workload(
     }
 }
 
+/// Configuration of the restart availability-ramp driver.
+#[derive(Clone, Debug)]
+pub struct RampConfig {
+    /// Worker threads executing transactions.
+    pub workers: usize,
+    /// Wall-clock run length, measured from the moment the (possibly
+    /// still-recovering) database starts accepting submissions.
+    pub duration: Duration,
+    /// RNG seed (workers derive per-thread seeds).
+    pub seed: u64,
+    /// Retries before giving up on an aborting transaction.
+    pub max_retries: u32,
+    /// Throughput-timeline bucket width.
+    pub bucket: Duration,
+}
+
+impl Default for RampConfig {
+    fn default() -> Self {
+        RampConfig {
+            workers: 4,
+            duration: Duration::from_secs(2),
+            seed: 0xFACADE,
+            max_retries: 10,
+            bucket: Duration::from_millis(50),
+        }
+    }
+}
+
+/// The availability ramp measured after a restart (instant or offline):
+/// when did the first new transaction commit, and when did throughput
+/// reach steady state again?
+#[derive(Clone, Debug)]
+pub struct RampResult {
+    /// Acknowledged transactions during the window: a write commit counts
+    /// only once its epoch reached the durability frontier (group-commit
+    /// acknowledgment, as in [`run_workload`]); read-only commits count
+    /// immediately.
+    pub committed: u64,
+    /// Aborts observed.
+    pub aborted: u64,
+    /// Seconds from driver start to the first *acknowledged* commit
+    /// (`None`: nothing acknowledged — e.g. the gate never opened within
+    /// the window).
+    pub first_commit_secs: Option<f64>,
+    /// Seconds from driver start until per-bucket throughput first reached
+    /// 90% of the steady rate and stayed relevant (`None`: never ramped).
+    pub t90_secs: Option<f64>,
+    /// Steady-state rate estimate: median commits/s over the last quarter
+    /// of the window.
+    pub steady_tps: f64,
+    /// Bucket width in seconds.
+    pub bucket_secs: f64,
+    /// Commits per bucket.
+    pub timeline: Vec<u64>,
+    /// Admissions that found the recovery gate still cold (had to wait).
+    pub gated_admissions: u64,
+}
+
+/// Time-to-90%: the start of the first bucket that reaches 90% of the
+/// steady-state bucket rate *and* from which the remainder of the window
+/// sustains that rate on average. `None` if no bucket ever does.
+fn compute_t90(timeline: &[u64], bucket_secs: f64, steady_per_bucket: f64) -> Option<f64> {
+    if steady_per_bucket <= 0.0 {
+        return None;
+    }
+    let threshold = 0.9 * steady_per_bucket;
+    // "Reached and stayed": the bucket itself clears the threshold AND the
+    // rest of the window sustains it on average — a lone pre-stall burst
+    // does not count as having ramped.
+    (0..timeline.len())
+        .find(|&i| {
+            let tail = &timeline[i..];
+            let tail_mean = tail.iter().sum::<u64>() as f64 / tail.len() as f64;
+            timeline[i] as f64 >= threshold && tail_mean >= threshold
+        })
+        .map(|i| i as f64 * bucket_secs)
+}
+
+/// How many not-yet-admittable transactions a ramp worker parks before it
+/// stops generating new ones and blocks on the oldest (bounds memory and
+/// models a finite request queue).
+const RAMP_BACKLOG: usize = 64;
+
+/// Run `workload` against a database that may still be replaying its log.
+///
+/// The driver is *open-loop*: each worker draws transactions as requests
+/// arriving at a restarting system. A request whose static footprint is
+/// already replayed (`try_admit`) executes immediately; a cold one is
+/// *parked* — its footprint flagged for on-demand redo (`request`) — and
+/// the worker keeps serving admittable requests, retrying the backlog as
+/// watermarks advance. Only a full backlog blocks (on the oldest parked
+/// request). With `admission = None` this measures the
+/// post-offline-recovery baseline ramp.
+///
+/// Commits are logged through `durability` (normally a
+/// `Durability::reopen`ed stack), so the run extends the surviving log
+/// and the system can crash again mid- or post-ramp.
+pub fn run_ramp(
+    db: &Arc<Database>,
+    workload: &dyn Workload,
+    registry: &ProcRegistry,
+    durability: &Arc<Durability>,
+    admission: Option<&Arc<dyn AdmissionControl>>,
+    config: &RampConfig,
+) -> RampResult {
+    let stop = AtomicBool::new(false);
+    let bucket_secs = config.bucket.as_secs_f64().max(0.001);
+    let nbuckets = (config.duration.as_secs_f64() / bucket_secs).ceil() as usize + 2;
+    let buckets: Vec<AtomicU64> = (0..nbuckets).map(|_| AtomicU64::new(0)).collect();
+    let committed = AtomicU64::new(0);
+    let aborted = AtomicU64::new(0);
+    let gated = AtomicU64::new(0);
+    let first_commit_ns = AtomicU64::new(u64::MAX);
+    let start = Instant::now();
+
+    crossbeam::thread::scope(|scope| {
+        for worker in 0..config.workers.max(1) {
+            let stop = &stop;
+            let buckets = &buckets;
+            let committed = &committed;
+            let aborted = &aborted;
+            let gated = &gated;
+            let first_commit_ns = &first_commit_ns;
+            let durability = Arc::clone(durability);
+            let db = Arc::clone(db);
+            let admission = admission.map(Arc::clone);
+            scope.spawn(move |_| {
+                let we = durability.register_worker();
+                let em = Arc::clone(durability.epoch_manager());
+                let pepoch = durability.pepoch_arc();
+                let mut rng = SmallRng::seed_from_u64(config.seed ^ (worker as u64) << 32);
+                let mut parked: VecDeque<(pacman_common::ProcId, pacman_sproc::Params)> =
+                    VecDeque::new();
+                // Write txns awaiting group-commit acknowledgment: a
+                // commit only counts (buckets, first-commit) once its
+                // epoch reaches the pepoch frontier — the same
+                // submit→durable notion `run_workload` measures.
+                let mut unacked: VecDeque<u64> = VecDeque::new();
+                let ack = |unacked: &mut VecDeque<u64>| {
+                    let frontier = pepoch.load(Ordering::Acquire);
+                    while let Some(&epoch) = unacked.front() {
+                        if epoch > frontier {
+                            break;
+                        }
+                        unacked.pop_front();
+                        let now = start.elapsed();
+                        first_commit_ns.fetch_min(now.as_nanos() as u64, Ordering::Relaxed);
+                        let b = (now.as_secs_f64() / bucket_secs) as usize;
+                        if b < buckets.len() {
+                            buckets[b].fetch_add(1, Ordering::Relaxed);
+                        }
+                        committed.fetch_add(1, Ordering::Relaxed);
+                    }
+                };
+                'serve: while !stop.load(Ordering::Acquire) {
+                    we.enter();
+                    ack(&mut unacked);
+                    // Retry parked requests first (oldest first) — their
+                    // footprints were flagged, replay is pulling them in.
+                    let mut next = None;
+                    if let Some(gate) = &admission {
+                        if let Some(i) = parked.iter().position(|(p, a)| gate.try_admit(*p, a)) {
+                            next = parked.remove(i);
+                        }
+                    }
+                    let (pid, params) = match next {
+                        Some(t) => t,
+                        None => {
+                            let (pid, params) = workload.next_txn(&mut rng);
+                            match &admission {
+                                Some(gate) if !gate.try_admit(pid, &params) => {
+                                    gated.fetch_add(1, Ordering::Relaxed);
+                                    gate.request(pid, &params);
+                                    if parked.len() < RAMP_BACKLOG {
+                                        parked.push_back((pid, params));
+                                    }
+                                    // Nothing admittable right now (the
+                                    // parked scan above came up empty too):
+                                    // yield the core to replay instead of
+                                    // spinning; a full backlog sheds the
+                                    // newest request.
+                                    std::thread::sleep(Duration::from_micros(300));
+                                    continue 'serve;
+                                }
+                                _ => (pid, params),
+                            }
+                        }
+                    };
+                    let proc = registry.get(pid).expect("registered procedure");
+                    let mut tries = 0;
+                    loop {
+                        match run_procedure_with_epoch(&db, proc, &params, || em.current()) {
+                            Ok(info) => {
+                                if info.writes.is_empty() {
+                                    // Read-only: acknowledged immediately.
+                                    let now = start.elapsed();
+                                    first_commit_ns
+                                        .fetch_min(now.as_nanos() as u64, Ordering::Relaxed);
+                                    let b = (now.as_secs_f64() / bucket_secs) as usize;
+                                    if b < buckets.len() {
+                                        buckets[b].fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    committed.fetch_add(1, Ordering::Relaxed);
+                                } else {
+                                    durability.log_commit(worker, &info, pid, &params, false);
+                                    unacked.push_back(epoch_of(info.ts));
+                                }
+                                break;
+                            }
+                            Err(Error::TxnAborted(_)) => {
+                                aborted.fetch_add(1, Ordering::Relaxed);
+                                tries += 1;
+                                if tries > config.max_retries || stop.load(Ordering::Acquire) {
+                                    break;
+                                }
+                            }
+                            Err(e) => panic!("ramp execution error: {e}"),
+                        }
+                    }
+                }
+                // Drain outstanding acknowledgments (bounded wait).
+                let deadline = Instant::now() + Duration::from_millis(500);
+                while !unacked.is_empty() && Instant::now() < deadline {
+                    ack(&mut unacked);
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                we.retire();
+            });
+        }
+        std::thread::sleep(config.duration);
+        stop.store(true, Ordering::Release);
+    })
+    .expect("ramp scope");
+
+    let timeline: Vec<u64> = buckets
+        .iter()
+        .take((config.duration.as_secs_f64() / bucket_secs).ceil() as usize)
+        .map(|b| b.load(Ordering::Relaxed))
+        .collect();
+    // Steady state: median of the last quarter of the window.
+    let tail_start = timeline.len().saturating_sub((timeline.len() / 4).max(1));
+    let mut tail: Vec<u64> = timeline[tail_start..].to_vec();
+    tail.sort_unstable();
+    let steady_per_bucket = tail.get(tail.len() / 2).copied().unwrap_or(0) as f64;
+    let first = first_commit_ns.load(Ordering::Relaxed);
+
+    RampResult {
+        committed: committed.load(Ordering::Relaxed),
+        aborted: aborted.load(Ordering::Relaxed),
+        first_commit_secs: (first != u64::MAX).then(|| first as f64 / 1e9),
+        t90_secs: compute_t90(&timeline, bucket_secs, steady_per_bucket),
+        steady_tps: steady_per_bucket / bucket_secs,
+        bucket_secs,
+        timeline,
+        gated_admissions: gated.load(Ordering::Relaxed),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,6 +571,65 @@ mod tests {
         let (_db, _dur, result) = run(LogScheme::Off, 0.0);
         assert!(result.committed > 0);
         assert_eq!(result.bytes_logged, 0);
+    }
+
+    #[test]
+    fn ramp_measures_first_commit_and_steady_state() {
+        let bank = Bank {
+            accounts: 256,
+            ..Bank::default()
+        };
+        let db = Arc::new(Database::new(bank.catalog()));
+        bank.load(&db);
+        let registry = bank.registry();
+        let storage = StorageSet::identical(1, DiskConfig::unthrottled("d"));
+        let durability = Durability::start(
+            Arc::clone(&db),
+            storage,
+            DurabilityConfig {
+                scheme: LogScheme::Command,
+                num_loggers: 1,
+                epoch_interval: Duration::from_millis(2),
+                batch_epochs: 8,
+                checkpoint_interval: None,
+                checkpoint_threads: 1,
+                fsync: true,
+            },
+        );
+        let r = run_ramp(
+            &db,
+            &bank,
+            &registry,
+            &durability,
+            None,
+            &RampConfig {
+                workers: 2,
+                duration: Duration::from_millis(300),
+                ..RampConfig::default()
+            },
+        );
+        durability.shutdown();
+        assert!(r.committed > 50, "committed = {}", r.committed);
+        let first = r.first_commit_secs.expect("something must commit");
+        assert!(first < 0.25, "ungated first commit should be instant");
+        assert!(r.steady_tps > 0.0);
+        assert_eq!(r.gated_admissions, 0, "no gate attached");
+        // Stragglers may land past the truncated window; the timeline
+        // never over-counts.
+        let total: u64 = r.timeline.iter().sum();
+        assert!(total <= r.committed && total > 0);
+    }
+
+    #[test]
+    fn t90_finds_the_ramp_knee() {
+        // Cold half, then steady 100/bucket: t90 at the knee.
+        let tl = [0, 0, 0, 0, 95, 100, 100, 100];
+        assert_eq!(compute_t90(&tl, 0.5, 100.0), Some(2.0));
+        assert_eq!(compute_t90(&[0, 0], 0.5, 100.0), None);
+        assert_eq!(compute_t90(&[5, 5], 0.5, 0.0), None);
+        // A lone pre-stall burst is not a ramp: the sustained knee wins.
+        let burst = [95, 0, 0, 0, 100, 100];
+        assert_eq!(compute_t90(&burst, 0.5, 100.0), Some(2.0));
     }
 
     #[test]

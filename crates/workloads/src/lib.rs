@@ -17,7 +17,7 @@ pub mod driver;
 pub mod smallbank;
 pub mod tpcc;
 
-pub use driver::{run_workload, DriverConfig, DriverResult};
+pub use driver::{run_ramp, run_workload, DriverConfig, DriverResult, RampConfig, RampResult};
 
 use pacman_engine::{Catalog, Database};
 use pacman_sproc::{Params, ProcRegistry};

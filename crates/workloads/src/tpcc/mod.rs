@@ -86,6 +86,21 @@ impl TpccConfig {
         self.stock_data_bytes = 12;
         self
     }
+
+    /// The *block-skewed* restart scenario: replay cost concentrates in
+    /// NewOrder's stock/order-line blocks (70% NewOrder, Delivery nearly
+    /// absent), so the customer/orders blocks that Payment, OrderStatus
+    /// and Delivery touch carry only a small slice of the replay work.
+    /// This is the regime instant restart exploits: a waiting
+    /// Payment/OrderStatus footprint can be redone on demand long before
+    /// the stock backlog drains, while offline recovery holds every
+    /// transaction behind the full replay.
+    pub fn skewed_restart(mut self) -> Self {
+        self.mix = [70, 20, 2, 6, 2];
+        self.customer_data_bytes = 24;
+        self.stock_data_bytes = 12;
+        self
+    }
 }
 
 impl Default for TpccConfig {

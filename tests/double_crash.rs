@@ -1,0 +1,288 @@
+//! Double-crash equivalence: run → crash → recover → *resume logging* →
+//! crash → recover must land on exactly the state of a never-crashed run.
+//!
+//! This is the end-to-end contract of `Durability::reopen`: the second
+//! incarnation continues epoch numbering and batch naming strictly past
+//! the recovered frontier, so the second recovery sees one continuous log
+//! stream — no ghost records, no reused epochs, no lost tail.
+//!
+//! Determinism: a single worker applies a seeded transaction sequence
+//! sequentially (no conflicts, no aborts), so the reference database (the
+//! same sequence applied with no crash) is byte-for-byte comparable by
+//! fingerprint.
+
+use pacman_core::recovery::{recover, RecoveryConfig, RecoveryScheme};
+use pacman_core::runtime::ReplayMode;
+use pacman_engine::{run_procedure_with_epoch, Database};
+use pacman_wal::{Durability, DurabilityConfig, LogScheme};
+use pacman_workloads::bank::Bank;
+use pacman_workloads::smallbank::Smallbank;
+use pacman_workloads::Workload;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+const PHASE_TXNS: usize = 400;
+
+fn durability_config(scheme: LogScheme) -> DurabilityConfig {
+    DurabilityConfig {
+        scheme,
+        num_loggers: 2,
+        epoch_interval: Duration::from_millis(2),
+        batch_epochs: 8,
+        checkpoint_interval: None,
+        checkpoint_threads: 1,
+        fsync: true,
+    }
+}
+
+/// The deterministic transaction stream of one phase.
+fn phase_txns(
+    workload: &dyn Workload,
+    phase: u64,
+) -> Vec<(pacman_common::ProcId, pacman_sproc::Params)> {
+    let mut rng = SmallRng::seed_from_u64(0xD0B1E ^ phase);
+    (0..PHASE_TXNS)
+        .map(|_| workload.next_txn(&mut rng))
+        .collect()
+}
+
+/// Apply one phase through a live durability stack, sequentially, and
+/// wait until everything is durable.
+fn apply_phase(db: &Arc<Database>, workload: &dyn Workload, dur: &Arc<Durability>, phase: u64) {
+    let registry = workload.registry();
+    let worker = dur.register_worker();
+    let em = Arc::clone(dur.epoch_manager());
+    let mut max_epoch = 0;
+    for (pid, params) in phase_txns(workload, phase) {
+        worker.enter();
+        let proc = registry.get(pid).expect("registered");
+        let info = run_procedure_with_epoch(db, proc, &params, || em.current())
+            .expect("sequential txns never abort");
+        if !info.writes.is_empty() {
+            dur.log_commit(0, &info, pid, &params, false);
+            max_epoch = max_epoch.max(pacman_common::clock::epoch_of(info.ts));
+        }
+    }
+    worker.retire();
+    dur.wait_durable(max_epoch);
+}
+
+/// The never-crashed reference: both phases applied back to back.
+fn reference_fingerprint(workload: &dyn Workload) -> pacman_common::Fingerprint {
+    let db = Arc::new(Database::new(workload.catalog()));
+    workload.load(&db);
+    let registry = workload.registry();
+    for phase in [1, 2] {
+        for (pid, params) in phase_txns(workload, phase) {
+            let proc = registry.get(pid).expect("registered");
+            run_procedure_with_epoch(&db, proc, &params, || phase)
+                .expect("sequential txns never abort");
+        }
+    }
+    db.fingerprint()
+}
+
+fn double_crash_roundtrip(
+    workload: &dyn Workload,
+    log_scheme: LogScheme,
+    recovery: RecoveryScheme,
+) {
+    let reference = reference_fingerprint(workload);
+    let registry = workload.registry();
+    let storage =
+        pacman_storage::StorageSet::identical(2, pacman_storage::DiskConfig::unthrottled("dc"));
+
+    // Incarnation 1: load, run phase 1, crash.
+    let db1 = Arc::new(Database::new(workload.catalog()));
+    workload.load(&db1);
+    pacman_wal::run_checkpoint(&db1, &storage, 2).expect("initial checkpoint");
+    let dur1 = Durability::start(
+        Arc::clone(&db1),
+        storage.clone(),
+        durability_config(log_scheme),
+    );
+    apply_phase(&db1, workload, &dur1, 1);
+    dur1.crash();
+    drop(db1);
+
+    // Recovery 1 + reopen: the surviving log directory becomes live again.
+    let out1 = recover(
+        &storage,
+        &workload.catalog(),
+        &registry,
+        &RecoveryConfig {
+            scheme: recovery,
+            threads: 4,
+        },
+    )
+    .unwrap_or_else(|e| panic!("{} first recovery failed: {e}", recovery.label()));
+    let db2 = out1.db;
+    let (dur2, resume) = Durability::reopen(
+        Arc::clone(&db2),
+        storage.clone(),
+        durability_config(log_scheme),
+    );
+    assert!(
+        resume.persisted_pepoch < u64::MAX,
+        "pepoch file must hold a real epoch, not the sentinel"
+    );
+    assert_eq!(
+        resume.truncated_records, 0,
+        "clean crash leaves no ghost tail"
+    );
+
+    // Incarnation 2: run phase 2 against the recovered state, crash again.
+    apply_phase(&db2, workload, &dur2, 2);
+    let live = db2.fingerprint();
+    assert_eq!(
+        live,
+        reference,
+        "{}: live state after resume diverged before the second crash",
+        recovery.label()
+    );
+    dur2.crash();
+    drop(db2);
+
+    // Recovery 2 must reproduce the never-crashed run.
+    let out2 = recover(
+        &storage,
+        &workload.catalog(),
+        &registry,
+        &RecoveryConfig {
+            scheme: recovery,
+            threads: 4,
+        },
+    )
+    .unwrap_or_else(|e| panic!("{} second recovery failed: {e}", recovery.label()));
+    assert_eq!(
+        out2.db.fingerprint(),
+        reference,
+        "{}: double-crash recovery diverged from the never-crashed run \
+         (replayed {} txns)",
+        recovery.label(),
+        out2.report.txns
+    );
+}
+
+fn schemes() -> [(LogScheme, RecoveryScheme); 3] {
+    [
+        (
+            LogScheme::Command,
+            RecoveryScheme::ClrP {
+                mode: ReplayMode::Pipelined,
+            },
+        ),
+        (LogScheme::Logical, RecoveryScheme::LlrP),
+        (
+            LogScheme::Adaptive,
+            RecoveryScheme::AlrP {
+                mode: ReplayMode::Pipelined,
+            },
+        ),
+    ]
+}
+
+#[test]
+fn bank_double_crash_equivalence_all_schemes() {
+    let bank = Bank {
+        accounts: 256,
+        ..Bank::default()
+    };
+    for (log, rec) in schemes() {
+        double_crash_roundtrip(&bank, log, rec);
+    }
+}
+
+#[test]
+fn smallbank_double_crash_equivalence_all_schemes() {
+    let sb = Smallbank {
+        accounts: 512,
+        ..Smallbank::default()
+    };
+    for (log, rec) in schemes() {
+        double_crash_roundtrip(&sb, log, rec);
+    }
+}
+
+/// The second incarnation may also start from an *online* recovery
+/// session (instant restart): session → reopen → resume → crash →
+/// recover must still match the reference.
+#[test]
+fn bank_double_crash_with_online_first_recovery() {
+    let bank = Bank {
+        accounts: 256,
+        ..Bank::default()
+    };
+    let reference = reference_fingerprint(&bank);
+    let registry = bank.registry();
+    let storage =
+        pacman_storage::StorageSet::identical(2, pacman_storage::DiskConfig::unthrottled("dc"));
+    let scheme = RecoveryScheme::ClrP {
+        mode: ReplayMode::Pipelined,
+    };
+
+    let db1 = Arc::new(Database::new(bank.catalog()));
+    bank.load(&db1);
+    pacman_wal::run_checkpoint(&db1, &storage, 2).unwrap();
+    let dur1 = Durability::start(
+        Arc::clone(&db1),
+        storage.clone(),
+        durability_config(LogScheme::Command),
+    );
+    apply_phase(&db1, &bank, &dur1, 1);
+    dur1.crash();
+    drop(db1);
+
+    let session = pacman_core::recovery::recover_online(
+        &storage,
+        &bank.catalog(),
+        &registry,
+        &RecoveryConfig { scheme, threads: 2 },
+    )
+    .unwrap();
+    let db2 = Arc::clone(session.db());
+    let (dur2, _resume) = Durability::reopen(
+        Arc::clone(&db2),
+        storage.clone(),
+        durability_config(LogScheme::Command),
+    );
+    session.release_checkpoints_on(&dur2);
+    // Resume writing while (possibly) still replaying: admission gates
+    // each transaction on its replayed footprint.
+    let admission = session.admission();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let worker = dur2.register_worker();
+    let em = Arc::clone(dur2.epoch_manager());
+    let mut max_epoch = 0;
+    for (pid, params) in phase_txns(&bank, 2) {
+        worker.enter();
+        assert!(admission.admit(pid, &params, &stop));
+        let proc = registry.get(pid).unwrap();
+        let info = run_procedure_with_epoch(&db2, proc, &params, || em.current()).unwrap();
+        if !info.writes.is_empty() {
+            dur2.log_commit(0, &info, pid, &params, false);
+            max_epoch = max_epoch.max(pacman_common::clock::epoch_of(info.ts));
+        }
+    }
+    worker.retire();
+    dur2.wait_durable(max_epoch);
+    session.wait().unwrap();
+    assert_eq!(db2.fingerprint(), reference);
+    dur2.crash();
+    drop(db2);
+
+    let out = recover(
+        &storage,
+        &bank.catalog(),
+        &registry,
+        &RecoveryConfig { scheme, threads: 4 },
+    )
+    .unwrap();
+    assert_eq!(
+        out.db.fingerprint(),
+        reference,
+        "online-first double crash diverged"
+    );
+}
