@@ -58,12 +58,11 @@ fn main() {
             let db = Arc::new(Database::new(crashed.catalog.clone()));
             // Restore the checkpoint first (not timed here; Fig. 18 is
             // about log replay).
-            let manifest = pacman_wal::checkpoint::read_manifest(&crashed.storage)
-                .unwrap()
-                .unwrap();
-            pacman_core::recovery::checkpoint::recover_checkpoint(
+            let chain = pacman_wal::read_chain(&crashed.storage).unwrap().unwrap();
+            let ckpt_ts = chain.ts();
+            pacman_core::recovery::checkpoint::recover_checkpoint_chain(
                 &crashed.storage,
-                &manifest,
+                &chain,
                 threads,
                 pacman_core::recovery::checkpoint::CheckpointTarget::Tables(&db),
             )
@@ -78,7 +77,7 @@ fn main() {
                 threads,
                 ReplayMode::PureStatic,
                 u64::MAX,
-                manifest.ts,
+                ckpt_ts,
                 &metrics,
             )
             .unwrap();

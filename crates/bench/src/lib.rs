@@ -164,13 +164,9 @@ pub fn boot_on(
     checkpoint_interval: Option<Duration>,
     fsync: bool,
 ) -> LiveSystem {
-    let storage = StorageSet::identical(disks, disk);
-    let db = Arc::new(Database::new(workload.catalog()));
-    workload.load(&db);
-    let registry = workload.registry();
-    let durability = Durability::start(
-        Arc::clone(&db),
-        storage.clone(),
+    boot_with_config(
+        workload,
+        StorageSet::identical(disks, disk),
         DurabilityConfig {
             scheme,
             num_loggers: disks,
@@ -179,12 +175,27 @@ pub fn boot_on(
             checkpoint_interval,
             checkpoint_threads: disks,
             fsync,
+            ..Default::default()
         },
-    );
+    )
+}
+
+/// The single boot path every bench helper shares: load the workload,
+/// start durability, and (under adaptive logging) wire the
+/// static-analysis cost model into the commit-time classifier — the
+/// driver feeds execution costs back through
+/// `Durability::observe_execution`.
+pub fn boot_with_config(
+    workload: &dyn Workload,
+    storage: StorageSet,
+    config: DurabilityConfig,
+) -> LiveSystem {
+    let db = Arc::new(Database::new(workload.catalog()));
+    workload.load(&db);
+    let registry = workload.registry();
+    let scheme = config.scheme;
+    let durability = Durability::start(Arc::clone(&db), storage.clone(), config);
     if scheme == LogScheme::Adaptive {
-        // Wire the static-analysis cost model into the commit-time
-        // classifier; the driver feeds execution costs back through
-        // `Durability::observe_execution`.
         durability.set_classifier(Arc::new(
             pacman_core::static_analysis::CostModel::for_procs(registry.all()),
         ));
@@ -241,6 +252,13 @@ pub struct Crashed {
     pub command_records: u64,
     /// Tuple-level records emitted (adaptive-mix accounting).
     pub logical_records: u64,
+    /// Periodic-checkpointer rounds completed during the run (`(total,
+    /// full)`; zeros when no checkpointer was armed).
+    pub ckpt_rounds: (u64, u64),
+    /// Part bytes the periodic checkpointer wrote during the run.
+    pub ckpt_bytes_written: u64,
+    /// Shards the checkpointer skipped as dirty-clean across delta rounds.
+    pub ckpt_shards_skipped: u64,
 }
 
 /// Boot, checkpoint the load, run for `secs`, stop gracefully (so recovery
@@ -276,6 +294,41 @@ pub fn prepare_crashed_on(
         let r = drive(&sys, workload, secs, workers, adhoc);
         (r.committed, r.bytes_logged)
     };
+    finish_crashed(sys, committed, bytes_logged)
+}
+
+/// [`prepare_crashed_on`] with a live periodic checkpointer: the crash
+/// image carries a manifest *chain* (base + deltas when `incremental`,
+/// repeated fulls otherwise) with the log GC'd below the chain tip — the
+/// shape the chain-aware recovery paths and the churn smoke exercise.
+/// The checkpointer's activity is reported through the `ckpt_*` fields.
+pub fn prepare_crashed_churn(
+    workload: &dyn Workload,
+    scheme: LogScheme,
+    secs: u64,
+    workers: usize,
+    disk: DiskConfig,
+    checkpoint_interval: Duration,
+    incremental: bool,
+) -> Crashed {
+    let sys = boot_with_config(
+        workload,
+        StorageSet::identical(2, disk),
+        DurabilityConfig {
+            checkpoint_interval: Some(checkpoint_interval),
+            checkpoint_incremental: incremental,
+            ..bench_durability(scheme, 2)
+        },
+    );
+    pacman_wal::run_checkpoint(&sys.db, &sys.storage, 2).expect("initial checkpoint");
+    sys.storage.reset_stats();
+    let r = drive(&sys, workload, secs, workers, 0.0);
+    finish_crashed(sys, r.committed, r.bytes_logged)
+}
+
+/// Shared tail of the crash-image builders: graceful stop (so recovery
+/// covers everything and fingerprints validate) + inventory.
+fn finish_crashed(sys: LiveSystem, committed: u64, bytes_logged: u64) -> Crashed {
     sys.durability.shutdown();
     let reference = sys.db.fingerprint();
     let inventory = pacman_core::recovery::LogInventory::scan(&sys.storage);
@@ -290,6 +343,9 @@ pub fn prepare_crashed_on(
         bytes_logged,
         command_records: sys.durability.command_records(),
         logical_records: sys.durability.logical_records(),
+        ckpt_rounds: sys.durability.checkpoint_rounds(),
+        ckpt_bytes_written: sys.durability.checkpoint_bytes_written(),
+        ckpt_shards_skipped: sys.durability.checkpoint_shards_skipped(),
     }
 }
 
@@ -315,6 +371,7 @@ pub fn bench_durability(scheme: LogScheme, disks: usize) -> DurabilityConfig {
         checkpoint_interval: None,
         checkpoint_threads: disks,
         fsync: true,
+        ..Default::default()
     }
 }
 

@@ -21,6 +21,11 @@ pub struct RecoveryMetrics {
     sched_ns: AtomicU64,
     txns: AtomicU64,
     writes: AtomicU64,
+    /// Checkpoint shards loaded because a blocked admission wanted them
+    /// (lazy reload's on-demand path).
+    ondemand_shard_loads: AtomicU64,
+    /// Checkpoint shards loaded by the background cheapest-first sweep.
+    background_shard_loads: AtomicU64,
 }
 
 /// A snapshot of the four buckets.
@@ -107,6 +112,27 @@ impl RecoveryMetrics {
         out
     }
 
+    /// Count a checkpoint shard loaded on demand (a blocked admission
+    /// wanted it) vs. by the background sweep.
+    #[inline]
+    pub fn count_shard_load(&self, ondemand: bool) {
+        if ondemand {
+            self.ondemand_shard_loads.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.background_shard_loads.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Checkpoint shards loaded on demand (lazy reload).
+    pub fn ondemand_shard_loads(&self) -> u64 {
+        self.ondemand_shard_loads.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoint shards loaded by the background sweep (lazy reload).
+    pub fn background_shard_loads(&self) -> u64 {
+        self.background_shard_loads.load(Ordering::Relaxed)
+    }
+
     /// Transactions replayed.
     pub fn txns(&self) -> u64 {
         self.txns.load(Ordering::Relaxed)
@@ -164,6 +190,16 @@ mod tests {
         let b = RecoveryMetrics::new().breakdown();
         assert_eq!(b.total(), 0.0);
         assert_eq!(b.fractions(), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn shard_load_counters_split_by_origin() {
+        let m = RecoveryMetrics::new();
+        m.count_shard_load(true);
+        m.count_shard_load(false);
+        m.count_shard_load(false);
+        assert_eq!(m.ondemand_shard_loads(), 1);
+        assert_eq!(m.background_shard_loads(), 2);
     }
 
     #[test]

@@ -59,6 +59,12 @@ impl ShardMap {
         Ok(self.offsets[table.index()] + t.shard_index(key))
     }
 
+    /// Partition of `(table, shard-index)` — how checkpoint parts (which
+    /// name shards directly) map into the same numbering.
+    pub fn shard_partition(&self, table_index: usize, shard: usize) -> usize {
+        self.offsets[table_index] + shard
+    }
+
     /// All partitions of one table.
     pub fn table_partitions(
         &self,
@@ -183,6 +189,14 @@ impl GateMap {
         }
     }
 
+    /// Whether this map's partitions double as checkpoint shards — true
+    /// for the tuple scheme, where lazy checkpoint reload publishes
+    /// residency over the same `(table, shard)` numbering, so admission
+    /// must check the gate's residency plane with the same footprint.
+    pub fn tracks_shard_residency(&self) -> bool {
+        matches!(self.kind, MapKind::Shards { .. })
+    }
+
     /// The static footprint of `proc(params)`, as partition indices.
     pub fn footprint(&self, proc: ProcId, params: &Params) -> Vec<usize> {
         match &self.kind {
@@ -260,22 +274,41 @@ impl GatedAdmission {
     }
 }
 
+impl GatedAdmission {
+    /// The footprint's checkpoint-shard view: identical to the replay
+    /// footprint for the tuple scheme (one numbering for both planes),
+    /// empty for command schemes (their base image loads eagerly before
+    /// the session goes live).
+    fn shard_view<'a>(&self, fp: &'a [usize]) -> &'a [usize] {
+        if self.map.tracks_shard_residency() {
+            fp
+        } else {
+            &[]
+        }
+    }
+}
+
 impl AdmissionControl for GatedAdmission {
     fn admit(&self, proc: ProcId, params: &Params, give_up: &AtomicBool) -> bool {
         if self.gate.is_complete() {
             return true;
         }
         let fp = self.map.footprint(proc, params);
-        self.gate.admit(&fp, give_up)
+        self.gate.admit_with(&fp, self.shard_view(&fp), give_up)
     }
 
     fn try_admit(&self, proc: ProcId, params: &Params) -> bool {
-        self.gate.is_complete() || self.gate.try_admit(&self.map.footprint(proc, params))
+        if self.gate.is_complete() {
+            return true;
+        }
+        let fp = self.map.footprint(proc, params);
+        self.gate.try_admit_with(&fp, self.shard_view(&fp))
     }
 
     fn request(&self, proc: ProcId, params: &Params) {
         if !self.gate.is_complete() {
-            self.gate.request(&self.map.footprint(proc, params));
+            let fp = self.map.footprint(proc, params);
+            self.gate.request_with(&fp, self.shard_view(&fp));
         }
     }
 

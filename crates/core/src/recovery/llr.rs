@@ -84,6 +84,7 @@ pub fn recover_log(
                                 return;
                             }
                         };
+                        table.mark_dirty(w.key, rec.ts);
                         let chain = table.get_or_create(w.key);
                         if latch {
                             chain.latch.lock();

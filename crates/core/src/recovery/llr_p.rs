@@ -110,7 +110,7 @@ pub fn recover_log(
                         for (ts, w) in part {
                             match db.table(w.table) {
                                 Ok(table) => {
-                                    table.get_or_create(w.key).install_lww(ts, w.after.clone());
+                                    table.install_lww(w.key, ts, w.after.clone());
                                 }
                                 Err(e) => {
                                     let mut s = err.lock();
@@ -310,7 +310,7 @@ pub fn recover_log_online(
                             for (ts, w) in &drained {
                                 match db.table(w.table) {
                                     Ok(t) => {
-                                        t.get_or_create(w.key).install_lww(*ts, w.after.clone());
+                                        t.install_lww(w.key, *ts, w.after.clone());
                                     }
                                     Err(e) => {
                                         let mut s = err.lock();

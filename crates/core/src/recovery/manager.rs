@@ -9,7 +9,9 @@
 //!   `docs/RECOVERY.md`, "Online recovery lifecycle").
 
 use crate::metrics::{Breakdown, RecoveryMetrics};
-use crate::recovery::checkpoint::{recover_checkpoint, CheckpointRecovery, CheckpointTarget};
+use crate::recovery::checkpoint::{
+    recover_checkpoint_chain, run_lazy_loader, CheckpointRecovery, CheckpointTarget,
+};
 use crate::recovery::gate::{GateMap, GatedAdmission, ShardMap};
 use crate::recovery::raw::RawStore;
 use crate::recovery::{alr_p, clr, clr_p, llr, llr_p, plr, LogInventory};
@@ -20,7 +22,7 @@ use pacman_common::{Error, Result, Timestamp};
 use pacman_engine::{AdmissionControl, Catalog, Database, RecoveryGate};
 use pacman_sproc::ProcRegistry;
 use pacman_storage::StorageSet;
-use pacman_wal::checkpoint::read_manifest;
+use pacman_wal::checkpoint::read_chain;
 use pacman_wal::pepoch::PepochHandle;
 use pacman_wal::Durability;
 use parking_lot::{Condvar, Mutex};
@@ -126,9 +128,18 @@ pub struct RecoveryReport {
     pub applied_writes: u64,
     /// Tuples restored from the checkpoint.
     pub checkpoint_tuples: u64,
+    /// Manifest-chain links the base image was resolved across (0 = no
+    /// checkpoint, 1 = a single full snapshot).
+    pub ckpt_chain_len: usize,
+    /// Checkpoint shards loaded on demand (a blocked admission wanted
+    /// them; lazy online reload only).
+    pub ondemand_shard_loads: u64,
+    /// Checkpoint shards loaded by the background sweep (lazy online
+    /// reload only).
+    pub background_shard_loads: u64,
     /// The durability frontier used.
     pub pepoch: u64,
-    /// Checkpoint snapshot timestamp (0 = no checkpoint found).
+    /// Checkpoint coverage timestamp (0 = no checkpoint found).
     pub ckpt_ts: Timestamp,
 }
 
@@ -151,19 +162,22 @@ pub fn recover(
     let t_all = Instant::now();
     let metrics = Arc::new(RecoveryMetrics::new());
     let pepoch = PepochHandle::read_persisted(storage.disk(0));
-    let manifest = read_manifest(storage)?;
+    let chain = read_chain(storage)?;
     let inventory = LogInventory::scan(storage);
     let db = Arc::new(Database::new(catalog.clone()));
     let threads = config.threads.max(1);
 
-    // Stage 1: checkpoint recovery.
+    // Stage 1: checkpoint recovery — every offline scheme restores the
+    // manifest chain eagerly through the parallel shard loader.
     let raw = RawStore::new(catalog.len());
-    let ckpt: CheckpointRecovery = match (&manifest, &config.scheme) {
+    let ckpt: CheckpointRecovery = match (&chain, &config.scheme) {
         (None, _) => CheckpointRecovery::default(),
-        (Some(m), RecoveryScheme::Plr { .. }) => {
-            recover_checkpoint(storage, m, threads, CheckpointTarget::Raw(&raw))?
+        (Some(c), RecoveryScheme::Plr { .. }) => {
+            recover_checkpoint_chain(storage, c, threads, CheckpointTarget::Raw(&raw))?
         }
-        (Some(m), _) => recover_checkpoint(storage, m, threads, CheckpointTarget::Tables(&db))?,
+        (Some(c), _) => {
+            recover_checkpoint_chain(storage, c, threads, CheckpointTarget::Tables(&db))?
+        }
     };
     let after_ts = ckpt.ckpt_ts;
 
@@ -214,6 +228,9 @@ pub fn recover(
         replayed_commands: log.replayed_commands,
         applied_writes: log.applied_writes,
         checkpoint_tuples: ckpt.tuples,
+        ckpt_chain_len: ckpt.chain_len,
+        ondemand_shard_loads: 0,
+        background_shard_loads: 0,
         pepoch,
         ckpt_ts: after_ts,
     };
@@ -228,8 +245,9 @@ pub enum SessionState {
     Replaying,
     /// Replay finished; the gate is permanently open.
     Complete,
-    /// Replay hit an error; the gate was opened to unblock waiters but the
-    /// recovered state is *not* trustworthy. [`RecoverySession::wait`]
+    /// Recovery hit an error; the gate was *poisoned* — blocked waiters
+    /// unblock with `false` and nothing further is admitted, because the
+    /// half-recovered state is not trustworthy. [`RecoverySession::wait`]
     /// returns the error.
     Failed,
 }
@@ -369,16 +387,28 @@ pub fn recover_online(
     let t_all = Instant::now();
     let metrics = Arc::new(RecoveryMetrics::new());
     let pepoch = PepochHandle::read_persisted(storage.disk(0));
-    let manifest = read_manifest(storage)?;
+    let chain = read_chain(storage)?;
     let inventory = LogInventory::scan(storage);
     let db = Arc::new(Database::new(catalog.clone()));
     let threads = config.threads.max(1);
 
-    // Stage 1 (inline): checkpoint restore. The session is handed back
-    // with the base image installed; only log replay runs concurrently.
-    let ckpt: CheckpointRecovery = match &manifest {
+    // Stage 1: base-image restore. Command schemes load the chain eagerly
+    // inline (their replay re-executes reads, so the whole base image
+    // must be resident before replay starts). The tuple scheme (LLR-P)
+    // defers the load *into* the session: shards stream in lazily on
+    // background workers, and the gate's residency plane admits a
+    // transaction as soon as its own shards are in.
+    let lazy = matches!(config.scheme, RecoveryScheme::LlrP);
+    let ckpt: CheckpointRecovery = match &chain {
         None => CheckpointRecovery::default(),
-        Some(m) => recover_checkpoint(storage, m, threads, CheckpointTarget::Tables(&db))?,
+        Some(c) if !lazy => {
+            recover_checkpoint_chain(storage, c, threads, CheckpointTarget::Tables(&db))?
+        }
+        Some(c) => CheckpointRecovery {
+            ckpt_ts: c.ts(),
+            chain_len: c.len(),
+            ..Default::default()
+        },
     };
     let after_ts = ckpt.ckpt_ts;
 
@@ -403,7 +433,12 @@ pub fn recover_online(
     let (gate, map) = match config.scheme {
         RecoveryScheme::LlrP => {
             let shards = ShardMap::new(&db);
-            let gate = RecoveryGate::new(shards.total());
+            // Residency plane over the same (table, shard) numbering as
+            // the replay watermarks: one footprint gates both.
+            let gate = RecoveryGate::with_residency(shards.total(), shards.total());
+            if chain.is_none() {
+                gate.set_all_resident();
+            }
             let map = GateMap::shards(Arc::clone(&db), shards.clone(), registry);
             session_shards = Some(shards);
             (gate, map)
@@ -438,79 +473,138 @@ pub fn recover_online(
         std::thread::Builder::new()
             .name("recovery-session".into())
             .spawn(move || {
-                let result = (|| -> Result<RecoveryReport> {
-                    let log = match scheme {
-                        RecoveryScheme::Clr => clr::recover_log_online(
-                            &storage,
-                            &inventory,
-                            &db,
-                            &registry,
-                            pepoch,
-                            after_ts,
-                            &metrics,
-                            Some(&gate),
-                        )?,
-                        RecoveryScheme::ClrP { mode } => clr_p::recover_log_online(
-                            &storage,
-                            &inventory,
-                            &db,
-                            &gdg,
-                            &registry,
+                // A panic anywhere in the recovery body must still settle
+                // the session (gate poisoned, waiters woken) — otherwise
+                // every blocked admission and `wait()` caller hangs.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    || -> Result<RecoveryReport> {
+                        let mut ckpt = ckpt;
+                        let log = match scheme {
+                            RecoveryScheme::Clr => clr::recover_log_online(
+                                &storage,
+                                &inventory,
+                                &db,
+                                &registry,
+                                pepoch,
+                                after_ts,
+                                &metrics,
+                                Some(&gate),
+                            )?,
+                            RecoveryScheme::ClrP { mode } => clr_p::recover_log_online(
+                                &storage,
+                                &inventory,
+                                &db,
+                                &gdg,
+                                &registry,
+                                threads,
+                                mode,
+                                pepoch,
+                                after_ts,
+                                &metrics,
+                                Some(Arc::clone(&gate)),
+                            )?,
+                            RecoveryScheme::AlrP { mode } => alr_p::recover_log_online(
+                                &storage,
+                                &inventory,
+                                &db,
+                                &gdg,
+                                &registry,
+                                threads,
+                                mode,
+                                pepoch,
+                                after_ts,
+                                &metrics,
+                                Some(Arc::clone(&gate)),
+                            )?,
+                            RecoveryScheme::LlrP => {
+                                let shards =
+                                    session_shards.as_ref().expect("LlrP built its shard map");
+                                // The lazy base-image loader races the replay on
+                                // purpose: both sides install timestamped LWW
+                                // (part timestamps sort below every replayed
+                                // record), so per-shard arrival order is
+                                // immaterial and the gate — residency plus
+                                // final watermark — is the only admission
+                                // condition.
+                                let mut log_res: Option<Result<_>> = None;
+                                let mut load_res: Result<CheckpointRecovery> = Ok(ckpt);
+                                crossbeam::thread::scope(|scope| {
+                                    if let Some(c) = &chain {
+                                        let gate2 = Arc::clone(&gate);
+                                        let db2 = Arc::clone(&db);
+                                        let storage2 = storage.clone();
+                                        let metrics2 = Arc::clone(&metrics);
+                                        let h = scope.spawn(move |_| {
+                                            run_lazy_loader(
+                                                &storage2,
+                                                c,
+                                                &db2,
+                                                &gate2,
+                                                |p| {
+                                                    shards.shard_partition(
+                                                        p.table as usize,
+                                                        p.shard as usize,
+                                                    )
+                                                },
+                                                threads,
+                                                &metrics2,
+                                            )
+                                        });
+                                        log_res = Some(llr_p::recover_log_online(
+                                            &storage, &inventory, &db, &gate, shards, threads,
+                                            pepoch, after_ts, &metrics,
+                                        ));
+                                        load_res = h.join().expect("lazy loader thread");
+                                    } else {
+                                        log_res = Some(llr_p::recover_log_online(
+                                            &storage, &inventory, &db, &gate, shards, threads,
+                                            pepoch, after_ts, &metrics,
+                                        ));
+                                    }
+                                })
+                                .expect("llr-p online session scope");
+                                let loaded = load_res?;
+                                ckpt.tuples = loaded.tuples;
+                                ckpt.reload = loaded.reload;
+                                ckpt.total = loaded.total;
+                                log_res.expect("replay ran")?
+                            }
+                            RecoveryScheme::Plr { .. } | RecoveryScheme::Llr { .. } => {
+                                unreachable!()
+                            }
+                        };
+                        db.clock().advance_to(log.max_ts.max(after_ts) + 1);
+                        Ok(RecoveryReport {
+                            scheme: scheme.label().to_string(),
                             threads,
-                            mode,
+                            checkpoint_reload_secs: ckpt.reload.as_secs_f64(),
+                            checkpoint_total_secs: ckpt.total.as_secs_f64(),
+                            log_reload_secs: log.reload.as_secs_f64(),
+                            log_total_secs: log.total.as_secs_f64(),
+                            total_secs: t_all.elapsed().as_secs_f64(),
+                            breakdown: metrics.breakdown(),
+                            txns: log.txns,
+                            replayed_commands: log.replayed_commands,
+                            applied_writes: log.applied_writes,
+                            checkpoint_tuples: ckpt.tuples,
+                            ckpt_chain_len: ckpt.chain_len,
+                            ondemand_shard_loads: metrics.ondemand_shard_loads(),
+                            background_shard_loads: metrics.background_shard_loads(),
                             pepoch,
-                            after_ts,
-                            &metrics,
-                            Some(Arc::clone(&gate)),
-                        )?,
-                        RecoveryScheme::AlrP { mode } => alr_p::recover_log_online(
-                            &storage,
-                            &inventory,
-                            &db,
-                            &gdg,
-                            &registry,
-                            threads,
-                            mode,
-                            pepoch,
-                            after_ts,
-                            &metrics,
-                            Some(Arc::clone(&gate)),
-                        )?,
-                        RecoveryScheme::LlrP => llr_p::recover_log_online(
-                            &storage,
-                            &inventory,
-                            &db,
-                            &gate,
-                            session_shards.as_ref().expect("LlrP built its shard map"),
-                            threads,
-                            pepoch,
-                            after_ts,
-                            &metrics,
-                        )?,
-                        RecoveryScheme::Plr { .. } | RecoveryScheme::Llr { .. } => unreachable!(),
-                    };
-                    db.clock().advance_to(log.max_ts.max(after_ts) + 1);
-                    Ok(RecoveryReport {
-                        scheme: scheme.label().to_string(),
-                        threads,
-                        checkpoint_reload_secs: ckpt.reload.as_secs_f64(),
-                        checkpoint_total_secs: ckpt.total.as_secs_f64(),
-                        log_reload_secs: log.reload.as_secs_f64(),
-                        log_total_secs: log.total.as_secs_f64(),
-                        total_secs: t_all.elapsed().as_secs_f64(),
-                        breakdown: metrics.breakdown(),
-                        txns: log.txns,
-                        replayed_commands: log.replayed_commands,
-                        applied_writes: log.applied_writes,
-                        checkpoint_tuples: ckpt.tuples,
-                        pepoch,
-                        ckpt_ts: after_ts,
-                    })
-                })();
-                // Open the gate in every outcome so waiters never hang,
-                // then settle the session state atomically with the
-                // checkpoint hand-off.
-                gate.finish();
+                            ckpt_ts: after_ts,
+                        })
+                    },
+                ))
+                .unwrap_or_else(|_| Err(Error::Unknown("recovery session panicked".into())));
+                // Settle the gate first so waiters never hang: open it on
+                // success, *poison* it on failure — a half-recovered state
+                // (missing base-image shards, unreplayed partitions) must
+                // not serve commits; blocked admissions unblock with
+                // `false` and nothing further is admitted.
+                match &result {
+                    Ok(_) => gate.finish(),
+                    Err(_) => gate.fail(),
+                }
                 let mut inner = shared.inner.lock();
                 match result {
                     Ok(report) => {
@@ -757,6 +851,100 @@ mod tests {
         let out = session.wait().unwrap();
         assert_eq!(out.report.txns, 0);
         assert_eq!(out.db.total_tuples(), 0);
+    }
+
+    /// A lazy LLR-P session whose base image cannot be fully loaded must
+    /// settle `Failed` with a *closed* gate: admitting against the
+    /// half-loaded image would serve (and durably log) corrupt state.
+    #[test]
+    fn llr_p_lazy_load_failure_poisons_the_gate() {
+        let (catalog, reg, storage) = setup();
+        let reference = Arc::new(Database::new(catalog.clone()));
+        for k in 0..64u64 {
+            reference
+                .seed_row(T, k, Row::from([Value::Int(k as i64)]))
+                .unwrap();
+        }
+        pacman_wal::run_checkpoint(&reference, &storage, 1).unwrap();
+        // Corrupt the chain behind recovery's back: delete one part the
+        // tip manifest references.
+        let manifest = pacman_wal::checkpoint::read_manifest(&storage)
+            .unwrap()
+            .unwrap();
+        let (table, shard, disk) = manifest.parts[0];
+        storage
+            .disk(disk as usize)
+            .delete(&pacman_wal::checkpoint::part_name(
+                manifest.ts,
+                table,
+                shard as usize,
+            ));
+        storage
+            .disk(0)
+            .write_file("pepoch.log", &u64::MAX.to_le_bytes());
+
+        let session = recover_online(
+            &storage,
+            &catalog,
+            &reg,
+            &RecoveryConfig {
+                scheme: RecoveryScheme::LlrP,
+                threads: 2,
+            },
+        )
+        .unwrap();
+        let admission = session.admission();
+        let gate = Arc::clone(session.gate());
+        let err = session.wait();
+        assert!(err.is_err(), "missing part must fail the session");
+        assert!(gate.is_failed());
+        assert!(!admission.is_open());
+        assert!(
+            !admission.try_admit(
+                ProcId::new(0),
+                &pacman_sproc::params([Value::Int(1), Value::Int(1)])
+            ),
+            "a poisoned gate must not admit anything"
+        );
+    }
+
+    /// A tip manifest referencing a shard outside the catalog must fail
+    /// the lazy session *cleanly* — settled `Failed`, gate poisoned — not
+    /// panic the session thread and leave waiters hanging.
+    #[test]
+    fn llr_p_corrupt_manifest_fails_cleanly() {
+        let (catalog, reg, storage) = setup();
+        let reference = Arc::new(Database::new(catalog.clone()));
+        for k in 0..16u64 {
+            reference
+                .seed_row(T, k, Row::from([Value::Int(k as i64)]))
+                .unwrap();
+        }
+        pacman_wal::run_checkpoint(&reference, &storage, 1).unwrap();
+        let mut manifest = pacman_wal::checkpoint::read_manifest(&storage)
+            .unwrap()
+            .unwrap();
+        manifest.parts.push((0, 999, 0)); // shard outside the catalog
+        storage
+            .disk(0)
+            .write_file(pacman_wal::checkpoint::MANIFEST_FILE, &manifest.to_bytes());
+        storage
+            .disk(0)
+            .write_file("pepoch.log", &u64::MAX.to_le_bytes());
+
+        let session = recover_online(
+            &storage,
+            &catalog,
+            &reg,
+            &RecoveryConfig {
+                scheme: RecoveryScheme::LlrP,
+                threads: 2,
+            },
+        )
+        .unwrap();
+        let gate = Arc::clone(session.gate());
+        assert!(session.wait().is_err(), "corrupt manifest must fail");
+        assert!(gate.is_failed(), "gate must be poisoned, not left hanging");
     }
 
     #[test]

@@ -81,6 +81,11 @@ impl RawStore {
         &self.tables[id.index()]
     }
 
+    /// Number of tables (manifest validation).
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
     /// Total tuples across tables.
     pub fn total(&self) -> usize {
         self.tables.iter().map(|t| t.len()).sum()

@@ -17,12 +17,10 @@ pub fn apply_writes(db: &Database, ts: Timestamp, writes: &[WriteRecord]) -> Res
         let table = db.table(w.table)?;
         match (w.kind, &w.after) {
             (WriteKind::Delete, _) | (_, None) => {
-                table.get_or_create(w.key).install_lww(ts, None);
+                table.install_lww(w.key, ts, None);
             }
             (_, Some(row)) => {
-                table
-                    .get_or_create(w.key)
-                    .install_lww(ts, Some(row.clone()));
+                table.install_lww(w.key, ts, Some(row.clone()));
             }
         }
     }

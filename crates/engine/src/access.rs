@@ -97,7 +97,8 @@ impl DataAccess for ReplayAccess<'_> {
     }
 
     fn write_col(&mut self, table: TableId, key: Key, col: usize, value: Value) -> Result<()> {
-        let chain = self.db.table(table)?.get(key).ok_or(Error::KeyNotFound {
+        let t = self.db.table(table)?;
+        let chain = t.get(key).ok_or(Error::KeyNotFound {
             table: table.0,
             key,
         })?;
@@ -106,23 +107,23 @@ impl DataAccess for ReplayAccess<'_> {
             table: table.0,
             key,
         })?;
+        t.mark_dirty(key, self.ts);
         chain.install_lww(self.ts, Some(row.with_col(col, value)));
         Ok(())
     }
 
     fn insert(&mut self, table: TableId, key: Key, row: Row) -> Result<()> {
-        self.db
-            .table(table)?
-            .get_or_create(key)
-            .install_lww(self.ts, Some(row));
+        self.db.table(table)?.install_lww(key, self.ts, Some(row));
         Ok(())
     }
 
     fn delete(&mut self, table: TableId, key: Key) -> Result<()> {
-        let chain = self.db.table(table)?.get(key).ok_or(Error::KeyNotFound {
+        let t = self.db.table(table)?;
+        let chain = t.get(key).ok_or(Error::KeyNotFound {
             table: table.0,
             key,
         })?;
+        t.mark_dirty(key, self.ts);
         chain.install_lww(self.ts, None);
         Ok(())
     }

@@ -5,7 +5,7 @@ use crate::table::Table;
 use crate::txn::Txn;
 use pacman_common::fingerprint::Fingerprint;
 use pacman_common::{Error, Key, LogicalClock, Result, Row, TableId, Timestamp};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -18,6 +18,12 @@ pub struct Database {
     /// Active snapshot holds (checkpointers): timestamps whose versions must
     /// not be pruned, with reference counts.
     holds: Mutex<BTreeMap<Timestamp, usize>>,
+    /// Install fence between committers and the checkpointer. Commits hold
+    /// the read side from before the commit timestamp is drawn until every
+    /// write is installed; [`Database::install_barrier`] acquires the write
+    /// side once, so after the barrier every commit with a timestamp at or
+    /// below the snapshot has fully installed (and marked its shards dirty).
+    install_lock: RwLock<()>,
 }
 
 impl Database {
@@ -33,7 +39,23 @@ impl Database {
             tables,
             clock: LogicalClock::new(),
             holds: Mutex::new(BTreeMap::new()),
+            install_lock: RwLock::new(()),
         }
+    }
+
+    /// Enter an install section (commit path): held from before the commit
+    /// timestamp is drawn until every write of the transaction is visible.
+    pub fn install_guard(&self) -> RwLockReadGuard<'_, ()> {
+        self.install_lock.read()
+    }
+
+    /// Wait out every in-flight install section. A checkpointer calls this
+    /// after fixing its snapshot timestamp (and bumping the clock past it):
+    /// once the barrier returns, every commit that drew a timestamp at or
+    /// below the snapshot has fully installed, so the scan — and the
+    /// per-shard dirty marks its skip decisions read — observe them.
+    pub fn install_barrier(&self) {
+        drop(self.install_lock.write());
     }
 
     /// The catalog.
@@ -60,9 +82,7 @@ impl Database {
 
     /// Seed a row during initial load (timestamp 0, not logged).
     pub fn seed_row(&self, table: TableId, key: Key, row: Row) -> Result<()> {
-        self.table(table)?
-            .get_or_create(key)
-            .install_lww(0, Some(row));
+        self.table(table)?.install_lww(key, 0, Some(row));
         Ok(())
     }
 

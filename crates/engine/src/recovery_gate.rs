@@ -20,6 +20,15 @@
 //!
 //! Once [`RecoveryGate::finish`] is called (replay complete), the gate is
 //! permanently open and admission is a single atomic load.
+//!
+//! The gate optionally tracks a second, **checkpoint-residency** plane
+//! ([`RecoveryGate::with_residency`]): with lazy checkpoint reload the
+//! base image streams in shard by shard *during* the session, so "shard
+//! resident" is a watermark dimension alongside replayed batches.
+//! Admission then requires every replay partition of the footprint to be
+//! final **and** every checkpoint shard of the footprint to be resident;
+//! a blocked admission flags its cold shards as wanted so the shard
+//! loader pulls exactly those in first (on-demand reload).
 
 use pacman_common::ProcId;
 use pacman_sproc::Params;
@@ -40,20 +49,41 @@ pub struct RecoveryGate {
     watermarks: Vec<AtomicU64>,
     /// Per-partition "a waiting transaction needs this" flags.
     wanted: Vec<AtomicBool>,
+    /// Checkpoint-residency plane (empty: no residency dimension — the
+    /// base image was loaded eagerly before the session went live).
+    resident: Vec<AtomicBool>,
+    /// Per-shard "a waiting transaction needs this resident" flags.
+    resident_wanted: Vec<AtomicBool>,
+    /// Shards not yet resident.
+    resident_pending: AtomicU64,
     /// Set by [`RecoveryGate::finish`]: replay fully done, gate open.
     complete: AtomicBool,
+    /// Set by [`RecoveryGate::fail`]: recovery errored, gate permanently
+    /// closed — the half-recovered state must not serve commits.
+    failed: AtomicBool,
     wake_mutex: Mutex<()>,
     wake_cv: Condvar,
 }
 
 impl RecoveryGate {
-    /// A gate over `partitions` replay partitions, initially fully cold.
+    /// A gate over `partitions` replay partitions, initially fully cold,
+    /// with no checkpoint-residency plane.
     pub fn new(partitions: usize) -> Arc<Self> {
+        Self::with_residency(partitions, 0)
+    }
+
+    /// A gate over `partitions` replay partitions plus a residency plane
+    /// of `shards` checkpoint shards, all initially non-resident.
+    pub fn with_residency(partitions: usize, shards: usize) -> Arc<Self> {
         Arc::new(RecoveryGate {
             total: AtomicU64::new(TOTAL_UNKNOWN),
             watermarks: (0..partitions).map(|_| AtomicU64::new(0)).collect(),
             wanted: (0..partitions).map(|_| AtomicBool::new(false)).collect(),
+            resident: (0..shards).map(|_| AtomicBool::new(false)).collect(),
+            resident_wanted: (0..shards).map(|_| AtomicBool::new(false)).collect(),
+            resident_pending: AtomicU64::new(shards as u64),
             complete: AtomicBool::new(false),
+            failed: AtomicBool::new(false),
             wake_mutex: Mutex::new(()),
             wake_cv: Condvar::new(),
         })
@@ -62,6 +92,11 @@ impl RecoveryGate {
     /// Number of partitions tracked.
     pub fn num_partitions(&self) -> usize {
         self.watermarks.len()
+    }
+
+    /// Number of checkpoint shards in the residency plane (0 = no plane).
+    pub fn num_shards(&self) -> usize {
+        self.resident.len()
     }
 
     /// Publish how many batches every partition must apply (known once the
@@ -97,9 +132,24 @@ impl RecoveryGate {
         self.notify();
     }
 
+    /// Mark the recovery failed; the gate is permanently *closed*. A
+    /// half-recovered state (missing base-image shards, unreplayed
+    /// partitions) must never serve commits, so blocked admissions
+    /// unblock with `false` and nothing further is admitted.
+    pub fn fail(&self) {
+        self.failed.store(true, Ordering::Release);
+        self.notify();
+    }
+
     /// Whether replay has fully completed.
     pub fn is_complete(&self) -> bool {
         self.complete.load(Ordering::Acquire)
+    }
+
+    /// Whether the recovery behind this gate failed (gate closed for
+    /// good).
+    pub fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
     }
 
     /// Whether partition `p` has reached its final state.
@@ -109,6 +159,45 @@ impl RecoveryGate {
         }
         let total = self.total.load(Ordering::Acquire);
         total != TOTAL_UNKNOWN && self.watermarks[p].load(Ordering::Acquire) >= total
+    }
+
+    /// Publish that checkpoint shard `s` is resident (its newest part is
+    /// installed). Monotone and idempotent.
+    pub fn publish_resident(&self, s: usize) {
+        if !self.resident[s].swap(true, Ordering::AcqRel) {
+            self.resident_wanted[s].store(false, Ordering::Release);
+            self.resident_pending.fetch_sub(1, Ordering::AcqRel);
+            self.notify();
+        }
+    }
+
+    /// Mark every shard resident at once (no checkpoint found).
+    pub fn set_all_resident(&self) {
+        for s in 0..self.resident.len() {
+            self.publish_resident(s);
+        }
+    }
+
+    /// Whether checkpoint shard `s` is resident. Always true without a
+    /// residency plane or after [`RecoveryGate::finish`].
+    pub fn is_resident(&self, s: usize) -> bool {
+        self.resident.is_empty()
+            || self.is_complete()
+            || self
+                .resident
+                .get(s)
+                .is_none_or(|r| r.load(Ordering::Acquire))
+    }
+
+    /// Whether every shard of the residency plane is resident.
+    pub fn all_resident(&self) -> bool {
+        self.resident_pending.load(Ordering::Acquire) == 0
+    }
+
+    /// Whether a blocked admission is waiting on shard `s`'s residency —
+    /// the shard loader consults this to prioritize on-demand reload.
+    pub fn is_shard_wanted(&self, s: usize) -> bool {
+        self.resident_wanted[s].load(Ordering::Acquire)
     }
 
     /// Whether a blocked admission is waiting on partition `p` — replay
@@ -125,19 +214,42 @@ impl RecoveryGate {
 
     /// Non-blocking admission check for `footprint` (partition indices).
     pub fn try_admit(&self, footprint: &[usize]) -> bool {
-        self.is_complete() || footprint.iter().all(|&p| self.is_ready(p))
+        self.try_admit_with(footprint, &[])
+    }
+
+    /// Non-blocking admission check over both planes: every replay
+    /// partition in `footprint` final *and* every checkpoint shard in
+    /// `shards` resident. A failed gate admits nothing.
+    pub fn try_admit_with(&self, footprint: &[usize], shards: &[usize]) -> bool {
+        if self.is_failed() {
+            return false;
+        }
+        self.is_complete()
+            || (footprint.iter().all(|&p| self.is_ready(p))
+                && shards.iter().all(|&s| self.is_resident(s)))
     }
 
     /// Flag `footprint`'s cold partitions as wanted *without* waiting —
     /// an open-loop driver parks the transaction and keeps serving, while
     /// replay starts pulling the parked footprint forward.
     pub fn request(&self, footprint: &[usize]) {
-        if self.is_complete() {
+        self.request_with(footprint, &[]);
+    }
+
+    /// [`RecoveryGate::request`] over both planes: additionally flags the
+    /// non-resident shards of `shards` for on-demand reload.
+    pub fn request_with(&self, footprint: &[usize], shards: &[usize]) {
+        if self.is_complete() || self.is_failed() {
             return;
         }
         for &p in footprint {
             if !self.is_ready(p) {
                 self.wanted[p].store(true, Ordering::Release);
+            }
+        }
+        for &s in shards {
+            if !self.is_resident(s) {
+                self.resident_wanted[s].store(true, Ordering::Release);
             }
         }
     }
@@ -146,21 +258,24 @@ impl RecoveryGate {
     /// partitions as wanted so replay prioritizes them. Returns `false` if
     /// `give_up` became true before admission succeeded.
     pub fn admit(&self, footprint: &[usize], give_up: &AtomicBool) -> bool {
+        self.admit_with(footprint, &[], give_up)
+    }
+
+    /// [`RecoveryGate::admit`] over both planes: additionally waits for
+    /// every checkpoint shard in `shards` to be resident, flagging cold
+    /// ones so the shard loader prioritizes them.
+    pub fn admit_with(&self, footprint: &[usize], shards: &[usize], give_up: &AtomicBool) -> bool {
         loop {
-            if self.try_admit(footprint) {
+            if self.try_admit_with(footprint, shards) {
                 return true;
             }
-            if give_up.load(Ordering::Acquire) {
+            if give_up.load(Ordering::Acquire) || self.is_failed() {
                 return false;
             }
             // Mark what we're missing *before* re-checking, so a publish
             // racing with the flag store is never lost.
-            for &p in footprint {
-                if !self.is_ready(p) {
-                    self.wanted[p].store(true, Ordering::Release);
-                }
-            }
-            if self.try_admit(footprint) {
+            self.request_with(footprint, shards);
+            if self.try_admit_with(footprint, shards) {
                 return true;
             }
             let mut g = self.wake_mutex.lock();
@@ -258,6 +373,70 @@ mod tests {
         std::thread::sleep(Duration::from_millis(5));
         stop.store(true, Ordering::Release);
         assert!(!waiter.join().unwrap(), "admit must report the give-up");
+    }
+
+    #[test]
+    fn residency_plane_gates_admission() {
+        let gate = RecoveryGate::with_residency(2, 3);
+        gate.set_total_batches(1);
+        gate.publish(0, 1);
+        // Replay final but shard 2 not resident: admission blocked.
+        assert!(gate.try_admit(&[0]), "replay plane alone is final");
+        assert!(!gate.try_admit_with(&[0], &[2]));
+        gate.request_with(&[0], &[2]);
+        assert!(gate.is_shard_wanted(2));
+        assert!(!gate.is_shard_wanted(0), "unrequested shard not wanted");
+        gate.publish_resident(2);
+        assert!(!gate.is_shard_wanted(2), "residency clears the want flag");
+        assert!(gate.try_admit_with(&[0], &[2]));
+        assert!(!gate.all_resident());
+        gate.publish_resident(0);
+        gate.publish_resident(0); // idempotent
+        gate.publish_resident(1);
+        assert!(gate.all_resident());
+    }
+
+    #[test]
+    fn finish_opens_the_residency_plane() {
+        let gate = RecoveryGate::with_residency(1, 2);
+        assert!(!gate.is_resident(0));
+        gate.finish();
+        assert!(gate.is_resident(0));
+        let stop = AtomicBool::new(false);
+        assert!(gate.admit_with(&[0], &[0, 1], &stop));
+    }
+
+    #[test]
+    fn fail_closes_the_gate_and_unblocks_waiters() {
+        let gate = RecoveryGate::with_residency(2, 2);
+        gate.set_total_batches(1);
+        gate.publish(0, 1);
+        gate.publish_resident(0);
+        let g2 = Arc::clone(&gate);
+        let waiter = std::thread::spawn(move || {
+            let stop = AtomicBool::new(false);
+            g2.admit_with(&[1], &[1], &stop)
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        gate.fail();
+        assert!(
+            !waiter.join().unwrap(),
+            "failed gate must unblock with false"
+        );
+        // Nothing is admitted any more — not even a previously-final
+        // footprint: the session's state is suspect as a whole.
+        assert!(!gate.try_admit_with(&[0], &[0]));
+        assert!(!gate.try_admit(&[]));
+        assert!(gate.is_failed());
+        assert!(!gate.is_complete());
+    }
+
+    #[test]
+    fn no_residency_plane_is_always_resident() {
+        let gate = RecoveryGate::new(1);
+        assert_eq!(gate.num_shards(), 0);
+        assert!(gate.is_resident(0));
+        assert!(gate.all_resident());
     }
 
     #[test]

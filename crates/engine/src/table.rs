@@ -11,6 +11,7 @@ use pacman_common::fingerprint::{Fingerprint, Fnv};
 use pacman_common::{Key, Row, Timestamp};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One ordered shard: keys to their version chains.
@@ -21,6 +22,10 @@ type Shard = RwLock<BTreeMap<Key, Arc<TupleChain>>>;
 pub struct Table {
     meta: TableMeta,
     shards: Box<[Shard]>,
+    /// Per-shard highest mutation timestamp — the dirty tracking behind
+    /// incremental checkpointing: a checkpoint round whose base snapshot
+    /// is `ts0` skips every shard with `dirty_ts(shard) <= ts0`.
+    dirty: Box<[AtomicU64]>,
     mask: u64,
 }
 
@@ -36,6 +41,7 @@ impl Table {
         let n = 1usize << meta.shard_bits;
         Table {
             shards: (0..n).map(|_| RwLock::new(BTreeMap::new())).collect(),
+            dirty: (0..n).map(|_| AtomicU64::new(0)).collect(),
             mask: (n - 1) as u64,
             meta,
         }
@@ -73,9 +79,38 @@ impl Table {
         Arc::clone(w.entry(key).or_insert_with(|| Arc::new(TupleChain::new())))
     }
 
+    /// Record a mutation of `key` at commit timestamp `ts`. Every install
+    /// path must mark *before* the version becomes visible: a checkpoint
+    /// scan that observes the install then also observes the mark, so its
+    /// clean-shard skip decision can never lose the mutation.
+    #[inline]
+    pub fn mark_dirty(&self, key: Key, ts: Timestamp) {
+        self.mark_shard_dirty(self.shard_of(key), ts);
+    }
+
+    /// [`Table::mark_dirty`] by shard index.
+    #[inline]
+    pub fn mark_shard_dirty(&self, shard: usize, ts: Timestamp) {
+        self.dirty[shard % self.dirty.len()].fetch_max(ts, Ordering::Release);
+    }
+
+    /// Highest mutation timestamp recorded for `shard` (0 = never touched).
+    #[inline]
+    pub fn shard_dirty_ts(&self, shard: usize) -> Timestamp {
+        self.dirty[shard % self.dirty.len()].load(Ordering::Acquire)
+    }
+
+    /// Latch-free last-writer-wins install that maintains the shard dirty
+    /// tracking — the install path of tuple-level recovery and seeding.
+    pub fn install_lww(&self, key: Key, ts: Timestamp, row: Option<Row>) {
+        self.mark_dirty(key, ts);
+        self.get_or_create(key).install_lww(ts, row);
+    }
+
     /// Bulk-insert a seeded chain (initial load / checkpoint load). Replaces
     /// any existing chain for the key.
     pub fn put_chain(&self, key: Key, chain: Arc<TupleChain>) {
+        self.mark_dirty(key, chain.newest_ts());
         self.shards[self.shard_of(key)].write().insert(key, chain);
     }
 
@@ -240,6 +275,26 @@ mod tests {
         t2.get_or_create(7).install_committed(1, row(10), 0);
         t2.get_or_create(7).install_committed(3, row(30), 0);
         assert_eq!(t1.fingerprint(), t2.fingerprint());
+    }
+
+    #[test]
+    fn dirty_tracking_follows_installs() {
+        let t = table();
+        for s in 0..t.num_shards() {
+            assert_eq!(t.shard_dirty_ts(s), 0, "fresh table is clean");
+        }
+        t.install_lww(42, 7, row(1));
+        let s = t.shard_index(42);
+        assert_eq!(t.shard_dirty_ts(s), 7);
+        // Monotone: an older install never regresses the mark.
+        t.mark_dirty(42, 3);
+        assert_eq!(t.shard_dirty_ts(s), 7);
+        t.install_lww(42, 9, None);
+        assert_eq!(t.shard_dirty_ts(s), 9);
+        // put_chain marks with the chain's newest timestamp.
+        let c = Arc::new(TupleChain::with_version(12, row(5)));
+        t.put_chain(42, c);
+        assert_eq!(t.shard_dirty_ts(s), 12);
     }
 
     #[test]

@@ -186,6 +186,11 @@ impl<'db> Txn<'db> {
     /// On conflict the transaction aborts with [`Error::TxnAborted`]; the
     /// caller may retry with a fresh transaction.
     pub fn commit_with(self, epoch_fn: impl FnOnce() -> u64) -> Result<CommitInfo> {
+        // Install section: held from before the commit timestamp is drawn
+        // until every write is installed, so a checkpointer's barrier can
+        // wait out commits its snapshot must cover (see
+        // `Database::install_barrier`).
+        let _install = self.db.install_guard();
         // Union of read and write chains, globally ordered to avoid deadlock.
         let mut lock_set: Vec<((TableId, Key), Arc<TupleChain>)> =
             Vec::with_capacity(self.reads.len() + self.writes.len());
@@ -247,6 +252,12 @@ impl<'db> Txn<'db> {
         for key in &self.write_order {
             let w = &self.writes[key];
             let prev_ts = w.chain.newest_ts();
+            // Dirty mark before the install becomes visible (incremental
+            // checkpointing reads the marks to skip clean shards).
+            self.db
+                .table(key.0)
+                .expect("validated table id")
+                .mark_dirty(key.1, ts);
             w.chain.install_committed(ts, w.row.clone(), floor);
             records.push(WriteRecord {
                 table: key.0,

@@ -2,7 +2,9 @@
 //! checkpointing around a running database.
 
 use crate::batch::{batch_index_of_epoch, batch_name, truncate_log_tail};
-use crate::checkpoint::{prune_old_checkpoints, read_manifest, run_checkpoint};
+use crate::checkpoint::{
+    read_manifest, run_checkpoint_full_pruned, run_checkpoint_incremental_pruned,
+};
 use crate::classify::{CommitClassifier, LogChoice, WriteCountClassifier};
 use crate::logger::{LoggerHandle, QueuedRecord};
 use crate::pepoch::PepochHandle;
@@ -77,6 +79,13 @@ pub struct DurabilityConfig {
     pub checkpoint_interval: Option<Duration>,
     /// Checkpoint writer threads (paper: one per device).
     pub checkpoint_threads: usize,
+    /// Write incremental (delta) checkpoint rounds that skip clean shards;
+    /// `false` restores the always-full-snapshot behavior.
+    pub checkpoint_incremental: bool,
+    /// Chain-length bound for incremental rounds: once the manifest chain
+    /// reaches this many links, the next round is a full compaction
+    /// rewrite. Ignored when `checkpoint_incremental` is off.
+    pub checkpoint_max_chain: usize,
     /// Whether loggers fsync on epoch seal (Table 3 ablation).
     pub fsync: bool,
 }
@@ -90,6 +99,8 @@ impl Default for DurabilityConfig {
             batch_epochs: 10,
             checkpoint_interval: None,
             checkpoint_threads: 1,
+            checkpoint_incremental: true,
+            checkpoint_max_chain: 8,
             fsync: true,
         }
     }
@@ -108,6 +119,11 @@ pub struct Durability {
     ckpt_paused: Arc<AtomicBool>,
     ckpt_active: Arc<AtomicBool>,
     last_ckpt_ts: Arc<AtomicU64>,
+    ckpt_bytes_written: Arc<AtomicU64>,
+    ckpt_parts_written: Arc<AtomicU64>,
+    ckpt_shards_skipped: Arc<AtomicU64>,
+    ckpt_rounds: Arc<AtomicU64>,
+    ckpt_full_rounds: Arc<AtomicU64>,
     ckpt_join: Mutex<Option<JoinHandle<()>>>,
     bytes_logged: AtomicU64,
     classifier: RwLock<Arc<dyn CommitClassifier>>,
@@ -224,16 +240,28 @@ impl Durability {
         let ckpt_paused = Arc::new(AtomicBool::new(false));
         let ckpt_active = Arc::new(AtomicBool::new(false));
         let last_ckpt_ts = Arc::new(AtomicU64::new(0));
+        let ckpt_bytes_written = Arc::new(AtomicU64::new(0));
+        let ckpt_parts_written = Arc::new(AtomicU64::new(0));
+        let ckpt_shards_skipped = Arc::new(AtomicU64::new(0));
+        let ckpt_rounds = Arc::new(AtomicU64::new(0));
+        let ckpt_full_rounds = Arc::new(AtomicU64::new(0));
         let ckpt_join = match (config.checkpoint_interval, config.scheme) {
             (Some(interval), scheme) if scheme != LogScheme::Off => {
                 let stop = Arc::clone(&ckpt_stop);
                 let paused = Arc::clone(&ckpt_paused);
                 let active = Arc::clone(&ckpt_active);
                 let last = Arc::clone(&last_ckpt_ts);
+                let bytes = Arc::clone(&ckpt_bytes_written);
+                let parts = Arc::clone(&ckpt_parts_written);
+                let skipped = Arc::clone(&ckpt_shards_skipped);
+                let rounds = Arc::clone(&ckpt_rounds);
+                let fulls = Arc::clone(&ckpt_full_rounds);
                 let storage2 = storage.clone();
                 let threads = config.checkpoint_threads.max(1);
                 let batch_epochs = config.batch_epochs;
                 let num_loggers = config.num_loggers.max(1);
+                let incremental = config.checkpoint_incremental;
+                let max_chain = config.checkpoint_max_chain.max(1);
                 Some(
                     std::thread::Builder::new()
                         .name("checkpointer".into())
@@ -255,18 +283,36 @@ impl Durability {
                                 continue; // held back (e.g. online replay)
                             }
                             active.store(true, Ordering::Release);
-                            if let Ok(ts) = run_checkpoint(&db, &storage2, threads) {
-                                prune_old_checkpoints(&storage2, ts);
+                            // The *_pruned variants fold chain-aware
+                            // retention into the round (only links the new
+                            // tip references survive), reusing the chain
+                            // the round resolved instead of re-reading it.
+                            let result = if incremental {
+                                run_checkpoint_incremental_pruned(
+                                    &db, &storage2, threads, max_chain,
+                                )
+                            } else {
+                                run_checkpoint_full_pruned(&db, &storage2, threads)
+                            };
+                            if let Ok(st) = result {
+                                bytes.fetch_add(st.bytes_written, Ordering::Relaxed);
+                                parts.fetch_add(st.parts_written, Ordering::Relaxed);
+                                skipped.fetch_add(st.shards_skipped_clean, Ordering::Relaxed);
+                                rounds.fetch_add(1, Ordering::Relaxed);
+                                if st.full {
+                                    fulls.fetch_add(1, Ordering::Relaxed);
+                                }
                                 // Drop batches that lie entirely below the
-                                // checkpoint's epoch.
-                                let ckpt_epoch = pacman_common::clock::epoch_of(ts);
+                                // chain tip's epoch (the chain covers all
+                                // state up to its tip timestamp).
+                                let ckpt_epoch = pacman_common::clock::epoch_of(st.ts);
                                 let done_batch = batch_index_of_epoch(ckpt_epoch, batch_epochs);
                                 for b in 0..done_batch {
                                     for l in 0..num_loggers {
                                         storage2.disk(l).delete(&batch_name(l, b));
                                     }
                                 }
-                                last.store(ts, Ordering::Release);
+                                last.store(st.ts, Ordering::Release);
                             }
                             active.store(false, Ordering::Release);
                         })
@@ -287,6 +333,11 @@ impl Durability {
             ckpt_paused,
             ckpt_active,
             last_ckpt_ts,
+            ckpt_bytes_written,
+            ckpt_parts_written,
+            ckpt_shards_skipped,
+            ckpt_rounds,
+            ckpt_full_rounds,
             ckpt_join: Mutex::new(ckpt_join),
             bytes_logged: AtomicU64::new(0),
             classifier: RwLock::new(Arc::new(WriteCountClassifier::default())),
@@ -451,6 +502,31 @@ impl Durability {
         self.last_ckpt_ts.load(Ordering::Acquire)
     }
 
+    /// Part bytes the periodic checkpointer has written so far (the
+    /// incremental-vs-full savings metric of the restart bench).
+    pub fn checkpoint_bytes_written(&self) -> u64 {
+        self.ckpt_bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Parts the periodic checkpointer has written so far.
+    pub fn checkpoint_parts_written(&self) -> u64 {
+        self.ckpt_parts_written.load(Ordering::Relaxed)
+    }
+
+    /// Shards skipped as dirty-clean across all delta rounds so far.
+    pub fn checkpoint_shards_skipped(&self) -> u64 {
+        self.ckpt_shards_skipped.load(Ordering::Relaxed)
+    }
+
+    /// Completed checkpoint rounds `(total, full)` — the difference is
+    /// the number of delta rounds.
+    pub fn checkpoint_rounds(&self) -> (u64, u64) {
+        (
+            self.ckpt_rounds.load(Ordering::Relaxed),
+            self.ckpt_full_rounds.load(Ordering::Relaxed),
+        )
+    }
+
     /// Total bytes handed to loggers.
     pub fn bytes_logged(&self) -> u64 {
         self.bytes_logged.load(Ordering::Relaxed)
@@ -515,6 +591,7 @@ mod tests {
             checkpoint_interval: None,
             checkpoint_threads: 1,
             fsync: true,
+            ..Default::default()
         };
         let dur = Durability::start(Arc::clone(&db), storage, config);
         (db, dur)
@@ -700,6 +777,7 @@ mod tests {
             checkpoint_interval: None,
             checkpoint_threads: 1,
             fsync: true,
+            ..Default::default()
         };
         let (dur2, info) = Durability::reopen(Arc::clone(&db), storage.clone(), config);
         assert!(info.base_epoch >= frontier);
@@ -778,6 +856,7 @@ mod tests {
                 checkpoint_interval: None,
                 checkpoint_threads: 1,
                 fsync: false,
+                ..Default::default()
             },
         );
         assert_eq!(info.persisted_pepoch, 3);
@@ -824,6 +903,7 @@ mod tests {
                 checkpoint_interval: Some(Duration::from_millis(25)),
                 checkpoint_threads: 1,
                 fsync: false,
+                ..Default::default()
             },
         );
         let worker = dur.register_worker();

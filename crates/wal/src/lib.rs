@@ -34,7 +34,11 @@ pub use batch::{
     batch_index_of_epoch, batch_name, list_batch_indices, read_merged_batch, truncate_log_tail,
     LogBatch,
 };
-pub use checkpoint::{run_checkpoint, CheckpointManifest};
+pub use checkpoint::{
+    read_chain, run_checkpoint, run_checkpoint_full, run_checkpoint_full_pruned,
+    run_checkpoint_incremental, run_checkpoint_incremental_pruned, CheckpointChain,
+    CheckpointManifest, CheckpointStats, ResolvedPart,
+};
 pub use classify::{CommitClassifier, LogChoice, WriteCountClassifier};
 pub use durability::{Durability, DurabilityConfig, LogScheme, ResumeInfo};
 pub use record::{LogPayload, TxnLogRecord};

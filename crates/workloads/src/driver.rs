@@ -525,6 +525,7 @@ mod tests {
                 checkpoint_interval: None,
                 checkpoint_threads: 1,
                 fsync: true,
+                ..Default::default()
             },
         );
         let result = run_workload(
@@ -594,6 +595,7 @@ mod tests {
                 checkpoint_interval: None,
                 checkpoint_threads: 1,
                 fsync: true,
+                ..Default::default()
             },
         );
         let r = run_ramp(

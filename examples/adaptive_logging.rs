@@ -34,6 +34,7 @@ fn run(scheme: LogScheme) -> (u64, u64, u64, u64) {
             checkpoint_interval: None,
             checkpoint_threads: 2,
             fsync: true,
+            ..Default::default()
         },
     );
     if scheme == LogScheme::Adaptive {

@@ -1,0 +1,158 @@
+//! Checkpoint-churn smoke: a short skewed TPC-C run under an *aggressive
+//! incremental checkpointer*, a hard crash, and an online LLR-P recovery
+//! whose base image streams in lazily — the first new commit must be
+//! acknowledged **before** the checkpoint chain is fully resident.
+//!
+//! The device model makes the regime unmistakable: writes are fast (so
+//! the run piles up a multi-link manifest chain and GCs the log behind
+//! it) while reads are slow (so reloading that chain dominates recovery,
+//! the exact "checkpoint-reload-bound" shape lazy reload exists for).
+//!
+//! ```sh
+//! cargo run --release --example checkpoint_churn
+//! ```
+
+use pacman_core::recovery::{recover_online, RecoveryConfig, RecoveryScheme};
+use pacman_repro::harness::System;
+use pacman_storage::{DiskConfig, StorageSet};
+use pacman_wal::{Durability, DurabilityConfig, LogScheme};
+use pacman_workloads::tpcc::{Tpcc, TpccConfig};
+use pacman_workloads::{DriverConfig, RampConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn durability_config() -> DurabilityConfig {
+    DurabilityConfig {
+        scheme: LogScheme::Logical,
+        num_loggers: 2,
+        epoch_interval: Duration::from_millis(3),
+        batch_epochs: 8,
+        checkpoint_interval: Some(Duration::from_millis(150)),
+        checkpoint_threads: 2,
+        checkpoint_incremental: true,
+        checkpoint_max_chain: 4,
+        fsync: true,
+    }
+}
+
+/// Fast writes, slow reads: checkpoint churn is cheap at runtime and the
+/// reload is the recovery bottleneck.
+fn churn_disk() -> DiskConfig {
+    DiskConfig {
+        name: "churn".into(),
+        read_bw: 2.0e6,
+        write_bw: 300.0e6,
+        fsync_latency: Duration::from_micros(200),
+    }
+}
+
+fn main() {
+    let tpcc = Tpcc::new(TpccConfig::bench(2).skewed_restart());
+    let storage = StorageSet::identical(2, churn_disk());
+    let sys = System::boot(&tpcc, storage, durability_config());
+    pacman_wal::run_checkpoint(&sys.db, &sys.storage, 2).unwrap();
+    println!("loaded {} tuples", sys.db.total_tuples());
+
+    let result = sys.run(
+        &tpcc,
+        &DriverConfig {
+            workers: 2,
+            duration: Duration::from_secs(2),
+            ..DriverConfig::default()
+        },
+    );
+    let (rounds, fulls) = sys.durability.checkpoint_rounds();
+    println!(
+        "pre-crash: {} commits, {} checkpoint rounds ({} full, {} delta), \
+         {:.0} KB checkpoint bytes, {} shards skipped clean",
+        result.committed,
+        rounds,
+        fulls,
+        rounds - fulls,
+        sys.durability.checkpoint_bytes_written() as f64 / 1e3,
+        sys.durability.checkpoint_shards_skipped(),
+    );
+    assert!(
+        rounds > 0,
+        "the aggressive checkpointer never completed a round"
+    );
+    let (storage, registry, catalog) = sys.crash();
+    let chain = pacman_wal::read_chain(&storage)
+        .unwrap()
+        .expect("chain survives");
+    println!("crash image: manifest chain of {} link(s)", chain.len());
+
+    // Online LLR-P: the chain streams in lazily while the gate serves.
+    let t0 = Instant::now();
+    let session = recover_online(
+        &storage,
+        &catalog,
+        &registry,
+        &RecoveryConfig {
+            scheme: RecoveryScheme::LlrP,
+            threads: 2,
+        },
+    )
+    .unwrap();
+
+    // Watch when the base image becomes fully resident.
+    let gate = Arc::clone(session.gate());
+    let watcher = std::thread::spawn(move || {
+        while !gate.all_resident() && !gate.is_complete() && !gate.is_failed() {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        t0.elapsed()
+    });
+
+    let (durability, _resume) = Durability::reopen(
+        Arc::clone(session.db()),
+        storage.clone(),
+        durability_config(),
+    );
+    session.release_checkpoints_on(&durability);
+    let admission = session.admission();
+    let ramp_start = t0.elapsed();
+    let ramp = pacman_workloads::run_ramp(
+        session.db(),
+        &tpcc,
+        &registry,
+        &durability,
+        Some(&admission),
+        &RampConfig {
+            workers: 2,
+            duration: Duration::from_secs(3),
+            ..RampConfig::default()
+        },
+    );
+    let resident_at = watcher.join().unwrap();
+    let outcome = session.wait().unwrap();
+    durability.shutdown();
+
+    let first = ramp
+        .first_commit_secs
+        .expect("a gated commit must land during the ramp");
+    let first_at = ramp_start + Duration::from_secs_f64(first);
+    println!(
+        "first commit at {:.3}s, full checkpoint residency at {:.3}s \
+         ({} shards on demand, {} by background sweep; {} commits in ramp)",
+        first_at.as_secs_f64(),
+        resident_at.as_secs_f64(),
+        outcome.report.ondemand_shard_loads,
+        outcome.report.background_shard_loads,
+        ramp.committed,
+    );
+    assert!(
+        first_at < resident_at,
+        "first commit ({first_at:?}) must land before full residency ({resident_at:?}) — \
+         lazy reload is not gating admission per shard"
+    );
+    assert!(
+        outcome.report.ondemand_shard_loads + outcome.report.background_shard_loads > 0,
+        "the lazy loader never loaded a shard"
+    );
+    assert!(outcome.report.checkpoint_tuples > 0);
+    println!(
+        "online replay settled: {} txns, {} checkpoint tuples across a {}-link chain",
+        outcome.report.txns, outcome.report.checkpoint_tuples, outcome.report.ckpt_chain_len
+    );
+}

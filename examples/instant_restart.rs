@@ -26,6 +26,7 @@ fn durability_config() -> DurabilityConfig {
         checkpoint_interval: None,
         checkpoint_threads: 2,
         fsync: true,
+        ..Default::default()
     }
 }
 

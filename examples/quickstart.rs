@@ -28,6 +28,7 @@ fn main() {
             checkpoint_interval: None,
             checkpoint_threads: 2,
             fsync: true,
+            ..Default::default()
         },
     );
     pacman_wal::run_checkpoint(&sys.db, &sys.storage, 2).expect("initial checkpoint");

@@ -36,6 +36,7 @@ fn main() {
                 checkpoint_interval: Some(Duration::from_millis(700)),
                 checkpoint_threads: 2,
                 fsync: true,
+                ..Default::default()
             },
         );
         let result = sys.run(

@@ -31,6 +31,7 @@ fn main() {
             checkpoint_interval: None,
             checkpoint_threads: 2,
             fsync: true,
+            ..Default::default()
         },
     );
     pacman_wal::run_checkpoint(&sys.db, &sys.storage, 2).unwrap();

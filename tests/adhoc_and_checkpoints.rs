@@ -18,6 +18,7 @@ fn durability(scheme: LogScheme, checkpoints: bool) -> DurabilityConfig {
         checkpoint_interval: checkpoints.then(|| Duration::from_millis(80)),
         checkpoint_threads: 2,
         fsync: true,
+        ..Default::default()
     }
 }
 

@@ -7,11 +7,12 @@
 //! in between leaves (a) the old manifest in effect and (b) orphan part
 //! files under a newer timestamp directory that nothing references.
 
+use pacman_common::Encoder;
 use pacman_core::recovery::{recover, RecoveryConfig, RecoveryScheme};
 use pacman_core::runtime::ReplayMode;
 use pacman_engine::{run_procedure_with_epoch, Database};
-use pacman_wal::checkpoint::part_name;
-use pacman_wal::{Durability, DurabilityConfig, LogScheme};
+use pacman_wal::checkpoint::{manifest_name, part_name, read_chain, CheckpointManifest};
+use pacman_wal::{run_checkpoint_incremental, Durability, DurabilityConfig, LogScheme};
 use pacman_workloads::bank::Bank;
 use pacman_workloads::Workload;
 use rand::rngs::SmallRng;
@@ -70,6 +71,7 @@ fn torn_checkpoint_image() -> (
             checkpoint_interval: None, // checkpoint 2 is hand-torn below
             checkpoint_threads: 1,
             fsync: true,
+            ..Default::default()
         },
     );
     run_txns(&db, &bank, &dur, 99, 500);
@@ -141,6 +143,7 @@ fn torn_first_checkpoint_recovers_from_log_alone() {
             checkpoint_interval: None,
             checkpoint_threads: 1,
             fsync: true,
+            ..Default::default()
         },
     );
     run_txns(&db, &bank, &dur, 7, 300);
@@ -179,6 +182,108 @@ fn torn_first_checkpoint_recovers_from_log_alone() {
     }
 }
 
+/// Crash in the middle of an *incremental* round: the torn delta's parts
+/// (and even its per-timestamp manifest) exist on disk, but the tip was
+/// never cut over — the previous chain (full + one completed delta) must
+/// win, and both tuple-level and command recovery stay exact.
+#[test]
+fn torn_incremental_delta_recovers_the_previous_chain() {
+    let bank = Bank {
+        accounts: 256,
+        ..Bank::default()
+    };
+    let storage =
+        pacman_storage::StorageSet::identical(2, pacman_storage::DiskConfig::unthrottled("mc"));
+    for (log, schemes) in [
+        (LogScheme::Logical, vec![RecoveryScheme::LlrP]),
+        (
+            LogScheme::Command,
+            vec![
+                RecoveryScheme::Clr,
+                RecoveryScheme::ClrP {
+                    mode: ReplayMode::Pipelined,
+                },
+            ],
+        ),
+    ] {
+        let storage = storage.clone();
+        // Fresh directory per log scheme.
+        for disk in storage.disks() {
+            for name in disk.list("") {
+                disk.delete(&name);
+            }
+        }
+        let db = Arc::new(Database::new(bank.catalog()));
+        bank.load(&db);
+        // Chain root.
+        run_checkpoint_incremental(&db, &storage, 2, 8).unwrap();
+        let dur = Durability::start(
+            Arc::clone(&db),
+            storage.clone(),
+            DurabilityConfig {
+                scheme: log,
+                num_loggers: 2,
+                epoch_interval: Duration::from_millis(2),
+                batch_epochs: 8,
+                checkpoint_interval: None, // rounds are hand-run below
+                checkpoint_threads: 1,
+                fsync: true,
+                ..Default::default()
+            },
+        );
+        run_txns(&db, &bank, &dur, 11, 250);
+        // One *completed* delta extends the chain.
+        let d1 = run_checkpoint_incremental(&db, &storage, 2, 8).unwrap();
+        assert!(!d1.full, "second round must be a delta");
+        run_txns(&db, &bank, &dur, 22, 250);
+        // A second delta tears: parts + per-ts manifest land, tip does not.
+        let torn_ts = db.clock().peek();
+        storage
+            .disk(0)
+            .append(&part_name(torn_ts, 0, 0), &[0xDE, 0xAD, 0xBE, 0xEF]);
+        storage.disk(0).write_file(
+            &manifest_name(torn_ts),
+            &CheckpointManifest {
+                ts: torn_ts,
+                base_ts: d1.ts,
+                parts: vec![(0, 0, 0)],
+            }
+            .to_bytes(),
+        );
+        dur.crash();
+        let reference = db.fingerprint();
+
+        let chain = read_chain(&storage).unwrap().unwrap();
+        assert_eq!(chain.ts(), d1.ts, "torn delta must not become the tip");
+        assert_eq!(chain.len(), 2, "chain = full + completed delta");
+
+        for scheme in &schemes {
+            let out = recover(
+                &storage,
+                &bank.catalog(),
+                &bank.registry(),
+                &RecoveryConfig {
+                    scheme: *scheme,
+                    threads: 4,
+                },
+            )
+            .unwrap_or_else(|e| panic!("{} failed on torn delta: {e}", scheme.label()));
+            assert_eq!(
+                out.db.fingerprint(),
+                reference,
+                "{}: torn delta corrupted recovery",
+                scheme.label()
+            );
+            assert_eq!(out.report.ckpt_chain_len, 2);
+            assert_eq!(out.report.ckpt_ts, d1.ts);
+            assert!(
+                out.report.txns > 0,
+                "the post-delta log tail must have replayed"
+            );
+        }
+    }
+}
+
 /// A torn checkpoint must also not confuse a *resumed* (reopened) log:
 /// the orphan parts are ignored, logging resumes, and a later recovery is
 /// exact.
@@ -210,6 +315,7 @@ fn torn_checkpoint_then_reopen_then_crash() {
             checkpoint_interval: None,
             checkpoint_threads: 1,
             fsync: true,
+            ..Default::default()
         },
     );
     run_txns(&db, &bank, &dur, 1234, 200);

@@ -34,6 +34,7 @@ fn durability_config(scheme: LogScheme) -> DurabilityConfig {
         checkpoint_interval: None,
         checkpoint_threads: 1,
         fsync: true,
+        ..Default::default()
     }
 }
 
@@ -203,6 +204,108 @@ fn smallbank_double_crash_equivalence_all_schemes() {
     };
     for (log, rec) in schemes() {
         double_crash_roundtrip(&sb, log, rec);
+    }
+}
+
+/// Double crash across a *chained* checkpoint history: each incarnation
+/// interleaves transaction phases with incremental rounds, so the first
+/// crash image carries ≥ 2 chained deltas and the second extends the
+/// same chain. Both recoveries must fingerprint-match the never-crashed
+/// run — the chain (not just the log) now carries part of the state.
+#[test]
+fn chained_delta_double_crash_equivalence() {
+    let bank = Bank {
+        accounts: 256,
+        ..Bank::default()
+    };
+    for (log, rec) in [
+        (LogScheme::Logical, RecoveryScheme::LlrP),
+        (
+            LogScheme::Adaptive,
+            RecoveryScheme::AlrP {
+                mode: ReplayMode::Pipelined,
+            },
+        ),
+    ] {
+        // Never-crashed reference over phases 1..=5.
+        let reference = {
+            let db = Arc::new(Database::new(bank.catalog()));
+            bank.load(&db);
+            let registry = bank.registry();
+            for phase in 1..=5u64 {
+                for (pid, params) in phase_txns(&bank, phase) {
+                    let proc = registry.get(pid).expect("registered");
+                    run_procedure_with_epoch(&db, proc, &params, || phase)
+                        .expect("sequential txns never abort");
+                }
+            }
+            db.fingerprint()
+        };
+        let registry = bank.registry();
+        let storage =
+            pacman_storage::StorageSet::identical(2, pacman_storage::DiskConfig::unthrottled("dc"));
+
+        // Incarnation 1: full, then phases interleaved with delta rounds —
+        // the crash image carries a chain of one full + two deltas.
+        let db1 = Arc::new(Database::new(bank.catalog()));
+        bank.load(&db1);
+        pacman_wal::run_checkpoint_incremental(&db1, &storage, 2, 8).unwrap();
+        let dur1 = Durability::start(Arc::clone(&db1), storage.clone(), durability_config(log));
+        apply_phase(&db1, &bank, &dur1, 1);
+        let d1 = pacman_wal::run_checkpoint_incremental(&db1, &storage, 2, 8).unwrap();
+        assert!(!d1.full);
+        apply_phase(&db1, &bank, &dur1, 2);
+        let d2 = pacman_wal::run_checkpoint_incremental(&db1, &storage, 2, 8).unwrap();
+        assert!(!d2.full);
+        apply_phase(&db1, &bank, &dur1, 3);
+        dur1.crash();
+        drop(db1);
+        let chain = pacman_wal::read_chain(&storage).unwrap().unwrap();
+        assert!(chain.len() >= 3, "expected ≥ 2 chained deltas");
+
+        // Recovery 1 must see chain + log tail; resume extends the chain.
+        let out1 = recover(
+            &storage,
+            &bank.catalog(),
+            &registry,
+            &RecoveryConfig {
+                scheme: rec,
+                threads: 4,
+            },
+        )
+        .unwrap_or_else(|e| panic!("{} chained first recovery failed: {e}", rec.label()));
+        assert!(out1.report.ckpt_chain_len >= 3);
+        let db2 = out1.db;
+        let (dur2, _resume) =
+            Durability::reopen(Arc::clone(&db2), storage.clone(), durability_config(log));
+        apply_phase(&db2, &bank, &dur2, 4);
+        // A post-recovery delta chains onto the pre-crash history: the
+        // dirty marks left by replay make exactly the replayed and fresh
+        // shards re-scan.
+        let d3 = pacman_wal::run_checkpoint_incremental(&db2, &storage, 2, 8).unwrap();
+        assert!(!d3.full, "post-recovery round must extend the chain");
+        apply_phase(&db2, &bank, &dur2, 5);
+        let live = db2.fingerprint();
+        assert_eq!(live, reference, "{}: live state diverged", rec.label());
+        dur2.crash();
+        drop(db2);
+
+        let out2 = recover(
+            &storage,
+            &bank.catalog(),
+            &registry,
+            &RecoveryConfig {
+                scheme: rec,
+                threads: 4,
+            },
+        )
+        .unwrap_or_else(|e| panic!("{} chained second recovery failed: {e}", rec.label()));
+        assert_eq!(
+            out2.db.fingerprint(),
+            reference,
+            "{}: chained-delta double crash diverged from the never-crashed run",
+            rec.label()
+        );
     }
 }
 

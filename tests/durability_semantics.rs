@@ -31,6 +31,7 @@ fn setup(scheme: LogScheme, disks: usize, batch_epochs: u64) -> (Arc<Database>, 
             checkpoint_interval: None,
             checkpoint_threads: 1,
             fsync: true,
+            ..Default::default()
         },
     );
     (db, dur)

@@ -25,6 +25,7 @@ fn durability(scheme: LogScheme) -> DurabilityConfig {
         checkpoint_interval: None,
         checkpoint_threads: 2,
         fsync: true,
+        ..Default::default()
     }
 }
 
