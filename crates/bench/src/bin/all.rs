@@ -24,6 +24,7 @@ fn main() {
         "table3",
         "fig_adaptive",
         "fig_restart",
+        "fig_failover",
     ] {
         let mut cmd = Command::new(dir.join(target));
         if quick {

@@ -2,7 +2,7 @@
 //! five schemes on TPC-C and Smallbank, using all available threads.
 
 use pacman_bench::{
-    banner, bench_smallbank, bench_tpcc, default_workers, num_threads, prepare_crashed,
+    banner, bench_smallbank, bench_tpcc, capped_threads, default_workers, prepare_crashed,
     recover_checked, BenchOpts,
 };
 use pacman_core::recovery::RecoveryScheme;
@@ -17,7 +17,7 @@ fn main() {
          latch-free, write-only); CLR-P close behind LLR-P because it must \
          re-execute reads as well",
     );
-    let threads = num_threads().min(24);
+    let threads = capped_threads(24);
     let secs = opts.run_secs();
     let workers = default_workers();
     for wl in ["tpcc", "smallbank"] {

@@ -3,7 +3,7 @@
 //! fraction grows (write-only replay skips the reads).
 
 use pacman_bench::{
-    banner, bench_smallbank, bench_tpcc, default_workers, num_threads, prepare_crashed,
+    banner, bench_smallbank, bench_tpcc, capped_threads, default_workers, prepare_crashed,
     recover_checked, BenchOpts,
 };
 use pacman_core::recovery::RecoveryScheme;
@@ -17,7 +17,7 @@ fn main() {
         "recovery time drops smoothly as the ad-hoc fraction rises; at 100% \
          CLR-P behaves like LLR-P (only write reinstalls, no reads)",
     );
-    let threads = num_threads().min(24);
+    let threads = capped_threads(24);
     let secs = opts.run_secs();
     let workers = default_workers();
     let fractions: &[f64] = if opts.quick {

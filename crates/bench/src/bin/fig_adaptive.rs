@@ -16,7 +16,7 @@
 //! shrinks run lengths.
 
 use pacman_bench::{
-    banner, bench_smallbank, bench_tpcc, default_workers, full_speed_ssd, num_threads,
+    banner, bench_smallbank, bench_tpcc, capped_threads, default_workers, full_speed_ssd,
     prepare_crashed_on, recover_checked, BenchOpts,
 };
 use pacman_core::recovery::RecoveryScheme;
@@ -112,7 +112,7 @@ fn main() {
          transactions, value-log the expensive ones; ALR-P recovers like \
          LLR-P while logging like CL (Yao et al., adaptive logging)",
     );
-    let threads = num_threads().min(24);
+    let threads = capped_threads(24);
     let secs = opts.run_secs();
     let workers = default_workers();
     let pipelined = ReplayMode::Pipelined;

@@ -21,7 +21,7 @@
 //! `--quick` shrinks the run; `--scheme <name>` narrows to one scheme.
 
 use pacman_bench::{
-    banner, bench_tpcc, default_workers, full_speed_ssd, instant_restart, num_threads,
+    banner, bench_tpcc, capped_threads, default_workers, full_speed_ssd, instant_restart,
     prepare_crashed_churn, prepare_crashed_on, recover_checked, BenchOpts,
 };
 use pacman_core::recovery::RecoveryScheme;
@@ -39,7 +39,7 @@ fn main() {
          recovery wall time; throughput ramps to steady state while replay \
          is still draining cold partitions",
     );
-    let threads = num_threads().min(24);
+    let threads = capped_threads(24);
     let workers = default_workers();
     let secs = opts.run_secs();
     let tpcc = pacman_workloads::tpcc::Tpcc::new(bench_tpcc(opts.quick).cfg.skewed_restart());

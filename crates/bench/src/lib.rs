@@ -92,9 +92,25 @@ pub fn num_threads() -> usize {
 }
 
 /// The standard transaction-worker count of the harness binaries: leave
-/// headroom for loggers/checkpointer/pepoch threads, floor at 2.
+/// headroom for loggers/checkpointer/pepoch threads, floor at 2 — except
+/// on a single-hardware-thread machine, where extra workers only contend
+/// with each other (and with the durability threads) for the one core:
+/// there every sweep degrades to an honest single-thread point.
 pub fn default_workers() -> usize {
-    num_threads().saturating_sub(4).max(2)
+    let n = num_threads();
+    if n <= 1 {
+        1
+    } else {
+        n.saturating_sub(4).max(2)
+    }
+}
+
+/// Parallel-stage thread count for recovery/replay/apply: the machine's
+/// threads capped at `cap` (the paper's harness used up to 24/40), and a
+/// single thread on a 1-core machine — the same guard as
+/// [`default_workers`], centralized so every bin degrades identically.
+pub fn capped_threads(cap: usize) -> usize {
+    num_threads().min(cap.max(1))
 }
 
 /// The scaled simulated SSD used throughout the harness (1/10 of the
@@ -418,6 +434,52 @@ pub fn instant_restart(
         outcome,
         resume,
     }
+}
+
+/// Ship a crashed primary's surviving image to a fresh hot standby over
+/// an in-process link and wait for full catch-up. Returns the caught-up
+/// standby (promotable) plus the attach→caught-up wall time. The standby
+/// gets its own devices of the same `disk` model; `apply` must match the
+/// image's log format (CLR-P / LLR-P / ALR-P).
+pub fn ship_standby(
+    crashed: &Crashed,
+    apply: RecoveryScheme,
+    threads: usize,
+    disk: DiskConfig,
+) -> (pacman_core::replication::Standby, f64) {
+    use pacman_core::replication::{pump, start_standby, wire, StandbyConfig};
+    let t0 = std::time::Instant::now();
+    let pepoch = pacman_wal::pepoch::PepochHandle::read_persisted(crashed.storage.disk(0));
+    // The shipper must mirror the log layout that wrote the image —
+    // derive it from the shared bench config rather than restating it
+    // (the scheme field is irrelevant to layout).
+    let layout = bench_durability(LogScheme::Off, 2);
+    let shipper = pacman_wal::LogShipper::new(
+        crashed.storage.clone(),
+        layout.num_loggers,
+        layout.batch_epochs,
+    );
+    let (tx, rx) = wire();
+    let standby = start_standby(
+        StorageSet::identical(2, disk),
+        &crashed.catalog,
+        &crashed.registry,
+        &StandbyConfig {
+            scheme: apply,
+            threads,
+        },
+        rx,
+    )
+    .unwrap_or_else(|e| panic!("{}: standby start failed: {e}", apply.label()));
+    pump(&shipper, pepoch, &tx).expect("ship");
+    assert!(
+        standby.wait_caught_up(pepoch, Duration::from_secs(120)),
+        "{}: standby never caught up ({:?} / {:?})",
+        apply.label(),
+        standby.stats(),
+        standby.error(),
+    );
+    (standby, t0.elapsed().as_secs_f64())
 }
 
 /// Recover a crashed system, asserting exactness against the reference.

@@ -16,11 +16,14 @@
 //!   execution (§4.3.2-4.4, Figs. 9-10);
 //! * [`recovery`] — the five evaluated recovery schemes: PLR, LLR, LLR-P,
 //!   CLR and CLR-P (= PACMAN), plus checkpoint recovery (§6.2);
+//! * [`replication`] — hot-standby replication: continuous log shipping
+//!   with live PACMAN apply and instant failover (promote = epoch drain);
 //! * [`metrics`] — the time-breakdown instrumentation behind Fig. 20.
 
 pub mod dynamic;
 pub mod metrics;
 pub mod recovery;
+pub mod replication;
 pub mod runtime;
 pub mod schedule;
 pub mod static_analysis;
@@ -28,6 +31,7 @@ pub mod static_analysis;
 pub use dynamic::PieceDag;
 pub use metrics::{Breakdown, RecoveryMetrics};
 pub use recovery::{RecoveryConfig, RecoveryOutcome, RecoveryReport, RecoveryScheme};
+pub use replication::{PromotedPrimary, ReplicationStats, Standby, StandbyConfig, StandbyState};
 pub use runtime::ReplayMode;
 pub use schedule::{ExecutionSchedule, Piece, PieceSet};
 pub use static_analysis::{ChoppingGraph, GlobalGraph, LocalGraph};

@@ -26,6 +26,10 @@ pub struct RecoveryMetrics {
     ondemand_shard_loads: AtomicU64,
     /// Checkpoint shards loaded by the background cheapest-first sweep.
     background_shard_loads: AtomicU64,
+    /// Replication: apply batches (seal-delimited) fully applied.
+    applied_batches: AtomicU64,
+    /// Replication: shipped log bytes applied to the standby.
+    applied_log_bytes: AtomicU64,
 }
 
 /// A snapshot of the four buckets.
@@ -121,6 +125,25 @@ impl RecoveryMetrics {
         } else {
             self.background_shard_loads.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Count one seal-delimited replication apply batch (its shipped log
+    /// bytes included) as fully applied on a standby.
+    #[inline]
+    pub fn count_applied_batch(&self, log_bytes: u64) {
+        self.applied_batches.fetch_add(1, Ordering::Relaxed);
+        self.applied_log_bytes
+            .fetch_add(log_bytes, Ordering::Relaxed);
+    }
+
+    /// Replication apply batches fully applied (standby side).
+    pub fn applied_batches(&self) -> u64 {
+        self.applied_batches.load(Ordering::Relaxed)
+    }
+
+    /// Shipped log bytes applied (standby side).
+    pub fn applied_log_bytes(&self) -> u64 {
+        self.applied_log_bytes.load(Ordering::Relaxed)
     }
 
     /// Checkpoint shards loaded on demand (lazy reload).

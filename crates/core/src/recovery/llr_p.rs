@@ -188,21 +188,11 @@ pub fn recover_log_online(
     let threads = threads.max(1);
     let t0 = Instant::now();
     let batches = inventory.batches();
-    let total = batches.len() as u64;
     let reload_ns = AtomicU64::new(0);
     let stats = parking_lot::Mutex::new((0u64, 0u64)); // (max_ts, txns)
     let err = parking_lot::Mutex::new(None::<Error>);
 
-    struct Shard {
-        queue: parking_lot::Mutex<Vec<(Timestamp, WriteRecord)>>,
-        applied: AtomicU64,
-    }
-    let shards: Vec<Shard> = (0..map.total())
-        .map(|_| Shard {
-            queue: parking_lot::Mutex::new(Vec::new()),
-            applied: AtomicU64::new(0),
-        })
-        .collect();
+    let shards = crate::recovery::shard_apply::lanes(map.total());
     let loaded = AtomicU64::new(0);
     let loader_done = AtomicBool::new(false);
 
@@ -278,76 +268,16 @@ pub fn recover_log_online(
             let loaded = &loaded;
             let loader_done = &loader_done;
             scope.spawn(move |_| {
-                let n = shards.len();
-                let mut rot = worker;
-                loop {
-                    if err.lock().is_some() {
-                        return;
-                    }
-                    let frontier = loaded.load(Ordering::Acquire);
-                    let done_loading = loader_done.load(Ordering::Acquire);
-                    let mut progressed = false;
-                    let prioritize = gate.any_wanted();
-                    let passes = if prioritize { 2 } else { 1 };
-                    'scan: for pass in 0..passes {
-                        for k in 0..n {
-                            let p = (rot + k) % n;
-                            if prioritize && pass == 0 && !gate.is_wanted(p) {
-                                continue;
-                            }
-                            let shard = &shards[p];
-                            if shard.applied.load(Ordering::Acquire) >= frontier {
-                                continue;
-                            }
-                            let Some(mut q) = shard.queue.try_lock() else {
-                                continue; // another worker owns this shard
-                            };
-                            if shard.applied.load(Ordering::Acquire) >= frontier {
-                                continue;
-                            }
-                            let drained = std::mem::take(&mut *q);
-                            let tw = Instant::now();
-                            for (ts, w) in &drained {
-                                match db.table(w.table) {
-                                    Ok(t) => {
-                                        t.install_lww(w.key, *ts, w.after.clone());
-                                    }
-                                    Err(e) => {
-                                        let mut s = err.lock();
-                                        if s.is_none() {
-                                            *s = Some(e);
-                                        }
-                                        return;
-                                    }
-                                }
-                            }
-                            metrics.add_work(tw.elapsed());
-                            // The queue lock was held across the install:
-                            // everything enqueued before `frontier` was
-                            // published is now applied.
-                            shard.applied.fetch_max(frontier, Ordering::AcqRel);
-                            drop(q);
-                            gate.publish(p, frontier);
-                            rot = rot.wrapping_add(1);
-                            progressed = true;
-                            break 'scan;
-                        }
-                    }
-                    if progressed {
-                        continue;
-                    }
-                    if done_loading
-                        && shards
-                            .iter()
-                            .all(|s| s.applied.load(Ordering::Acquire) >= total)
-                    {
-                        return;
-                    }
-                    if done_loading && err.lock().is_some() {
-                        return;
-                    }
-                    std::thread::sleep(std::time::Duration::from_micros(100));
-                }
+                crate::recovery::shard_apply::run_shard_worker(
+                    shards,
+                    db,
+                    gate,
+                    metrics,
+                    err,
+                    || loaded.load(Ordering::Acquire),
+                    || loader_done.load(Ordering::Acquire),
+                    worker,
+                );
             });
         }
     })

@@ -24,6 +24,7 @@ pub mod llr_p;
 pub mod manager;
 pub mod plr;
 pub mod raw;
+pub(crate) mod shard_apply;
 
 pub use gate::{GateMap, GatedAdmission, ShardMap};
 pub use manager::{

@@ -1,0 +1,121 @@
+//! The shared per-(table, shard) apply worker used by LLR-P online
+//! recovery and the LLR-P hot standby.
+//!
+//! Both consumers have the same shape: a producer appends `(ts, write)`
+//! pairs to per-shard queues and publishes a *frontier* (the highest
+//! batch fully enqueued); a pool of workers drains whole shard queues —
+//! shards with blocked admissions first — installs latch-free with
+//! timestamped last-writer-wins, and publishes the shard's applied-batch
+//! watermark to the [`RecoveryGate`]. A shard's stream is applied by one
+//! worker at a time (the queue lock is held across the install), which
+//! preserves per-key commitment order. The only difference between the
+//! consumers is where the frontier and the "no more batches" signal come
+//! from — recovery's loader counts a fixed batch list, the standby's
+//! receiver counts shipped seals — so both arrive as closures.
+
+use crate::metrics::RecoveryMetrics;
+use pacman_common::{Error, Timestamp};
+use pacman_engine::{Database, RecoveryGate, WriteRecord};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// One shard's apply lane: the pending write queue plus the applied-batch
+/// watermark.
+#[derive(Default)]
+pub(crate) struct ShardLane {
+    /// Writes enqueued but not yet installed, in producer order.
+    pub queue: Mutex<Vec<(Timestamp, WriteRecord)>>,
+    /// Highest frontier this shard has fully applied.
+    pub applied: AtomicU64,
+}
+
+/// Build `n` empty lanes.
+pub(crate) fn lanes(n: usize) -> Vec<ShardLane> {
+    (0..n).map(|_| ShardLane::default()).collect()
+}
+
+/// One worker of the shard-apply pool. Runs until `done()` reports no
+/// further batches will arrive *and* every lane has caught up with the
+/// frontier, or until `err` is latched (by this worker or a peer).
+///
+/// `frontier()` must be monotone, and everything enqueued to a lane must
+/// happen before the frontier covering it is published.
+#[allow(clippy::too_many_arguments)] // the protocol's full shared state
+pub(crate) fn run_shard_worker(
+    lanes: &[ShardLane],
+    db: &Database,
+    gate: &RecoveryGate,
+    metrics: &RecoveryMetrics,
+    err: &Mutex<Option<Error>>,
+    frontier: impl Fn() -> u64,
+    done: impl Fn() -> bool,
+    worker: usize,
+) {
+    let n = lanes.len();
+    let mut rot = worker;
+    loop {
+        if err.lock().is_some() {
+            return;
+        }
+        let frontier_now = frontier();
+        let done_now = done();
+        let mut progressed = false;
+        let prioritize = gate.any_wanted();
+        let passes = if prioritize { 2 } else { 1 };
+        'scan: for pass in 0..passes {
+            for k in 0..n {
+                let p = (rot + k) % n;
+                if prioritize && pass == 0 && !gate.is_wanted(p) {
+                    continue;
+                }
+                let lane = &lanes[p];
+                if lane.applied.load(Ordering::Acquire) >= frontier_now {
+                    continue;
+                }
+                let Some(mut q) = lane.queue.try_lock() else {
+                    continue; // another worker owns this shard
+                };
+                if lane.applied.load(Ordering::Acquire) >= frontier_now {
+                    continue;
+                }
+                let drained = std::mem::take(&mut *q);
+                let t0 = Instant::now();
+                for (ts, w) in &drained {
+                    match db.table(w.table) {
+                        Ok(t) => {
+                            t.install_lww(w.key, *ts, w.after.clone());
+                        }
+                        Err(e) => {
+                            let mut s = err.lock();
+                            if s.is_none() {
+                                *s = Some(e);
+                            }
+                            return;
+                        }
+                    }
+                }
+                metrics.add_work(t0.elapsed());
+                // The queue lock was held across the install: everything
+                // enqueued before `frontier_now` was published is applied.
+                lane.applied.fetch_max(frontier_now, Ordering::AcqRel);
+                drop(q);
+                gate.publish(p, frontier_now);
+                rot = rot.wrapping_add(1);
+                progressed = true;
+                break 'scan;
+            }
+        }
+        if progressed {
+            continue;
+        }
+        if done_now
+            && lanes
+                .iter()
+                .all(|l| l.applied.load(Ordering::Acquire) >= frontier())
+        {
+            return;
+        }
+        std::thread::sleep(Duration::from_micros(100));
+    }
+}

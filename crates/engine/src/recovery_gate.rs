@@ -102,9 +102,36 @@ impl RecoveryGate {
     /// Publish how many batches every partition must apply (known once the
     /// log inventory is scanned). Admission cannot succeed before this —
     /// except through [`RecoveryGate::finish`].
+    ///
+    /// Replication reuses the gate with a *moving* total: a hot standby
+    /// bumps it on every shipped apply batch, so "final" continuously
+    /// means "caught up with everything shipped" and the per-partition
+    /// watermarks measure replication lag instead of one-shot replay
+    /// progress.
     pub fn set_total_batches(&self, total: u64) {
         self.total.store(total, Ordering::Release);
         self.notify();
+    }
+
+    /// The slowest partition's applied-batch watermark — with a moving
+    /// total this is the applied frontier, and `total - min_watermark()`
+    /// is the replication lag in apply batches.
+    pub fn min_watermark(&self) -> u64 {
+        self.watermarks
+            .iter()
+            .map(|w| w.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// The published total (0 if not yet published).
+    pub fn total_batches(&self) -> u64 {
+        let t = self.total.load(Ordering::Acquire);
+        if t == TOTAL_UNKNOWN {
+            0
+        } else {
+            t
+        }
     }
 
     /// Publish partition `p`'s applied-batch watermark (monotonic).

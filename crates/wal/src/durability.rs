@@ -9,6 +9,7 @@ use crate::classify::{CommitClassifier, LogChoice, WriteCountClassifier};
 use crate::logger::{LoggerHandle, QueuedRecord};
 use crate::pepoch::PepochHandle;
 use crate::record::{LogPayload, TxnLogRecord};
+use crate::ship::{LogShipper, ShipCounters};
 use pacman_common::clock::epoch_of;
 use pacman_common::{Encoder, ProcId};
 use pacman_engine::epoch::WorkerEpoch;
@@ -129,6 +130,7 @@ pub struct Durability {
     classifier: RwLock<Arc<dyn CommitClassifier>>,
     command_records: AtomicU64,
     logical_records: AtomicU64,
+    ship_counters: Arc<ShipCounters>,
 }
 
 /// What [`Durability::reopen`] found and resumed from.
@@ -343,6 +345,7 @@ impl Durability {
             classifier: RwLock::new(Arc::new(WriteCountClassifier::default())),
             command_records: AtomicU64::new(0),
             logical_records: AtomicU64::new(0),
+            ship_counters: Arc::default(),
         })
     }
 
@@ -530,6 +533,36 @@ impl Durability {
     /// Total bytes handed to loggers.
     pub fn bytes_logged(&self) -> u64 {
         self.bytes_logged.load(Ordering::Relaxed)
+    }
+
+    /// A log-shipping endpoint over this stack's devices and layout: the
+    /// primary side of hot-standby replication. Each call starts a fresh
+    /// (bootstrap) cursor — the cursor itself then survives subscriber
+    /// reconnects. Poll it with [`Durability::pepoch`] to ship everything
+    /// newly sealed; ship volume is folded into this stack's
+    /// [`Durability::shipped_bytes`]/[`Durability::shipped_frames`] stats.
+    pub fn shipper(&self) -> LogShipper {
+        LogShipper::with_counters(
+            self.storage.clone(),
+            self.config.num_loggers.max(1),
+            self.config.batch_epochs,
+            Arc::clone(&self.ship_counters),
+        )
+    }
+
+    /// Payload bytes shipped to standbys so far (all shippers combined).
+    pub fn shipped_bytes(&self) -> u64 {
+        self.ship_counters.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Replication frames emitted so far.
+    pub fn shipped_frames(&self) -> u64 {
+        self.ship_counters.frames.load(Ordering::Relaxed)
+    }
+
+    /// Log records shipped to standbys so far.
+    pub fn shipped_records(&self) -> u64 {
+        self.ship_counters.records.load(Ordering::Relaxed)
     }
 
     /// Graceful shutdown: seal everything queued, then stop all threads.

@@ -29,6 +29,7 @@ pub mod durability;
 pub mod logger;
 pub mod pepoch;
 pub mod record;
+pub mod ship;
 
 pub use batch::{
     batch_index_of_epoch, batch_name, list_batch_indices, read_merged_batch, truncate_log_tail,
@@ -42,3 +43,4 @@ pub use checkpoint::{
 pub use classify::{CommitClassifier, LogChoice, WriteCountClassifier};
 pub use durability::{Durability, DurabilityConfig, LogScheme, ResumeInfo};
 pub use record::{LogPayload, TxnLogRecord};
+pub use ship::{LogShipper, ShipCounters, ShipCursor, ShipFrame, SHIP_WIRE_VERSION};

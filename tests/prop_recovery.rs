@@ -10,7 +10,7 @@ use pacman_core::static_analysis::{GlobalGraph, LocalGraph};
 use pacman_engine::{Database, WriteKind, WriteRecord};
 use pacman_sproc::{Expr, ProcBuilder, ProcRegistry};
 use pacman_storage::StorageSet;
-use pacman_wal::{LogPayload, TxnLogRecord};
+use pacman_wal::{LogPayload, ShipFrame, TxnLogRecord, SHIP_WIRE_VERSION};
 use proptest::prelude::*;
 
 const T_A: TableId = TableId::new(0);
@@ -165,8 +165,85 @@ fn payload_strategy() -> impl Strategy<Value = LogPayload> {
     ]
 }
 
+/// Arbitrary ship-stream frames: record batches, checkpoint blobs, chain
+/// tips and seals in any interleaving (what a replication link carries).
+fn ship_frame_strategy() -> impl Strategy<Value = ShipFrame> {
+    let record_bytes = || {
+        proptest::collection::vec((1u64..1 << 48, payload_strategy()), 0..4).prop_map(|recs| {
+            let mut buf = Vec::new();
+            for (ts, payload) in recs {
+                TxnLogRecord { ts, payload }.encode(&mut buf);
+            }
+            buf
+        })
+    };
+    prop_oneof![
+        (0u32..4, 1u64..100).prop_map(|(num_loggers, batch_epochs)| ShipFrame::Hello {
+            wire_version: SHIP_WIRE_VERSION,
+            num_loggers,
+            batch_epochs,
+        }),
+        ("log/[0-9]{2}/[0-9]{10}", any::<u32>(), record_bytes()).prop_map(
+            |(file, offset, bytes)| ShipFrame::Records {
+                file,
+                offset: offset as u64,
+                bytes,
+            }
+        ),
+        (
+            "ckpt/[0-9]{20}/t[0-9]{3}\\.s[0-9]{4}",
+            0u32..4,
+            proptest::collection::vec(any::<u8>(), 0..64),
+        )
+            .prop_map(|(name, disk, bytes)| ShipFrame::Blob { name, disk, bytes }),
+        proptest::collection::vec(any::<u8>(), 0..64)
+            .prop_map(|bytes| ShipFrame::ChainTip { bytes }),
+        (1u64..1 << 24).prop_map(|pepoch| ShipFrame::Seal { pepoch }),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Ship-stream framing totality: arbitrary batch/manifest/seal
+    /// interleavings round-trip byte-exactly through the wire codec,
+    /// alone and concatenated into one stream.
+    #[test]
+    fn ship_frames_roundtrip(frames in proptest::collection::vec(ship_frame_strategy(), 1..10)) {
+        let mut stream = Vec::new();
+        for f in &frames {
+            let bytes = f.to_bytes();
+            let mut cur = Cursor::new(&bytes);
+            let back = ShipFrame::decode(&mut cur)
+                .map_err(|e| TestCaseError::fail(format!("decode: {e}")))?;
+            prop_assert!(cur.is_empty(), "trailing bytes");
+            prop_assert_eq!(&back, f);
+            f.encode(&mut stream);
+        }
+        let mut cur = Cursor::new(&stream);
+        for f in &frames {
+            let back = ShipFrame::decode(&mut cur)
+                .map_err(|e| TestCaseError::fail(format!("stream decode: {e}")))?;
+            prop_assert_eq!(&back, f);
+        }
+        prop_assert!(cur.is_empty());
+    }
+
+    /// A truncated frame is rejected cleanly — an error, never a panic —
+    /// at every cut point (a severed replication link mid-frame).
+    #[test]
+    fn truncated_ship_frames_error_cleanly(frame in ship_frame_strategy()) {
+        let bytes = frame.to_bytes();
+        for cut in 0..bytes.len() {
+            let mut cur = Cursor::new(&bytes[..cut]);
+            prop_assert!(
+                ShipFrame::decode(&mut cur).is_err(),
+                "cut at {}/{} decoded",
+                cut,
+                bytes.len()
+            );
+        }
+    }
 
     /// Codec totality: any record of any payload variant round-trips
     /// byte-exactly, alone and concatenated into a mixed stream.
