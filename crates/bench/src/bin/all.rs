@@ -25,6 +25,7 @@ fn main() {
         "fig_adaptive",
         "fig_restart",
         "fig_failover",
+        "fig_space",
     ] {
         let mut cmd = Command::new(dir.join(target));
         if quick {

@@ -415,7 +415,7 @@ pub fn instant_restart(
         crashed.storage.clone(),
         bench_durability(log_scheme, 2),
     );
-    session.release_checkpoints_on(&durability);
+    session.pin_retention_on(&durability);
     let admission = session.admission();
     let ramp = pacman_workloads::run_ramp(
         session.db(),

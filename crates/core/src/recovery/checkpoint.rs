@@ -117,6 +117,67 @@ impl ShardLoader {
     }
 }
 
+/// Run `work(i)` over `0..n` unit indices with `threads` workers,
+/// stopping at — and returning — the first error (later units are left
+/// unclaimed). The shared scaffolding of the eager, lazy and resync
+/// loaders.
+fn parallel_units(
+    n: usize,
+    threads: usize,
+    work: impl Fn(usize) -> Result<()> + Sync,
+) -> Result<()> {
+    let next = AtomicUsize::new(0);
+    let err = parking_lot::Mutex::new(None::<pacman_common::Error>);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            let next = &next;
+            let err = &err;
+            let work = &work;
+            scope.spawn(move |_| loop {
+                if err.lock().is_some() {
+                    return;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                if let Err(e) = work(i) {
+                    let mut slot = err.lock();
+                    if slot.is_none() {
+                        *slot = Some(e);
+                    }
+                    return;
+                }
+            });
+        }
+    })
+    .expect("parallel unit scope");
+    match err.into_inner() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Validate every resolved part against the live catalog: a corrupt
+/// manifest must surface as a clean error (the session then poisons its
+/// gate), never as an out-of-bounds panic that leaves waiters hanging.
+fn validate_units_against_catalog(units: &[LoadUnit], db: &Database, what: &str) -> Result<()> {
+    for u in units {
+        let p = &u.part;
+        let valid = db
+            .tables()
+            .get(p.table as usize)
+            .is_some_and(|t| (p.shard as usize) < t.num_shards());
+        if !valid {
+            return Err(pacman_common::Error::Corrupt(format!(
+                "{what} part (table {}, shard {}) outside the catalog",
+                p.table, p.shard
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// Restore the whole chain eagerly with `threads` workers (offline
 /// recovery and the inline stage of command-scheme online sessions).
 pub fn recover_checkpoint_chain(
@@ -149,88 +210,128 @@ pub fn recover_checkpoint_chain(
         .iter()
         .map(|_| parking_lot::Mutex::new(None))
         .collect();
-    let next = AtomicUsize::new(0);
-    let err = parking_lot::Mutex::new(None::<pacman_common::Error>);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= units.len() {
-                    return;
-                }
-                let p = &units[i].part;
-                let name = part_name(p.ts, p.table, p.shard as usize);
-                match storage.disk(p.disk as usize).read(&name) {
-                    Ok(bytes) => *loaded[i].lock() = Some(bytes),
-                    Err(e) => {
-                        let mut slot = err.lock();
-                        if slot.is_none() {
-                            *slot = Some(e);
-                        }
-                    }
-                }
-            });
-        }
-    })
-    .expect("checkpoint reload scope");
-    if let Some(e) = err.into_inner() {
-        return Err(e);
-    }
+    parallel_units(units.len(), threads, |i| {
+        let p = &units[i].part;
+        let name = part_name(p.ts, p.table, p.shard as usize);
+        *loaded[i].lock() = Some(storage.disk(p.disk as usize).read(&name)?);
+        Ok(())
+    })?;
     let reload = t0.elapsed();
 
     // Phase 2: decode + install.
     let tuples = AtomicUsize::new(0);
-    let next = AtomicUsize::new(0);
-    let err = parking_lot::Mutex::new(None::<pacman_common::Error>);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= units.len() {
-                    return;
+    parallel_units(units.len(), threads, |i| {
+        let bytes = loaded[i].lock().take().expect("loaded in phase 1");
+        let p = &units[i].part;
+        let decoded = decode_part(&bytes)?;
+        tuples.fetch_add(decoded.len(), Ordering::Relaxed);
+        let tid = TableId::new(p.table);
+        match &target {
+            CheckpointTarget::Tables(db) => {
+                let t = db.table(tid).expect("catalog covers checkpoint");
+                for (key, row) in decoded {
+                    t.put_chain(key, Arc::new(TupleChain::with_version(p.ts, Some(row))));
                 }
-                let bytes = loaded[i].lock().take().expect("loaded in phase 1");
-                let p = &units[i].part;
-                let decoded = match decode_part(&bytes) {
-                    Ok(d) => d,
-                    Err(e) => {
-                        let mut slot = err.lock();
-                        if slot.is_none() {
-                            *slot = Some(e);
-                        }
-                        return;
-                    }
-                };
-                tuples.fetch_add(decoded.len(), Ordering::Relaxed);
-                let tid = TableId::new(p.table);
-                match &target {
-                    CheckpointTarget::Tables(db) => {
-                        let t = db.table(tid).expect("catalog covers checkpoint");
-                        for (key, row) in decoded {
-                            t.put_chain(key, Arc::new(TupleChain::with_version(p.ts, Some(row))));
-                        }
-                    }
-                    CheckpointTarget::Raw(raw) => {
-                        for (key, row) in decoded {
-                            raw.table(tid)
-                                .get_or_create(key)
-                                .install_lww(p.ts, Some(row));
-                        }
-                    }
+            }
+            CheckpointTarget::Raw(raw) => {
+                for (key, row) in decoded {
+                    raw.table(tid)
+                        .get_or_create(key)
+                        .install_lww(p.ts, Some(row));
                 }
-            });
+            }
         }
-    })
-    .expect("checkpoint restore scope");
-    if let Some(e) = err.into_inner() {
-        return Err(e);
-    }
+        Ok(())
+    })?;
 
     Ok(CheckpointRecovery {
         reload,
         total: t0.elapsed(),
         ckpt_ts: loader.ckpt_ts(),
         tuples: tuples.load(Ordering::Relaxed) as u64,
+        chain_len: loader.chain_len,
+    })
+}
+
+/// Re-synchronize an *already-populated* database onto a newer manifest
+/// chain: the standby's re-bootstrap path after its ship cursor was
+/// broken by the bounded-lag retention policy. The log records between
+/// the standby's applied frontier and the chain's coverage are gone
+/// (reclaimed on the primary), so the chain is installed as
+/// **replace-shard** state:
+///
+/// * every part tuple installs timestamped-LWW at its link's snapshot
+///   timestamp (all of the standby's existing versions sort below it —
+///   a shard resolved to link `L` had no primary writes in `(L, tip]`,
+///   and everything the standby ever applied was sealed below the
+///   coverage that broke the cursor);
+/// * keys live in the standby but absent from the shard's part are
+///   **tombstoned** at the part timestamp (they were deleted on the
+///   primary inside the reclaimed gap);
+/// * shards with no part in the chain were empty at the tip — their
+///   surviving keys are tombstoned at the tip timestamp.
+///
+/// The caller must have quiesced the apply engines first: command
+/// re-execution racing a resync would read half-replaced state.
+pub fn resync_checkpoint_chain(
+    storage: &StorageSet,
+    chain: &CheckpointChain,
+    db: &Arc<Database>,
+    threads: usize,
+) -> Result<CheckpointRecovery> {
+    let t0 = Instant::now();
+    let loader = ShardLoader::new(storage, chain);
+    let units = loader.units();
+    validate_units_against_catalog(units, db, "resync")?;
+    let covered: std::collections::HashSet<(u32, u32)> =
+        units.iter().map(|u| (u.part.table, u.part.shard)).collect();
+
+    let tuples = std::sync::atomic::AtomicU64::new(0);
+    parallel_units(units.len(), threads, |i| {
+        let p = &units[i].part;
+        let name = part_name(p.ts, p.table, p.shard as usize);
+        let decoded = decode_part(&storage.disk(p.disk as usize).read(&name)?)?;
+        let t = db.table(TableId::new(p.table)).expect("validated above");
+        let mut part_keys = std::collections::HashSet::with_capacity(decoded.len());
+        tuples.fetch_add(decoded.len() as u64, Ordering::Relaxed);
+        for (key, row) in decoded {
+            part_keys.insert(key);
+            t.install_lww(key, p.ts, Some(row));
+        }
+        let mut stale = Vec::new();
+        t.for_each_visible_at_shard(p.shard as usize, u64::MAX, |key, _| {
+            if !part_keys.contains(&key) {
+                stale.push(key);
+            }
+        });
+        for key in stale {
+            t.install_lww(key, p.ts, None);
+        }
+        Ok(())
+    })?;
+
+    // Shards the chain does not cover were empty at the tip: clear any
+    // survivors the reclaimed gap deleted on the primary.
+    let tip = chain.ts();
+    for t in db.tables() {
+        for shard in 0..t.num_shards() {
+            if covered.contains(&(t.meta().id.0, shard as u32)) {
+                continue;
+            }
+            let mut stale = Vec::new();
+            t.for_each_visible_at_shard(shard, u64::MAX, |key, _| stale.push(key));
+            for key in stale {
+                t.install_lww(key, tip, None);
+            }
+        }
+    }
+
+    let elapsed = t0.elapsed();
+    Ok(CheckpointRecovery {
+        reload: elapsed,
+        total: elapsed,
+        ckpt_ts: tip,
+        tuples: tuples.load(Ordering::Relaxed),
         chain_len: loader.chain_len,
     })
 }
@@ -254,22 +355,8 @@ pub fn run_lazy_loader(
     let loader = ShardLoader::new(storage, chain);
     let units = loader.units();
     // Validate the manifest against the catalog *before* mapping into the
-    // gate's residency plane: a corrupt part entry must surface as a clean
-    // error (the session then poisons the gate), never as an out-of-bounds
-    // panic that would leave waiters hanging.
-    for u in units {
-        let p = &u.part;
-        let valid = db
-            .tables()
-            .get(p.table as usize)
-            .is_some_and(|t| (p.shard as usize) < t.num_shards());
-        if !valid {
-            return Err(pacman_common::Error::Corrupt(format!(
-                "checkpoint part (table {}, shard {}) outside the catalog",
-                p.table, p.shard
-            )));
-        }
-    }
+    // gate's residency plane.
+    validate_units_against_catalog(units, db, "checkpoint")?;
     let parts: Vec<usize> = units.iter().map(|u| partition(&u.part)).collect();
     if let Some(&bad) = parts.iter().find(|&&s| s >= gate.num_shards()) {
         return Err(pacman_common::Error::Corrupt(format!(
@@ -447,6 +534,77 @@ mod tests {
             fresh.table(TableId::new(0)).unwrap().get(42).is_none(),
             "deleted key must not resurrect from the base"
         );
+    }
+
+    #[test]
+    fn resync_replaces_shards_including_gap_deletes() {
+        use pacman_common::TableId;
+        // Primary: seed, let a "standby" copy apply a prefix, then mutate
+        // past it (update + delete + insert) and checkpoint — the gap the
+        // standby missed. Resync must converge the standby bit-exactly.
+        let mut c = Catalog::new();
+        c.add_table_sharded("a", 1, 2);
+        let primary = Arc::new(Database::new(c.clone()));
+        for k in 0..50u64 {
+            primary
+                .seed_row(TableId::new(0), k, Row::from([Value::Int(k as i64)]))
+                .unwrap();
+        }
+        // The standby applied everything up to here.
+        let standby = Arc::new(Database::new(c));
+        for k in 0..50u64 {
+            standby
+                .seed_row(TableId::new(0), k, Row::from([Value::Int(k as i64)]))
+                .unwrap();
+        }
+        // The gap (never shipped): update 7, delete 13, insert 99.
+        let mut t = primary.begin();
+        let r = t.read(TableId::new(0), 7).unwrap();
+        t.write(TableId::new(0), 7, r.with_col(0, Value::Int(-7)))
+            .unwrap();
+        t.delete(TableId::new(0), 13).unwrap();
+        t.insert(TableId::new(0), 99, Row::from([Value::Int(99)]))
+            .unwrap();
+        t.commit().unwrap();
+        let storage = StorageSet::for_tests();
+        run_checkpoint(&primary, &storage, 2).unwrap();
+        let chain = read_chain(&storage).unwrap().unwrap();
+
+        let r = resync_checkpoint_chain(&storage, &chain, &standby, 2).unwrap();
+        assert_eq!(r.ckpt_ts, chain.ts());
+        assert_eq!(standby.fingerprint(), primary.fingerprint());
+        assert!(
+            standby.table(TableId::new(0)).unwrap().get(13).is_some(),
+            "gap-deleted key keeps a tombstoned chain"
+        );
+    }
+
+    #[test]
+    fn resync_clears_shards_emptied_in_the_gap() {
+        use pacman_common::TableId;
+        // Table b is emptied on the primary before the checkpoint: the
+        // full chain carries no part for it, and resync must still clear
+        // the standby's survivors.
+        let mut c = Catalog::new();
+        c.add_table("a", 1);
+        c.add_table("b", 1);
+        let primary = Arc::new(Database::new(c.clone()));
+        primary
+            .seed_row(TableId::new(0), 1, Row::from([Value::Int(1)]))
+            .unwrap();
+        let standby = Arc::new(Database::new(c));
+        standby
+            .seed_row(TableId::new(0), 1, Row::from([Value::Int(1)]))
+            .unwrap();
+        standby
+            .seed_row(TableId::new(1), 5, Row::from([Value::Int(5)]))
+            .unwrap();
+        // (the primary deleted b[5] in the gap; here it simply never has it)
+        let storage = StorageSet::for_tests();
+        run_checkpoint(&primary, &storage, 1).unwrap();
+        let chain = read_chain(&storage).unwrap().unwrap();
+        resync_checkpoint_chain(&storage, &chain, &standby, 1).unwrap();
+        assert_eq!(standby.fingerprint(), primary.fingerprint());
     }
 
     #[test]

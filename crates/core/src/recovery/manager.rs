@@ -17,14 +17,14 @@ use crate::recovery::raw::RawStore;
 use crate::recovery::{alr_p, clr, clr_p, llr, llr_p, plr, LogInventory};
 use crate::runtime::ReplayMode;
 use crate::static_analysis::GlobalGraph;
-use pacman_common::clock::{epoch_floor, EPOCH_SHIFT};
+use pacman_common::clock::{epoch_floor, epoch_of, EPOCH_SHIFT};
 use pacman_common::{Error, Result, Timestamp};
 use pacman_engine::{AdmissionControl, Catalog, Database, RecoveryGate};
 use pacman_sproc::ProcRegistry;
 use pacman_storage::StorageSet;
 use pacman_wal::checkpoint::read_chain;
 use pacman_wal::pepoch::PepochHandle;
-use pacman_wal::Durability;
+use pacman_wal::{Durability, RetentionHold};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -256,9 +256,11 @@ struct SessionInner {
     state: SessionState,
     report: Option<RecoveryReport>,
     error: Option<Error>,
-    /// Durability stack whose checkpointer is held back until replay
-    /// completes (see [`RecoverySession::release_checkpoints_on`]).
-    paused_durability: Option<Arc<Durability>>,
+    /// Retention hold pinning the session's unreplayed tail (and blocking
+    /// checkpoint rounds) in a reopened durability stack — released at
+    /// `Complete`, leaked (held forever) at `Failed`. See
+    /// [`RecoverySession::pin_retention_on`].
+    hold: Option<RetentionHold>,
 }
 
 struct SessionShared {
@@ -278,6 +280,13 @@ pub struct RecoverySession {
     admission: Arc<GatedAdmission>,
     shared: Arc<SessionShared>,
     join: Option<JoinHandle<()>>,
+    /// Log floor of the session's unreplayed tail (epoch of the base
+    /// image's coverage; 0 with no checkpoint) — what a retention hold
+    /// must keep.
+    pin_log_epoch: u64,
+    /// Root timestamp of the chain the base image resolves across
+    /// (`u64::MAX` with no checkpoint: no chain interest).
+    pin_chain_root: Timestamp,
 }
 
 impl RecoverySession {
@@ -312,25 +321,35 @@ impl RecoverySession {
         self.state() != SessionState::Replaying
     }
 
-    /// Pause `durability`'s periodic checkpointer until replay completes.
+    /// Pin this session's unreplayed tail in `durability`'s retention
+    /// manager: one recovery [`RetentionHold`] keeps the log batches the
+    /// replay still reads (epochs at or above the base image's coverage)
+    /// and the manifest chain it resolves against, and blocks checkpoint
+    /// rounds while live — a checkpoint taken mid-replay would snapshot
+    /// at a fresh timestamp while old-timestamp installs still race the
+    /// scan, claiming coverage it does not have.
     ///
-    /// A checkpoint taken mid-replay would snapshot at a fresh timestamp
-    /// while old-timestamp installs are still racing the scan — its
-    /// manifest would then filter log records the snapshot never saw. A
-    /// reopened [`Durability`] must therefore hold checkpoints while the
-    /// session is live; this arms the hand-off: released at completion,
-    /// kept paused on failure.
-    pub fn release_checkpoints_on(&self, durability: &Arc<Durability>) {
+    /// Call it right after [`Durability::reopen`] over the same devices.
+    /// The hold is released when the session completes; a *failed*
+    /// session leaks it — the half-recovered state is suspect, so
+    /// checkpoints and reclamation stay blocked for good.
+    pub fn pin_retention_on(&self, durability: &Arc<Durability>) {
         let mut inner = self.shared.inner.lock();
         match inner.state {
-            SessionState::Complete => durability.set_checkpoints_paused(false),
+            SessionState::Complete => {} // nothing left to pin
             SessionState::Replaying => {
-                durability.set_checkpoints_paused(true);
-                inner.paused_durability = Some(Arc::clone(durability));
+                inner.hold = Some(
+                    durability
+                        .retention()
+                        .pin_recovery(self.pin_log_epoch, self.pin_chain_root),
+                );
             }
             // A checkpoint of the suspect state would replace the last
-            // good one (and GC the log below it) — pause, never release.
-            SessionState::Failed => durability.set_checkpoints_paused(true),
+            // good one (and reclaim the log below it) — pin, never release.
+            SessionState::Failed => durability
+                .retention()
+                .pin_recovery(self.pin_log_epoch, self.pin_chain_root)
+                .leak(),
         }
     }
 
@@ -452,12 +471,22 @@ pub fn recover_online(
     gate.set_total_batches(inventory.batches().len() as u64);
     let admission = GatedAdmission::new(Arc::clone(&gate), map);
 
+    // What a retention hold must keep for this session: log batches that
+    // may contain the unreplayed tail (records with ts above the base
+    // image can share the coverage epoch's batch), and every link of the
+    // chain the base image resolves across (root..tip).
+    let pin_log_epoch = epoch_of(after_ts);
+    let pin_chain_root = chain
+        .as_ref()
+        .map(|c| c.manifests.last().expect("chains are non-empty").ts)
+        .unwrap_or(u64::MAX);
+
     let shared = Arc::new(SessionShared {
         inner: Mutex::new(SessionInner {
             state: SessionState::Replaying,
             report: None,
             error: None,
-            paused_durability: None,
+            hold: None,
         }),
         cv: Condvar::new(),
     });
@@ -610,15 +639,19 @@ pub fn recover_online(
                     Ok(report) => {
                         inner.state = SessionState::Complete;
                         inner.report = Some(report);
-                        if let Some(dur) = inner.paused_durability.take() {
-                            dur.set_checkpoints_paused(false);
-                        }
+                        // Release the retention hold: checkpoints (and the
+                        // reclamation behind them) may resume.
+                        inner.hold = None;
                     }
                     Err(e) => {
                         inner.state = SessionState::Failed;
                         inner.error = Some(e);
-                        // Checkpoints stay paused: the state is suspect.
-                        inner.paused_durability = None;
+                        // The hold is leaked, never released: the state is
+                        // suspect, so checkpoints and reclamation stay
+                        // blocked for the process lifetime.
+                        if let Some(h) = inner.hold.take() {
+                            h.leak();
+                        }
                     }
                 }
                 shared.cv.notify_all();
@@ -632,6 +665,8 @@ pub fn recover_online(
         admission,
         shared,
         join: Some(join),
+        pin_log_epoch,
+        pin_chain_root,
     })
 }
 
@@ -945,6 +980,108 @@ mod tests {
         let gate = Arc::clone(session.gate());
         assert!(session.wait().is_err(), "corrupt manifest must fail");
         assert!(gate.is_failed(), "gate must be poisoned, not left hanging");
+    }
+
+    /// Retention pinning: a settled-complete session pins nothing; a
+    /// failed session leaks a permanent hold — the suspect state must
+    /// never be checkpointed over (or have its log reclaimed).
+    #[test]
+    fn pin_retention_complete_vs_failed() {
+        use pacman_wal::{Durability, DurabilityConfig, LogScheme};
+        let (catalog, reg, storage) = setup();
+        let dur_config = DurabilityConfig {
+            scheme: LogScheme::Command,
+            num_loggers: 1,
+            epoch_interval: std::time::Duration::from_millis(2),
+            batch_epochs: 4,
+            checkpoint_interval: None,
+            checkpoint_threads: 1,
+            fsync: false,
+            ..Default::default()
+        };
+
+        // Complete: once the session settles cleanly, pinning takes no
+        // hold — checkpoints (and reclamation) run unimpeded.
+        let session = recover_online(
+            &storage,
+            &catalog,
+            &reg,
+            &RecoveryConfig {
+                scheme: RecoveryScheme::Clr,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let t0 = std::time::Instant::now();
+        while !session.is_settled() {
+            assert!(t0.elapsed() < std::time::Duration::from_secs(5));
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let (dur, _info) = Durability::reopen(
+            Arc::clone(session.db()),
+            storage.clone(),
+            dur_config.clone(),
+        );
+        session.pin_retention_on(&dur);
+        assert!(
+            !dur.retention().checkpoints_held(),
+            "a settled-complete session must not pin"
+        );
+        session.wait().unwrap();
+        dur.shutdown();
+
+        // Failed: a corrupt base image fails the session; pinning then
+        // leaks a permanent recovery hold on the durability stack.
+        let (catalog, reg, storage) = setup();
+        let reference = Arc::new(Database::new(catalog.clone()));
+        for k in 0..64u64 {
+            reference
+                .seed_row(T, k, Row::from([Value::Int(k as i64)]))
+                .unwrap();
+        }
+        pacman_wal::run_checkpoint(&reference, &storage, 1).unwrap();
+        let manifest = pacman_wal::checkpoint::read_manifest(&storage)
+            .unwrap()
+            .unwrap();
+        let (table, shard, disk) = manifest.parts[0];
+        storage
+            .disk(disk as usize)
+            .delete(&pacman_wal::checkpoint::part_name(
+                manifest.ts,
+                table,
+                shard as usize,
+            ));
+        storage
+            .disk(0)
+            .write_file("pepoch.log", &u64::MAX.to_le_bytes());
+        let session = recover_online(
+            &storage,
+            &catalog,
+            &reg,
+            &RecoveryConfig {
+                scheme: RecoveryScheme::LlrP,
+                threads: 2,
+            },
+        )
+        .unwrap();
+        // Settle first (deterministic), then pin: the Failed arm leaks.
+        let fresh = Arc::new(Database::new(catalog.clone()));
+        let (dur, _info) = Durability::reopen(fresh, storage.clone(), dur_config);
+        let err = {
+            let t0 = std::time::Instant::now();
+            while !session.is_settled() {
+                assert!(t0.elapsed() < std::time::Duration::from_secs(5));
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            session.pin_retention_on(&dur);
+            session.wait()
+        };
+        assert!(err.is_err(), "missing part must fail the session");
+        assert!(
+            dur.retention().checkpoints_held(),
+            "a failed session must leave a permanent recovery hold"
+        );
+        dur.shutdown();
     }
 
     #[test]

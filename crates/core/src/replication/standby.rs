@@ -25,7 +25,9 @@
 //! validation protects read-only transactions racing the installs.
 
 use crate::metrics::RecoveryMetrics;
-use crate::recovery::checkpoint::{recover_checkpoint_chain, CheckpointTarget};
+use crate::recovery::checkpoint::{
+    recover_checkpoint_chain, resync_checkpoint_chain, CheckpointTarget,
+};
 use crate::recovery::gate::{GateMap, GatedAdmission, ShardMap};
 use crate::recovery::RecoveryScheme;
 use crate::runtime::{run_replay_gated, ReplayMode};
@@ -91,6 +93,10 @@ pub struct ReplicationStats {
     pub txns: u64,
     /// The standby's durable frontier (highest shipped seal).
     pub pepoch: u64,
+    /// Completed re-bootstraps: the primary broke this subscriber's
+    /// cursor (bounded-lag retention) and the standby resynced its base
+    /// image onto a freshly shipped chain tip.
+    pub rebootstraps: u64,
 }
 
 /// What the apply session did by promote time.
@@ -142,6 +148,11 @@ struct Shared {
     /// empty or half-loaded base image just because the gate total is
     /// still 0.
     bootstrap_pending: AtomicBool,
+    /// A [`ShipFrame::Reset`] arrived: the next shipped chain tip is a
+    /// re-bootstrap base image to resync onto, not bookkeeping.
+    resync_pending: AtomicBool,
+    /// Completed re-bootstraps.
+    rebootstraps: AtomicU64,
     received_log_bytes: AtomicU64,
     txns: AtomicU64,
     commands: AtomicU64,
@@ -267,6 +278,8 @@ pub fn start_standby(
         cv: Condvar::new(),
         promote: AtomicBool::new(false),
         bootstrap_pending: AtomicBool::new(true),
+        resync_pending: AtomicBool::new(false),
+        rebootstraps: AtomicU64::new(0),
         received_log_bytes: AtomicU64::new(0),
         txns: AtomicU64::new(0),
         commands: AtomicU64::new(0),
@@ -423,6 +436,14 @@ impl ReceiverState {
                 while let Ok(bytes) = rx.try_recv() {
                     self.handle(&bytes)?;
                 }
+                if self.shared.resync_pending.load(Ordering::Acquire) {
+                    // Reset received but the re-bootstrap base image never
+                    // arrived: the primary reclaimed history this standby
+                    // is missing, so its state cannot be completed.
+                    return Err(Error::Unknown(
+                        "standby reset without a re-bootstrap chain; promote is unsafe".into(),
+                    ));
+                }
                 self.flush_pending()?;
                 return Ok(());
             }
@@ -452,6 +473,33 @@ impl ReceiverState {
             let bytes = bb.remove(&s).unwrap_or(0);
             self.metrics.count_applied_batch(bytes);
         }
+    }
+
+    /// Block until the apply engines have fully applied every batch fed
+    /// so far (all partition watermarks at `seq`). Used on a Reset,
+    /// before the resync: replacing shard state while command
+    /// re-execution is still in flight would let it read half-replaced
+    /// rows.
+    fn quiesce_applies(&self) -> Result<()> {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while self.gate.min_watermark() < self.seq {
+            if let Feed::Shards { state, .. } = &self.feed {
+                if let Some(e) = state.err.lock().clone() {
+                    return Err(e);
+                }
+            }
+            if self.shared.state.lock().state == StandbyState::Failed {
+                return Err(Error::Unknown("standby failed before resync".into()));
+            }
+            if Instant::now() >= deadline {
+                return Err(Error::Unknown(
+                    "standby apply engines never quiesced for resync".into(),
+                ));
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        self.observe_applied();
+        Ok(())
     }
 
     fn handle(&mut self, bytes: &[u8]) -> Result<()> {
@@ -516,11 +564,33 @@ impl ReceiverState {
             ShipFrame::ChainTip { bytes } => {
                 self.storage.disk(0).write_file(MANIFEST_FILE, &bytes);
                 self.storage.disk(0).fsync();
-                // The first tip is the bootstrap base image: load it
-                // eagerly before anything is applied. Later tips (the
-                // primary checkpointed mid-stream) are bookkeeping only —
-                // the standby's state is already newer than the snapshot.
-                if self.shared.after_ts.load(Ordering::Acquire) == 0 && self.seq == 0 {
+                if self.shared.resync_pending.load(Ordering::Acquire) {
+                    // Re-bootstrap: the primary reclaimed log this standby
+                    // never received, and this tip covers the gap. Replace
+                    // every shard with the chain's state (updates install
+                    // LWW, vanished keys tombstone) and drop buffered
+                    // records the new base already covers.
+                    let chain = read_chain(&self.storage)?
+                        .ok_or_else(|| Error::Corrupt("reset chain tip unreadable".into()))?;
+                    if chain.ts() > self.shared.after_ts.load(Ordering::Acquire) {
+                        let ckpt =
+                            resync_checkpoint_chain(&self.storage, &chain, &self.db, self.threads)?;
+                        self.shared
+                            .ckpt_tuples
+                            .fetch_add(ckpt.tuples, Ordering::Release);
+                        self.shared.after_ts.store(chain.ts(), Ordering::Release);
+                        self.db.clock().advance_to(chain.ts() + 1);
+                        let after = chain.ts();
+                        self.pending.retain(|r| r.ts > after);
+                    }
+                    self.shared.resync_pending.store(false, Ordering::Release);
+                    self.shared.rebootstraps.fetch_add(1, Ordering::Relaxed);
+                } else if self.shared.after_ts.load(Ordering::Acquire) == 0 && self.seq == 0 {
+                    // The first tip is the bootstrap base image: load it
+                    // eagerly before anything is applied. Later tips (the
+                    // primary checkpointed mid-stream) are bookkeeping
+                    // only — the standby's state is already newer than
+                    // the snapshot.
                     let chain = read_chain(&self.storage)?
                         .ok_or_else(|| Error::Corrupt("shipped chain tip unreadable".into()))?;
                     let ckpt = recover_checkpoint_chain(
@@ -540,6 +610,19 @@ impl ReceiverState {
                     .bootstrap_pending
                     .store(false, Ordering::Release);
             }
+            ShipFrame::Reset => {
+                // The primary broke this subscriber's cursor (bounded-lag
+                // retention) and a fresh bootstrap stream follows. Drain
+                // the apply engines first: command re-execution racing the
+                // coming resync would read half-replaced state. Buffered
+                // (sealed-but-unfed) records are kept — the fresh cursor
+                // skips what we already hold, so nothing redelivers them —
+                // and the resync purges those its new base covers.
+                self.quiesce_applies()?;
+                self.shared.resync_pending.store(true, Ordering::Release);
+                // Reads hold off until the resync lands.
+                self.shared.bootstrap_pending.store(true, Ordering::Release);
+            }
             ShipFrame::Seal { pepoch } => {
                 // The shipped prefix is complete up to `pepoch`: persist
                 // the frontier (the standby's own pepoch) and feed the
@@ -554,10 +637,14 @@ impl ReceiverState {
                 self.flush_pending()?;
                 self.shared.pepoch.fetch_max(pepoch, Ordering::AcqRel);
                 // A seal implies the stream head (incl. any bootstrap
-                // chain, which ships ahead of records) was processed.
-                self.shared
-                    .bootstrap_pending
-                    .store(false, Ordering::Release);
+                // chain, which ships ahead of records) was processed —
+                // unless a resync is still owed its chain tip, in which
+                // case reads keep holding off.
+                if !self.shared.resync_pending.load(Ordering::Acquire) {
+                    self.shared
+                        .bootstrap_pending
+                        .store(false, Ordering::Release);
+                }
             }
         }
         Ok(())
@@ -565,6 +652,14 @@ impl ReceiverState {
 
     /// Feed buffered records as one apply batch (no-op when empty).
     fn flush_pending(&mut self) -> Result<()> {
+        if self.shared.resync_pending.load(Ordering::Acquire) {
+            // A Reset arrived but its chain tip hasn't: the buffer may
+            // hold records the coming base image covers (a racing
+            // reclaim made the shipper retry the chain). Keep buffering —
+            // the resync purges what its tip covers and the next seal
+            // feeds the remainder.
+            return Ok(());
+        }
         if self.pending.is_empty() {
             self.pending_bytes = 0;
             return Ok(());
@@ -739,6 +834,7 @@ impl Standby {
             applied_log_bytes,
             txns: self.shared.txns.load(Ordering::Relaxed),
             pepoch,
+            rebootstraps: self.shared.rebootstraps.load(Ordering::Relaxed),
         }
     }
 
@@ -753,7 +849,10 @@ impl Standby {
                 return false;
             }
             let s = self.stats();
-            if s.pepoch >= min_pepoch && s.lag_batches == 0 {
+            if s.pepoch >= min_pepoch
+                && s.lag_batches == 0
+                && !self.shared.resync_pending.load(Ordering::Acquire)
+            {
                 return true;
             }
             if Instant::now() >= deadline {
@@ -1194,6 +1293,126 @@ mod tests {
             .unwrap()
             .is_some());
         assert_eq!(standby.stats().lag_batches, 0);
+    }
+
+    /// The full bounded-lag lifecycle at unit scale: a standby ships a
+    /// prefix, lags through a checkpoint+reclaim that breaks its cursor,
+    /// and the next pump re-bootstraps it (Reset → resync onto the new
+    /// chain tip → tail apply) to the exact primary state.
+    #[test]
+    fn broken_cursor_rebootstraps_the_standby() {
+        use pacman_common::Encoder;
+        use pacman_wal::batch_index_of_epoch;
+        use pacman_wal::{RetentionManager, RetentionPolicy};
+        let (catalog, reg) = setup();
+        let storage = StorageSet::identical(1, DiskConfig::unthrottled("prim"));
+        let db = Arc::new(Database::new(catalog.clone()));
+        for k in 0..8u64 {
+            db.seed_row(T, k, Row::from([Value::Int(100)])).unwrap();
+        }
+        pacman_wal::run_checkpoint(&db, &storage, 1).unwrap();
+
+        let retention = RetentionManager::new(
+            storage.clone(),
+            1,
+            4,
+            RetentionPolicy {
+                max_subscriber_lag_bytes: Some(64),
+            },
+        );
+        let shipper = LogShipper::with_retention(
+            storage.clone(),
+            1,
+            4,
+            Arc::default(),
+            Arc::clone(&retention),
+        );
+        let (tx, rx) = wire();
+        let standby = start_standby(
+            StorageSet::identical(1, DiskConfig::unthrottled("stb")),
+            &catalog,
+            &reg,
+            &standby_config(RecoveryScheme::ClrP {
+                mode: ReplayMode::Pipelined,
+            }),
+            rx,
+        )
+        .unwrap();
+
+        // Commit `n` transactions at `epoch`, appending to the epoch's
+        // batch file exactly as a logger would.
+        let commit_at = |epoch: u64, n: u64| {
+            let proc = reg.get(ADD).unwrap();
+            for i in 0..n {
+                let params: Params =
+                    vec![Value::Int(((epoch + i) % 8) as i64), Value::Int(1)].into();
+                let info = run_procedure_with_epoch(&db, proc, &params, || epoch).unwrap();
+                let mut buf = Vec::new();
+                TxnLogRecord {
+                    ts: info.ts,
+                    payload: LogPayload::Command { proc: ADD, params },
+                }
+                .encode(&mut buf);
+                let batch = batch_index_of_epoch(epoch, 4);
+                storage.disk(0).append(&format!("log/00/{batch:010}"), &buf);
+            }
+        };
+
+        // Phase 1: a healthy prefix ships (epochs 1..=4).
+        for e in 1..=4u64 {
+            commit_at(e, 2);
+        }
+        pump(&shipper, 4, &tx).unwrap();
+        assert!(standby.wait_caught_up(4, Duration::from_secs(5)));
+
+        // Phase 2 (the gap): the subscriber stops pumping while the
+        // primary churns on and checkpoints — coverage passes the cursor,
+        // the reclaim round breaks its hold and frees the log.
+        for e in 5..=12u64 {
+            commit_at(e, 2);
+        }
+        pacman_wal::run_checkpoint(&db, &storage, 1).unwrap();
+        let chain = pacman_wal::read_chain(&storage).unwrap().unwrap();
+        let st = retention.reclaim(&chain);
+        assert_eq!(st.holds_broken, 1, "lagging cursor must break");
+        assert!(
+            storage.disk(0).read("log/00/0000000001").is_err(),
+            "gap batches reclaimed"
+        );
+
+        // Phase 3: the tail continues past coverage; the next pump
+        // self-heals — Reset, fresh chain tip, surviving records.
+        for e in 13..=16u64 {
+            commit_at(e, 2);
+        }
+        pump(&shipper, 16, &tx).unwrap();
+        assert!(
+            standby.wait_caught_up(16, Duration::from_secs(5)),
+            "rebootstrapped standby never caught up: {:?} / {:?}",
+            standby.stats(),
+            standby.error()
+        );
+        assert_eq!(standby.stats().rebootstraps, 1);
+        assert_eq!(shipper.rebootstraps(), 1);
+
+        let promoted = standby
+            .promote(DurabilityConfig {
+                scheme: LogScheme::Command,
+                num_loggers: 1,
+                epoch_interval: Duration::from_millis(2),
+                batch_epochs: 4,
+                checkpoint_interval: None,
+                checkpoint_threads: 1,
+                fsync: true,
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(
+            promoted.db.fingerprint(),
+            db.fingerprint(),
+            "re-bootstrapped standby must equal the never-lagged primary"
+        );
+        promoted.durability.shutdown();
     }
 
     #[test]

@@ -226,6 +226,18 @@ impl SimDisk {
     pub fn total_bytes(&self) -> u64 {
         self.files.lock().values().map(|f| f.len() as u64).sum()
     }
+
+    /// Live bytes under one namespace prefix (e.g. `"log/"`, `"ckpt/"`) —
+    /// the per-namespace footprint the durable-space lifecycle bounds.
+    /// Metadata-only, like [`SimDisk::len`]: no simulated I/O cost.
+    pub fn bytes_under(&self, prefix: &str) -> u64 {
+        self.files
+            .lock()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, f)| f.len() as u64)
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -283,6 +295,20 @@ mod tests {
         d.append("m", b"old");
         d.write_file("m", b"new!");
         assert_eq!(&d.read("m").unwrap()[..], b"new!");
+    }
+
+    #[test]
+    fn bytes_under_tracks_namespaces() {
+        let d = disk();
+        d.append("log/00/0000000001", &[1u8; 10]);
+        d.append("log/01/0000000002", &[1u8; 5]);
+        d.append("ckpt/00000000000000000003/t000.s0000", &[2u8; 7]);
+        d.append("pepoch.log", &[0u8; 8]);
+        assert_eq!(d.bytes_under("log/"), 15);
+        assert_eq!(d.bytes_under("ckpt/"), 7);
+        assert_eq!(d.bytes_under("nope/"), 0);
+        d.delete("log/00/0000000001");
+        assert_eq!(d.bytes_under("log/"), 5);
     }
 
     #[test]

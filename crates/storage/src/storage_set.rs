@@ -74,6 +74,13 @@ impl StorageSet {
     pub fn total_bytes(&self) -> u64 {
         self.disks.iter().map(|d| d.total_bytes()).sum()
     }
+
+    /// Live bytes under one namespace prefix across all devices — the
+    /// footprint metric of the durable-space lifecycle (`"log/"` for log
+    /// batches, `"ckpt/"` for the checkpoint chain).
+    pub fn live_bytes(&self, prefix: &str) -> u64 {
+        self.disks.iter().map(|d| d.bytes_under(prefix)).sum()
+    }
 }
 
 #[cfg(test)]
@@ -100,5 +107,15 @@ mod tests {
         s.reset_stats();
         assert_eq!(s.total_stats().bytes_written, 0);
         assert_eq!(s.total_bytes(), 40, "reset clears counters, not files");
+    }
+
+    #[test]
+    fn live_bytes_sums_namespace_across_devices() {
+        let s = StorageSet::identical(2, DiskConfig::unthrottled("ssd"));
+        s.disk(0).append("log/00/0000000000", &[0u8; 10]);
+        s.disk(1).append("log/01/0000000000", &[0u8; 30]);
+        s.disk(0).append("ckpt/x", &[0u8; 5]);
+        assert_eq!(s.live_bytes("log/"), 40);
+        assert_eq!(s.live_bytes("ckpt/"), 5);
     }
 }

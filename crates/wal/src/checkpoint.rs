@@ -197,17 +197,16 @@ pub fn run_checkpoint_full(
     checkpoint_round(db, storage, threads, None).map(|(st, _)| st)
 }
 
-/// [`run_checkpoint_full`] plus chain-aware retention in the same call,
-/// pruning with the chain the round just produced instead of re-reading
-/// it (the periodic checkpointer's non-incremental path).
-pub fn run_checkpoint_full_pruned(
+/// [`run_checkpoint_full`] returning the resulting chain alongside the
+/// stats, so the caller (the periodic checkpointer handing coverage to
+/// the [`crate::retention::RetentionManager`]) can reclaim against the
+/// chain the round just produced instead of re-reading it off the device.
+pub fn run_checkpoint_full_chained(
     db: &Arc<Database>,
     storage: &StorageSet,
     threads: usize,
-) -> Result<CheckpointStats> {
-    let (st, chain) = checkpoint_round(db, storage, threads, None)?;
-    prune_old_checkpoints(storage, &chain);
-    Ok(st)
+) -> Result<(CheckpointStats, CheckpointChain)> {
+    checkpoint_round(db, storage, threads, None)
 }
 
 /// Run one **incremental** checkpoint round: a delta over the current
@@ -223,29 +222,19 @@ pub fn run_checkpoint_incremental(
     threads: usize,
     max_chain: usize,
 ) -> Result<CheckpointStats> {
-    run_incremental(db, storage, threads, max_chain, false)
+    run_checkpoint_incremental_chained(db, storage, threads, max_chain).map(|(st, _)| st)
 }
 
-/// [`run_checkpoint_incremental`] plus chain-aware retention in the same
-/// call, pruning with the chain the round just produced instead of
-/// walking the manifests off disk a second time (the periodic
-/// checkpointer's path).
-pub fn run_checkpoint_incremental_pruned(
+/// [`run_checkpoint_incremental`] returning the resulting chain (a no-op
+/// round returns the existing one), so the periodic checkpointer can hand
+/// the round's coverage straight to the
+/// [`crate::retention::RetentionManager`] without a second chain walk.
+pub fn run_checkpoint_incremental_chained(
     db: &Arc<Database>,
     storage: &StorageSet,
     threads: usize,
     max_chain: usize,
-) -> Result<CheckpointStats> {
-    run_incremental(db, storage, threads, max_chain, true)
-}
-
-fn run_incremental(
-    db: &Arc<Database>,
-    storage: &StorageSet,
-    threads: usize,
-    max_chain: usize,
-    prune: bool,
-) -> Result<CheckpointStats> {
+) -> Result<(CheckpointStats, CheckpointChain)> {
     // An unreadable chain falls back to a fresh full (which repairs it).
     let chain = read_chain(storage).unwrap_or_default();
     if let Some(chain) = chain {
@@ -260,29 +249,22 @@ fn run_incremental(
             .iter()
             .any(|t| (0..t.num_shards()).any(|s| t.shard_dirty_ts(s) > tip));
         if !any_dirty {
-            // Nothing changed: no new link, nothing new to prune.
-            return Ok(CheckpointStats {
+            // Nothing changed: no new link, nothing new to reclaim against.
+            let stats = CheckpointStats {
                 ts: tip,
                 full: false,
                 parts_written: 0,
                 shards_skipped_clean: total_shards,
                 bytes_written: 0,
                 chain_len: chain.len(),
-            });
+            };
+            return Ok((stats, chain));
         }
         if chain.len() < max_chain.max(1) {
-            let (st, new_chain) = checkpoint_round(db, storage, threads, Some(chain))?;
-            if prune {
-                prune_old_checkpoints(storage, &new_chain);
-            }
-            return Ok(st);
+            return checkpoint_round(db, storage, threads, Some(chain));
         }
     }
-    let (st, new_chain) = checkpoint_round(db, storage, threads, None)?;
-    if prune {
-        prune_old_checkpoints(storage, &new_chain);
-    }
-    Ok(st)
+    checkpoint_round(db, storage, threads, None)
 }
 
 /// Shared body of full and delta rounds. `base = None` writes a full
@@ -458,6 +440,19 @@ pub fn decode_part(bytes: &[u8]) -> Result<Vec<(Key, Row)>> {
 /// delta still referenced by the tip is never dropped, no matter how old.
 /// (Invoked after a newer checkpoint completes.)
 pub fn prune_old_checkpoints(storage: &StorageSet, chain: &CheckpointChain) {
+    prune_old_checkpoints_respecting(storage, chain, u64::MAX);
+}
+
+/// [`prune_old_checkpoints`] additionally honoring retention holds: files
+/// with `ts >= keep_ts_at_or_above` survive even when no live chain link
+/// references them — an online recovery session may still be resolving
+/// its base image across a chain a compaction has since superseded.
+/// `u64::MAX` = no hold (prune everything unreferenced).
+pub fn prune_old_checkpoints_respecting(
+    storage: &StorageSet,
+    chain: &CheckpointChain,
+    keep_ts_at_or_above: Timestamp,
+) {
     let live = chain.referenced_ts();
     let tip = chain.ts();
     for disk in storage.disks() {
@@ -468,7 +463,7 @@ pub fn prune_old_checkpoints(storage: &StorageSet, chain: &CheckpointChain) {
             // Format: ckpt/<ts>/...
             if let Some(ts_str) = name.split('/').nth(1) {
                 if let Ok(ts) = ts_str.parse::<u64>() {
-                    if ts < tip && !live.contains(&ts) {
+                    if ts < tip && !live.contains(&ts) && ts < keep_ts_at_or_above {
                         disk.delete(&name);
                     }
                 }

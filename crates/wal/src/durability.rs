@@ -1,14 +1,15 @@
 //! The durability manager: wires epoch management, loggers, pepoch and
 //! checkpointing around a running database.
 
-use crate::batch::{batch_index_of_epoch, batch_name, truncate_log_tail};
+use crate::batch::truncate_log_tail;
 use crate::checkpoint::{
-    read_manifest, run_checkpoint_full_pruned, run_checkpoint_incremental_pruned,
+    read_manifest, run_checkpoint_full_chained, run_checkpoint_incremental_chained,
 };
 use crate::classify::{CommitClassifier, LogChoice, WriteCountClassifier};
 use crate::logger::{LoggerHandle, QueuedRecord};
 use crate::pepoch::PepochHandle;
 use crate::record::{LogPayload, TxnLogRecord};
+use crate::retention::{RetentionManager, RetentionPolicy};
 use crate::ship::{LogShipper, ShipCounters};
 use pacman_common::clock::epoch_of;
 use pacman_common::{Encoder, ProcId};
@@ -87,6 +88,12 @@ pub struct DurabilityConfig {
     /// reaches this many links, the next round is a full compaction
     /// rewrite. Ignored when `checkpoint_incremental` is off.
     pub checkpoint_max_chain: usize,
+    /// Bounded-lag policy for ship-cursor retention holds: a subscriber
+    /// whose hold retains more than this many log bytes below checkpoint
+    /// coverage is broken (its cursor invalidated, the standby
+    /// re-bootstraps) so a lagging standby can never pin unbounded disk.
+    /// `None` = never break.
+    pub max_subscriber_lag_bytes: Option<u64>,
     /// Whether loggers fsync on epoch seal (Table 3 ablation).
     pub fsync: bool,
 }
@@ -102,6 +109,7 @@ impl Default for DurabilityConfig {
             checkpoint_threads: 1,
             checkpoint_incremental: true,
             checkpoint_max_chain: 8,
+            max_subscriber_lag_bytes: None,
             fsync: true,
         }
     }
@@ -116,8 +124,8 @@ pub struct Durability {
     pepoch: Mutex<Option<PepochHandle>>,
     pepoch_value: Arc<AtomicU64>,
     storage: pacman_storage::StorageSet,
+    retention: Arc<RetentionManager>,
     ckpt_stop: Arc<AtomicBool>,
-    ckpt_paused: Arc<AtomicBool>,
     ckpt_active: Arc<AtomicBool>,
     last_ckpt_ts: Arc<AtomicU64>,
     ckpt_bytes_written: Arc<AtomicU64>,
@@ -169,8 +177,10 @@ impl Durability {
     /// is derived from both.
     ///
     /// An online recovery session may still be replaying when this runs;
-    /// pair it with `set_checkpoints_paused(true)` until the session
-    /// completes so a checkpoint can never snapshot half-replayed state.
+    /// pair it with `RecoverySession::pin_retention_on` so the session's
+    /// retention hold blocks checkpoint rounds (a checkpoint can never
+    /// snapshot half-replayed state) and pins its unreplayed log tail
+    /// against reclamation until replay completes.
     pub fn reopen(
         db: Arc<Database>,
         storage: pacman_storage::StorageSet,
@@ -238,8 +248,18 @@ impl Durability {
             (Some(h), v)
         };
 
+        // One reclaim frontier for the whole stack: the manager owns every
+        // deletion (log GC + chain pruning) and restores its persisted
+        // reclaimed-batch floor across reopens.
+        let retention = RetentionManager::new(
+            storage.clone(),
+            config.num_loggers.max(1),
+            config.batch_epochs,
+            RetentionPolicy {
+                max_subscriber_lag_bytes: config.max_subscriber_lag_bytes,
+            },
+        );
         let ckpt_stop = Arc::new(AtomicBool::new(false));
-        let ckpt_paused = Arc::new(AtomicBool::new(false));
         let ckpt_active = Arc::new(AtomicBool::new(false));
         let last_ckpt_ts = Arc::new(AtomicU64::new(0));
         let ckpt_bytes_written = Arc::new(AtomicU64::new(0));
@@ -250,7 +270,6 @@ impl Durability {
         let ckpt_join = match (config.checkpoint_interval, config.scheme) {
             (Some(interval), scheme) if scheme != LogScheme::Off => {
                 let stop = Arc::clone(&ckpt_stop);
-                let paused = Arc::clone(&ckpt_paused);
                 let active = Arc::clone(&ckpt_active);
                 let last = Arc::clone(&last_ckpt_ts);
                 let bytes = Arc::clone(&ckpt_bytes_written);
@@ -258,10 +277,9 @@ impl Durability {
                 let skipped = Arc::clone(&ckpt_shards_skipped);
                 let rounds = Arc::clone(&ckpt_rounds);
                 let fulls = Arc::clone(&ckpt_full_rounds);
+                let retention2 = Arc::clone(&retention);
                 let storage2 = storage.clone();
                 let threads = config.checkpoint_threads.max(1);
-                let batch_epochs = config.batch_epochs;
-                let num_loggers = config.num_loggers.max(1);
                 let incremental = config.checkpoint_incremental;
                 let max_chain = config.checkpoint_max_chain.max(1);
                 Some(
@@ -281,22 +299,21 @@ impl Durability {
                             if stop.load(Ordering::Acquire) {
                                 return;
                             }
-                            if paused.load(Ordering::Acquire) {
-                                continue; // held back (e.g. online replay)
+                            if retention2.checkpoints_held() {
+                                // A recovery hold is live: a snapshot now
+                                // would cover timestamps whose old-epoch
+                                // replay installs still race the scan.
+                                continue;
                             }
                             active.store(true, Ordering::Release);
-                            // The *_pruned variants fold chain-aware
-                            // retention into the round (only links the new
-                            // tip references survive), reusing the chain
-                            // the round resolved instead of re-reading it.
                             let result = if incremental {
-                                run_checkpoint_incremental_pruned(
+                                run_checkpoint_incremental_chained(
                                     &db, &storage2, threads, max_chain,
                                 )
                             } else {
-                                run_checkpoint_full_pruned(&db, &storage2, threads)
+                                run_checkpoint_full_chained(&db, &storage2, threads)
                             };
-                            if let Ok(st) = result {
+                            if let Ok((st, chain)) = result {
                                 bytes.fetch_add(st.bytes_written, Ordering::Relaxed);
                                 parts.fetch_add(st.parts_written, Ordering::Relaxed);
                                 skipped.fetch_add(st.shards_skipped_clean, Ordering::Relaxed);
@@ -304,16 +321,12 @@ impl Durability {
                                 if st.full {
                                     fulls.fetch_add(1, Ordering::Relaxed);
                                 }
-                                // Drop batches that lie entirely below the
-                                // chain tip's epoch (the chain covers all
-                                // state up to its tip timestamp).
-                                let ckpt_epoch = pacman_common::clock::epoch_of(st.ts);
-                                let done_batch = batch_index_of_epoch(ckpt_epoch, batch_epochs);
-                                for b in 0..done_batch {
-                                    for l in 0..num_loggers {
-                                        storage2.disk(l).delete(&batch_name(l, b));
-                                    }
-                                }
+                                // Every reclamation decision — log batches
+                                // below min(coverage, holds), chain links no
+                                // live link or hold references, bounded-lag
+                                // hold breaking — goes through the manager,
+                                // against the chain this round produced.
+                                retention2.reclaim(&chain);
                                 last.store(st.ts, Ordering::Release);
                             }
                             active.store(false, Ordering::Release);
@@ -331,8 +344,8 @@ impl Durability {
             pepoch: Mutex::new(pepoch),
             pepoch_value,
             storage,
+            retention,
             ckpt_stop,
-            ckpt_paused,
             ckpt_active,
             last_ckpt_ts,
             ckpt_bytes_written,
@@ -487,17 +500,33 @@ impl Durability {
         self.ckpt_active.load(Ordering::Acquire)
     }
 
-    /// Hold back (or release) the periodic checkpointer without tearing it
-    /// down. An online recovery session pauses checkpoints while replay is
-    /// still installing old-timestamp versions: a snapshot taken then
-    /// would claim to cover timestamps whose installs race the scan.
-    pub fn set_checkpoints_paused(&self, paused: bool) {
-        self.ckpt_paused.store(paused, Ordering::Release);
+    /// The durable-space lifecycle manager: one reclaim frontier across
+    /// log GC, chain pruning and every live [`crate::retention::RetentionHold`].
+    /// Recovery sessions and ship cursors pin history through it; the
+    /// periodic checkpointer reclaims through it after every round.
+    pub fn retention(&self) -> &Arc<RetentionManager> {
+        &self.retention
     }
 
-    /// Whether the periodic checkpointer is currently held back.
-    pub fn checkpoints_paused(&self) -> bool {
-        self.ckpt_paused.load(Ordering::Acquire)
+    /// Log bytes the retention manager has reclaimed so far.
+    pub fn reclaimed_log_bytes(&self) -> u64 {
+        self.retention.reclaimed_log_bytes()
+    }
+
+    /// Subscriber holds broken by the bounded-lag policy so far.
+    pub fn holds_broken(&self) -> u64 {
+        self.retention.holds_broken()
+    }
+
+    /// Live log bytes currently on the devices (the bounded footprint).
+    pub fn live_log_bytes(&self) -> u64 {
+        self.storage.live_bytes("log/")
+    }
+
+    /// Live checkpoint bytes currently on the devices (chain + orphans
+    /// not yet pruned).
+    pub fn live_ckpt_bytes(&self) -> u64 {
+        self.storage.live_bytes("ckpt/")
     }
 
     /// Snapshot timestamp of the last completed checkpoint (0 = none).
@@ -541,12 +570,21 @@ impl Durability {
     /// reconnects. Poll it with [`Durability::pepoch`] to ship everything
     /// newly sealed; ship volume is folded into this stack's
     /// [`Durability::shipped_bytes`]/[`Durability::shipped_frames`] stats.
+    ///
+    /// The shipper registers a **subscriber retention hold** with this
+    /// stack's [`Durability::retention`] manager, advanced after every
+    /// delivered pass: log GC can no longer outrun the cursor, so a
+    /// healthy standby never re-bootstraps. If the subscriber lags past
+    /// [`DurabilityConfig::max_subscriber_lag_bytes`] the hold is broken
+    /// and the shipper self-heals — it emits [`crate::ship::ShipFrame::Reset`]
+    /// and restarts from a fresh (bootstrap) cursor.
     pub fn shipper(&self) -> LogShipper {
-        LogShipper::with_counters(
+        LogShipper::with_retention(
             self.storage.clone(),
             self.config.num_loggers.max(1),
             self.config.batch_epochs,
             Arc::clone(&self.ship_counters),
+            Arc::clone(&self.retention),
         )
     }
 

@@ -29,6 +29,7 @@ pub mod durability;
 pub mod logger;
 pub mod pepoch;
 pub mod record;
+pub mod retention;
 pub mod ship;
 
 pub use batch::{
@@ -36,11 +37,14 @@ pub use batch::{
     LogBatch,
 };
 pub use checkpoint::{
-    read_chain, run_checkpoint, run_checkpoint_full, run_checkpoint_full_pruned,
-    run_checkpoint_incremental, run_checkpoint_incremental_pruned, CheckpointChain,
+    read_chain, run_checkpoint, run_checkpoint_full, run_checkpoint_full_chained,
+    run_checkpoint_incremental, run_checkpoint_incremental_chained, CheckpointChain,
     CheckpointManifest, CheckpointStats, ResolvedPart,
 };
 pub use classify::{CommitClassifier, LogChoice, WriteCountClassifier};
 pub use durability::{Durability, DurabilityConfig, LogScheme, ResumeInfo};
 pub use record::{LogPayload, TxnLogRecord};
+pub use retention::{
+    HoldKind, ReclaimStats, RetentionHold, RetentionManager, RetentionPolicy, RETENTION_FILE,
+};
 pub use ship::{LogShipper, ShipCounters, ShipCursor, ShipFrame, SHIP_WIRE_VERSION};

@@ -1,0 +1,611 @@
+//! The durable-space lifecycle: one reclaim frontier for every byte the
+//! durability subsystem may delete.
+//!
+//! Before this module, reclamation happened through three uncoordinated
+//! paths — the checkpointer's inline batch-delete loop, chain-aware
+//! manifest pruning, and a pause/release-checkpoints handshake online
+//! recovery used to keep GC off its unreplayed tail. Sauer & Härder's
+//! instant-recovery line of work treats log lifecycle management as a
+//! first-class subsystem; this module is that subsystem for the repo.
+//!
+//! **The frontier.** Every reclamation decision flows through a
+//! [`RetentionManager`]. Log batches are reclaimed strictly below
+//!
+//! ```text
+//! frontier = min(checkpoint-covered epoch, min over live holds)
+//! ```
+//!
+//! where coverage comes from the live manifest chain's tip (the chain
+//! captures all state at `ts <= tip`, so records wholly below its epoch
+//! are redundant) and *holds* are typed [`RetentionHold`]s pinned by
+//! anyone who still needs the history:
+//!
+//! * a **subscriber** hold pins a ship cursor's unshipped tail ("keep log
+//!   batches that may contain epochs ≥ E"). The shipper advances it after
+//!   every delivered pass, so a healthy standby never forces a
+//!   re-bootstrap — the gap REPLICATION.md used to document as "future
+//!   work";
+//! * a **recovery** hold pins an online session's unreplayed tail (log
+//!   epochs above its base image) *and* the manifest chain it is loading
+//!   from ("keep chain links ≥ ts T"), and additionally blocks new
+//!   checkpoint rounds — a snapshot taken while old-timestamp replay
+//!   installs race the scan would claim coverage it does not have. This
+//!   replaces the pause/release handshake wholesale.
+//!
+//! **Bounded lag.** A subscriber hold is not allowed to pin unbounded
+//! history: when [`RetentionPolicy::max_subscriber_lag_bytes`] is set and
+//! the bytes a hold retains below coverage exceed it, the reclaim round
+//! *breaks* the hold — the cursor behind it is invalidated, space is
+//! reclaimed, and the shipper self-heals by emitting a
+//! [`crate::ship::ShipFrame::Reset`] and re-bootstrapping a fresh cursor.
+//!
+//! **Reclaim is O(newly reclaimable).** The manager tracks the batch
+//! index everything below which has already been deleted and persists it
+//! (`retention.log`), so a round deletes only `[floor, frontier)` — and a
+//! reopened directory does not re-issue deletes for long-gone batches.
+
+use crate::batch::{batch_index_of_epoch, batch_name};
+use crate::checkpoint::{prune_old_checkpoints_respecting, CheckpointChain};
+use pacman_common::Timestamp;
+use pacman_storage::StorageSet;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// File (device 0) persisting the reclaimed-batch floor across reopens.
+pub const RETENTION_FILE: &str = "retention.log";
+
+/// Reclamation policy knobs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RetentionPolicy {
+    /// Bound on the log bytes a single subscriber hold may retain below
+    /// checkpoint coverage. A hold past the bound is broken (its cursor
+    /// invalidated) so a lagging standby can never pin unbounded disk;
+    /// `None` disables breaking.
+    pub max_subscriber_lag_bytes: Option<u64>,
+}
+
+/// What kind of holder pinned the history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HoldKind {
+    /// A ship cursor's unshipped tail. Breakable under the bounded-lag
+    /// policy; does not block checkpoint rounds.
+    Subscriber,
+    /// An online recovery session's unreplayed tail plus its base-image
+    /// chain. Never broken; blocks checkpoint rounds while live.
+    Recovery,
+}
+
+#[derive(Clone, Debug)]
+struct HoldState {
+    kind: HoldKind,
+    /// Keep every log batch that may contain an epoch `>=` this.
+    min_epoch: u64,
+    /// Keep every checkpoint file with `ts >=` this (`u64::MAX` = no
+    /// chain interest).
+    min_chain_ts: Timestamp,
+    broken: bool,
+}
+
+#[derive(Default)]
+struct Inner {
+    holds: BTreeMap<u64, HoldState>,
+    next_id: u64,
+    /// Log batches `< this` have already been deleted (persisted).
+    reclaimed_batches: u64,
+    /// `(chain tip, hold chain-floor)` of the last prune pass: when both
+    /// are unchanged and nothing broke, the `ckpt/` namespace cannot have
+    /// grown prunable files, so idle rounds skip the directory scan.
+    last_pruned: Option<(Timestamp, Timestamp)>,
+}
+
+/// What one reclaim round did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReclaimStats {
+    /// Log bytes deleted this round.
+    pub reclaimed_log_bytes: u64,
+    /// Subscriber holds broken by the bounded-lag policy this round.
+    pub holds_broken: u64,
+    /// The batch frontier after the round (batches `<` it are gone).
+    pub frontier_batch: u64,
+}
+
+/// The single owner of every durable-space reclamation decision.
+pub struct RetentionManager {
+    storage: StorageSet,
+    num_loggers: usize,
+    batch_epochs: u64,
+    policy: RetentionPolicy,
+    inner: Mutex<Inner>,
+    reclaimed_log_bytes: AtomicU64,
+    holds_broken: AtomicU64,
+}
+
+impl RetentionManager {
+    /// A manager over `storage` with the layout that names batch files
+    /// (`num_loggers`, `batch_epochs` — must match the durability config).
+    /// Restores the persisted reclaimed-batch floor, so a reopened
+    /// directory resumes O(newly reclaimable) rounds instead of
+    /// re-scanning all-time history.
+    pub fn new(
+        storage: StorageSet,
+        num_loggers: usize,
+        batch_epochs: u64,
+        policy: RetentionPolicy,
+    ) -> Arc<RetentionManager> {
+        let reclaimed_batches = match storage.disk(0).read(RETENTION_FILE) {
+            Ok(bytes) if bytes.len() >= 8 => u64::from_le_bytes(bytes[..8].try_into().unwrap()),
+            _ => 0,
+        };
+        Arc::new(RetentionManager {
+            storage,
+            num_loggers: num_loggers.max(1),
+            batch_epochs: batch_epochs.max(1),
+            policy,
+            inner: Mutex::new(Inner {
+                reclaimed_batches,
+                ..Default::default()
+            }),
+            reclaimed_log_bytes: AtomicU64::new(0),
+            holds_broken: AtomicU64::new(0),
+        })
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> RetentionPolicy {
+        self.policy
+    }
+
+    /// Pin a subscriber (ship-cursor) hold. Starts at epoch 0 — the full
+    /// surviving history — and is advanced by the shipper after every
+    /// delivered pass.
+    pub fn pin_subscriber(self: &Arc<Self>) -> RetentionHold {
+        self.pin(HoldKind::Subscriber, 0, u64::MAX)
+    }
+
+    /// Pin a recovery hold: keep log batches that may contain epochs
+    /// `>= min_epoch` (the session's unreplayed tail) and checkpoint
+    /// files with `ts >= min_chain_ts` (the chain its base image resolves
+    /// across); block checkpoint rounds while live.
+    pub fn pin_recovery(
+        self: &Arc<Self>,
+        min_epoch: u64,
+        min_chain_ts: Timestamp,
+    ) -> RetentionHold {
+        self.pin(HoldKind::Recovery, min_epoch, min_chain_ts)
+    }
+
+    fn pin(
+        self: &Arc<Self>,
+        kind: HoldKind,
+        min_epoch: u64,
+        min_chain_ts: Timestamp,
+    ) -> RetentionHold {
+        let mut inner = self.inner.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.holds.insert(
+            id,
+            HoldState {
+                kind,
+                min_epoch,
+                min_chain_ts,
+                broken: false,
+            },
+        );
+        RetentionHold {
+            mgr: Arc::clone(self),
+            id,
+        }
+    }
+
+    /// Whether any live hold blocks checkpoint rounds (a recovery session
+    /// is still replaying — a snapshot now would be unsound).
+    pub fn checkpoints_held(&self) -> bool {
+        self.inner
+            .lock()
+            .holds
+            .values()
+            .any(|h| h.kind == HoldKind::Recovery && !h.broken)
+    }
+
+    /// Number of live (unreleased) holds.
+    pub fn live_holds(&self) -> usize {
+        self.inner.lock().holds.len()
+    }
+
+    /// The log reclaim frontier, in batch units, given checkpoint
+    /// coverage up to `coverage_epoch`: batches strictly below it may be
+    /// deleted. Never exceeds the batch of any live unbroken hold's
+    /// epoch floor — the invariant `tests/prop_recovery.rs` pins.
+    pub fn log_frontier_batch(&self, coverage_epoch: u64) -> u64 {
+        let inner = self.inner.lock();
+        self.frontier_locked(&inner, coverage_epoch)
+    }
+
+    fn frontier_locked(&self, inner: &Inner, coverage_epoch: u64) -> u64 {
+        let coverage_batch = batch_index_of_epoch(coverage_epoch, self.batch_epochs);
+        inner
+            .holds
+            .values()
+            .filter(|h| !h.broken)
+            .map(|h| batch_index_of_epoch(h.min_epoch, self.batch_epochs))
+            .min()
+            .unwrap_or(u64::MAX)
+            .min(coverage_batch)
+    }
+
+    /// Cumulative log bytes reclaimed by this manager.
+    pub fn reclaimed_log_bytes(&self) -> u64 {
+        self.reclaimed_log_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative subscriber holds broken by the bounded-lag policy.
+    pub fn holds_broken(&self) -> u64 {
+        self.holds_broken.load(Ordering::Relaxed)
+    }
+
+    /// The persisted reclaimed-batch floor (batches below it are gone).
+    pub fn reclaimed_batch_floor(&self) -> u64 {
+        self.inner.lock().reclaimed_batches
+    }
+
+    /// Run one reclaim round against the live manifest chain (the round's
+    /// coverage): enforce the bounded-lag policy, delete every newly
+    /// reclaimable log batch below the frontier, persist the new floor,
+    /// and prune checkpoint files no live chain link *or* hold references.
+    pub fn reclaim(&self, chain: &CheckpointChain) -> ReclaimStats {
+        let coverage_epoch = pacman_common::clock::epoch_of(chain.ts());
+        let coverage_batch = batch_index_of_epoch(coverage_epoch, self.batch_epochs);
+
+        // Policy + frontier under the lock; deletions (device ops) after.
+        let (from, to, broken_now, chain_floor, prune) = {
+            let mut inner = self.inner.lock();
+            let mut broken_now = 0u64;
+            if let Some(bound) = self.policy.max_subscriber_lag_bytes {
+                for h in inner.holds.values_mut() {
+                    if h.kind != HoldKind::Subscriber || h.broken {
+                        continue;
+                    }
+                    let floor = batch_index_of_epoch(h.min_epoch, self.batch_epochs);
+                    if floor >= coverage_batch {
+                        continue;
+                    }
+                    // Bytes this hold (alone) retains below coverage —
+                    // metadata lookups only, long-gone batches read as 0.
+                    let lag: u64 = (floor..coverage_batch).map(|b| self.batch_bytes(b)).sum();
+                    if lag > bound {
+                        h.broken = true;
+                        broken_now += 1;
+                    }
+                }
+            }
+            let frontier = self.frontier_locked(&inner, coverage_epoch);
+            let from = inner.reclaimed_batches;
+            if frontier > from {
+                inner.reclaimed_batches = frontier;
+            }
+            let chain_floor = inner
+                .holds
+                .values()
+                .filter(|h| !h.broken)
+                .map(|h| h.min_chain_ts)
+                .min()
+                .unwrap_or(u64::MAX);
+            // Idle rounds skip the ckpt/ directory scan: with the same
+            // tip and the same hold floor, the prunable set cannot have
+            // changed since the last pass.
+            let prune = inner.last_pruned != Some((chain.ts(), chain_floor));
+            if prune {
+                inner.last_pruned = Some((chain.ts(), chain_floor));
+            }
+            (from, frontier.max(from), broken_now, chain_floor, prune)
+        };
+
+        // O(newly reclaimable): only the batches this round uncovered.
+        let mut reclaimed = 0u64;
+        for b in from..to {
+            reclaimed += self.batch_bytes(b);
+            for l in 0..self.num_loggers {
+                self.storage.disk(l).delete(&batch_name(l, b));
+            }
+        }
+        if to > from {
+            self.storage
+                .disk(0)
+                .write_file(RETENTION_FILE, &to.to_le_bytes());
+        }
+        self.reclaimed_log_bytes
+            .fetch_add(reclaimed, Ordering::Relaxed);
+        self.holds_broken.fetch_add(broken_now, Ordering::Relaxed);
+
+        // Chain retention folds into the same round: drop files no live
+        // link references, except those a hold still pins (`ts >= floor`).
+        if prune {
+            prune_old_checkpoints_respecting(&self.storage, chain, chain_floor);
+        }
+
+        ReclaimStats {
+            reclaimed_log_bytes: reclaimed,
+            holds_broken: broken_now,
+            frontier_batch: to,
+        }
+    }
+
+    /// Total on-device bytes of one batch index across all loggers
+    /// (metadata lookups, no simulated I/O).
+    fn batch_bytes(&self, batch: u64) -> u64 {
+        (0..self.num_loggers)
+            .map(|l| self.storage.disk(l).len(&batch_name(l, batch)).unwrap_or(0) as u64)
+            .sum()
+    }
+
+    fn release(&self, id: u64) {
+        self.inner.lock().holds.remove(&id);
+    }
+
+    fn advance_log(&self, id: u64, min_epoch: u64) {
+        if let Some(h) = self.inner.lock().holds.get_mut(&id) {
+            h.min_epoch = h.min_epoch.max(min_epoch);
+        }
+    }
+
+    fn is_broken(&self, id: u64) -> bool {
+        self.inner
+            .lock()
+            .holds
+            .get(&id)
+            .map(|h| h.broken)
+            .unwrap_or(true)
+    }
+
+    fn break_hold(&self, id: u64) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.holds.get_mut(&id) {
+            Some(h) if !h.broken => {
+                h.broken = true;
+                drop(inner);
+                self.holds_broken.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn hold_floor(&self, id: u64) -> Option<u64> {
+        self.inner.lock().holds.get(&id).map(|h| h.min_epoch)
+    }
+}
+
+/// A live pin on durable history. Releasing it (drop) lets the frontier
+/// advance past what it kept.
+pub struct RetentionHold {
+    mgr: Arc<RetentionManager>,
+    id: u64,
+}
+
+impl RetentionHold {
+    /// Whether the bounded-lag policy (or an operator) broke this hold:
+    /// the history it pinned may be gone and the cursor behind it must
+    /// re-bootstrap.
+    pub fn is_broken(&self) -> bool {
+        self.mgr.is_broken(self.id)
+    }
+
+    /// Advance the log floor: batches wholly below `min_epoch`'s batch
+    /// are no longer needed by this holder. Monotone (never retreats).
+    pub fn advance_log(&self, min_epoch: u64) {
+        self.mgr.advance_log(self.id, min_epoch);
+    }
+
+    /// The current log floor epoch (introspection / property tests).
+    pub fn log_floor_epoch(&self) -> u64 {
+        self.mgr.hold_floor(self.id).unwrap_or(u64::MAX)
+    }
+
+    /// Forcibly break this hold — the operator kicking a subscriber, or
+    /// tests exercising the invalidation path. Counts into
+    /// [`RetentionManager::holds_broken`].
+    pub fn force_break(&self) {
+        self.mgr.break_hold(self.id);
+    }
+
+    /// Keep the hold registered forever (never released). Used by a
+    /// *failed* recovery session: the half-recovered state is suspect, so
+    /// checkpoints and GC must stay blocked for the process lifetime.
+    pub fn leak(self) {
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for RetentionHold {
+    fn drop(&mut self) {
+        self.mgr.release(self.id);
+    }
+}
+
+impl std::fmt::Debug for RetentionHold {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RetentionHold")
+            .field("id", &self.id)
+            .field("broken", &self.is_broken())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::{manifest_name, read_chain, run_checkpoint_incremental};
+    use pacman_common::clock::epoch_floor;
+    use pacman_common::{Row, TableId, Value};
+    use pacman_engine::{Catalog, Database};
+    use pacman_storage::DiskConfig;
+
+    fn mgr_over(storage: &StorageSet) -> Arc<RetentionManager> {
+        RetentionManager::new(storage.clone(), 1, 4, RetentionPolicy::default())
+    }
+
+    fn write_batches(storage: &StorageSet, n: u64, bytes_each: usize) {
+        for b in 0..n {
+            storage
+                .disk(0)
+                .append(&batch_name(0, b), &vec![0xAB; bytes_each]);
+        }
+    }
+
+    /// A tiny database + chain whose tip epoch covers `cover_epochs`.
+    fn chain_at_epoch(storage: &StorageSet, epoch: u64) -> CheckpointChain {
+        let mut c = Catalog::new();
+        c.add_table("t", 1);
+        let db = Arc::new(Database::new(c));
+        db.seed_row(TableId::new(0), 1, Row::from([Value::Int(1)]))
+            .unwrap();
+        db.clock().advance_to(epoch_floor(epoch));
+        run_checkpoint_incremental(&db, storage, 1, 8).unwrap();
+        read_chain(storage).unwrap().unwrap()
+    }
+
+    #[test]
+    fn frontier_is_min_of_coverage_and_holds() {
+        let storage = StorageSet::for_tests();
+        let m = mgr_over(&storage);
+        // No holds: frontier = coverage batch.
+        assert_eq!(m.log_frontier_batch(12), 3);
+        let h = m.pin_subscriber(); // floor epoch 0
+        assert_eq!(m.log_frontier_batch(12), 0);
+        h.advance_log(9); // batch 2
+        assert_eq!(m.log_frontier_batch(12), 2);
+        h.advance_log(100);
+        assert_eq!(m.log_frontier_batch(12), 3, "coverage caps the frontier");
+        drop(h);
+        assert_eq!(m.log_frontier_batch(12), 3);
+        assert_eq!(m.live_holds(), 0);
+    }
+
+    #[test]
+    fn reclaim_deletes_only_newly_reclaimable_and_persists_floor() {
+        let storage = StorageSet::identical(1, DiskConfig::unthrottled("r"));
+        write_batches(&storage, 6, 100);
+        let chain = chain_at_epoch(&storage, 9); // covers batches 0..2
+        let m = mgr_over(&storage);
+        let st = m.reclaim(&chain);
+        assert_eq!(st.frontier_batch, 2);
+        assert_eq!(st.reclaimed_log_bytes, 200);
+        assert!(storage.disk(0).read(&batch_name(0, 0)).is_err());
+        assert!(storage.disk(0).read(&batch_name(0, 2)).is_ok());
+        // A second round at the same coverage reclaims nothing new.
+        assert_eq!(m.reclaim(&chain).reclaimed_log_bytes, 0);
+        assert_eq!(m.reclaimed_log_bytes(), 200);
+        // The floor survives a reopen (fresh manager, same directory).
+        let m2 = mgr_over(&storage);
+        assert_eq!(m2.reclaimed_batch_floor(), 2);
+    }
+
+    #[test]
+    fn live_holds_pin_the_log() {
+        let storage = StorageSet::identical(1, DiskConfig::unthrottled("r"));
+        write_batches(&storage, 6, 100);
+        let chain = chain_at_epoch(&storage, 21); // covers batches 0..5
+        let m = mgr_over(&storage);
+        let h = m.pin_subscriber();
+        h.advance_log(5); // still needs batch 1 (epochs 4..8)
+        let st = m.reclaim(&chain);
+        assert_eq!(st.frontier_batch, 1, "hold caps the frontier");
+        assert!(storage.disk(0).read(&batch_name(0, 0)).is_err());
+        assert!(storage.disk(0).read(&batch_name(0, 1)).is_ok());
+        // Release: the next round reclaims up to coverage.
+        drop(h);
+        let st = m.reclaim(&chain);
+        assert_eq!(st.frontier_batch, 5);
+        assert!(storage.disk(0).read(&batch_name(0, 4)).is_err());
+    }
+
+    #[test]
+    fn lagging_subscriber_is_broken_past_the_bound() {
+        let storage = StorageSet::identical(1, DiskConfig::unthrottled("r"));
+        write_batches(&storage, 6, 100);
+        let chain = chain_at_epoch(&storage, 21);
+        let m = RetentionManager::new(
+            storage.clone(),
+            1,
+            4,
+            RetentionPolicy {
+                max_subscriber_lag_bytes: Some(250),
+            },
+        );
+        let h = m.pin_subscriber();
+        h.advance_log(1); // retains batches 0..5 below coverage: 500 bytes
+        let st = m.reclaim(&chain);
+        assert_eq!(st.holds_broken, 1);
+        assert!(h.is_broken());
+        assert_eq!(st.frontier_batch, 5, "broken hold no longer pins");
+        assert_eq!(m.holds_broken(), 1);
+        // A healthy hold within the bound survives.
+        let h2 = m.pin_subscriber();
+        h2.advance_log(17); // retains only batch 4 (100 bytes) below coverage
+        let st = m.reclaim(&chain);
+        assert_eq!(st.holds_broken, 0);
+        assert!(!h2.is_broken());
+    }
+
+    #[test]
+    fn recovery_holds_block_checkpoints_and_pin_chain_links() {
+        let storage = StorageSet::identical(1, DiskConfig::unthrottled("r"));
+        // Build a 2-link chain, then compact to a fresh full: the old
+        // links become prunable — unless a recovery hold pins them.
+        let mut c = Catalog::new();
+        c.add_table("t", 1);
+        let db = Arc::new(Database::new(c));
+        db.seed_row(TableId::new(0), 1, Row::from([Value::Int(1)]))
+            .unwrap();
+        run_checkpoint_incremental(&db, &storage, 1, 8).unwrap();
+        let old_chain = read_chain(&storage).unwrap().unwrap();
+        let old_root = old_chain.manifests.last().unwrap().ts;
+
+        let m = mgr_over(&storage);
+        assert!(!m.checkpoints_held());
+        let h = m.pin_recovery(0, old_root);
+        assert!(m.checkpoints_held());
+
+        // A newer full checkpoint supersedes the old chain entirely.
+        let mut t = db.begin();
+        let r = t.read(TableId::new(0), 1).unwrap();
+        t.write(TableId::new(0), 1, r.with_col(0, Value::Int(2)))
+            .unwrap();
+        t.commit().unwrap();
+        crate::checkpoint::run_checkpoint_full(&db, &storage, 1).unwrap();
+        let new_chain = read_chain(&storage).unwrap().unwrap();
+        m.reclaim(&new_chain);
+        assert!(
+            storage.disk(0).read(&manifest_name(old_root)).is_ok(),
+            "held chain link pruned"
+        );
+        drop(h);
+        assert!(!m.checkpoints_held());
+        m.reclaim(&new_chain);
+        assert!(
+            storage.disk(0).read(&manifest_name(old_root)).is_err(),
+            "released chain link must be pruned"
+        );
+    }
+
+    #[test]
+    fn force_break_and_leak_semantics() {
+        let storage = StorageSet::for_tests();
+        let m = mgr_over(&storage);
+        let h = m.pin_subscriber();
+        assert!(!h.is_broken());
+        h.force_break();
+        assert!(h.is_broken());
+        assert_eq!(m.holds_broken(), 1);
+        assert_eq!(m.log_frontier_batch(40), 10, "broken hold does not pin");
+        drop(h);
+
+        let h = m.pin_recovery(0, u64::MAX);
+        h.leak();
+        assert!(m.checkpoints_held(), "leaked hold pins forever");
+        assert_eq!(m.log_frontier_batch(40), 0);
+    }
+}

@@ -32,9 +32,19 @@
 //!   standby dedups redelivered record runs by their file offset. A
 //!   brand-new cursor over the same directory replays the full history
 //!   instead — that is how a fresh standby bootstraps.
+//! * **The cursor is pinned — and bounded.** A shipper attached to a
+//!   live [`crate::Durability`] registers a *subscriber*
+//!   [`crate::retention::RetentionHold`] and advances it after every
+//!   delivered pass, so log GC can never outrun a healthy cursor. A
+//!   cursor lagging past the stack's bounded-lag policy is *broken* by
+//!   the retention manager instead of pinning unbounded disk; the
+//!   shipper then self-heals: the next pass emits [`ShipFrame::Reset`]
+//!   and restarts from a fresh bootstrap cursor, which the standby
+//!   answers by resyncing onto the newly shipped chain tip.
 
 use crate::batch::batch_name;
 use crate::checkpoint::{manifest_name, part_name, read_chain, read_manifest};
+use crate::retention::{RetentionHold, RetentionManager};
 use pacman_common::clock::epoch_of;
 use pacman_common::codec::{put_bytes, put_u32, put_u64, Cursor};
 use pacman_common::{Decoder, Encoder, Error, Result, Timestamp};
@@ -45,8 +55,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Version of the ship-stream framing. A standby rejects streams whose
-/// [`ShipFrame::Hello`] announces a different major version.
-pub const SHIP_WIRE_VERSION: u32 = 1;
+/// [`ShipFrame::Hello`] announces a different major version. Version 2
+/// added [`ShipFrame::Reset`] (broken-cursor re-bootstrap).
+pub const SHIP_WIRE_VERSION: u32 = 2;
 
 /// One frame of the replication stream.
 #[derive(Clone, Debug, PartialEq)]
@@ -99,6 +110,11 @@ pub enum ShipFrame {
         /// The shipped durability frontier.
         pepoch: u64,
     },
+    /// The subscriber's cursor was invalidated (its retention hold broke
+    /// past the bounded-lag policy) and a fresh bootstrap stream follows:
+    /// the standby drains its in-flight applies and resyncs its base
+    /// image onto the next shipped chain tip instead of erroring out.
+    Reset,
 }
 
 impl Encoder for ShipFrame {
@@ -138,6 +154,9 @@ impl Encoder for ShipFrame {
                 buf.push(5);
                 put_u64(buf, *pepoch);
             }
+            ShipFrame::Reset => {
+                buf.push(6);
+            }
         }
     }
 }
@@ -174,6 +193,7 @@ impl Decoder for ShipFrame {
             5 => Ok(ShipFrame::Seal {
                 pepoch: cur.read_u64()?,
             }),
+            6 => Ok(ShipFrame::Reset),
             t => Err(Error::Corrupt(format!("bad ship frame tag {t}"))),
         }
     }
@@ -222,6 +242,8 @@ pub struct ShipCounters {
     pub frames: AtomicU64,
     /// Log records shipped.
     pub records: AtomicU64,
+    /// Cursor resets delivered (broken hold → fresh bootstrap cursor).
+    pub resets: AtomicU64,
 }
 
 /// The primary-side shipping endpoint: reads sealed history off the
@@ -235,10 +257,16 @@ pub struct LogShipper {
     batch_epochs: u64,
     cursor: Mutex<ShipCursor>,
     counters: Arc<ShipCounters>,
+    /// Retention manager of the live stack, when attached to one: the
+    /// cursor's unshipped tail is pinned there as a subscriber hold.
+    retention: Option<Arc<RetentionManager>>,
+    hold: Mutex<Option<RetentionHold>>,
 }
 
 impl LogShipper {
-    /// A shipper over `storage` with a fresh (bootstrap) cursor.
+    /// A shipper over `storage` with a fresh (bootstrap) cursor and no
+    /// retention pin — the post-mortem shape (draining a dead primary's
+    /// devices, where nothing reclaims concurrently).
     /// `num_loggers`/`batch_epochs` must match the durability config that
     /// wrote the directory.
     pub fn new(storage: StorageSet, num_loggers: usize, batch_epochs: u64) -> LogShipper {
@@ -259,6 +287,32 @@ impl LogShipper {
             batch_epochs: batch_epochs.max(1),
             cursor: Mutex::new(ShipCursor::new()),
             counters,
+            retention: None,
+            hold: Mutex::new(None),
+        }
+    }
+
+    /// [`LogShipper::with_counters`] additionally pinning the cursor's
+    /// unshipped tail as a subscriber hold in `retention` (the live-stack
+    /// shape, built by `Durability::shipper`). The hold advances after
+    /// every delivered pass; if the bounded-lag policy breaks it, the
+    /// next pass self-heals with [`ShipFrame::Reset`] + a fresh cursor.
+    pub fn with_retention(
+        storage: StorageSet,
+        num_loggers: usize,
+        batch_epochs: u64,
+        counters: Arc<ShipCounters>,
+        retention: Arc<RetentionManager>,
+    ) -> LogShipper {
+        let hold = retention.pin_subscriber();
+        LogShipper {
+            storage,
+            num_loggers: num_loggers.max(1),
+            batch_epochs: batch_epochs.max(1),
+            cursor: Mutex::new(ShipCursor::new()),
+            counters,
+            retention: Some(retention),
+            hold: Mutex::new(Some(hold)),
         }
     }
 
@@ -282,6 +336,11 @@ impl LogShipper {
         self.counters.records.load(Ordering::Relaxed)
     }
 
+    /// Cursor resets delivered so far (broken hold → re-bootstrap).
+    pub fn rebootstraps(&self) -> u64 {
+        self.counters.resets.load(Ordering::Relaxed)
+    }
+
     /// Produce every frame the stream owes given durability frontier
     /// `pepoch` and advance the cursor. Prefer [`LogShipper::ship`] when
     /// delivering over a fallible link: `poll` commits the cursor
@@ -289,9 +348,9 @@ impl LogShipper {
     pub fn poll(&self, pepoch: u64) -> Result<Vec<ShipFrame>> {
         let mut cur = self.cursor.lock();
         let mut scratch = cur.clone();
-        let p = self.produce(&mut scratch, pepoch)?;
+        let mut p = self.produce(&mut scratch, pepoch)?;
         *cur = scratch;
-        self.commit_counters(&p);
+        self.commit_pass(&cur, &mut p);
         Ok(p.frames)
     }
 
@@ -307,13 +366,35 @@ impl LogShipper {
     ) -> Result<usize> {
         let mut cur = self.cursor.lock();
         let mut scratch = cur.clone();
-        let p = self.produce(&mut scratch, pepoch)?;
+        let mut p = self.produce(&mut scratch, pepoch)?;
         for f in &p.frames {
             sink(f)?;
         }
         *cur = scratch;
-        self.commit_counters(&p);
+        self.commit_pass(&cur, &mut p);
         Ok(p.frames.len())
+    }
+
+    /// Commit the side effects of a delivered pass: fold the counters,
+    /// install the fresh subscriber hold a delivered reset carried, and
+    /// advance the hold past everything the cursor no longer owes — the
+    /// shipped frontier, plus anything the shipped chain tip covers.
+    fn commit_pass(&self, cur: &ShipCursor, p: &mut Produced) {
+        self.commit_counters(p);
+        if self.retention.is_some() {
+            let mut hold = self.hold.lock();
+            if let Some(fresh) = p.new_hold.take() {
+                self.counters.resets.fetch_add(1, Ordering::Relaxed);
+                *hold = Some(fresh); // the broken predecessor releases here
+            }
+            if let Some(h) = hold.as_ref() {
+                let mut floor = epoch_of(cur.shipped_chain_tip);
+                if cur.shipped_pepoch > 0 {
+                    floor = floor.max(cur.shipped_pepoch + 1);
+                }
+                h.advance_log(floor);
+            }
+        }
     }
 
     /// The frame-production body: Hello (first poll), checkpoint-chain
@@ -323,6 +404,30 @@ impl LogShipper {
     /// scratch cursor); counters are committed separately.
     fn produce(&self, cur: &mut ShipCursor, pepoch: u64) -> Result<Produced> {
         let mut out = Produced::default();
+
+        // Broken hold: the bounded-lag policy invalidated this cursor —
+        // the history it pointed into may be reclaimed. Self-heal: tell
+        // the standby a re-bootstrap follows, then restart from a fresh
+        // cursor over the surviving history (current chain + live log).
+        // The replacement hold is pinned *before* anything is read, so a
+        // reclaim racing this pass cannot delete what the fresh cursor is
+        // about to ship; it only takes effect at commit — if delivery
+        // fails, the guard drops, the broken hold stays in place, and the
+        // next pass re-detects it, so the reset is never lost.
+        let broken = self
+            .hold
+            .lock()
+            .as_ref()
+            .map(|h| h.is_broken())
+            .unwrap_or(false);
+        if broken {
+            out.frames.push(ShipFrame::Reset);
+            out.new_hold = self.retention.as_ref().map(|r| r.pin_subscriber());
+            *cur = ShipCursor {
+                hello_sent: cur.hello_sent,
+                ..ShipCursor::default()
+            };
+        }
 
         if !cur.hello_sent {
             out.frames.push(ShipFrame::Hello {
@@ -424,6 +529,32 @@ impl LogShipper {
             self.ship_chain(cur, &mut out, false)?;
         }
 
+        // Re-check the pass's active hold (the reset pass's fresh guard,
+        // else the cursor's own): a reclaim round that broke it *mid-pass*
+        // may have deleted batches this walk silently skipped — the file
+        // just vanishes from `list("log/")` — and the Seal above would
+        // then claim completeness over records the standby can never
+        // receive. Fail the pass instead (nothing commits); the next pass
+        // opens with a Reset. A break cannot slip past this check: reclaim
+        // marks the hold broken *before* it deletes anything.
+        let active_broken = match &out.new_hold {
+            Some(guard) => guard.is_broken(),
+            None => {
+                self.retention.is_some()
+                    && self
+                        .hold
+                        .lock()
+                        .as_ref()
+                        .map(|h| h.is_broken())
+                        .unwrap_or(false)
+            }
+        };
+        if active_broken {
+            return Err(Error::Unknown(
+                "ship cursor hold broke mid-pass; retry the pump".into(),
+            ));
+        }
+
         Ok(out)
     }
 
@@ -454,15 +585,40 @@ impl LogShipper {
         if tip <= cur.shipped_chain_tip || (!bootstrap && epoch_of(tip) > cur.shipped_pepoch) {
             return Ok(());
         }
-        let Some(chain) = read_chain(&self.storage)? else {
-            return Ok(());
+        // On a live stack the checkpointer's reclaim can race this walk:
+        // a compaction may supersede the tip we just read and prune its
+        // files before we finish reading them. That is transient. On an
+        // ordinary pass, skip the chain (no tip cutover, so the standby
+        // never sees a half-shipped chain) — the next pass ships the new
+        // tip. On a *bootstrap* pass the chain is the standby's base
+        // image and must not be skipped: error out without committing
+        // the cursor, and the caller's next pump retries the whole pass.
+        // On a post-mortem directory nothing reclaims, so a missing file
+        // is real corruption and must surface either way.
+        let live_races = self.retention.is_some();
+        let transient = |what: &str| {
+            Error::Unknown(format!(
+                "bootstrap chain read raced a reclaim ({what}); retry the pump"
+            ))
+        };
+        let chain = match read_chain(&self.storage) {
+            Ok(Some(c)) => c,
+            Ok(None) => return Ok(()),
+            Err(_) if live_races && !bootstrap => return Ok(()),
+            Err(e) if live_races => return Err(transient(&e.to_string())),
+            Err(e) => return Err(e),
         };
         for part in chain.resolve_parts() {
             let name = part_name(part.ts, part.table, part.shard as usize);
             if cur.shipped_blobs.contains(&name) {
                 continue;
             }
-            let bytes = self.storage.disk(part.disk as usize).read(&name)?.to_vec();
+            let bytes = match self.storage.disk(part.disk as usize).read(&name) {
+                Ok(b) => b.to_vec(),
+                Err(_) if live_races && !bootstrap => return Ok(()),
+                Err(e) if live_races => return Err(transient(&e.to_string())),
+                Err(e) => return Err(e),
+            };
             out.bytes += bytes.len() as u64;
             out.frames.push(ShipFrame::Blob {
                 name: name.clone(),
@@ -505,6 +661,10 @@ struct Produced {
     frames: Vec<ShipFrame>,
     records: u64,
     bytes: u64,
+    /// The fresh subscriber hold a reset pass pinned before reading —
+    /// installed in place of the broken one only when the pass commits;
+    /// dropped (released) if delivery fails.
+    new_hold: Option<RetentionHold>,
 }
 
 #[cfg(test)]
@@ -553,6 +713,7 @@ mod tests {
         });
         frame_roundtrip(&ShipFrame::ChainTip { bytes: vec![7; 8] });
         frame_roundtrip(&ShipFrame::Seal { pepoch: 42 });
+        frame_roundtrip(&ShipFrame::Reset);
     }
 
     #[test]
@@ -662,6 +823,96 @@ mod tests {
         assert_eq!(frames[2], ShipFrame::Seal { pepoch: 2 });
         assert_eq!(shipper.cursor().shipped_pepoch(), 2);
         assert_eq!(shipper.shipped_records(), 2);
+    }
+
+    #[test]
+    fn attached_shipper_pins_and_advances_its_hold() {
+        use crate::retention::{RetentionManager, RetentionPolicy};
+        let storage = StorageSet::identical(1, DiskConfig::unthrottled("s"));
+        let mut buf = Vec::new();
+        cmd(epoch_floor(1) | 1).encode(&mut buf);
+        cmd(epoch_floor(2) | 2).encode(&mut buf);
+        storage.disk(0).append(&batch_name(0, 0), &buf);
+        let retention = RetentionManager::new(storage.clone(), 1, 16, RetentionPolicy::default());
+        let shipper =
+            LogShipper::with_retention(storage, 1, 16, Arc::default(), Arc::clone(&retention));
+        // The fresh cursor pins everything; a delivered pass advances the
+        // hold past the shipped frontier so GC can follow the cursor.
+        assert_eq!(retention.log_frontier_batch(u64::MAX >> 1), 0);
+        shipper.poll(2).unwrap();
+        assert_eq!(
+            retention.log_frontier_batch(u64::MAX >> 1),
+            0,
+            "epoch 3 still owed"
+        );
+        shipper.poll(40).unwrap();
+        // Frontier 40 shipped: the hold floor is 41 → batch 2.
+        assert_eq!(retention.log_frontier_batch(u64::MAX >> 1), 2);
+    }
+
+    #[test]
+    fn broken_hold_resets_and_rebootstraps() {
+        use crate::retention::{RetentionManager, RetentionPolicy};
+        use pacman_common::{Row, TableId};
+        use pacman_engine::Catalog;
+        let storage = StorageSet::identical(1, DiskConfig::unthrottled("s"));
+        // A never-polling subscriber attaches while log + coverage grow.
+        let retention = RetentionManager::new(
+            storage.clone(),
+            1,
+            4,
+            RetentionPolicy {
+                max_subscriber_lag_bytes: Some(16),
+            },
+        );
+        let shipper = LogShipper::with_retention(
+            storage.clone(),
+            1,
+            4,
+            Arc::default(),
+            Arc::clone(&retention),
+        );
+        let mut buf = Vec::new();
+        for e in 1..=8u64 {
+            cmd(epoch_floor(e) | 1).encode(&mut buf);
+        }
+        // batch_epochs = 4: epochs 1..8 span batches 0 and 1.
+        storage
+            .disk(0)
+            .append(&batch_name(0, 0), &buf[..buf.len() / 2]);
+        storage
+            .disk(0)
+            .append(&batch_name(0, 1), &buf[buf.len() / 2..]);
+        // A checkpoint whose tip covers both batches.
+        let mut c = Catalog::new();
+        c.add_table("t", 1);
+        let db = std::sync::Arc::new(pacman_engine::Database::new(c));
+        db.seed_row(TableId::new(0), 0, Row::from([Value::Int(0)]))
+            .unwrap();
+        db.clock().advance_to(epoch_floor(9));
+        crate::checkpoint::run_checkpoint(&db, &storage, 1).unwrap();
+        let chain = read_chain(&storage).unwrap().unwrap();
+
+        // The reclaim round breaks the lagging cursor and frees the log.
+        let st = retention.reclaim(&chain);
+        assert_eq!(st.holds_broken, 1);
+        assert!(storage.disk(0).read(&batch_name(0, 0)).is_err());
+
+        // The next pass self-heals: Reset, then a full bootstrap stream
+        // over the surviving history (chain tip before any records).
+        let frames = shipper.poll(9).unwrap();
+        assert_eq!(frames[0], ShipFrame::Reset);
+        assert!(matches!(frames[1], ShipFrame::Hello { .. }));
+        assert!(frames
+            .iter()
+            .any(|f| matches!(f, ShipFrame::ChainTip { .. })));
+        assert_eq!(shipper.rebootstraps(), 1);
+        // The fresh hold is live, unbroken, and advanced past coverage.
+        assert_eq!(retention.live_holds(), 1);
+        assert!(retention.log_frontier_batch(u64::MAX >> 1) >= 2);
+        // Subsequent passes are ordinary (no second reset).
+        assert!(shipper.poll(9).unwrap().is_empty());
+        assert_eq!(shipper.rebootstraps(), 1);
     }
 
     #[test]

@@ -32,6 +32,7 @@ fn durability_config() -> DurabilityConfig {
         checkpoint_incremental: true,
         checkpoint_max_chain: 4,
         fsync: true,
+        ..Default::default()
     }
 }
 
@@ -109,7 +110,7 @@ fn main() {
         storage.clone(),
         durability_config(),
     );
-    session.release_checkpoints_on(&durability);
+    session.pin_retention_on(&durability);
     let admission = session.admission();
     let ramp_start = t0.elapsed();
     let ramp = pacman_workloads::run_ramp(

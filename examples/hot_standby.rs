@@ -162,7 +162,7 @@ fn main() {
         primary_storage.clone(),
         durability_config(),
     );
-    session.release_checkpoints_on(&cold_dur);
+    session.pin_retention_on(&cold_dur);
     let admission = session.admission();
     let cold_ramp = pacman_workloads::run_ramp(
         session.db(),

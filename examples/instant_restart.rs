@@ -82,7 +82,7 @@ fn main() {
         storage.clone(),
         durability_config(),
     );
-    session.release_checkpoints_on(&durability);
+    session.pin_retention_on(&durability);
     println!(
         "online session live; logging resumed past epoch {} ({} ghost records truncated)",
         resume.base_epoch, resume.truncated_records

@@ -351,7 +351,7 @@ fn bank_double_crash_with_online_first_recovery() {
         storage.clone(),
         durability_config(LogScheme::Command),
     );
-    session.release_checkpoints_on(&dur2);
+    session.pin_retention_on(&dur2);
     // Resume writing while (possibly) still replaying: admission gates
     // each transaction on its replayed footprint.
     let admission = session.admission();

@@ -1,6 +1,8 @@
 //! Property-based recovery testing: random committed histories must be
-//! recovered bit-exactly by every command-log scheme, and the GDG
-//! properties of §4.1.2 must hold for arbitrary procedure sets.
+//! recovered bit-exactly by every command-log scheme, the GDG
+//! properties of §4.1.2 must hold for arbitrary procedure sets, and the
+//! durable-space reclaim frontier must never pass a live retention hold
+//! under arbitrary acquire/advance/release/break interleavings.
 
 use pacman_common::codec::Cursor;
 use pacman_common::{Decoder, Encoder, ProcId, Row, TableId, Value};
@@ -199,6 +201,7 @@ fn ship_frame_strategy() -> impl Strategy<Value = ShipFrame> {
         proptest::collection::vec(any::<u8>(), 0..64)
             .prop_map(|bytes| ShipFrame::ChainTip { bytes }),
         (1u64..1 << 24).prop_map(|pepoch| ShipFrame::Seal { pepoch }),
+        Just(ShipFrame::Reset),
     ]
 }
 
@@ -412,6 +415,74 @@ proptest! {
                 "{} diverged on {} txns", scheme.label(), txns.len()
             );
         }
+    }
+
+    /// The durable-space lifecycle invariant: under arbitrary
+    /// interleavings of hold acquire (subscriber and recovery), release,
+    /// advance and break, the log reclaim frontier never exceeds
+    /// checkpoint coverage nor the floor of any *live, unbroken* hold —
+    /// nothing a holder still needs can ever be deleted.
+    #[test]
+    fn retention_frontier_never_exceeds_live_holds(
+        ops in proptest::collection::vec((0u8..5, 0u64..1000), 1..60),
+        coverage in 0u64..1000,
+    ) {
+        use pacman_wal::{batch_index_of_epoch, RetentionHold, RetentionManager, RetentionPolicy};
+        const E: u64 = 8; // epochs per batch
+        let mgr = RetentionManager::new(
+            StorageSet::for_tests(),
+            1,
+            E,
+            RetentionPolicy::default(),
+        );
+        let mut holds: Vec<RetentionHold> = Vec::new();
+        for (op, arg) in ops {
+            match op {
+                0 => holds.push(mgr.pin_subscriber()),
+                1 => holds.push(mgr.pin_recovery(arg, u64::MAX)),
+                2 => {
+                    if !holds.is_empty() {
+                        let i = (arg as usize) % holds.len();
+                        holds.remove(i); // release
+                    }
+                }
+                3 => {
+                    if !holds.is_empty() {
+                        let i = (arg as usize) % holds.len();
+                        holds[i].force_break();
+                    }
+                }
+                _ => {
+                    if !holds.is_empty() {
+                        let i = (arg as usize) % holds.len();
+                        holds[i].advance_log(arg);
+                    }
+                }
+            }
+            let frontier = mgr.log_frontier_batch(coverage);
+            prop_assert!(
+                frontier <= batch_index_of_epoch(coverage, E),
+                "frontier {} exceeds coverage batch {}",
+                frontier,
+                batch_index_of_epoch(coverage, E)
+            );
+            for h in &holds {
+                if !h.is_broken() {
+                    prop_assert!(
+                        frontier <= batch_index_of_epoch(h.log_floor_epoch(), E),
+                        "frontier {} passed a live hold's floor epoch {}",
+                        frontier,
+                        h.log_floor_epoch()
+                    );
+                }
+            }
+        }
+        drop(holds);
+        // Every hold released: only coverage caps the frontier.
+        prop_assert_eq!(
+            mgr.log_frontier_batch(coverage),
+            batch_index_of_epoch(coverage, E)
+        );
     }
 
     /// GDG structural properties (§4.1.2) hold for arbitrary small
