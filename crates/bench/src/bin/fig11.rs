@@ -62,4 +62,6 @@ fn main() {
             sys.durability.shutdown();
         }
     }
+
+    pacman_bench::finish_bin("fig11");
 }

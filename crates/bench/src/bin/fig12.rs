@@ -46,4 +46,6 @@ fn main() {
         );
         sys.durability.shutdown();
     }
+
+    pacman_bench::finish_bin("fig12");
 }

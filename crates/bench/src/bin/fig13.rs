@@ -49,4 +49,6 @@ fn main() {
         }
     }
     println!("\n(PLR's 'overall' excludes its deferred index build, which Fig. 14 charges to log recovery)");
+
+    pacman_bench::finish_bin("fig13");
 }

@@ -78,4 +78,6 @@ fn main() {
             );
         }
     }
+
+    pacman_bench::finish_bin("fig14");
 }

@@ -38,4 +38,6 @@ fn main() {
             l0.report.log_total_secs
         );
     }
+
+    pacman_bench::finish_bin("fig15");
 }

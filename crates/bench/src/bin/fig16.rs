@@ -102,4 +102,6 @@ fn main() {
             );
         }
     }
+
+    pacman_bench::finish_bin("fig16");
 }

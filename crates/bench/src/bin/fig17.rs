@@ -65,4 +65,6 @@ fn main() {
             );
         }
     }
+
+    pacman_bench::finish_bin("fig17");
 }

@@ -86,4 +86,6 @@ fn main() {
         }
         println!("{:>8} {:>18.4} {:>22.4}", threads, times[0], times[1]);
     }
+
+    pacman_bench::finish_bin("fig18");
 }

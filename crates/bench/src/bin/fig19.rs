@@ -45,4 +45,6 @@ fn main() {
             threads, row[0], row[1], row[2]
         );
     }
+
+    pacman_bench::finish_bin("fig19");
 }

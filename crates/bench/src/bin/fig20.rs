@@ -46,4 +46,6 @@ fn main() {
             s * 100.0
         );
     }
+
+    pacman_bench::finish_bin("fig20");
 }

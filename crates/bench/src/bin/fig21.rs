@@ -54,4 +54,6 @@ fn main() {
             None => println!("  {name:<10} -> read-only"),
         }
     }
+
+    pacman_bench::finish_bin("fig21");
 }

@@ -166,4 +166,6 @@ fn main() {
             verdict(&rows);
         }
     }
+
+    pacman_bench::finish_bin("fig_adaptive");
 }

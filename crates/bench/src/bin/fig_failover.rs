@@ -256,4 +256,6 @@ fn main() {
          shipped/applied KB = the Durability ship counters vs the standby's applied counters; \
          lag = apply batches behind the shipped frontier while the primary serves load)"
     );
+
+    pacman_bench::finish_bin("fig_failover");
 }

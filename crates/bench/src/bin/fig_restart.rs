@@ -197,4 +197,6 @@ fn main() {
          base eagerly — command records re-execute reads — but through the same parallel \
          chain-aware loader.)"
     );
+
+    pacman_bench::finish_bin("fig_restart");
 }

@@ -234,4 +234,6 @@ fn main() {
          live log/ckpt = StorageSet::live_bytes over the log/ and ckpt/ namespaces; \
          reclaimed/broken counters = Durability::reclaimed_log_bytes / holds_broken)"
     );
+
+    pacman_bench::finish_bin("fig_space");
 }

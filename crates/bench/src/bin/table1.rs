@@ -48,4 +48,6 @@ fn main() {
             rate[1] / rate[2],
         );
     }
+
+    pacman_bench::finish_bin("table1");
 }

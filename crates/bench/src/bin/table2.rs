@@ -46,4 +46,6 @@ fn main() {
             }
         }
     }
+
+    pacman_bench::finish_bin("table2");
 }

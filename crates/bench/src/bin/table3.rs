@@ -37,4 +37,6 @@ fn main() {
             }
         }
     }
+
+    pacman_bench::finish_bin("table3");
 }

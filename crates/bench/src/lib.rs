@@ -31,14 +31,34 @@ use std::time::Duration;
 pub struct BenchOpts {
     /// Shrink run lengths and sweeps for smoke-testing.
     pub quick: bool,
+    /// Flight-recorder tracing enabled (`--trace`).
+    pub trace: bool,
 }
 
 impl BenchOpts {
-    /// Parse from `std::env::args` (`--quick`).
+    /// Parse from `std::env::args` (`--quick`, `--trace`). `--trace`
+    /// switches the global flight recorder on for the whole process.
     pub fn from_args() -> Self {
-        BenchOpts {
+        let opts = BenchOpts {
             quick: std::env::args().any(|a| a == "--quick"),
+            trace: std::env::args().any(|a| a == "--trace"),
+        };
+        if opts.trace {
+            pacman_obs::tracer().enable();
         }
+        opts
+    }
+
+    /// `--json <path>` from `std::env::args`: where [`finish_bin`] writes
+    /// this binary's registry snapshot as JSON (`None` = don't).
+    pub fn json_path() -> Option<String> {
+        let mut args = std::env::args();
+        while let Some(a) = args.next() {
+            if a == "--json" {
+                return Some(args.next().expect("--json requires a path"));
+            }
+        }
+        None
     }
 
     /// Parse `--scheme <name>` from `std::env::args` (off / physical /
@@ -529,13 +549,42 @@ pub fn banner(what: &str, paper: &str) {
     println!("==================================================================");
 }
 
+/// Build the standard per-binary export object: the unified registry
+/// snapshot (one consistent read of every counter/gauge/histogram — no
+/// per-accessor tearing) tagged with the binary's name.
+pub fn bin_snapshot_json(name: &str) -> pacman_obs::Json {
+    let snap = pacman_obs::registry().snapshot();
+    pacman_obs::Json::Obj(vec![
+        ("bin".into(), pacman_obs::Json::Str(name.into())),
+        ("metrics".into(), snap.to_json()),
+    ])
+}
+
+/// Standard epilogue of every figure/table binary: print the unified
+/// metrics-registry snapshot, and when `--json <path>` was given write the
+/// same snapshot there as JSON. Call it once, at the end of `main`.
+pub fn finish_bin(name: &str) {
+    let snap = pacman_obs::registry().snapshot();
+    println!();
+    println!("--- metrics registry ({name}) ---");
+    print!("{}", snap.to_table());
+    if let Some(path) = BenchOpts::json_path() {
+        let json = bin_snapshot_json(name);
+        std::fs::write(&path, json.render_pretty()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("[{name}] metrics JSON written to {path}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn thread_sweep_respects_machine() {
-        let opts = BenchOpts { quick: true };
+        let opts = BenchOpts {
+            quick: true,
+            trace: false,
+        };
         let sweep = opts.thread_sweep();
         assert!(!sweep.is_empty());
         assert!(sweep.iter().all(|&t| t <= num_threads()));

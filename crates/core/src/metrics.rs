@@ -9,27 +9,32 @@
 //!   sets and building the conflict-chain DAG;
 //! * **scheduling** — waiting on gates/queues and coordinating threads.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use pacman_obs::{Counter, MetricsRegistry};
 use std::time::{Duration, Instant};
 
 /// Shared recovery metrics.
+///
+/// The fields are detached [`pacman_obs::Counter`] handles: each session
+/// owns its own counters (parallel tests never cross-talk), and
+/// [`RecoveryMetrics::register_into`] binds them into a registry under
+/// `recovery.*` names so a registry snapshot sees the live session.
 #[derive(Debug, Default)]
 pub struct RecoveryMetrics {
-    work_ns: AtomicU64,
-    load_ns: AtomicU64,
-    param_ns: AtomicU64,
-    sched_ns: AtomicU64,
-    txns: AtomicU64,
-    writes: AtomicU64,
+    work_ns: Counter,
+    load_ns: Counter,
+    param_ns: Counter,
+    sched_ns: Counter,
+    txns: Counter,
+    writes: Counter,
     /// Checkpoint shards loaded because a blocked admission wanted them
     /// (lazy reload's on-demand path).
-    ondemand_shard_loads: AtomicU64,
+    ondemand_shard_loads: Counter,
     /// Checkpoint shards loaded by the background cheapest-first sweep.
-    background_shard_loads: AtomicU64,
+    background_shard_loads: Counter,
     /// Replication: apply batches (seal-delimited) fully applied.
-    applied_batches: AtomicU64,
+    applied_batches: Counter,
     /// Replication: shipped log bytes applied to the standby.
-    applied_log_bytes: AtomicU64,
+    applied_log_bytes: Counter,
 }
 
 /// A snapshot of the four buckets.
@@ -70,41 +75,37 @@ impl RecoveryMetrics {
     /// Add to the useful-work bucket.
     #[inline]
     pub fn add_work(&self, d: Duration) {
-        self.work_ns
-            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.work_ns.add(d.as_nanos() as u64);
     }
 
     /// Add to the data-loading bucket.
     #[inline]
     pub fn add_load(&self, d: Duration) {
-        self.load_ns
-            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.load_ns.add(d.as_nanos() as u64);
     }
 
     /// Add to the parameter-checking bucket.
     #[inline]
     pub fn add_param(&self, d: Duration) {
-        self.param_ns
-            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.param_ns.add(d.as_nanos() as u64);
     }
 
     /// Add to the scheduling bucket.
     #[inline]
     pub fn add_sched(&self, d: Duration) {
-        self.sched_ns
-            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.sched_ns.add(d.as_nanos() as u64);
     }
 
     /// Count a replayed transaction.
     #[inline]
     pub fn count_txn(&self) {
-        self.txns.fetch_add(1, Ordering::Relaxed);
+        self.txns.inc();
     }
 
     /// Count applied write images.
     #[inline]
     pub fn count_writes(&self, n: u64) {
-        self.writes.fetch_add(n, Ordering::Relaxed);
+        self.writes.add(n);
     }
 
     /// Time `f`, attributing the elapsed time via `add`.
@@ -121,9 +122,9 @@ impl RecoveryMetrics {
     #[inline]
     pub fn count_shard_load(&self, ondemand: bool) {
         if ondemand {
-            self.ondemand_shard_loads.fetch_add(1, Ordering::Relaxed);
+            self.ondemand_shard_loads.inc();
         } else {
-            self.background_shard_loads.fetch_add(1, Ordering::Relaxed);
+            self.background_shard_loads.inc();
         }
     }
 
@@ -131,48 +132,66 @@ impl RecoveryMetrics {
     /// bytes included) as fully applied on a standby.
     #[inline]
     pub fn count_applied_batch(&self, log_bytes: u64) {
-        self.applied_batches.fetch_add(1, Ordering::Relaxed);
-        self.applied_log_bytes
-            .fetch_add(log_bytes, Ordering::Relaxed);
+        self.applied_batches.inc();
+        self.applied_log_bytes.add(log_bytes);
     }
 
     /// Replication apply batches fully applied (standby side).
     pub fn applied_batches(&self) -> u64 {
-        self.applied_batches.load(Ordering::Relaxed)
+        self.applied_batches.get()
     }
 
     /// Shipped log bytes applied (standby side).
     pub fn applied_log_bytes(&self) -> u64 {
-        self.applied_log_bytes.load(Ordering::Relaxed)
+        self.applied_log_bytes.get()
     }
 
     /// Checkpoint shards loaded on demand (lazy reload).
     pub fn ondemand_shard_loads(&self) -> u64 {
-        self.ondemand_shard_loads.load(Ordering::Relaxed)
+        self.ondemand_shard_loads.get()
     }
 
     /// Checkpoint shards loaded by the background sweep (lazy reload).
     pub fn background_shard_loads(&self) -> u64 {
-        self.background_shard_loads.load(Ordering::Relaxed)
+        self.background_shard_loads.get()
     }
 
     /// Transactions replayed.
     pub fn txns(&self) -> u64 {
-        self.txns.load(Ordering::Relaxed)
+        self.txns.get()
     }
 
     /// Write images applied.
     pub fn writes(&self) -> u64 {
-        self.writes.load(Ordering::Relaxed)
+        self.writes.get()
+    }
+
+    /// Bind this session's counters into `registry` under `recovery.*`
+    /// names. Rebinding (a later session) replaces the previous handles,
+    /// so the registry always reflects the latest recovery.
+    pub fn register_into(&self, registry: &MetricsRegistry) {
+        registry.bind_counter("recovery.work_ns", &self.work_ns);
+        registry.bind_counter("recovery.load_ns", &self.load_ns);
+        registry.bind_counter("recovery.param_ns", &self.param_ns);
+        registry.bind_counter("recovery.sched_ns", &self.sched_ns);
+        registry.bind_counter("recovery.txns", &self.txns);
+        registry.bind_counter("recovery.writes", &self.writes);
+        registry.bind_counter("recovery.ondemand_shard_loads", &self.ondemand_shard_loads);
+        registry.bind_counter(
+            "recovery.background_shard_loads",
+            &self.background_shard_loads,
+        );
+        registry.bind_counter("recovery.applied_batches", &self.applied_batches);
+        registry.bind_counter("recovery.applied_log_bytes", &self.applied_log_bytes);
     }
 
     /// Snapshot the buckets.
     pub fn breakdown(&self) -> Breakdown {
         Breakdown {
-            work: self.work_ns.load(Ordering::Relaxed) as f64 / 1e9,
-            load: self.load_ns.load(Ordering::Relaxed) as f64 / 1e9,
-            param: self.param_ns.load(Ordering::Relaxed) as f64 / 1e9,
-            sched: self.sched_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            work: self.work_ns.get() as f64 / 1e9,
+            load: self.load_ns.get() as f64 / 1e9,
+            param: self.param_ns.get() as f64 / 1e9,
+            sched: self.sched_ns.get() as f64 / 1e9,
         }
     }
 }

@@ -20,8 +20,9 @@ use crate::static_analysis::GlobalGraph;
 use pacman_common::clock::{epoch_floor, epoch_of, EPOCH_SHIFT};
 use pacman_common::{Error, Result, Timestamp};
 use pacman_engine::{AdmissionControl, Catalog, Database, RecoveryGate};
+use pacman_obs::{RecoveryPhase, TraceEvent};
 use pacman_sproc::ProcRegistry;
-use pacman_storage::StorageSet;
+use pacman_storage::{StorageSet, TraceDumpSink};
 use pacman_wal::checkpoint::read_chain;
 use pacman_wal::pepoch::PepochHandle;
 use pacman_wal::{Durability, RetentionHold};
@@ -161,6 +162,12 @@ pub fn recover(
 ) -> Result<RecoveryOutcome> {
     let t_all = Instant::now();
     let metrics = Arc::new(RecoveryMetrics::new());
+    metrics.register_into(pacman_obs::registry());
+    let tracer = pacman_obs::tracer();
+    tracer.set_sink("recovery", Arc::new(TraceDumpSink::new(storage.clone())));
+    tracer.emit(TraceEvent::Phase {
+        phase: RecoveryPhase::Scan,
+    });
     let pepoch = PepochHandle::read_persisted(storage.disk(0));
     let chain = read_chain(storage)?;
     let inventory = LogInventory::scan(storage);
@@ -169,6 +176,9 @@ pub fn recover(
 
     // Stage 1: checkpoint recovery — every offline scheme restores the
     // manifest chain eagerly through the parallel shard loader.
+    tracer.emit(TraceEvent::Phase {
+        phase: RecoveryPhase::Load,
+    });
     let raw = RawStore::new(catalog.len());
     let ckpt: CheckpointRecovery = match (&chain, &config.scheme) {
         (None, _) => CheckpointRecovery::default(),
@@ -182,6 +192,9 @@ pub fn recover(
     let after_ts = ckpt.ckpt_ts;
 
     // Stage 2: log recovery.
+    tracer.emit(TraceEvent::Phase {
+        phase: RecoveryPhase::Replay,
+    });
     let log = match config.scheme {
         RecoveryScheme::Plr { latch } => plr::recover_log(
             storage, &inventory, &raw, &db, threads, latch, pepoch, after_ts, &metrics,
@@ -234,6 +247,9 @@ pub fn recover(
         pepoch,
         ckpt_ts: after_ts,
     };
+    tracer.emit(TraceEvent::Phase {
+        phase: RecoveryPhase::Complete,
+    });
     Ok(RecoveryOutcome { db, report })
 }
 
@@ -405,6 +421,12 @@ pub fn recover_online(
     }
     let t_all = Instant::now();
     let metrics = Arc::new(RecoveryMetrics::new());
+    metrics.register_into(pacman_obs::registry());
+    let tracer = pacman_obs::tracer();
+    tracer.set_sink("recovery", Arc::new(TraceDumpSink::new(storage.clone())));
+    tracer.emit(TraceEvent::Phase {
+        phase: RecoveryPhase::Scan,
+    });
     let pepoch = PepochHandle::read_persisted(storage.disk(0));
     let chain = read_chain(storage)?;
     let inventory = LogInventory::scan(storage);
@@ -418,6 +440,9 @@ pub fn recover_online(
     // background workers, and the gate's residency plane admits a
     // transaction as soon as its own shards are in.
     let lazy = matches!(config.scheme, RecoveryScheme::LlrP);
+    tracer.emit(TraceEvent::Phase {
+        phase: RecoveryPhase::Load,
+    });
     let ckpt: CheckpointRecovery = match &chain {
         None => CheckpointRecovery::default(),
         Some(c) if !lazy => {
@@ -505,6 +530,10 @@ pub fn recover_online(
                 // A panic anywhere in the recovery body must still settle
                 // the session (gate poisoned, waiters woken) — otherwise
                 // every blocked admission and `wait()` caller hangs.
+                let tracer = pacman_obs::tracer();
+                tracer.emit(TraceEvent::Phase {
+                    phase: RecoveryPhase::Replay,
+                });
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
                     || -> Result<RecoveryReport> {
                         let mut ckpt = ckpt;
@@ -631,8 +660,20 @@ pub fn recover_online(
                 // not serve commits; blocked admissions unblock with
                 // `false` and nothing further is admitted.
                 match &result {
-                    Ok(_) => gate.finish(),
-                    Err(_) => gate.fail(),
+                    Ok(_) => {
+                        tracer.emit(TraceEvent::Phase {
+                            phase: RecoveryPhase::Complete,
+                        });
+                        gate.finish();
+                    }
+                    Err(_) => {
+                        // `fail()` poisons the gate and triggers the
+                        // flight-recorder failure dump.
+                        tracer.emit(TraceEvent::Phase {
+                            phase: RecoveryPhase::Failed,
+                        });
+                        gate.fail();
+                    }
                 }
                 let mut inner = shared.inner.lock();
                 match result {

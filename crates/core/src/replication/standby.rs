@@ -39,6 +39,7 @@ use pacman_common::{Decoder, Error, ProcId, Result, Timestamp};
 use pacman_engine::{
     run_procedure, AdmissionControl, Catalog, Database, RecoveryGate, WriteRecord,
 };
+use pacman_obs::{Counter as ObsCounter, TraceEvent};
 use pacman_sproc::{Params, ProcRegistry};
 use pacman_storage::StorageSet;
 use pacman_wal::checkpoint::MANIFEST_FILE;
@@ -151,12 +152,14 @@ struct Shared {
     /// A [`ShipFrame::Reset`] arrived: the next shipped chain tip is a
     /// re-bootstrap base image to resync onto, not bookkeeping.
     resync_pending: AtomicBool,
-    /// Completed re-bootstraps.
-    rebootstraps: AtomicU64,
-    received_log_bytes: AtomicU64,
-    txns: AtomicU64,
-    commands: AtomicU64,
-    writes: AtomicU64,
+    /// Completed re-bootstraps. These five are detached
+    /// [`pacman_obs::Counter`] handles, bound into the global registry
+    /// under `standby.*` names at session start.
+    rebootstraps: ObsCounter,
+    received_log_bytes: ObsCounter,
+    txns: ObsCounter,
+    commands: ObsCounter,
+    writes: ObsCounter,
     max_ts: AtomicU64,
     pepoch: AtomicU64,
     /// Bootstrap chain coverage: shipped records at `ts <=` this are
@@ -279,17 +282,29 @@ pub fn start_standby(
         promote: AtomicBool::new(false),
         bootstrap_pending: AtomicBool::new(true),
         resync_pending: AtomicBool::new(false),
-        rebootstraps: AtomicU64::new(0),
-        received_log_bytes: AtomicU64::new(0),
-        txns: AtomicU64::new(0),
-        commands: AtomicU64::new(0),
-        writes: AtomicU64::new(0),
+        rebootstraps: ObsCounter::new(),
+        received_log_bytes: ObsCounter::new(),
+        txns: ObsCounter::new(),
+        commands: ObsCounter::new(),
+        writes: ObsCounter::new(),
         max_ts: AtomicU64::new(0),
         pepoch: AtomicU64::new(0),
         after_ts: AtomicU64::new(0),
         ckpt_tuples: AtomicU64::new(0),
         batch_bytes: Mutex::new(BTreeMap::new()),
     });
+    // Bind this standby's counters into the global registry: rebinding on
+    // a later standby replaces the handles, so a snapshot always reflects
+    // the latest session.
+    {
+        let r = pacman_obs::registry();
+        r.bind_counter("standby.rebootstraps", &shared.rebootstraps);
+        r.bind_counter("standby.received_log_bytes", &shared.received_log_bytes);
+        r.bind_counter("standby.txns", &shared.txns);
+        r.bind_counter("standby.commands", &shared.commands);
+        r.bind_counter("standby.writes", &shared.writes);
+    }
+    metrics.register_into(pacman_obs::registry());
 
     // Apply engine.
     let mut apply_joins = Vec::new();
@@ -548,9 +563,7 @@ impl ReceiverState {
                     }
                 }
                 self.pending_bytes += fresh.len() as u64;
-                self.shared
-                    .received_log_bytes
-                    .fetch_add(fresh.len() as u64, Ordering::Relaxed);
+                self.shared.received_log_bytes.add(fresh.len() as u64);
             }
             ShipFrame::Blob { name, disk, bytes } => {
                 if !name.starts_with("ckpt/") {
@@ -584,7 +597,10 @@ impl ReceiverState {
                         self.pending.retain(|r| r.ts > after);
                     }
                     self.shared.resync_pending.store(false, Ordering::Release);
-                    self.shared.rebootstraps.fetch_add(1, Ordering::Relaxed);
+                    self.shared.rebootstraps.inc();
+                    pacman_obs::tracer().emit(TraceEvent::StandbyRebootstrap {
+                        chain_ts: self.shared.after_ts.load(Ordering::Acquire),
+                    });
                 } else if self.shared.after_ts.load(Ordering::Acquire) == 0 && self.seq == 0 {
                     // The first tip is the bootstrap base image: load it
                     // eagerly before anything is applied. Later tips (the
@@ -672,19 +688,21 @@ impl ReceiverState {
         if let Some(last) = records.last() {
             self.shared.max_ts.fetch_max(last.ts, Ordering::AcqRel);
         }
-        self.shared
-            .txns
-            .fetch_add(records.len() as u64, Ordering::Relaxed);
+        self.shared.txns.add(records.len() as u64);
         for r in &records {
             match &r.payload {
                 LogPayload::Command { .. } => {
-                    self.shared.commands.fetch_add(1, Ordering::Relaxed);
+                    self.shared.commands.inc();
                 }
                 LogPayload::Writes { .. } | LogPayload::TaggedWrites { .. } => {
-                    self.shared.writes.fetch_add(1, Ordering::Relaxed);
+                    self.shared.writes.inc();
                 }
             }
         }
+        pacman_obs::tracer().emit(TraceEvent::StandbyApply {
+            batch: self.seq,
+            bytes: batch_bytes,
+        });
         self.shared.batch_bytes.lock().insert(self.seq, batch_bytes);
         // Move the frontier *before* feeding: a read admitted after this
         // point waits for the new batch; one admitted just before reads
@@ -822,19 +840,28 @@ impl Standby {
         // its 1 ms cadence; add what it hasn't observed yet. Both sources
         // are read under the batch_bytes lock — the receiver moves a
         // batch between them while holding it, so the sum never dips.
-        let applied_log_bytes = {
+        // One locked snapshot for the byte counters: the receiver bumps
+        // `received_log_bytes` and moves a batch between `batch_bytes` and
+        // the metrics' applied counter while holding this lock, so reading
+        // both sides under it keeps `received >= applied` and neither sum
+        // ever dips.
+        let (received_log_bytes, applied_log_bytes) = {
             let bb = self.shared.batch_bytes.lock();
-            self.metrics.applied_log_bytes() + bb.range(..=applied).map(|(_, &b)| b).sum::<u64>()
+            (
+                self.shared.received_log_bytes.get(),
+                self.metrics.applied_log_bytes()
+                    + bb.range(..=applied).map(|(_, &b)| b).sum::<u64>(),
+            )
         };
         ReplicationStats {
             shipped_batches: shipped,
             applied_batches: applied,
             lag_batches: shipped.saturating_sub(applied),
-            received_log_bytes: self.shared.received_log_bytes.load(Ordering::Relaxed),
+            received_log_bytes,
             applied_log_bytes,
-            txns: self.shared.txns.load(Ordering::Relaxed),
+            txns: self.shared.txns.get(),
             pepoch,
-            rebootstraps: self.shared.rebootstraps.load(Ordering::Relaxed),
+            rebootstraps: self.shared.rebootstraps.get(),
         }
     }
 
@@ -952,10 +979,10 @@ impl Standby {
 
         let report = StandbyReport {
             batches: self.gate.total_batches(),
-            txns: self.shared.txns.load(Ordering::Relaxed),
-            replayed_commands: self.shared.commands.load(Ordering::Relaxed),
-            applied_writes: self.shared.writes.load(Ordering::Relaxed),
-            received_log_bytes: self.shared.received_log_bytes.load(Ordering::Relaxed),
+            txns: self.shared.txns.get(),
+            replayed_commands: self.shared.commands.get(),
+            applied_writes: self.shared.writes.get(),
+            received_log_bytes: self.shared.received_log_bytes.get(),
             checkpoint_tuples: self.shared.ckpt_tuples.load(Ordering::Relaxed),
             promote_secs: t0.elapsed().as_secs_f64(),
         };

@@ -31,11 +31,12 @@
 //! loader pulls exactly those in first (on-demand reload).
 
 use pacman_common::ProcId;
+use pacman_obs::{GatePlane, TraceEvent};
 use pacman_sproc::Params;
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Sentinel meaning "total batch count not yet published".
 const TOTAL_UNKNOWN: u64 = u64::MAX;
@@ -166,6 +167,9 @@ impl RecoveryGate {
     pub fn fail(&self) {
         self.failed.store(true, Ordering::Release);
         self.notify();
+        let tracer = pacman_obs::tracer();
+        tracer.emit(TraceEvent::GatePoison {});
+        tracer.dump_on_failure("recovery gate poisoned");
     }
 
     /// Whether replay has fully completed.
@@ -292,9 +296,22 @@ impl RecoveryGate {
     /// every checkpoint shard in `shards` to be resident, flagging cold
     /// ones so the shard loader prioritizes them.
     pub fn admit_with(&self, footprint: &[usize], shards: &[usize], give_up: &AtomicBool) -> bool {
+        let tracer = pacman_obs::tracer();
+        let mut blocked_at: Option<Instant> = None;
+        let admitted = |blocked_at: Option<Instant>| {
+            if let Some(t0) = blocked_at {
+                tracer.emit(TraceEvent::GateUnblock {
+                    waited_ns: t0.elapsed().as_nanos() as u64,
+                });
+            }
+            tracer.emit(TraceEvent::GateAdmit {
+                footprint: footprint.len() as u32,
+            });
+            true
+        };
         loop {
             if self.try_admit_with(footprint, shards) {
-                return true;
+                return admitted(blocked_at);
             }
             if give_up.load(Ordering::Acquire) || self.is_failed() {
                 return false;
@@ -303,7 +320,16 @@ impl RecoveryGate {
             // racing with the flag store is never lost.
             self.request_with(footprint, shards);
             if self.try_admit_with(footprint, shards) {
-                return true;
+                return admitted(blocked_at);
+            }
+            if blocked_at.is_none() {
+                blocked_at = Some(Instant::now());
+                let plane = if footprint.iter().all(|&p| self.is_ready(p)) {
+                    GatePlane::Residency
+                } else {
+                    GatePlane::Replay
+                };
+                tracer.emit(TraceEvent::GateBlock { plane });
             }
             let mut g = self.wake_mutex.lock();
             self.wake_cv.wait_for(&mut g, Duration::from_micros(500));

@@ -9,8 +9,22 @@
 use crate::chain::TupleChain;
 use crate::database::Database;
 use pacman_common::{Error, Key, Result, Row, TableId, Timestamp};
+use pacman_obs::Counter;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Registry-backed OCC conflict counters. Lazily bound into the global
+/// [`pacman_obs::registry`] so the hot path pays one `OnceLock` load plus
+/// one relaxed atomic add — no registry lock.
+fn occ_aborts() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| pacman_obs::registry().counter("engine.occ.aborts"))
+}
+
+fn occ_commits() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| pacman_obs::registry().counter("engine.occ.commits"))
+}
 
 /// The kind of a buffered write.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -217,6 +231,7 @@ impl<'db> Txn<'db> {
         for ((t, k), r) in &self.reads {
             if r.chain.newest_ts() != r.observed_ts {
                 unlock(&lock_set);
+                occ_aborts().inc();
                 return Err(Error::TxnAborted(format!(
                     "read of {t}:{k} invalidated (observed ts {}, now {})",
                     r.observed_ts,
@@ -230,10 +245,12 @@ impl<'db> Txn<'db> {
             match w.kind {
                 WriteKind::Insert if live.is_some() => {
                     unlock(&lock_set);
+                    occ_aborts().inc();
                     return Err(Error::TxnAborted(format!("insert of live key {t}:{k}")));
                 }
                 WriteKind::Update | WriteKind::Delete if live.is_none() => {
                     unlock(&lock_set);
+                    occ_aborts().inc();
                     return Err(Error::TxnAborted(format!(
                         "update/delete of missing key {t}:{k}"
                     )));
@@ -268,6 +285,7 @@ impl<'db> Txn<'db> {
             });
         }
         unlock(&lock_set);
+        occ_commits().inc();
         Ok(CommitInfo {
             ts,
             writes: records,

@@ -1,0 +1,173 @@
+//! Minimal JSON value tree + renderer (the workspace has no serde).
+//!
+//! Only what the snapshot/export path needs: objects keep insertion order,
+//! floats render with enough precision to round-trip benchmarks, and
+//! non-finite floats degrade to `null` (valid JSON, honest about the value).
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer (all workspace metrics are u64).
+    Int(u64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object; insertion-ordered pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Render compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Render with two-space indentation, for committed artifacts.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Float(v) => out.push_str(&render_f64(*v)),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&"  ".repeat(indent + 1));
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn render_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    // `{}` on f64 always includes a distinguishing decimal or exponent only
+    // for non-integral values; force a `.0` so consumers see a float.
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_values() {
+        let j = Json::Obj(vec![
+            ("name".into(), Json::Str("fig \"11\"".into())),
+            ("n".into(), Json::Int(3)),
+            ("x".into(), Json::Float(1.5)),
+            ("whole".into(), Json::Float(2.0)),
+            ("bad".into(), Json::Float(f64::NAN)),
+            ("flag".into(), Json::Bool(true)),
+            (
+                "arr".into(),
+                Json::Arr(vec![Json::Int(1), Json::Null, Json::Str("a\nb".into())]),
+            ),
+        ]);
+        assert_eq!(
+            j.render(),
+            r#"{"name":"fig \"11\"","n":3,"x":1.5,"whole":2.0,"bad":null,"flag":true,"arr":[1,null,"a\nb"]}"#
+        );
+        let pretty = j.render_pretty();
+        assert!(pretty.contains("\"n\": 3"));
+        assert!(pretty.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_containers_render_compact() {
+        assert_eq!(Json::Obj(vec![]).render_pretty(), "{}\n");
+        assert_eq!(Json::Arr(vec![]).render(), "[]");
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for the observability crate: ring-buffer wraparound and
+//! per-thread ordering under concurrent writers, merged-dump time ordering,
+//! histogram merge associativity, and registry snapshot determinism.
+
+use pacman_common::histogram::Histogram;
+use pacman_obs::{MetricsRegistry, TraceEvent, Tracer, RING_CAPACITY};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After any number of emissions ≥ capacity, a ring retains exactly the
+    /// newest `RING_CAPACITY` records, in order.
+    #[test]
+    fn wraparound_keeps_exactly_the_newest(extra in 0usize..3000) {
+        let t = Tracer::new();
+        t.enable();
+        let total = RING_CAPACITY + extra;
+        for code in 0..total as u64 {
+            t.emit(TraceEvent::Marker { code });
+        }
+        let tail = t.merged_tail(usize::MAX);
+        prop_assert_eq!(tail.len(), RING_CAPACITY);
+        for (i, rec) in tail.iter().enumerate() {
+            let want = (extra + i) as u64;
+            prop_assert_eq!(rec.seq, want);
+            match rec.event {
+                TraceEvent::Marker { code } => prop_assert_eq!(code, want),
+                other => prop_assert!(false, "unexpected {:?}", other),
+            }
+        }
+    }
+
+    /// The merged tail is globally time-ordered and never reorders any
+    /// single thread's events, for arbitrary per-thread emission counts.
+    #[test]
+    fn merged_tail_orders_concurrent_threads(counts in proptest::collection::vec(1usize..400, 2..5)) {
+        let t = Arc::new(Tracer::new());
+        t.enable();
+        let handles: Vec<_> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    for code in 0..n as u64 {
+                        t.emit(TraceEvent::Marker { code: (i as u64) << 32 | code });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let tail = t.merged_tail(usize::MAX);
+        let expect: usize = counts.iter().map(|&n| n.min(RING_CAPACITY)).sum();
+        prop_assert_eq!(tail.len(), expect);
+        for w in tail.windows(2) {
+            let a = (w[0].ts_ns, w[0].thread, w[0].seq);
+            let b = (w[1].ts_ns, w[1].thread, w[1].seq);
+            prop_assert!(a <= b, "merged tail out of order: {:?} then {:?}", a, b);
+        }
+        let mut last = std::collections::HashMap::new();
+        for rec in &tail {
+            if let Some(prev) = last.insert(rec.thread, rec.seq) {
+                prop_assert!(rec.seq > prev, "thread {} reordered", rec.thread);
+            }
+        }
+    }
+
+    /// Histogram merge is associative and count-preserving: folding three
+    /// sample sets in either grouping yields identical summaries.
+    #[test]
+    fn histogram_merge_associative(
+        a in proptest::collection::vec(any::<u64>(), 0..64),
+        b in proptest::collection::vec(any::<u64>(), 0..64),
+        c in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let of = |samples: &[u64]| {
+            let mut h = Histogram::new();
+            for &s in samples {
+                h.record(s);
+            }
+            h
+        };
+        // (a ⊕ b) ⊕ c
+        let mut left = of(&a);
+        left.merge(&of(&b));
+        left.merge(&of(&c));
+        // a ⊕ (b ⊕ c)
+        let mut right_tail = of(&b);
+        right_tail.merge(&of(&c));
+        let mut right = of(&a);
+        right.merge(&right_tail);
+        prop_assert_eq!(left.count(), (a.len() + b.len() + c.len()) as u64);
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.min(), right.min());
+        prop_assert_eq!(left.max(), right.max());
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(left.quantile(q), right.quantile(q));
+        }
+    }
+
+    /// Snapshots are deterministic: registration order never changes the
+    /// snapshot order, and counters are monotone across snapshots.
+    #[test]
+    fn snapshot_deterministic_and_monotone(
+        names in proptest::collection::vec("[a-z]{1,6}(\\.[a-z]{1,6}){0,2}", 1..12),
+        bumps in proptest::collection::vec(any::<u32>(), 1..12),
+    ) {
+        let fwd = MetricsRegistry::new();
+        for n in &names {
+            fwd.counter(n);
+        }
+        let rev = MetricsRegistry::new();
+        for n in names.iter().rev() {
+            rev.counter(n);
+        }
+        let order = |r: &MetricsRegistry| -> Vec<String> {
+            r.snapshot().entries.into_iter().map(|(n, _)| n).collect()
+        };
+        prop_assert_eq!(order(&fwd), order(&rev));
+
+        // Monotone counters: every snapshot dominates the previous one.
+        let mut prev: Option<Vec<u64>> = None;
+        for (i, &bump) in bumps.iter().enumerate() {
+            let name = &names[i % names.len()];
+            fwd.counter(name).add(bump as u64);
+            let snap = fwd.snapshot();
+            let vals: Vec<u64> = names
+                .iter()
+                .map(|n| snap.int(n).expect("registered"))
+                .collect();
+            if let Some(prev) = &prev {
+                for (now, before) in vals.iter().zip(prev) {
+                    prop_assert!(now >= before, "counter went backwards");
+                }
+            }
+            prev = Some(vals);
+        }
+    }
+}

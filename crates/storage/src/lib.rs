@@ -15,7 +15,9 @@
 pub mod pacer;
 pub mod sim_disk;
 pub mod storage_set;
+pub mod trace_sink;
 
 pub use pacer::Pacer;
 pub use sim_disk::{DiskConfig, DiskStats, SimDisk};
 pub use storage_set::StorageSet;
+pub use trace_sink::{TraceDumpSink, TRACE_NAMESPACE};

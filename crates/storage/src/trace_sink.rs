@@ -1,0 +1,55 @@
+//! Flight-recorder dump sink over a [`StorageSet`].
+//!
+//! Dumps land in the `trace/` namespace of device 0, so a post-mortem of a
+//! SimDisk run is self-contained: the crash image carries its own last-N
+//! event tail next to the log and checkpoint namespaces it describes.
+
+use crate::storage_set::StorageSet;
+use pacman_obs::DumpSink;
+
+/// Prefix dumps are written under.
+pub const TRACE_NAMESPACE: &str = "trace/";
+
+/// Writes each flight-recorder dump as `trace/<name>` on device 0.
+#[derive(Debug)]
+pub struct TraceDumpSink {
+    storage: StorageSet,
+}
+
+impl TraceDumpSink {
+    /// A sink over `storage`.
+    pub fn new(storage: StorageSet) -> TraceDumpSink {
+        TraceDumpSink { storage }
+    }
+}
+
+impl DumpSink for TraceDumpSink {
+    fn write_dump(&self, name: &str, contents: &str) {
+        self.storage
+            .disk(0)
+            .write_file(&format!("{TRACE_NAMESPACE}{name}"), contents.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacman_obs::{TraceEvent, Tracer};
+    use std::sync::Arc;
+
+    #[test]
+    fn dump_lands_in_trace_namespace() {
+        let storage = StorageSet::for_tests();
+        let tracer = Tracer::new();
+        tracer.enable();
+        tracer.emit(TraceEvent::Marker { code: 7 });
+        tracer.set_sink("storage", Arc::new(TraceDumpSink::new(storage.clone())));
+        let name = tracer.dump_on_failure("sink test").expect("enabled");
+        let files = storage.disk(0).list(TRACE_NAMESPACE);
+        assert_eq!(files, vec![format!("{TRACE_NAMESPACE}{name}")]);
+        let body = storage.disk(0).read(&files[0]).expect("dump readable");
+        let text = String::from_utf8(body.to_vec()).unwrap();
+        assert!(text.contains("sink test"));
+        assert!(text.contains("Marker { code: 7 }"));
+    }
+}

@@ -15,7 +15,9 @@ use pacman_common::clock::epoch_of;
 use pacman_common::{Encoder, ProcId};
 use pacman_engine::epoch::WorkerEpoch;
 use pacman_engine::{CommitInfo, Database, EpochManager};
+use pacman_obs::{Counter, Gauge, Obs, TraceEvent};
 use pacman_sproc::Params;
+use pacman_storage::TraceDumpSink;
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -96,6 +98,11 @@ pub struct DurabilityConfig {
     pub max_subscriber_lag_bytes: Option<u64>,
     /// Whether loggers fsync on epoch seal (Table 3 ablation).
     pub fsync: bool,
+    /// Observability handles: the flight-recorder tracer every wal thread
+    /// emits through, and the registry the stack's counters are bound
+    /// into. Defaults to the process-wide [`Obs::current`] bundle; tests
+    /// that need isolation pass a fresh [`Obs::new`].
+    pub obs: Obs,
 }
 
 impl Default for DurabilityConfig {
@@ -111,6 +118,7 @@ impl Default for DurabilityConfig {
             checkpoint_max_chain: 8,
             max_subscriber_lag_bytes: None,
             fsync: true,
+            obs: Obs::default(),
         }
     }
 }
@@ -127,18 +135,19 @@ pub struct Durability {
     retention: Arc<RetentionManager>,
     ckpt_stop: Arc<AtomicBool>,
     ckpt_active: Arc<AtomicBool>,
-    last_ckpt_ts: Arc<AtomicU64>,
-    ckpt_bytes_written: Arc<AtomicU64>,
-    ckpt_parts_written: Arc<AtomicU64>,
-    ckpt_shards_skipped: Arc<AtomicU64>,
-    ckpt_rounds: Arc<AtomicU64>,
-    ckpt_full_rounds: Arc<AtomicU64>,
+    last_ckpt_ts: Gauge,
+    ckpt_bytes_written: Counter,
+    ckpt_parts_written: Counter,
+    ckpt_shards_skipped: Counter,
+    ckpt_rounds: Counter,
+    ckpt_full_rounds: Counter,
     ckpt_join: Mutex<Option<JoinHandle<()>>>,
-    bytes_logged: AtomicU64,
+    bytes_logged: Counter,
     classifier: RwLock<Arc<dyn CommitClassifier>>,
-    command_records: AtomicU64,
-    logical_records: AtomicU64,
+    command_records: Counter,
+    logical_records: Counter,
     ship_counters: Arc<ShipCounters>,
+    obs: Obs,
 }
 
 /// What [`Durability::reopen`] found and resumed from.
@@ -217,6 +226,13 @@ impl Durability {
         base_epoch: u64,
     ) -> Arc<Self> {
         let em = EpochManager::start_at(config.epoch_interval, base_epoch + 1);
+        // The crash image carries its own flight-recorder tail: dumps land
+        // in `trace/` on these devices. Keyed so a later stack over fresh
+        // storage replaces (not stacks onto) this sink.
+        config
+            .obs
+            .tracer
+            .set_sink("durability", Arc::new(TraceDumpSink::new(storage.clone())));
         let mut loggers = Vec::new();
         let mut sealed = Vec::new();
         let mut real = Vec::new();
@@ -229,6 +245,7 @@ impl Durability {
                     config.batch_epochs,
                     config.fsync,
                     base_epoch,
+                    Arc::clone(&config.obs.tracer),
                 );
                 sealed.push(logger.sealed_arc());
                 real.push(logger.real_sealed_arc());
@@ -261,22 +278,26 @@ impl Durability {
         );
         let ckpt_stop = Arc::new(AtomicBool::new(false));
         let ckpt_active = Arc::new(AtomicBool::new(false));
-        let last_ckpt_ts = Arc::new(AtomicU64::new(0));
-        let ckpt_bytes_written = Arc::new(AtomicU64::new(0));
-        let ckpt_parts_written = Arc::new(AtomicU64::new(0));
-        let ckpt_shards_skipped = Arc::new(AtomicU64::new(0));
-        let ckpt_rounds = Arc::new(AtomicU64::new(0));
-        let ckpt_full_rounds = Arc::new(AtomicU64::new(0));
+        // Per-instance counters (so a parallel stack in the same process
+        // never shares them), bound into the registry below — the binding
+        // always exposes the *latest* incarnation's values.
+        let last_ckpt_ts = Gauge::new();
+        let ckpt_bytes_written = Counter::new();
+        let ckpt_parts_written = Counter::new();
+        let ckpt_shards_skipped = Counter::new();
+        let ckpt_rounds = Counter::new();
+        let ckpt_full_rounds = Counter::new();
         let ckpt_join = match (config.checkpoint_interval, config.scheme) {
             (Some(interval), scheme) if scheme != LogScheme::Off => {
                 let stop = Arc::clone(&ckpt_stop);
                 let active = Arc::clone(&ckpt_active);
-                let last = Arc::clone(&last_ckpt_ts);
-                let bytes = Arc::clone(&ckpt_bytes_written);
-                let parts = Arc::clone(&ckpt_parts_written);
-                let skipped = Arc::clone(&ckpt_shards_skipped);
-                let rounds = Arc::clone(&ckpt_rounds);
-                let fulls = Arc::clone(&ckpt_full_rounds);
+                let last = last_ckpt_ts.clone();
+                let bytes = ckpt_bytes_written.clone();
+                let parts = ckpt_parts_written.clone();
+                let skipped = ckpt_shards_skipped.clone();
+                let rounds = ckpt_rounds.clone();
+                let fulls = ckpt_full_rounds.clone();
+                let tracer = Arc::clone(&config.obs.tracer);
                 let retention2 = Arc::clone(&retention);
                 let storage2 = storage.clone();
                 let threads = config.checkpoint_threads.max(1);
@@ -306,6 +327,9 @@ impl Durability {
                                 continue;
                             }
                             active.store(true, Ordering::Release);
+                            tracer.emit(TraceEvent::CkptBegin {
+                                round: rounds.get() + 1,
+                            });
                             let result = if incremental {
                                 run_checkpoint_incremental_chained(
                                     &db, &storage2, threads, max_chain,
@@ -314,20 +338,26 @@ impl Durability {
                                 run_checkpoint_full_chained(&db, &storage2, threads)
                             };
                             if let Ok((st, chain)) = result {
-                                bytes.fetch_add(st.bytes_written, Ordering::Relaxed);
-                                parts.fetch_add(st.parts_written, Ordering::Relaxed);
-                                skipped.fetch_add(st.shards_skipped_clean, Ordering::Relaxed);
-                                rounds.fetch_add(1, Ordering::Relaxed);
+                                bytes.add(st.bytes_written);
+                                parts.add(st.parts_written);
+                                skipped.add(st.shards_skipped_clean);
+                                rounds.inc();
                                 if st.full {
-                                    fulls.fetch_add(1, Ordering::Relaxed);
+                                    fulls.inc();
                                 }
+                                tracer.emit(TraceEvent::CkptEnd {
+                                    round: rounds.get(),
+                                    chain_len: chain.len() as u32,
+                                    parts: st.parts_written as u32,
+                                    bytes: st.bytes_written,
+                                });
                                 // Every reclamation decision — log batches
                                 // below min(coverage, holds), chain links no
                                 // live link or hold references, bounded-lag
                                 // hold breaking — goes through the manager,
                                 // against the chain this round produced.
                                 retention2.reclaim(&chain);
-                                last.store(st.ts, Ordering::Release);
+                                last.set(st.ts);
                             }
                             active.store(false, Ordering::Release);
                         })
@@ -337,7 +367,8 @@ impl Durability {
             _ => None,
         };
 
-        Arc::new(Durability {
+        let obs = config.obs.clone();
+        let dur = Durability {
             config,
             em,
             loggers: RwLock::new(loggers),
@@ -354,12 +385,46 @@ impl Durability {
             ckpt_rounds,
             ckpt_full_rounds,
             ckpt_join: Mutex::new(ckpt_join),
-            bytes_logged: AtomicU64::new(0),
+            bytes_logged: Counter::new(),
             classifier: RwLock::new(Arc::new(WriteCountClassifier::default())),
-            command_records: AtomicU64::new(0),
-            logical_records: AtomicU64::new(0),
+            command_records: Counter::new(),
+            logical_records: Counter::new(),
             ship_counters: Arc::default(),
-        })
+            obs,
+        };
+        dur.register_metrics();
+        Arc::new(dur)
+    }
+
+    /// Bind this stack's counters into its registry under the `wal.*`
+    /// namespace (`docs/OBSERVABILITY.md`). Rebinding on every boot means
+    /// the registry always reflects the newest incarnation after a
+    /// crash → recover → reopen cycle.
+    fn register_metrics(&self) {
+        let r = &self.obs.registry;
+        r.bind_counter("wal.log.bytes_logged", &self.bytes_logged);
+        r.bind_counter("wal.log.command_records", &self.command_records);
+        r.bind_counter("wal.log.logical_records", &self.logical_records);
+        r.bind_counter("wal.ckpt.bytes_written", &self.ckpt_bytes_written);
+        r.bind_counter("wal.ckpt.parts_written", &self.ckpt_parts_written);
+        r.bind_counter("wal.ckpt.shards_skipped", &self.ckpt_shards_skipped);
+        r.bind_counter("wal.ckpt.rounds", &self.ckpt_rounds);
+        r.bind_counter("wal.ckpt.full_rounds", &self.ckpt_full_rounds);
+        r.bind_gauge("wal.ckpt.last_ts", &self.last_ckpt_ts);
+        self.ship_counters.register_into(r);
+        self.retention.register_into(r);
+    }
+
+    /// Refresh the `wal.space.*` gauges from the devices so the next
+    /// registry snapshot carries the live-footprint numbers alongside the
+    /// reclaim counters — one consistent pass instead of interleaved ad-hoc
+    /// reads.
+    pub fn publish_space_gauges(&self) {
+        let r = &self.obs.registry;
+        r.gauge("wal.space.live_log_bytes")
+            .set(self.live_log_bytes());
+        r.gauge("wal.space.live_ckpt_bytes")
+            .set(self.live_ckpt_bytes());
     }
 
     /// Install the classifier consulted under [`LogScheme::Adaptive`]
@@ -378,12 +443,12 @@ impl Durability {
 
     /// Command records emitted so far (adaptive-mix reporting).
     pub fn command_records(&self) -> u64 {
-        self.command_records.load(Ordering::Relaxed)
+        self.command_records.get()
     }
 
     /// Logical (tuple-level) records emitted so far, including ad-hoc ones.
     pub fn logical_records(&self) -> u64 {
-        self.logical_records.load(Ordering::Relaxed)
+        self.logical_records.get()
     }
 
     /// The epoch manager (workers register with it).
@@ -428,16 +493,23 @@ impl Durability {
                 physical: false,
                 adhoc: true,
             },
-            (LogScheme::Adaptive, false) => match self.classifier.read().classify(proc, info) {
-                LogChoice::Command => LogPayload::Command {
-                    proc,
-                    params: Arc::clone(params),
-                },
-                LogChoice::Logical => LogPayload::TaggedWrites {
-                    proc,
-                    writes: info.writes.clone(),
-                },
-            },
+            (LogScheme::Adaptive, false) => {
+                let choice = self.classifier.read().classify(proc, info);
+                self.obs.tracer.emit(TraceEvent::ClassifierDecision {
+                    proc: proc.0,
+                    command: choice == LogChoice::Command,
+                });
+                match choice {
+                    LogChoice::Command => LogPayload::Command {
+                        proc,
+                        params: Arc::clone(params),
+                    },
+                    LogChoice::Logical => LogPayload::TaggedWrites {
+                        proc,
+                        writes: info.writes.clone(),
+                    },
+                }
+            }
             (LogScheme::Logical, _) => LogPayload::Writes {
                 writes: info.writes.clone(),
                 physical: false,
@@ -450,11 +522,9 @@ impl Durability {
             },
         };
         match &payload {
-            LogPayload::Command { .. } => {
-                self.command_records.fetch_add(1, Ordering::Relaxed);
-            }
+            LogPayload::Command { .. } => self.command_records.inc(),
             LogPayload::Writes { .. } | LogPayload::TaggedWrites { .. } => {
-                self.logical_records.fetch_add(1, Ordering::Relaxed);
+                self.logical_records.inc()
             }
         }
         let record = TxnLogRecord {
@@ -465,7 +535,7 @@ impl Durability {
         // separates tuple-level from command logging in §6.1.1).
         let bytes = record.to_bytes();
         let len = bytes.len();
-        self.bytes_logged.fetch_add(len as u64, Ordering::Relaxed);
+        self.bytes_logged.add(len as u64);
         let loggers = self.loggers.read();
         if loggers.is_empty() {
             return 0;
@@ -531,37 +601,39 @@ impl Durability {
 
     /// Snapshot timestamp of the last completed checkpoint (0 = none).
     pub fn last_checkpoint_ts(&self) -> u64 {
-        self.last_ckpt_ts.load(Ordering::Acquire)
+        self.last_ckpt_ts.get()
     }
 
     /// Part bytes the periodic checkpointer has written so far (the
     /// incremental-vs-full savings metric of the restart bench).
     pub fn checkpoint_bytes_written(&self) -> u64 {
-        self.ckpt_bytes_written.load(Ordering::Relaxed)
+        self.ckpt_bytes_written.get()
     }
 
     /// Parts the periodic checkpointer has written so far.
     pub fn checkpoint_parts_written(&self) -> u64 {
-        self.ckpt_parts_written.load(Ordering::Relaxed)
+        self.ckpt_parts_written.get()
     }
 
     /// Shards skipped as dirty-clean across all delta rounds so far.
     pub fn checkpoint_shards_skipped(&self) -> u64 {
-        self.ckpt_shards_skipped.load(Ordering::Relaxed)
+        self.ckpt_shards_skipped.get()
     }
 
     /// Completed checkpoint rounds `(total, full)` — the difference is
     /// the number of delta rounds.
     pub fn checkpoint_rounds(&self) -> (u64, u64) {
-        (
-            self.ckpt_rounds.load(Ordering::Relaxed),
-            self.ckpt_full_rounds.load(Ordering::Relaxed),
-        )
+        (self.ckpt_rounds.get(), self.ckpt_full_rounds.get())
     }
 
     /// Total bytes handed to loggers.
     pub fn bytes_logged(&self) -> u64 {
-        self.bytes_logged.load(Ordering::Relaxed)
+        self.bytes_logged.get()
+    }
+
+    /// The observability bundle this stack reports through.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// A log-shipping endpoint over this stack's devices and layout: the
@@ -590,17 +662,17 @@ impl Durability {
 
     /// Payload bytes shipped to standbys so far (all shippers combined).
     pub fn shipped_bytes(&self) -> u64 {
-        self.ship_counters.bytes.load(Ordering::Relaxed)
+        self.ship_counters.bytes()
     }
 
     /// Replication frames emitted so far.
     pub fn shipped_frames(&self) -> u64 {
-        self.ship_counters.frames.load(Ordering::Relaxed)
+        self.ship_counters.frames()
     }
 
     /// Log records shipped to standbys so far.
     pub fn shipped_records(&self) -> u64 {
-        self.ship_counters.records.load(Ordering::Relaxed)
+        self.ship_counters.records()
     }
 
     /// Graceful shutdown: seal everything queued, then stop all threads.
@@ -616,6 +688,9 @@ impl Durability {
             p.stop();
         }
         self.em.stop();
+        // Final space accounting for this stack — snapshots taken after a
+        // graceful stop see the settled footprint.
+        self.publish_space_gauges();
     }
 
     /// Crash: stop everything abruptly. Unsealed epochs are lost; the

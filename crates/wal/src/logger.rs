@@ -10,6 +10,7 @@
 
 use crate::batch::{batch_index_of_epoch, batch_name};
 use pacman_engine::EpochManager;
+use pacman_obs::{TraceEvent, Tracer};
 use pacman_storage::SimDisk;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -46,13 +47,23 @@ impl LoggerHandle {
         batch_epochs: u64,
         fsync: bool,
     ) -> Self {
-        Self::spawn_resuming(id, disk, em, batch_epochs, fsync, 0)
+        Self::spawn_resuming(
+            id,
+            disk,
+            em,
+            batch_epochs,
+            fsync,
+            0,
+            Arc::clone(pacman_obs::tracer()),
+        )
     }
 
     /// [`LoggerHandle::spawn`] resuming a surviving log directory: epochs
     /// `<= resume_from` are treated as already sealed (they belong to the
     /// recovered prefix), so the logger never rewrites recovered batches
     /// and the pepoch watcher's min starts at the resumed frontier.
+    /// Seal/persist events are emitted through `tracer`.
+    #[allow(clippy::too_many_arguments)]
     pub fn spawn_resuming(
         id: usize,
         disk: Arc<SimDisk>,
@@ -60,6 +71,7 @@ impl LoggerHandle {
         batch_epochs: u64,
         fsync: bool,
         resume_from: u64,
+        tracer: Arc<Tracer>,
     ) -> Self {
         let (sender, receiver) = crossbeam::channel::unbounded::<QueuedRecord>();
         let sealed = Arc::new(AtomicU64::new(resume_from));
@@ -81,6 +93,7 @@ impl LoggerHandle {
                     sealed2,
                     real2,
                     stop2,
+                    tracer,
                 );
             })
             .expect("spawn logger");
@@ -146,6 +159,7 @@ fn logger_loop(
     sealed: Arc<AtomicU64>,
     real_sealed: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
+    tracer: Arc<Tracer>,
 ) {
     let mut pending: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
     let mut disconnected = false;
@@ -179,8 +193,14 @@ fn logger_loop(
         while cursor < seal_to {
             cursor += 1;
             if let Some(bytes) = pending.remove(&cursor) {
-                let file = batch_name(id, batch_index_of_epoch(cursor, batch_epochs));
-                disk.append(&file, &bytes);
+                let batch = batch_index_of_epoch(cursor, batch_epochs);
+                disk.append(&batch_name(id, batch), &bytes);
+                tracer.emit(TraceEvent::BatchPersist {
+                    logger: id as u32,
+                    batch,
+                    bytes: bytes.len() as u64,
+                    fsync,
+                });
                 wrote = true;
             }
         }
@@ -190,6 +210,10 @@ fn logger_loop(
             }
             sealed.store(cursor, Ordering::Release);
             real_sealed.store(cursor, Ordering::Release);
+            tracer.emit(TraceEvent::EpochSeal {
+                logger: id as u32,
+                epoch: cursor,
+            });
         }
         if disconnected {
             // Graceful drain: everything this logger will ever receive is

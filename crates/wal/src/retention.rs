@@ -47,10 +47,10 @@
 use crate::batch::{batch_index_of_epoch, batch_name};
 use crate::checkpoint::{prune_old_checkpoints_respecting, CheckpointChain};
 use pacman_common::Timestamp;
+use pacman_obs::{Counter, TraceEvent};
 use pacman_storage::StorageSet;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// File (device 0) persisting the reclaimed-batch floor across reopens.
@@ -118,8 +118,8 @@ pub struct RetentionManager {
     batch_epochs: u64,
     policy: RetentionPolicy,
     inner: Mutex<Inner>,
-    reclaimed_log_bytes: AtomicU64,
-    holds_broken: AtomicU64,
+    reclaimed_log_bytes: Counter,
+    holds_broken: Counter,
 }
 
 impl RetentionManager {
@@ -147,9 +147,19 @@ impl RetentionManager {
                 reclaimed_batches,
                 ..Default::default()
             }),
-            reclaimed_log_bytes: AtomicU64::new(0),
-            holds_broken: AtomicU64::new(0),
+            reclaimed_log_bytes: Counter::new(),
+            holds_broken: Counter::new(),
         })
+    }
+
+    /// Bind this manager's counters into `registry` under
+    /// `wal.retention.*`.
+    pub fn register_into(&self, registry: &pacman_obs::MetricsRegistry) {
+        registry.bind_counter(
+            "wal.retention.reclaimed_log_bytes",
+            &self.reclaimed_log_bytes,
+        );
+        registry.bind_counter("wal.retention.holds_broken", &self.holds_broken);
     }
 
     /// The configured policy.
@@ -194,6 +204,15 @@ impl RetentionManager {
                 broken: false,
             },
         );
+        drop(inner);
+        pacman_obs::tracer().emit(TraceEvent::HoldAcquire {
+            hold: id,
+            kind: match kind {
+                HoldKind::Subscriber => pacman_obs::HoldKind::Subscriber,
+                HoldKind::Recovery => pacman_obs::HoldKind::Recovery,
+            },
+            epoch: min_epoch,
+        });
         RetentionHold {
             mgr: Arc::clone(self),
             id,
@@ -238,12 +257,12 @@ impl RetentionManager {
 
     /// Cumulative log bytes reclaimed by this manager.
     pub fn reclaimed_log_bytes(&self) -> u64 {
-        self.reclaimed_log_bytes.load(Ordering::Relaxed)
+        self.reclaimed_log_bytes.get()
     }
 
     /// Cumulative subscriber holds broken by the bounded-lag policy.
     pub fn holds_broken(&self) -> u64 {
-        self.holds_broken.load(Ordering::Relaxed)
+        self.holds_broken.get()
     }
 
     /// The persisted reclaimed-batch floor (batches below it are gone).
@@ -264,7 +283,7 @@ impl RetentionManager {
             let mut inner = self.inner.lock();
             let mut broken_now = 0u64;
             if let Some(bound) = self.policy.max_subscriber_lag_bytes {
-                for h in inner.holds.values_mut() {
+                for (&id, h) in inner.holds.iter_mut() {
                     if h.kind != HoldKind::Subscriber || h.broken {
                         continue;
                     }
@@ -278,6 +297,10 @@ impl RetentionManager {
                     if lag > bound {
                         h.broken = true;
                         broken_now += 1;
+                        pacman_obs::tracer().emit(TraceEvent::HoldBreak {
+                            hold: id,
+                            lag_bytes: lag,
+                        });
                     }
                 }
             }
@@ -316,9 +339,13 @@ impl RetentionManager {
                 .disk(0)
                 .write_file(RETENTION_FILE, &to.to_le_bytes());
         }
-        self.reclaimed_log_bytes
-            .fetch_add(reclaimed, Ordering::Relaxed);
-        self.holds_broken.fetch_add(broken_now, Ordering::Relaxed);
+        self.reclaimed_log_bytes.add(reclaimed);
+        self.holds_broken.add(broken_now);
+        pacman_obs::tracer().emit(TraceEvent::ReclaimRound {
+            frontier: to,
+            log_bytes: reclaimed,
+            holds_broken: broken_now,
+        });
 
         // Chain retention folds into the same round: drop files no live
         // link references, except those a hold still pins (`ts >= floor`).
@@ -346,8 +373,16 @@ impl RetentionManager {
     }
 
     fn advance_log(&self, id: u64, min_epoch: u64) {
+        let mut advanced = None;
         if let Some(h) = self.inner.lock().holds.get_mut(&id) {
-            h.min_epoch = h.min_epoch.max(min_epoch);
+            let next = h.min_epoch.max(min_epoch);
+            if next > h.min_epoch {
+                advanced = Some(next);
+            }
+            h.min_epoch = next;
+        }
+        if let Some(epoch) = advanced {
+            pacman_obs::tracer().emit(TraceEvent::HoldAdvance { hold: id, epoch });
         }
     }
 
@@ -366,7 +401,11 @@ impl RetentionManager {
             Some(h) if !h.broken => {
                 h.broken = true;
                 drop(inner);
-                self.holds_broken.fetch_add(1, Ordering::Relaxed);
+                self.holds_broken.inc();
+                pacman_obs::tracer().emit(TraceEvent::HoldBreak {
+                    hold: id,
+                    lag_bytes: 0,
+                });
                 true
             }
             _ => false,

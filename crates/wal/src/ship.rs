@@ -51,7 +51,6 @@ use pacman_common::{Decoder, Encoder, Error, Result, Timestamp};
 use pacman_storage::StorageSet;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Version of the ship-stream framing. A standby rejects streams whose
@@ -233,17 +232,44 @@ impl ShipCursor {
     }
 }
 
-/// Shared ship-volume counters, surfaced through `Durability` stats.
+/// Shared ship-volume counters, surfaced through `Durability` stats and
+/// bound into the metrics registry as `wal.ship.*`.
 #[derive(Debug, Default)]
 pub struct ShipCounters {
+    bytes: pacman_obs::Counter,
+    frames: pacman_obs::Counter,
+    records: pacman_obs::Counter,
+    resets: pacman_obs::Counter,
+}
+
+impl ShipCounters {
     /// Payload bytes shipped (records + blobs).
-    pub bytes: AtomicU64,
+    pub fn bytes(&self) -> u64 {
+        self.bytes.get()
+    }
+
     /// Frames emitted.
-    pub frames: AtomicU64,
+    pub fn frames(&self) -> u64 {
+        self.frames.get()
+    }
+
     /// Log records shipped.
-    pub records: AtomicU64,
+    pub fn records(&self) -> u64 {
+        self.records.get()
+    }
+
     /// Cursor resets delivered (broken hold → fresh bootstrap cursor).
-    pub resets: AtomicU64,
+    pub fn resets(&self) -> u64 {
+        self.resets.get()
+    }
+
+    /// Bind these counters into `registry` under `wal.ship.*`.
+    pub fn register_into(&self, registry: &pacman_obs::MetricsRegistry) {
+        registry.bind_counter("wal.ship.bytes", &self.bytes);
+        registry.bind_counter("wal.ship.frames", &self.frames);
+        registry.bind_counter("wal.ship.records", &self.records);
+        registry.bind_counter("wal.ship.resets", &self.resets);
+    }
 }
 
 /// The primary-side shipping endpoint: reads sealed history off the
@@ -323,22 +349,22 @@ impl LogShipper {
 
     /// Payload bytes shipped so far.
     pub fn shipped_bytes(&self) -> u64 {
-        self.counters.bytes.load(Ordering::Relaxed)
+        self.counters.bytes()
     }
 
     /// Frames emitted so far.
     pub fn shipped_frames(&self) -> u64 {
-        self.counters.frames.load(Ordering::Relaxed)
+        self.counters.frames()
     }
 
     /// Log records shipped so far.
     pub fn shipped_records(&self) -> u64 {
-        self.counters.records.load(Ordering::Relaxed)
+        self.counters.records()
     }
 
     /// Cursor resets delivered so far (broken hold → re-bootstrap).
     pub fn rebootstraps(&self) -> u64 {
-        self.counters.resets.load(Ordering::Relaxed)
+        self.counters.resets()
     }
 
     /// Produce every frame the stream owes given durability frontier
@@ -381,10 +407,19 @@ impl LogShipper {
     /// shipped frontier, plus anything the shipped chain tip covers.
     fn commit_pass(&self, cur: &ShipCursor, p: &mut Produced) {
         self.commit_counters(p);
+        if !p.frames.is_empty() {
+            pacman_obs::tracer().emit(pacman_obs::TraceEvent::ShipPass {
+                frames: p.frames.len() as u64,
+                bytes: p.bytes,
+            });
+        }
         if self.retention.is_some() {
             let mut hold = self.hold.lock();
             if let Some(fresh) = p.new_hold.take() {
-                self.counters.resets.fetch_add(1, Ordering::Relaxed);
+                self.counters.resets.inc();
+                pacman_obs::tracer().emit(pacman_obs::TraceEvent::ShipReset {
+                    resets: self.counters.resets(),
+                });
                 *hold = Some(fresh); // the broken predecessor releases here
             }
             if let Some(h) = hold.as_ref() {
@@ -559,13 +594,9 @@ impl LogShipper {
     }
 
     fn commit_counters(&self, p: &Produced) {
-        self.counters.bytes.fetch_add(p.bytes, Ordering::Relaxed);
-        self.counters
-            .records
-            .fetch_add(p.records, Ordering::Relaxed);
-        self.counters
-            .frames
-            .fetch_add(p.frames.len() as u64, Ordering::Relaxed);
+        self.counters.bytes.add(p.bytes);
+        self.counters.records.add(p.records);
+        self.counters.frames.add(p.frames.len() as u64);
     }
 
     /// Ship the manifest chain if its tip is new and (unless

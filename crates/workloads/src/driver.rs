@@ -133,6 +133,7 @@ pub fn run_workload(
                 let mut rng = SmallRng::seed_from_u64(config.seed ^ (worker as u64) << 32);
                 let mut pending: VecDeque<(u64, Instant)> = VecDeque::new();
                 let mut local_hist = Histogram::new();
+                let mut local_retries = Histogram::new();
 
                 while !stop.load(Ordering::Acquire) {
                     we.enter();
@@ -178,6 +179,7 @@ pub fn run_workload(
                                     durability.log_commit(worker, &info, pid, &params, adhoc);
                                     pending.push_back((epoch_of(info.ts), submit));
                                 }
+                                local_retries.record(tries as u64);
                                 break;
                             }
                             Err(Error::TxnAborted(_)) => {
@@ -207,6 +209,12 @@ pub fn run_workload(
                 }
                 we.retire();
                 hist.lock().merge(&local_hist);
+                // Fold this worker's latency/retry distributions into the
+                // shared registry histograms (bench snapshots read these).
+                let reg = pacman_obs::registry();
+                reg.histogram("driver.commit_latency_us").merge(&local_hist);
+                reg.histogram("driver.retries_per_txn")
+                    .merge(&local_retries);
             });
         }
 
@@ -228,6 +236,11 @@ pub fn run_workload(
         })
         .take(config.duration.as_secs().max(1) as usize)
         .collect();
+
+    let reg = pacman_obs::registry();
+    reg.counter("driver.committed").add(committed);
+    reg.counter("driver.aborted")
+        .add(aborted.load(Ordering::Relaxed));
 
     DriverResult {
         committed,

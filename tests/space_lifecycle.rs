@@ -38,6 +38,7 @@ fn durability_config() -> DurabilityConfig {
         checkpoint_max_chain: 4,
         max_subscriber_lag_bytes: Some(LAG_BOUND),
         fsync: true,
+        ..Default::default()
     }
 }
 
