@@ -27,9 +27,41 @@ use pacman_wal::checkpoint::read_chain;
 use pacman_wal::pepoch::PepochHandle;
 use pacman_wal::{Durability, RetentionHold};
 use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Distinguishes concurrent recoveries' dump-sink registrations on the
+/// shared (usually global) tracer.
+static RECOVERY_SINK_IDS: AtomicU64 = AtomicU64::new(0);
+
+/// Registers a uniquely-keyed [`TraceDumpSink`] over this recovery's own
+/// `StorageSet` and unregisters it on drop: concurrent recoveries in one
+/// process never cross-write dumps into each other's storage, and a
+/// finished recovery stops pinning its `StorageSet` through the tracer.
+/// Keep the guard alive through the point where a failure dump can fire
+/// (gate poison happens on the session thread, so the session owns it).
+struct RecoverySinkGuard {
+    key: String,
+}
+
+impl RecoverySinkGuard {
+    fn register(storage: &StorageSet) -> RecoverySinkGuard {
+        let key = format!(
+            "recovery-{}",
+            RECOVERY_SINK_IDS.fetch_add(1, Ordering::Relaxed)
+        );
+        pacman_obs::tracer().set_sink(&key, Arc::new(TraceDumpSink::new(storage.clone())));
+        RecoverySinkGuard { key }
+    }
+}
+
+impl Drop for RecoverySinkGuard {
+    fn drop(&mut self) {
+        pacman_obs::tracer().remove_sink(&self.key);
+    }
+}
 
 /// Which recovery scheme to run (§6.2's five competitors).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -164,7 +196,7 @@ pub fn recover(
     let metrics = Arc::new(RecoveryMetrics::new());
     metrics.register_into(pacman_obs::registry());
     let tracer = pacman_obs::tracer();
-    tracer.set_sink("recovery", Arc::new(TraceDumpSink::new(storage.clone())));
+    let _sink = RecoverySinkGuard::register(storage);
     tracer.emit(TraceEvent::Phase {
         phase: RecoveryPhase::Scan,
     });
@@ -423,7 +455,7 @@ pub fn recover_online(
     let metrics = Arc::new(RecoveryMetrics::new());
     metrics.register_into(pacman_obs::registry());
     let tracer = pacman_obs::tracer();
-    tracer.set_sink("recovery", Arc::new(TraceDumpSink::new(storage.clone())));
+    let sink_guard = RecoverySinkGuard::register(storage);
     tracer.emit(TraceEvent::Phase {
         phase: RecoveryPhase::Scan,
     });
@@ -696,6 +728,11 @@ pub fn recover_online(
                     }
                 }
                 shared.cv.notify_all();
+                // The failure dump (inside `gate.fail()`) has landed by
+                // now; release this session's sink registration so it
+                // stops pinning the StorageSet and can never swallow a
+                // later recovery's dumps.
+                drop(sink_guard);
             })
             .map_err(|e| Error::Unknown(format!("spawn recovery session: {e}")))?
     };

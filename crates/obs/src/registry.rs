@@ -70,6 +70,22 @@ impl Gauge {
         self.0.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Overwrite with `Release` ordering. Pair with [`Gauge::get_acquire`]
+    /// when the gauge publishes a happens-before edge — e.g. "everything
+    /// this checkpoint round wrote (manifest, retention reclaim) is
+    /// visible to whoever observes the new timestamp". Plain [`Gauge::set`]
+    /// / [`Gauge::get`] are Relaxed and carry no such guarantee.
+    #[inline]
+    pub fn set_release(&self, v: u64) {
+        self.0.store(v, Ordering::Release);
+    }
+
+    /// Read with `Acquire` ordering (see [`Gauge::set_release`]).
+    #[inline]
+    pub fn get_acquire(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {

@@ -16,7 +16,7 @@ use std::cell::{RefCell, UnsafeCell};
 use std::fmt::Write as _;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::Instant;
 
 /// Events per thread retained by the flight recorder (power of two).
@@ -260,9 +260,14 @@ impl Ring {
             seq: h,
             event,
         };
-        slot.seq.store(2 * gen + 1, Ordering::Release);
-        // Single writer: the odd seq fences readers out while we overwrite.
+        // Odd transition as an acquire RMW (crossbeam's seqlock recipe): a
+        // plain Release store would let the data write below be hoisted
+        // above it on weakly-ordered hardware, so a reader could see even
+        // seq values around a torn copy. The acquire half of the RMW
+        // forbids that reordering.
+        slot.seq.swap(2 * gen + 1, Ordering::Acquire);
         unsafe { (*slot.data.get()).write(rec) };
+        // Release: the data write cannot sink below the even seq.
         slot.seq.store(2 * gen + 2, Ordering::Release);
         self.head.store(h + 1, Ordering::Release);
     }
@@ -276,11 +281,20 @@ impl Ring {
             if before == 0 || before % 2 == 1 {
                 continue; // never written, or write in progress
             }
-            // Volatile copy: the writer may race us; `seq` recheck validates.
-            let rec = unsafe { std::ptr::read_volatile(slot.data.get()).assume_init() };
-            let after = slot.seq.load(Ordering::Acquire);
+            // Volatile copy of the *possibly torn* bytes. The copy stays
+            // MaybeUninit until the seq recheck validates it: asserting a
+            // TraceRecord (enum discriminants!) out of torn bytes would be
+            // UB even if the value were discarded afterwards.
+            let raw: MaybeUninit<TraceRecord> = unsafe { std::ptr::read_volatile(slot.data.get()) };
+            // Acquire fence: orders the copy above before the validating
+            // re-read (an Acquire *load* alone only constrains what comes
+            // after it, so the copy could drift past the re-read).
+            std::sync::atomic::fence(Ordering::Acquire);
+            let after = slot.seq.load(Ordering::Relaxed);
             if before == after {
-                out.push(rec);
+                // Validated: the writer never touched this slot during the
+                // copy, so the bytes are a fully initialized record.
+                out.push(unsafe { raw.assume_init() });
             }
         }
         out.sort_by_key(|r| r.seq);
@@ -306,8 +320,12 @@ impl DumpSink for StderrSink {
 static TRACER_IDS: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
-    /// This thread's rings, one per tracer it has emitted through.
-    static LOCAL_RINGS: RefCell<Vec<(u64, Arc<Ring>)>> = const { RefCell::new(Vec::new()) };
+    /// This thread's rings, one per *live* tracer it has emitted through.
+    /// Weak so a dropped tracer's rings are freed; dead entries are pruned
+    /// whenever a new tracer registers, so long-lived worker threads in
+    /// processes that create many tracers don't accumulate rings (or
+    /// degrade lookup) unboundedly.
+    static LOCAL_RINGS: RefCell<Vec<(u64, Weak<Ring>)>> = const { RefCell::new(Vec::new()) };
 }
 
 /// The flight recorder. Cheap to share (`Arc`); emission is per-thread
@@ -365,10 +383,17 @@ impl Tracer {
         let ts_ns = self.t0.elapsed().as_nanos() as u64;
         LOCAL_RINGS.with(|local| {
             let mut local = local.borrow_mut();
-            if let Some((_, ring)) = local.iter().find(|(id, _)| *id == self.id) {
+            if let Some((_, weak)) = local.iter().find(|(id, _)| *id == self.id) {
+                // `self` keeps a strong ref in `self.rings`, so an entry
+                // under a live tracer's id always upgrades (ids are never
+                // reused — TRACER_IDS is monotone).
+                let ring = weak.upgrade().expect("live tracer owns its rings");
                 ring.push(ts_ns, event);
                 return;
             }
+            // First emission through this tracer from this thread: drop
+            // entries whose tracer is gone, then register a fresh ring.
+            local.retain(|(_, w)| w.strong_count() > 0);
             let ring = {
                 let mut rings = self.rings.lock();
                 let ring = Arc::new(Ring::new(rings.len() as u32));
@@ -376,7 +401,7 @@ impl Tracer {
                 ring
             };
             ring.push(ts_ns, event);
-            local.push((self.id, ring));
+            local.push((self.id, Arc::downgrade(&ring)));
         });
     }
 
@@ -388,6 +413,13 @@ impl Tracer {
         } else {
             sinks.push((key.to_string(), sink));
         }
+    }
+
+    /// Unregister the dump sink under `key` (no-op if absent). Call on
+    /// shutdown so a finished stack's sink stops pinning its storage and
+    /// can never swallow a later run's dumps.
+    pub fn remove_sink(&self, key: &str) {
+        self.sinks.lock().retain(|(k, _)| k != key);
     }
 
     /// The last `n` events across all threads, time-ordered (ties broken by
@@ -560,6 +592,31 @@ mod tests {
         writer.join().unwrap();
     }
 
+    /// Entries this thread holds in [`LOCAL_RINGS`] (test observability).
+    fn local_ring_entries() -> usize {
+        LOCAL_RINGS.with(|l| l.borrow().len())
+    }
+
+    #[test]
+    fn dropped_tracers_are_pruned_from_thread_locals() {
+        let base = local_ring_entries();
+        for code in 0..10 {
+            let t = Tracer::new();
+            t.enable();
+            t.emit(TraceEvent::Marker { code });
+        }
+        // Registering through a fresh tracer prunes the ten dead entries.
+        let t = Tracer::new();
+        t.enable();
+        t.emit(TraceEvent::Marker { code: 99 });
+        assert!(
+            local_ring_entries() <= base + 1,
+            "dead tracer entries not pruned: {} live",
+            local_ring_entries()
+        );
+        assert_eq!(t.merged_tail(usize::MAX).len(), 1);
+    }
+
     #[test]
     fn dump_reaches_sinks_and_is_ordered() {
         struct CaptureSink(StdMutex<Vec<(String, String)>>);
@@ -579,9 +636,15 @@ mod tests {
         t.set_sink("test", sink.clone());
         let name = t.dump_on_failure("unit test").expect("enabled");
         assert_eq!(name, "dump-0000.txt");
-        let captured = sink.0.lock().unwrap();
-        assert_eq!(captured.len(), 1);
-        assert!(captured[0].1.contains("unit test"));
-        assert!(captured[0].1.contains("Marker { code: 9 }"));
+        {
+            let captured = sink.0.lock().unwrap();
+            assert_eq!(captured.len(), 1);
+            assert!(captured[0].1.contains("unit test"));
+            assert!(captured[0].1.contains("Marker { code: 9 }"));
+        }
+        // An unregistered sink receives nothing further.
+        t.remove_sink("test");
+        t.dump_on_failure("after removal").expect("enabled");
+        assert_eq!(sink.0.lock().unwrap().len(), 1);
     }
 }

@@ -148,7 +148,14 @@ pub struct Durability {
     logical_records: Counter,
     ship_counters: Arc<ShipCounters>,
     obs: Obs,
+    /// Key this stack's dump sink is registered under (unique per
+    /// instance, so parallel stacks sharing one tracer never replace each
+    /// other's sink); unregistered on shutdown/crash.
+    sink_key: String,
 }
+
+/// Distinguishes the dump-sink registrations of stacks sharing a tracer.
+static DURABILITY_SINK_IDS: AtomicU64 = AtomicU64::new(0);
 
 /// What [`Durability::reopen`] found and resumed from.
 #[derive(Clone, Copy, Debug, Default)]
@@ -227,12 +234,17 @@ impl Durability {
     ) -> Arc<Self> {
         let em = EpochManager::start_at(config.epoch_interval, base_epoch + 1);
         // The crash image carries its own flight-recorder tail: dumps land
-        // in `trace/` on these devices. Keyed so a later stack over fresh
-        // storage replaces (not stacks onto) this sink.
+        // in `trace/` on these devices. Keyed per instance so concurrent
+        // stacks sharing the (usually global) tracer never cross-write
+        // dumps into each other's StorageSet; shutdown/crash unregister it.
+        let sink_key = format!(
+            "durability-{}",
+            DURABILITY_SINK_IDS.fetch_add(1, Ordering::Relaxed)
+        );
         config
             .obs
             .tracer
-            .set_sink("durability", Arc::new(TraceDumpSink::new(storage.clone())));
+            .set_sink(&sink_key, Arc::new(TraceDumpSink::new(storage.clone())));
         let mut loggers = Vec::new();
         let mut sealed = Vec::new();
         let mut real = Vec::new();
@@ -357,7 +369,11 @@ impl Durability {
                                 // hold breaking — goes through the manager,
                                 // against the chain this round produced.
                                 retention2.reclaim(&chain);
-                                last.set(st.ts);
+                                // Release pairs with `last_checkpoint_ts`'s
+                                // Acquire: a reader observing the new ts
+                                // also sees the manifest write and the
+                                // reclaim round it covers.
+                                last.set_release(st.ts);
                             }
                             active.store(false, Ordering::Release);
                         })
@@ -391,6 +407,7 @@ impl Durability {
             logical_records: Counter::new(),
             ship_counters: Arc::default(),
             obs,
+            sink_key,
         };
         dur.register_metrics();
         Arc::new(dur)
@@ -600,8 +617,10 @@ impl Durability {
     }
 
     /// Snapshot timestamp of the last completed checkpoint (0 = none).
+    /// Acquire-paired with the checkpointer's Release publish: observing a
+    /// ts here also observes that round's manifest write and reclamation.
     pub fn last_checkpoint_ts(&self) -> u64 {
-        self.last_ckpt_ts.get()
+        self.last_ckpt_ts.get_acquire()
     }
 
     /// Part bytes the periodic checkpointer has written so far (the
@@ -691,6 +710,9 @@ impl Durability {
         // Final space accounting for this stack — snapshots taken after a
         // graceful stop see the settled footprint.
         self.publish_space_gauges();
+        // This stack is done: stop pinning its StorageSet through the
+        // tracer, and never receive another run's dumps.
+        self.obs.tracer.remove_sink(&self.sink_key);
     }
 
     /// Crash: stop everything abruptly. Unsealed epochs are lost; the
@@ -707,6 +729,7 @@ impl Durability {
             p.stop();
         }
         self.em.stop();
+        self.obs.tracer.remove_sink(&self.sink_key);
     }
 }
 
