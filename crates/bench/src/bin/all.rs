@@ -28,6 +28,7 @@ const TARGETS: &[&str] = &[
     "fig_failover",
     "fig_space",
     "obs_overhead",
+    "fig_alloc",
 ];
 
 fn main() {

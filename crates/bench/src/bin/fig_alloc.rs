@@ -1,0 +1,234 @@
+//! Allocation-count figure: what the zero-copy hot paths cost in
+//! allocator traffic.
+//!
+//! Reports two numbers next to the throughput figures:
+//!
+//! * **allocs/txn (commit)** — allocator calls per command-logged
+//!   transaction through the per-worker epoch arena
+//!   (`log_commit_buffered`), measured against the per-record
+//!   `log_commit` path it replaced;
+//! * **bytes/record (replay)** — bytes requested from the allocator per
+//!   log record when scanning a batch through `MergedBatchView` (the
+//!   replay hot path), against the owned `read_merged_batch` decode.
+//!
+//! This bin owns a counting global allocator (a pass-through wrapper
+//! over the system allocator), which is why the measurement lives here
+//! and not inside the library crates.
+
+use pacman_bench::{banner, print_row, BenchOpts};
+use pacman_common::clock::epoch_floor;
+use pacman_common::{ProcId, Row, TableId, Value};
+use pacman_engine::{Catalog, CommitInfo, Database, WriteKind, WriteRecord};
+use pacman_storage::{DiskConfig, StorageSet};
+use pacman_wal::{
+    batch_name, read_merged_batch, read_merged_batch_view, Durability, DurabilityConfig,
+    LogPayload, LogScheme, TxnLogRecord, WorkerLogBuffer,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+use std::time::Duration;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+// SAFETY: defers entirely to the system allocator; the counters are
+// thread-local and touched outside the allocation itself.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        BYTES.with(|c| c.set(c.get() + layout.size() as u64));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocs_now() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+fn bytes_now() -> u64 {
+    BYTES.with(|c| c.get())
+}
+
+fn boot_command() -> Arc<Durability> {
+    let mut c = Catalog::new();
+    c.add_table("t", 1);
+    let db = Arc::new(Database::new(c));
+    let storage = StorageSet::identical(1, DiskConfig::unthrottled("fig_alloc"));
+    Durability::start(
+        db,
+        storage,
+        DurabilityConfig {
+            scheme: LogScheme::Command,
+            num_loggers: 1,
+            epoch_interval: Duration::from_millis(2),
+            batch_epochs: 8,
+            checkpoint_interval: None,
+            checkpoint_threads: 1,
+            fsync: false,
+            ..Default::default()
+        },
+    )
+}
+
+fn one_write(key: u64) -> WriteRecord {
+    WriteRecord {
+        table: TableId::new(0),
+        key,
+        kind: WriteKind::Update,
+        after: Some(Row::from([Value::Int(key as i64)])),
+        prev_ts: 0,
+    }
+}
+
+/// (allocs/txn via arena, allocs/txn via per-record path).
+fn measure_commit(txns: u64) -> (f64, f64) {
+    let dur = boot_command();
+    let we = dur.register_worker();
+    let params = pacman_sproc::params([Value::Int(7), Value::Int(42)]);
+    let writes = vec![one_write(7)];
+
+    let mut per_record = 0u64;
+    for i in 0..txns {
+        let e = we.enter();
+        let info = CommitInfo {
+            ts: epoch_floor(e) | (i + 1),
+            writes: writes.clone(),
+            ops: 4,
+        };
+        let a0 = allocs_now();
+        dur.log_commit(0, &info, ProcId::new(0), &params, false);
+        per_record += allocs_now() - a0;
+    }
+
+    let mut wb = WorkerLogBuffer::new();
+    let mut buffered = 0u64;
+    for i in 0..txns {
+        let e = we.peek();
+        let a0 = allocs_now();
+        dur.flush_before_ack(&mut wb, 0, e);
+        let flush_cost = allocs_now() - a0;
+        we.enter_at(e);
+        let info = CommitInfo {
+            ts: epoch_floor(e) | (txns + i + 1),
+            writes: writes.clone(),
+            ops: 4,
+        };
+        let a1 = allocs_now();
+        dur.log_commit_buffered(&mut wb, 0, &info, ProcId::new(0), &params, false);
+        buffered += flush_cost + (allocs_now() - a1);
+    }
+    dur.flush_worker(&mut wb, 0);
+    dur.shutdown();
+    (
+        buffered as f64 / txns as f64,
+        per_record as f64 / txns as f64,
+    )
+}
+
+/// (bytes/record via view scan, bytes/record via owned decode).
+fn measure_replay(records: u64) -> (f64, f64) {
+    let storage = StorageSet::identical(1, DiskConfig::unthrottled("fig_alloc"));
+    let mut buf = Vec::new();
+    for i in 0..records {
+        let rec = TxnLogRecord {
+            ts: epoch_floor(1) | (i + 1),
+            payload: LogPayload::Writes {
+                writes: vec![one_write(i)],
+                physical: false,
+                adhoc: false,
+            },
+        };
+        pacman_common::Encoder::encode(&rec, &mut buf);
+    }
+    storage.disk(0).append(&batch_name(0, 0), &buf);
+
+    let b0 = bytes_now();
+    let owned = read_merged_batch(&storage, 1, 0, u64::MAX, 0).unwrap();
+    let owned_bytes = bytes_now() - b0;
+    assert_eq!(owned.records.len() as u64, records);
+    drop(owned);
+
+    let b1 = bytes_now();
+    let view = read_merged_batch_view(&storage, 1, 0, u64::MAX, 0).unwrap();
+    let mut n = 0u64;
+    for rec in view.iter() {
+        for w in rec.writes().expect("tuple-level records") {
+            std::hint::black_box(&w);
+            n += 1;
+        }
+    }
+    let view_bytes = bytes_now() - b1;
+    assert_eq!(n, records);
+    (
+        view_bytes as f64 / records as f64,
+        owned_bytes as f64 / records as f64,
+    )
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    banner(
+        "fig_alloc: allocator traffic on the zero-copy hot paths",
+        "epoch arenas amortize commit allocations; views replay without decode-to-owned",
+    );
+    let txns: u64 = if opts.quick { 2_000 } else { 20_000 };
+    let records: u64 = if opts.quick { 1_000 } else { 10_000 };
+
+    let (arena_per_txn, record_per_txn) = measure_commit(txns);
+    let (view_per_rec, owned_per_rec) = measure_replay(records);
+
+    let widths = [26, 14, 14];
+    print_row(
+        &["path".into(), "arena/view".into(), "per-record".into()],
+        &widths,
+    );
+    print_row(
+        &[
+            "commit allocs/txn".into(),
+            format!("{arena_per_txn:.3}"),
+            format!("{record_per_txn:.3}"),
+        ],
+        &widths,
+    );
+    print_row(
+        &[
+            "replay bytes/record".into(),
+            format!("{view_per_rec:.0}"),
+            format!("{owned_per_rec:.0}"),
+        ],
+        &widths,
+    );
+
+    assert!(
+        arena_per_txn <= 2.0,
+        "commit arena exceeded the allocation budget: {arena_per_txn:.3} allocs/txn"
+    );
+    assert!(
+        view_per_rec < owned_per_rec,
+        "view replay must copy fewer bytes than owned decode: {view_per_rec:.0} >= {owned_per_rec:.0}"
+    );
+
+    let reg = pacman_obs::registry();
+    reg.gauge_f("bench.fig_alloc.commit_allocs_per_txn_arena")
+        .set(arena_per_txn);
+    reg.gauge_f("bench.fig_alloc.commit_allocs_per_txn_record")
+        .set(record_per_txn);
+    reg.gauge_f("bench.fig_alloc.replay_bytes_per_record_view")
+        .set(view_per_rec);
+    reg.gauge_f("bench.fig_alloc.replay_bytes_per_record_owned")
+        .set(owned_per_rec);
+
+    pacman_bench::finish_bin("fig_alloc");
+}

@@ -60,6 +60,12 @@ impl<'a> Cursor<'a> {
         self.remaining() == 0
     }
 
+    /// The unconsumed tail of the underlying slice (does not advance).
+    #[inline]
+    pub fn rest(&self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.remaining() < n {
             return Err(Error::Corrupt(format!(

@@ -116,7 +116,8 @@ pub fn recover_log_online(
             let logicals = Arc::clone(&logicals);
             let reload_ns = Arc::clone(&reload_ns);
             let metrics = Arc::clone(metrics);
-            let batches = batches.clone();
+            // Scoped thread: borrow the batch list, no clone.
+            let batches = &batches;
             scope.spawn(move |_| {
                 let _ = tx.send(first);
                 for &b in &batches[1..] {

@@ -10,11 +10,10 @@
 
 use crate::metrics::RecoveryMetrics;
 use crate::recovery::plr::LogRecovery;
-use crate::recovery::{read_merged_batch, LogInventory};
+use crate::recovery::{read_merged_batch_view, LogInventory};
 use pacman_common::{Error, Result, Timestamp};
 use pacman_engine::{Database, WriteRecord};
 use pacman_storage::StorageSet;
-use pacman_wal::LogPayload;
 use std::time::Instant;
 
 /// LLR-P log recovery.
@@ -47,7 +46,7 @@ pub fn recover_log(
                 for batch in inventory.batches() {
                     let tr = Instant::now();
                     let merged =
-                        match read_merged_batch(storage, inventory, batch, pepoch, after_ts) {
+                        match read_merged_batch_view(storage, inventory, batch, pepoch, after_ts) {
                             Ok(m) => m,
                             Err(e) => {
                                 *err.lock() = Some(e);
@@ -59,33 +58,32 @@ pub fn recover_log(
                         std::sync::atomic::Ordering::Relaxed,
                     );
                     metrics.add_load(tr.elapsed());
-                    if merged.records.is_empty() {
+                    if merged.is_empty() {
                         continue;
                     }
-                    // Shuffle writes by (table, key) onto the threads.
+                    // Shuffle writes by (table, key) onto the threads —
+                    // decoded straight off the borrowed batch spans, so
+                    // each write is materialized exactly once, already
+                    // owned by its destination partition.
                     let tp = Instant::now();
                     let mut partitions: Vec<Vec<(Timestamp, WriteRecord)>> =
                         (0..threads).map(|_| Vec::new()).collect();
                     {
                         let mut st = stats.lock();
-                        for rec in &merged.records {
-                            let writes = match &rec.payload {
-                                LogPayload::Writes { writes, .. }
-                                | LogPayload::TaggedWrites { writes, .. } => writes,
-                                LogPayload::Command { .. } => {
-                                    *err.lock() = Some(Error::Corrupt(
-                                        "LLR-P requires tuple-level log records".into(),
-                                    ));
-                                    return;
-                                }
+                        for rec in merged.iter() {
+                            let Some(writes) = rec.writes() else {
+                                *err.lock() = Some(Error::Corrupt(
+                                    "LLR-P requires tuple-level log records".into(),
+                                ));
+                                return;
                             };
-                            st.0 = st.0.max(rec.ts);
+                            st.0 = st.0.max(rec.ts());
                             st.1 += 1;
                             for w in writes {
                                 let h = (w.key ^ ((w.table.0 as u64) << 32))
                                     .wrapping_mul(0x9E3779B97F4A7C15)
                                     >> 32;
-                                partitions[h as usize % threads].push((rec.ts, w.clone()));
+                                partitions[h as usize % threads].push((rec.ts(), w));
                             }
                         }
                     }
@@ -110,7 +108,9 @@ pub fn recover_log(
                         for (ts, w) in part {
                             match db.table(w.table) {
                                 Ok(table) => {
-                                    table.install_lww(w.key, ts, w.after.clone());
+                                    // `w` is owned here: the after-image
+                                    // moves into the version chain.
+                                    table.install_lww(w.key, ts, w.after);
                                 }
                                 Err(e) => {
                                     let mut s = err.lock();
@@ -212,7 +212,7 @@ pub fn recover_log_online(
                 for (bi, &batch) in batches.iter().enumerate() {
                     let tr = Instant::now();
                     let merged =
-                        match read_merged_batch(storage, inventory, batch, pepoch, after_ts) {
+                        match read_merged_batch_view(storage, inventory, batch, pepoch, after_ts) {
                             Ok(m) => m,
                             Err(e) => {
                                 *err.lock() = Some(e);
@@ -223,22 +223,18 @@ pub fn recover_log_online(
                     metrics.add_load(tr.elapsed());
                     {
                         let mut st = stats.lock();
-                        for rec in &merged.records {
-                            let writes = match &rec.payload {
-                                LogPayload::Writes { writes, .. }
-                                | LogPayload::TaggedWrites { writes, .. } => writes,
-                                LogPayload::Command { .. } => {
-                                    *err.lock() = Some(Error::Corrupt(
-                                        "LLR-P requires tuple-level log records".into(),
-                                    ));
-                                    break;
-                                }
+                        for rec in merged.iter() {
+                            let Some(writes) = rec.writes() else {
+                                *err.lock() = Some(Error::Corrupt(
+                                    "LLR-P requires tuple-level log records".into(),
+                                ));
+                                break;
                             };
-                            st.0 = st.0.max(rec.ts);
+                            st.0 = st.0.max(rec.ts());
                             st.1 += 1;
                             for w in writes {
                                 match map.partition(db, w.table, w.key) {
-                                    Ok(p) => groups[p].push((rec.ts, w.clone())),
+                                    Ok(p) => groups[p].push((rec.ts(), w)),
                                     Err(e) => {
                                         *err.lock() = Some(e);
                                         break;
@@ -304,7 +300,7 @@ mod tests {
     use pacman_common::clock::epoch_floor;
     use pacman_common::{Encoder, Row, TableId, Value};
     use pacman_engine::{Catalog, WriteKind};
-    use pacman_wal::TxnLogRecord;
+    use pacman_wal::{LogPayload, TxnLogRecord};
 
     fn logical(ts: u64, key: u64, val: i64) -> TxnLogRecord {
         TxnLogRecord {

@@ -118,16 +118,33 @@ pub fn read_merged_batch(
     pepoch: u64,
     after_ts: Timestamp,
 ) -> Result<pacman_wal::LogBatch> {
-    let mut records = Vec::new();
+    Ok(read_merged_batch_view(storage, inventory, batch, pepoch, after_ts)?.to_batch())
+}
+
+/// [`read_merged_batch`] without decode-to-owned: the per-file read
+/// buffers back borrowed [`pacman_wal::RecordView`]s, so replay copies
+/// row bytes only at version-chain installation.
+pub fn read_merged_batch_view(
+    storage: &StorageSet,
+    inventory: &LogInventory,
+    batch: u64,
+    pepoch: u64,
+    after_ts: Timestamp,
+) -> Result<pacman_wal::MergedBatchView> {
+    let mut buffers = Vec::new();
     for f in inventory.files_for(batch) {
-        let bytes = storage.disk(f.disk).read(&f.name)?;
-        records.extend(decode_records(&bytes, pepoch, after_ts)?);
+        match storage.disk(f.disk).read(&f.name) {
+            Ok(b) => buffers.push(b),
+            // An online session scans its inventory before logging resumes;
+            // `Durability::reopen`'s ghost-tail truncation then deletes a
+            // batch file only when *every* record in it sits past the pepoch
+            // frontier — records this view filters out regardless. A file
+            // that vanished in that window contributes nothing to replay.
+            Err(pacman_common::Error::FileNotFound(_)) => continue,
+            Err(e) => return Err(e),
+        }
     }
-    records.sort_by_key(|r| r.ts);
-    Ok(pacman_wal::LogBatch {
-        index: batch,
-        records,
-    })
+    pacman_wal::merged_view_from_buffers(batch, buffers, pepoch, after_ts)
 }
 
 #[cfg(test)]
@@ -191,6 +208,27 @@ mod tests {
         sorted.sort_by_key(key);
         assert_eq!(ia.files, sorted, "not sorted by (batch, disk, name)");
         assert_eq!(ia.batches(), vec![0, 2, 10]);
+    }
+
+    #[test]
+    fn merged_batch_view_tolerates_file_deleted_after_scan() {
+        // An online session's inventory races `Durability::reopen`: the
+        // ghost-tail truncation may delete a batch file (only when every
+        // record in it is past the pepoch frontier) between the scan and
+        // the replay thread's read. The vanished file must read as empty,
+        // not fail the session.
+        use pacman_common::clock::epoch_floor;
+        let storage = StorageSet::identical(2, DiskConfig::unthrottled("t"));
+        let mut buf = Vec::new();
+        cmd(epoch_floor(1) | 5).encode(&mut buf);
+        storage.disk(0).append("log/00/0000000000", &buf);
+        storage.disk(1).append("log/01/0000000000", b"");
+        let inv = LogInventory::scan(&storage);
+        assert_eq!(inv.files_for(0).count(), 2);
+        storage.disk(1).delete("log/01/0000000000");
+        let batch = read_merged_batch(&storage, &inv, 0, u64::MAX, 0).unwrap();
+        assert_eq!(batch.records.len(), 1);
+        assert_eq!(batch.records[0].ts, epoch_floor(1) | 5);
     }
 
     #[test]

@@ -81,10 +81,12 @@ pub(crate) fn run_shard_worker(
                 }
                 let drained = std::mem::take(&mut *q);
                 let t0 = Instant::now();
-                for (ts, w) in &drained {
+                for (ts, w) in drained {
                     match db.table(w.table) {
                         Ok(t) => {
-                            t.install_lww(w.key, *ts, w.after.clone());
+                            // The drained queue is owned: the after-image
+                            // moves into the version chain, no copy.
+                            t.install_lww(w.key, ts, w.after);
                         }
                         Err(e) => {
                             let mut s = err.lock();

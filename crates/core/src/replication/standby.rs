@@ -1515,7 +1515,7 @@ mod tests {
             ShipFrame::Records {
                 file: "log/00/0000000000".into(),
                 offset: 999,
-                bytes: vec![1, 2, 3],
+                bytes: vec![1, 2, 3].into(),
             }
             .to_bytes(),
         )

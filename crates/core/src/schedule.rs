@@ -77,6 +77,14 @@ impl ExecutionSchedule {
             })
             .collect();
         let mut txns = Vec::with_capacity(batch.records.len());
+        // Scratch arena reused across the whole batch: the outer grouping
+        // vector keeps its capacity from record to record (the per-group
+        // vectors move into their pieces' `Arc`s), and write-only
+        // transactions share one empty param/var context instead of
+        // allocating fresh ones per record.
+        let mut by_block: Vec<(BlockId, Vec<WriteRecord>)> = Vec::new();
+        let empty_params: Params = Arc::from(Vec::new());
+        let empty_vars = Arc::new(VarStore::new(0));
 
         for record in &batch.records {
             let txn_idx = txns.len();
@@ -105,7 +113,7 @@ impl ExecutionSchedule {
                     // Group the write set by owning block (§4.5): each write
                     // operation is dispatched to the piece-subset of the
                     // block that owns its table.
-                    let mut by_block: Vec<(BlockId, Vec<WriteRecord>)> = Vec::new();
+                    by_block.clear();
                     for w in writes {
                         let block = gdg.block_for_write(w.table).unwrap_or(BlockId::new(0));
                         match by_block.iter_mut().find(|(b, _)| *b == block) {
@@ -113,7 +121,7 @@ impl ExecutionSchedule {
                             None => by_block.push((block, vec![w.clone()])),
                         }
                     }
-                    for (block, group) in by_block {
+                    for (block, group) in by_block.drain(..) {
                         piece_sets[block.index()].pieces.push(Piece {
                             txn: txn_idx,
                             ts: record.ts,
@@ -123,8 +131,8 @@ impl ExecutionSchedule {
                     txns.push(TxnCtx {
                         ts: record.ts,
                         proc: None,
-                        params: Arc::from(Vec::new()),
-                        vars: Arc::new(VarStore::new(0)),
+                        params: Arc::clone(&empty_params),
+                        vars: Arc::clone(&empty_vars),
                     });
                 }
             }

@@ -38,6 +38,23 @@ impl WorkerEpoch {
         e
     }
 
+    /// Peek the current epoch without acknowledging it.
+    #[inline]
+    pub fn peek(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Acknowledge a specific epoch the caller already sampled via
+    /// [`WorkerEpoch::peek`]. Splitting the sample from the store lets a
+    /// worker order per-epoch work (flushing a staged log buffer) strictly
+    /// *before* its acknowledgement advances — the logger may seal epoch
+    /// `e` the instant every ack exceeds `e`, so anything staged for `e`
+    /// must be queued before this store makes the ack exceed it.
+    #[inline]
+    pub fn enter_at(&self, epoch: u64) {
+        self.ack.store(epoch, Ordering::Release);
+    }
+
     /// Mark this worker as finished: it will never produce records again.
     pub fn retire(&self) {
         self.ack.store(u64::MAX, Ordering::Release);

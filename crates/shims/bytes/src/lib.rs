@@ -1,15 +1,18 @@
 //! Offline stand-in for the `bytes` crate.
 //!
 //! The build environment has no crates.io access, so this vendors the tiny
-//! subset the workspace uses: an immutable, cheaply-cloneable byte buffer.
+//! subset the workspace uses: an immutable, cheaply-cloneable byte buffer
+//! with zero-copy sub-slicing (a `slice` shares the parent's allocation).
 
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply cloneable, immutable contiguous slice of memory.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Debug)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    off: usize,
+    len: usize,
 }
 
 impl Bytes {
@@ -17,24 +20,62 @@ impl Bytes {
     pub fn new() -> Bytes {
         Bytes {
             data: Arc::from(Vec::new()),
+            off: 0,
+            len: 0,
         }
     }
 
     /// Copy `src` into a fresh buffer.
     pub fn copy_from_slice(src: &[u8]) -> Bytes {
+        let len = src.len();
         Bytes {
             data: Arc::from(src.to_vec()),
+            off: 0,
+            len,
         }
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
+    }
+
+    /// A view of `range` sharing this buffer's allocation (no copy).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds, matching the real crate.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of bounds of {}",
+            self.len
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
     }
 }
 
@@ -42,25 +83,56 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.off..self.off + self.len]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes { data: Arc::from(v) }
+        let len = v.len();
+        Bytes {
+            data: Arc::from(v),
+            off: 0,
+            len,
+        }
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(s: &[u8]) -> Bytes {
         Bytes::copy_from_slice(s)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        (**self).cmp(&**other)
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (**self).hash(state);
     }
 }
 
@@ -77,5 +149,24 @@ mod tests {
         assert_eq!(b.len(), 5);
         assert!(!b.is_empty());
         assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn slices_share_storage_and_compare_by_content() {
+        let b = Bytes::copy_from_slice(b"hello world");
+        let s = b.slice(6..);
+        assert_eq!(&*s, b"world");
+        assert_eq!(s.len(), 5);
+        let s2 = s.slice(1..3);
+        assert_eq!(&*s2, b"or");
+        assert_eq!(s2, Bytes::copy_from_slice(b"or"));
+        assert_eq!(b.slice(..), b);
+        assert!(b.slice(3..3).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_slice_panics() {
+        Bytes::copy_from_slice(b"ab").slice(1..4);
     }
 }

@@ -8,9 +8,10 @@
 //! files of a batch and sorts by commit timestamp, yielding exactly the
 //! paper's batch abstraction.
 
-use crate::record::TxnLogRecord;
+use crate::record::{RecordView, TxnLogRecord};
+use bytes::Bytes;
 use pacman_common::codec::Cursor;
-use pacman_common::{Decoder, Encoder, Result};
+use pacman_common::Result;
 use pacman_storage::StorageSet;
 use std::collections::BTreeSet;
 
@@ -84,17 +85,22 @@ pub fn truncate_log_tail(storage: &StorageSet, pepoch: u64, batch_epochs: u64) -
             let Ok(bytes) = disk.read(&name) else {
                 continue;
             };
+            // Scan with borrowed views: a kept record's span is appended
+            // verbatim (no decode-to-owned, no re-encode), and `keep_len`
+            // only materializes a rewrite buffer if something is lost.
             let mut cur = Cursor::new(&bytes);
-            let mut keep = Vec::new();
+            let mut keep_len = 0usize;
             let mut kept = 0u64;
             let mut lost = 0u64;
+            let mut prefix = true; // kept records form the file prefix
             while !cur.is_empty() {
-                let before = keep.len();
-                match TxnLogRecord::decode(&mut cur) {
-                    Ok(rec) if rec.epoch() <= pepoch => {
-                        max_kept = max_kept.max(rec.epoch());
-                        rec.encode(&mut keep);
-                        debug_assert!(keep.len() > before);
+                match RecordView::parse(&mut cur) {
+                    Ok(view) if view.epoch() <= pepoch => {
+                        max_kept = max_kept.max(view.epoch());
+                        if lost > 0 {
+                            prefix = false;
+                        }
+                        keep_len = cur.position();
                         kept += 1;
                     }
                     Ok(_) => lost += 1,
@@ -110,7 +116,26 @@ pub fn truncate_log_tail(storage: &StorageSet, pepoch: u64, batch_epochs: u64) -
             dropped += lost;
             if kept == 0 {
                 disk.delete(&name);
+            } else if prefix {
+                // The surviving records are exactly the file prefix (the
+                // common case: epochs are appended in seal order), so the
+                // rewrite is a byte-level truncation — no decode, no
+                // re-encode.
+                disk.write_file(&name, &bytes[..keep_len]);
             } else {
+                // A record past the frontier interleaved before surviving
+                // ones; splice the kept spans verbatim.
+                let mut keep = Vec::with_capacity(keep_len);
+                let mut cur = Cursor::new(&bytes);
+                while !cur.is_empty() {
+                    match RecordView::parse(&mut cur) {
+                        Ok(view) if view.epoch() <= pepoch => {
+                            keep.extend_from_slice(view.as_bytes());
+                        }
+                        Ok(_) => {}
+                        Err(_) => break,
+                    }
+                }
                 disk.write_file(&name, &keep);
             }
         }
@@ -132,24 +157,122 @@ pub fn read_merged_batch(
     pepoch: u64,
     after_ts: u64,
 ) -> Result<LogBatch> {
-    let mut records = Vec::new();
+    Ok(read_merged_batch_view(storage, num_loggers, index, pepoch, after_ts)?.to_batch())
+}
+
+/// One record's location inside a [`MergedBatchView`].
+#[derive(Clone, Copy, Debug)]
+struct Span {
+    ts: u64,
+    buf: u32,
+    start: u32,
+    len: u32,
+}
+
+/// A commit-ordered view over one batch's per-logger files.
+///
+/// The file payloads stay in their (ref-counted) read buffers; the merge
+/// sorts lightweight spans instead of owned records. Consumers iterate
+/// [`RecordView`]s and copy only what they install — the owned
+/// [`LogBatch`] is available via [`MergedBatchView::to_batch`] for
+/// consumers that need full ownership.
+#[derive(Clone, Debug, Default)]
+pub struct MergedBatchView {
+    /// Batch sequence number.
+    pub index: u64,
+    buffers: Vec<Bytes>,
+    spans: Vec<Span>,
+}
+
+impl MergedBatchView {
+    /// Number of records in the merged, filtered batch.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the batch has no surviving records.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Highest commit timestamp in the batch.
+    pub fn last_ts(&self) -> Option<u64> {
+        self.spans.last().map(|s| s.ts)
+    }
+
+    /// Total bytes of the surviving record spans.
+    pub fn span_bytes(&self) -> u64 {
+        self.spans.iter().map(|s| s.len as u64).sum()
+    }
+
+    /// Iterate records in commit order as borrowed views.
+    pub fn iter(&self) -> impl Iterator<Item = RecordView<'_>> + '_ {
+        self.spans.iter().map(move |s| {
+            let slice = &self.buffers[s.buf as usize][s.start as usize..(s.start + s.len) as usize];
+            RecordView::parse(&mut Cursor::new(slice)).expect("span validated at read time")
+        })
+    }
+
+    /// Decode every record to an owned, commit-ordered [`LogBatch`].
+    pub fn to_batch(&self) -> LogBatch {
+        LogBatch {
+            index: self.index,
+            records: self.iter().map(|v| v.to_owned()).collect(),
+        }
+    }
+}
+
+/// [`read_merged_batch`] without decode-to-owned: reads each logger's file
+/// once and merges borrowed record spans by commit timestamp.
+pub fn read_merged_batch_view(
+    storage: &StorageSet,
+    num_loggers: usize,
+    index: u64,
+    pepoch: u64,
+    after_ts: u64,
+) -> Result<MergedBatchView> {
+    let mut buffers = Vec::new();
     for logger in 0..num_loggers {
         let name = batch_name(logger, index);
-        let disk = storage.disk(logger);
-        let bytes = match disk.read(&name) {
-            Ok(b) => b,
+        match storage.disk(logger).read(&name) {
+            Ok(b) => buffers.push(b),
             Err(_) => continue, // this logger wrote nothing for the batch
-        };
-        let mut cur = Cursor::new(&bytes);
+        }
+    }
+    merged_view_from_buffers(index, buffers, pepoch, after_ts)
+}
+
+/// Build a merged, commit-ordered view over raw per-file buffers (for
+/// recovery paths that discover log files by inventory scan rather than
+/// the loggers' own naming). Filters like [`read_merged_batch_view`].
+pub fn merged_view_from_buffers(
+    index: u64,
+    buffers: Vec<Bytes>,
+    pepoch: u64,
+    after_ts: u64,
+) -> Result<MergedBatchView> {
+    let mut spans = Vec::new();
+    for (buf, bytes) in buffers.iter().enumerate() {
+        let mut cur = Cursor::new(bytes);
         while !cur.is_empty() {
-            let rec = TxnLogRecord::decode(&mut cur)?;
-            if rec.epoch() <= pepoch && rec.ts > after_ts {
-                records.push(rec);
+            let start = cur.position();
+            let view = RecordView::parse(&mut cur)?;
+            if view.epoch() <= pepoch && view.ts() > after_ts {
+                spans.push(Span {
+                    ts: view.ts(),
+                    buf: buf as u32,
+                    start: start as u32,
+                    len: (cur.position() - start) as u32,
+                });
             }
         }
     }
-    records.sort_by_key(|r| r.ts);
-    Ok(LogBatch { index, records })
+    spans.sort_by_key(|s| s.ts);
+    Ok(MergedBatchView {
+        index,
+        buffers,
+        spans,
+    })
 }
 
 #[cfg(test)]

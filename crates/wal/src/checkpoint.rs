@@ -310,7 +310,9 @@ fn checkpoint_round(
             let parts = &parts;
             let bytes_written = &bytes_written;
             let db = Arc::clone(db);
-            let storage = storage.clone();
+            // Scoped threads share the borrow — no per-thread StorageSet
+            // clone (each clone re-allocated the disk handle vector).
+            let storage = &*storage;
             let delta = base.is_some();
             scope.spawn(move |_| {
                 let disk_idx = ti % storage.num_disks();

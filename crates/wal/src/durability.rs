@@ -7,15 +7,15 @@ use crate::checkpoint::{
 };
 use crate::classify::{CommitClassifier, LogChoice, WriteCountClassifier};
 use crate::logger::{LoggerHandle, QueuedRecord};
-use crate::pepoch::PepochHandle;
-use crate::record::{LogPayload, TxnLogRecord};
+use crate::pepoch::{DurableSignal, PepochHandle};
+use crate::record::PayloadRef;
 use crate::retention::{RetentionManager, RetentionPolicy};
 use crate::ship::{LogShipper, ShipCounters};
 use pacman_common::clock::epoch_of;
-use pacman_common::{Encoder, ProcId};
+use pacman_common::ProcId;
 use pacman_engine::epoch::WorkerEpoch;
 use pacman_engine::{CommitInfo, Database, EpochManager};
-use pacman_obs::{Counter, Gauge, Obs, TraceEvent};
+use pacman_obs::{Counter, Gauge, HistoHandle, Obs, TraceEvent};
 use pacman_sproc::Params;
 use pacman_storage::TraceDumpSink;
 use parking_lot::{Mutex, RwLock};
@@ -131,6 +131,8 @@ pub struct Durability {
     loggers: RwLock<Vec<LoggerHandle>>,
     pepoch: Mutex<Option<PepochHandle>>,
     pepoch_value: Arc<AtomicU64>,
+    durable_signal: Arc<DurableSignal>,
+    commit_group_size: HistoHandle,
     storage: pacman_storage::StorageSet,
     retention: Arc<RetentionManager>,
     ckpt_stop: Arc<AtomicBool>,
@@ -156,6 +158,42 @@ pub struct Durability {
 
 /// Distinguishes the dump-sink registrations of stacks sharing a tracer.
 static DURABILITY_SINK_IDS: AtomicU64 = AtomicU64::new(0);
+
+/// A worker's log staging arena: commit records of the current epoch are
+/// encoded back-to-back into one growing buffer and handed to the logger
+/// as a single [`QueuedRecord`] when the epoch turns over (or at
+/// shutdown). Steady state, the commit path performs zero allocations for
+/// logging — the buffer is recycled each epoch by `std::mem::take` +
+/// regrowth into the logger's queue entry, so the cost is one buffer
+/// allocation per worker *per epoch*, not per transaction.
+#[derive(Debug, Default)]
+pub struct WorkerLogBuffer {
+    epoch: u64,
+    buf: Vec<u8>,
+    records: u64,
+}
+
+impl WorkerLogBuffer {
+    /// A fresh, empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The epoch the staged records belong to (meaningless when empty).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether anything is staged.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of staged records.
+    pub fn staged_records(&self) -> u64 {
+        self.records
+    }
+}
 
 /// What [`Durability::reopen`] found and resumed from.
 #[derive(Clone, Copy, Debug, Default)]
@@ -264,8 +302,13 @@ impl Durability {
                 loggers.push(logger);
             }
         }
-        let (pepoch, pepoch_value) = if sealed.is_empty() {
-            (None, Arc::new(AtomicU64::new(u64::MAX))) // OFF: everything "durable"
+        let (pepoch, pepoch_value, durable_signal) = if sealed.is_empty() {
+            // OFF: everything "durable"
+            (
+                None,
+                Arc::new(AtomicU64::new(u64::MAX)),
+                Arc::new(DurableSignal::default()),
+            )
         } else {
             let h = PepochHandle::spawn(
                 sealed,
@@ -274,7 +317,8 @@ impl Durability {
                 config.epoch_interval / 4,
             );
             let v = h.value_arc();
-            (Some(h), v)
+            let s = h.signal_arc();
+            (Some(h), v, s)
         };
 
         // One reclaim frontier for the whole stack: the manager owns every
@@ -390,6 +434,8 @@ impl Durability {
             loggers: RwLock::new(loggers),
             pepoch: Mutex::new(pepoch),
             pepoch_value,
+            durable_signal,
+            commit_group_size: HistoHandle::new(),
             storage,
             retention,
             ckpt_stop,
@@ -420,6 +466,7 @@ impl Durability {
     fn register_metrics(&self) {
         let r = &self.obs.registry;
         r.bind_counter("wal.log.bytes_logged", &self.bytes_logged);
+        r.bind_histogram("wal.commit.group_size", &self.commit_group_size);
         r.bind_counter("wal.log.command_records", &self.command_records);
         r.bind_counter("wal.log.logical_records", &self.logical_records);
         r.bind_counter("wal.ckpt.bytes_written", &self.ckpt_bytes_written);
@@ -488,25 +535,24 @@ impl Durability {
         &self.storage
     }
 
-    /// Serialize and enqueue the log record for a committed transaction.
-    /// `worker` selects the logger (sub-group mapping). Returns the record
-    /// size in bytes (0 when logging is off).
-    pub fn log_commit(
+    /// Pick the wire payload for a committing transaction, borrowing the
+    /// commit info's write set / parameter list (no clone — the encoder
+    /// walks the borrowed payload straight into the output buffer).
+    fn commit_payload<'a>(
         &self,
-        worker: usize,
-        info: &CommitInfo,
+        info: &'a CommitInfo,
         proc: ProcId,
-        params: &Params,
+        params: &'a Params,
         adhoc: bool,
-    ) -> usize {
+    ) -> Option<PayloadRef<'a>> {
         let payload = match (self.config.scheme, adhoc) {
-            (LogScheme::Off, _) => return 0,
-            (LogScheme::Command, false) => LogPayload::Command {
+            (LogScheme::Off, _) => return None,
+            (LogScheme::Command, false) => PayloadRef::Command {
                 proc,
-                params: Arc::clone(params),
+                params: &params[..],
             },
-            (LogScheme::Command, true) | (LogScheme::Adaptive, true) => LogPayload::Writes {
-                writes: info.writes.clone(),
+            (LogScheme::Command, true) | (LogScheme::Adaptive, true) => PayloadRef::Writes {
+                writes: &info.writes,
                 physical: false,
                 adhoc: true,
             },
@@ -517,40 +563,58 @@ impl Durability {
                     command: choice == LogChoice::Command,
                 });
                 match choice {
-                    LogChoice::Command => LogPayload::Command {
+                    LogChoice::Command => PayloadRef::Command {
                         proc,
-                        params: Arc::clone(params),
+                        params: &params[..],
                     },
-                    LogChoice::Logical => LogPayload::TaggedWrites {
+                    LogChoice::Logical => PayloadRef::TaggedWrites {
                         proc,
-                        writes: info.writes.clone(),
+                        writes: &info.writes,
                     },
                 }
             }
-            (LogScheme::Logical, _) => LogPayload::Writes {
-                writes: info.writes.clone(),
+            (LogScheme::Logical, _) => PayloadRef::Writes {
+                writes: &info.writes,
                 physical: false,
                 adhoc: false,
             },
-            (LogScheme::Physical, _) => LogPayload::Writes {
-                writes: info.writes.clone(),
+            (LogScheme::Physical, _) => PayloadRef::Writes {
+                writes: &info.writes,
                 physical: true,
                 adhoc: false,
             },
         };
-        match &payload {
-            LogPayload::Command { .. } => self.command_records.inc(),
-            LogPayload::Writes { .. } | LogPayload::TaggedWrites { .. } => {
+        match payload {
+            PayloadRef::Command { .. } => self.command_records.inc(),
+            PayloadRef::Writes { .. } | PayloadRef::TaggedWrites { .. } => {
                 self.logical_records.inc()
             }
         }
-        let record = TxnLogRecord {
-            ts: info.ts,
-            payload,
+        Some(payload)
+    }
+
+    /// Serialize and enqueue the log record for a committed transaction.
+    /// `worker` selects the logger (sub-group mapping). Returns the record
+    /// size in bytes (0 when logging is off).
+    ///
+    /// One queue entry (and one buffer allocation) per transaction; the
+    /// hot benchmark path uses [`Durability::log_commit_buffered`] instead,
+    /// which stages records in a per-worker epoch arena.
+    pub fn log_commit(
+        &self,
+        worker: usize,
+        info: &CommitInfo,
+        proc: ProcId,
+        params: &Params,
+        adhoc: bool,
+    ) -> usize {
+        let Some(payload) = self.commit_payload(info, proc, params, adhoc) else {
+            return 0;
         };
         // Worker-side serialization (this is the per-txn CPU cost that
         // separates tuple-level from command logging in §6.1.1).
-        let bytes = record.to_bytes();
+        let mut bytes = Vec::with_capacity(64);
+        payload.encode_record(info.ts, &mut bytes);
         let len = bytes.len();
         self.bytes_logged.add(len as u64);
         let loggers = self.loggers.read();
@@ -559,10 +623,78 @@ impl Durability {
         }
         let idx = worker % loggers.len();
         let _ = loggers[idx].sender.send(QueuedRecord {
-            epoch: record.epoch(),
+            epoch: epoch_of(info.ts),
             bytes,
         });
         len
+    }
+
+    /// Encode a committed transaction's record into the worker's epoch
+    /// arena. Same wire bytes as [`Durability::log_commit`], but the
+    /// encode appends to the arena's buffer (amortizing the allocation
+    /// over the whole epoch) and the logger receives *one* queue entry per
+    /// worker per epoch instead of one per transaction.
+    ///
+    /// Safety contract (enforced by the drivers): before a worker's
+    /// acknowledged epoch advances past `buf.epoch()` — i.e. before every
+    /// `WorkerEpoch::enter_at` with a newer epoch, including iterations
+    /// that committed nothing — the arena must be handed to the logger via
+    /// [`Durability::flush_before_ack`]. The logger seals epoch `e` the
+    /// moment every ack exceeds `e`; records still staged in a worker
+    /// arena at that point would miss their batch file.
+    pub fn log_commit_buffered(
+        &self,
+        buf: &mut WorkerLogBuffer,
+        worker: usize,
+        info: &CommitInfo,
+        proc: ProcId,
+        params: &Params,
+        adhoc: bool,
+    ) -> usize {
+        let Some(payload) = self.commit_payload(info, proc, params, adhoc) else {
+            return 0;
+        };
+        let epoch = epoch_of(info.ts);
+        if !buf.buf.is_empty() && buf.epoch != epoch {
+            self.flush_worker(buf, worker);
+        }
+        buf.epoch = epoch;
+        let start = buf.buf.len();
+        payload.encode_record(info.ts, &mut buf.buf);
+        let len = buf.buf.len() - start;
+        self.bytes_logged.add(len as u64);
+        buf.records += 1;
+        len
+    }
+
+    /// Hand the worker arena's staged records to its logger as a single
+    /// queue entry. No-op on an empty arena.
+    pub fn flush_worker(&self, buf: &mut WorkerLogBuffer, worker: usize) {
+        if buf.buf.is_empty() {
+            return;
+        }
+        buf.records = 0;
+        let bytes = std::mem::take(&mut buf.buf);
+        let loggers = self.loggers.read();
+        if loggers.is_empty() {
+            return;
+        }
+        let idx = worker % loggers.len();
+        let _ = loggers[idx].sender.send(QueuedRecord {
+            epoch: buf.epoch,
+            bytes,
+        });
+    }
+
+    /// Flush the worker arena iff it holds records of an epoch older than
+    /// `epoch`. Call with the epoch the worker is *about to acknowledge*
+    /// (sampled via `WorkerEpoch::peek`), strictly before the matching
+    /// `WorkerEpoch::enter_at` — this is the ordering that keeps the
+    /// logger's seal rule sound with worker-side staging.
+    pub fn flush_before_ack(&self, buf: &mut WorkerLogBuffer, worker: usize, epoch: u64) {
+        if !buf.buf.is_empty() && buf.epoch < epoch {
+            self.flush_worker(buf, worker);
+        }
     }
 
     /// The durability frontier (highest epoch all loggers sealed).
@@ -575,11 +707,22 @@ impl Durability {
         Arc::clone(&self.pepoch_value)
     }
 
-    /// Block until `epoch` is durable (test helper).
+    /// The group-commit acknowledgement signal: fired once per pepoch
+    /// advance, waking every waiter of the sealed batch at once.
+    pub fn durable_signal(&self) -> &Arc<DurableSignal> {
+        &self.durable_signal
+    }
+
+    /// Record how many pending transactions one durability-frontier
+    /// advance acknowledged (`wal.commit.group_size`).
+    pub fn note_commit_group(&self, acked: u64) {
+        self.commit_group_size.record(acked);
+    }
+
+    /// Block until `epoch` is durable. Waits on the group-commit signal —
+    /// one wakeup per epoch seal — instead of sleep-polling.
     pub fn wait_durable(&self, epoch: u64) {
-        while self.pepoch() < epoch {
-            std::thread::sleep(Duration::from_micros(200));
-        }
+        self.durable_signal.wait_until(|| self.pepoch() >= epoch);
     }
 
     /// Whether a checkpoint is currently being written (Fig. 11 shading).
@@ -739,7 +882,8 @@ type _AssertSend = StdArc<Durability>;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pacman_common::{Row, TableId, Value};
+    use crate::record::{LogPayload, TxnLogRecord};
+    use pacman_common::{Encoder, Row, TableId, Value};
     use pacman_engine::Catalog;
     use pacman_storage::{DiskConfig, StorageSet};
 

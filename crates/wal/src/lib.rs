@@ -33,8 +33,8 @@ pub mod retention;
 pub mod ship;
 
 pub use batch::{
-    batch_index_of_epoch, batch_name, list_batch_indices, read_merged_batch, truncate_log_tail,
-    LogBatch,
+    batch_index_of_epoch, batch_name, list_batch_indices, merged_view_from_buffers,
+    read_merged_batch, read_merged_batch_view, truncate_log_tail, LogBatch, MergedBatchView,
 };
 pub use checkpoint::{
     read_chain, run_checkpoint, run_checkpoint_full, run_checkpoint_full_chained,
@@ -42,8 +42,9 @@ pub use checkpoint::{
     CheckpointManifest, CheckpointStats, ResolvedPart,
 };
 pub use classify::{CommitClassifier, LogChoice, WriteCountClassifier};
-pub use durability::{Durability, DurabilityConfig, LogScheme, ResumeInfo};
-pub use record::{LogPayload, TxnLogRecord};
+pub use durability::{Durability, DurabilityConfig, LogScheme, ResumeInfo, WorkerLogBuffer};
+pub use pepoch::DurableSignal;
+pub use record::{LogPayload, PayloadKind, PayloadRef, RecordView, TxnLogRecord, WritesIter};
 pub use retention::{
     HoldKind, ReclaimStats, RetentionHold, RetentionManager, RetentionPolicy, RETENTION_FILE,
 };

@@ -15,9 +15,48 @@ use std::time::Duration;
 /// Name of the persisted epoch file (on device 0).
 pub const PEPOCH_FILE: &str = "pepoch.log";
 
+/// Group-commit acknowledgement signal: the pepoch watcher fires one
+/// `notify_all` per durability-frontier advance, waking *every*
+/// transaction waiting in the sealed batch at once — acknowledgement cost
+/// is paid per epoch, not per transaction. Waits use a timeout fallback so
+/// a signal raced with shutdown can never strand a waiter.
+#[derive(Default)]
+pub struct DurableSignal {
+    lock: std::sync::Mutex<()>,
+    cond: std::sync::Condvar,
+}
+
+impl DurableSignal {
+    /// Wake every waiter (one call covers the whole sealed batch).
+    pub fn notify(&self) {
+        let _g = self.lock.lock().unwrap();
+        self.cond.notify_all();
+    }
+
+    /// Block until `ready()` reports true, waking on each notify (with a
+    /// bounded fallback poll so missed notifies degrade, not deadlock).
+    pub fn wait_until(&self, mut ready: impl FnMut() -> bool) {
+        if ready() {
+            return;
+        }
+        let mut g = self.lock.lock().unwrap();
+        while !ready() {
+            let (g2, _timeout) = self.cond.wait_timeout(g, Duration::from_millis(2)).unwrap();
+            g = g2;
+        }
+    }
+
+    /// Wait for one notify or `max` elapsing, whichever is first.
+    pub fn wait_for(&self, max: Duration) {
+        let g = self.lock.lock().unwrap();
+        let _ = self.cond.wait_timeout(g, max).unwrap();
+    }
+}
+
 /// Handle to the pepoch thread.
 pub struct PepochHandle {
     value: Arc<AtomicU64>,
+    signal: Arc<DurableSignal>,
     stop: Arc<AtomicBool>,
     join: Option<JoinHandle<()>>,
 }
@@ -33,8 +72,10 @@ impl PepochHandle {
         poll: Duration,
     ) -> Self {
         let value = Arc::new(AtomicU64::new(0));
+        let signal = Arc::new(DurableSignal::default());
         let stop = Arc::new(AtomicBool::new(false));
         let v2 = Arc::clone(&value);
+        let sig2 = Arc::clone(&signal);
         let s2 = Arc::clone(&stop);
         let join = std::thread::Builder::new()
             .name("pepoch".into())
@@ -69,8 +110,11 @@ impl PepochHandle {
                         disk.write_file(PEPOCH_FILE, &frontier.to_le_bytes());
                         disk.fsync();
                         v2.store(frontier, Ordering::Release);
+                        // One wakeup acknowledges the whole sealed batch.
+                        sig2.notify();
                     }
                     if stopping {
+                        sig2.notify(); // release any waiter racing shutdown
                         return;
                     }
                     std::thread::sleep(poll);
@@ -79,6 +123,7 @@ impl PepochHandle {
             .expect("spawn pepoch");
         PepochHandle {
             value,
+            signal,
             stop,
             join: Some(join),
         }
@@ -92,6 +137,11 @@ impl PepochHandle {
     /// Shared handle to the frontier for lock-free polling by workers.
     pub fn value_arc(&self) -> Arc<AtomicU64> {
         Arc::clone(&self.value)
+    }
+
+    /// The group-commit acknowledgement signal (one notify per advance).
+    pub fn signal_arc(&self) -> Arc<DurableSignal> {
+        Arc::clone(&self.signal)
     }
 
     /// Stop the watcher (performs one final publish pass first).

@@ -65,6 +65,103 @@ impl TxnLogRecord {
     pub fn epoch(&self) -> u64 {
         pacman_common::clock::epoch_of(self.ts)
     }
+
+    /// Borrow the payload for encoding without cloning it first.
+    pub fn payload_ref(&self) -> PayloadRef<'_> {
+        match &self.payload {
+            LogPayload::Command { proc, params } => PayloadRef::Command {
+                proc: *proc,
+                params: &params[..],
+            },
+            LogPayload::Writes {
+                writes,
+                physical,
+                adhoc,
+            } => PayloadRef::Writes {
+                writes,
+                physical: *physical,
+                adhoc: *adhoc,
+            },
+            LogPayload::TaggedWrites { proc, writes } => PayloadRef::TaggedWrites {
+                proc: *proc,
+                writes,
+            },
+        }
+    }
+}
+
+/// A borrowed [`LogPayload`]: lets the commit path encode a record
+/// straight out of the transaction's own write set / parameter list
+/// without first cloning it into an owned payload.
+#[derive(Clone, Copy, Debug)]
+pub enum PayloadRef<'a> {
+    /// Command logging: the transaction's logic.
+    Command {
+        /// Stored procedure invoked.
+        proc: ProcId,
+        /// Invocation arguments.
+        params: &'a [Value],
+    },
+    /// Tuple-level logging: the write set.
+    Writes {
+        /// After-images in write order.
+        writes: &'a [WriteRecord],
+        /// Whether locations are included (physical logging).
+        physical: bool,
+        /// Ad-hoc transaction under command logging (§4.5).
+        adhoc: bool,
+    },
+    /// Adaptive logging: proc-tagged logical record.
+    TaggedWrites {
+        /// Stored procedure that produced the writes.
+        proc: ProcId,
+        /// After-images in write order.
+        writes: &'a [WriteRecord],
+    },
+}
+
+impl PayloadRef<'_> {
+    /// Append the full wire form of a record with timestamp `ts` and this
+    /// payload to `buf`. Byte-identical to `TxnLogRecord::encode`.
+    pub fn encode_record(&self, ts: Timestamp, buf: &mut Vec<u8>) {
+        match self {
+            PayloadRef::Command { proc, params } => {
+                buf.push(1);
+                put_u64(buf, ts);
+                put_u32(buf, proc.0);
+                put_varint(buf, params.len() as u64);
+                for p in params.iter() {
+                    p.encode(buf);
+                }
+            }
+            PayloadRef::Writes {
+                writes,
+                physical,
+                adhoc,
+            } => {
+                buf.push(match (physical, adhoc) {
+                    (false, false) => 2,
+                    (true, false) => 3,
+                    (false, true) => 4,
+                    (true, true) => 5, // not produced in practice
+                });
+                put_u64(buf, ts);
+                put_varint(buf, writes.len() as u64);
+                for w in writes.iter() {
+                    encode_write(buf, w, *physical);
+                }
+            }
+            PayloadRef::TaggedWrites { proc, writes } => {
+                buf.push(6);
+                put_u64(buf, ts);
+                put_u32(buf, proc.0);
+                put_varint(buf, writes.len() as u64);
+                for w in writes.iter() {
+                    encode_write(buf, w, false);
+                }
+            }
+        }
+    }
 }
 
 fn encode_write(buf: &mut Vec<u8>, w: &WriteRecord, physical: bool) {
@@ -121,43 +218,7 @@ fn decode_write(cur: &mut Cursor<'_>, physical: bool) -> Result<WriteRecord> {
 
 impl Encoder for TxnLogRecord {
     fn encode(&self, buf: &mut Vec<u8>) {
-        match &self.payload {
-            LogPayload::Command { proc, params } => {
-                buf.push(1);
-                put_u64(buf, self.ts);
-                put_u32(buf, proc.0);
-                put_varint(buf, params.len() as u64);
-                for p in params.iter() {
-                    p.encode(buf);
-                }
-            }
-            LogPayload::Writes {
-                writes,
-                physical,
-                adhoc,
-            } => {
-                buf.push(match (physical, adhoc) {
-                    (false, false) => 2,
-                    (true, false) => 3,
-                    (false, true) => 4,
-                    (true, true) => 5, // not produced in practice
-                });
-                put_u64(buf, self.ts);
-                put_varint(buf, writes.len() as u64);
-                for w in writes {
-                    encode_write(buf, w, *physical);
-                }
-            }
-            LogPayload::TaggedWrites { proc, writes } => {
-                buf.push(6);
-                put_u64(buf, self.ts);
-                put_u32(buf, proc.0);
-                put_varint(buf, writes.len() as u64);
-                for w in writes {
-                    encode_write(buf, w, false);
-                }
-            }
-        }
+        self.payload_ref().encode_record(self.ts, buf);
     }
 }
 
@@ -215,6 +276,226 @@ impl Decoder for TxnLogRecord {
         Ok(TxnLogRecord { ts, payload })
     }
 }
+
+/// Skip one encoded [`Value`], applying exactly the validation its owned
+/// decode applies (tag byte, length prefix, UTF-8) without materializing.
+fn skip_value(cur: &mut Cursor<'_>) -> Result<()> {
+    match cur.read_u8()? {
+        1 | 2 => {
+            cur.read_u64()?;
+        }
+        3 => {
+            cur.read_str()?;
+        }
+        t => return Err(Error::Corrupt(format!("bad value tag {t}"))),
+    }
+    Ok(())
+}
+
+/// Skip one encoded [`Row`] (same arity guard as `Row::decode`).
+fn skip_row(cur: &mut Cursor<'_>) -> Result<()> {
+    let n = cur.read_varint()? as usize;
+    if n > 1 << 20 {
+        return Err(Error::Corrupt(format!("implausible row arity {n}")));
+    }
+    for _ in 0..n {
+        skip_value(cur)?;
+    }
+    Ok(())
+}
+
+/// Skip one encoded write (same validation as [`decode_write`]).
+fn skip_write(cur: &mut Cursor<'_>, physical: bool) -> Result<()> {
+    cur.read_u32()?; // table
+    cur.read_u64()?; // key
+    match cur.read_u8()? {
+        0..=2 => {}
+        t => return Err(Error::Corrupt(format!("bad write kind {t}"))),
+    }
+    match cur.read_u8()? {
+        1 => skip_row(cur)?,
+        0 => {}
+        t => return Err(Error::Corrupt(format!("bad after flag {t}"))),
+    }
+    if physical {
+        cur.read_u64()?; // prev_ts
+        cur.read_u64()?; // slot
+        cur.read_u64()?; // new location
+    }
+    Ok(())
+}
+
+/// The payload shape of a [`RecordView`], without the payload itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PayloadKind {
+    /// A command record (`proc` identifies the procedure).
+    Command {
+        /// Stored procedure invoked.
+        proc: ProcId,
+    },
+    /// A tuple-level record.
+    Writes {
+        /// Whether locations are included (physical logging).
+        physical: bool,
+        /// Ad-hoc transaction under command logging.
+        adhoc: bool,
+    },
+    /// A proc-tagged logical record (adaptive logging).
+    TaggedWrites {
+        /// Stored procedure that produced the writes.
+        proc: ProcId,
+    },
+}
+
+/// A borrowed view of one encoded [`TxnLogRecord`] inside a sealed batch
+/// buffer.
+///
+/// [`RecordView::parse`] walks the record once, applying *exactly* the
+/// validation the owned decoder applies — same count guards, same tag /
+/// kind / flag byte checks, same UTF-8 checks — but allocates nothing: a
+/// truncated or torn tail errors on the view if and only if it errors on
+/// the owned decode (`tests/prop_recovery.rs` holds this property). The
+/// bytes stay owned by the batch buffer; consumers that need owned data
+/// copy at the last possible moment ([`RecordView::to_owned`], or
+/// per-write via [`RecordView::writes`]).
+#[derive(Clone, Copy, Debug)]
+pub struct RecordView<'a> {
+    ts: Timestamp,
+    kind: PayloadKind,
+    /// The full encoded span (tag byte through last payload byte).
+    bytes: &'a [u8],
+    /// Offset of the write/param count varint within `bytes`.
+    body_at: usize,
+}
+
+impl<'a> RecordView<'a> {
+    /// Parse (and fully validate) the next record in `cur`, advancing the
+    /// cursor past it. Returns a borrowed view over the record's span.
+    pub fn parse(cur: &mut Cursor<'a>) -> Result<RecordView<'a>> {
+        let full = cur.rest();
+        let start = cur.position();
+        let tag = cur.read_u8()?;
+        let ts = cur.read_u64()?;
+        let kind = match tag {
+            1 => PayloadKind::Command {
+                proc: ProcId::new(cur.read_u32()?),
+            },
+            2..=5 => PayloadKind::Writes {
+                physical: tag == 3 || tag == 5,
+                adhoc: tag == 4 || tag == 5,
+            },
+            6 => PayloadKind::TaggedWrites {
+                proc: ProcId::new(cur.read_u32()?),
+            },
+            t => return Err(Error::Corrupt(format!("bad record tag {t}"))),
+        };
+        let body_at = cur.position() - start;
+        let n = cur.read_varint()? as usize;
+        if n > 1 << 22 {
+            return Err(match kind {
+                PayloadKind::Command { .. } => {
+                    Error::Corrupt(format!("implausible param count {n}"))
+                }
+                _ => Error::Corrupt(format!("implausible write count {n}")),
+            });
+        }
+        match kind {
+            PayloadKind::Command { .. } => {
+                for _ in 0..n {
+                    skip_value(cur)?;
+                }
+            }
+            PayloadKind::Writes { physical, .. } => {
+                for _ in 0..n {
+                    skip_write(cur, physical)?;
+                }
+            }
+            PayloadKind::TaggedWrites { .. } => {
+                for _ in 0..n {
+                    skip_write(cur, false)?;
+                }
+            }
+        }
+        Ok(RecordView {
+            ts,
+            kind,
+            bytes: &full[..cur.position() - start],
+            body_at,
+        })
+    }
+
+    /// Commit timestamp.
+    pub fn ts(&self) -> Timestamp {
+        self.ts
+    }
+
+    /// The epoch this record belongs to.
+    pub fn epoch(&self) -> u64 {
+        pacman_common::clock::epoch_of(self.ts)
+    }
+
+    /// Payload shape.
+    pub fn kind(&self) -> PayloadKind {
+        self.kind
+    }
+
+    /// The record's full encoded span (for zero-copy retention: a kept
+    /// record is appended verbatim instead of decode + re-encode).
+    pub fn as_bytes(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    /// Decode to an owned record (the single copy point for consumers
+    /// that need ownership, e.g. the piece-DAG schedule builder).
+    pub fn to_owned(&self) -> TxnLogRecord {
+        let mut cur = Cursor::new(self.bytes);
+        TxnLogRecord::decode(&mut cur).expect("span validated by RecordView::parse")
+    }
+
+    /// Iterate this record's writes, decoding each at the point of use
+    /// (tuple-level payloads only). The iterator is the install-time copy
+    /// point for replay: one owned [`WriteRecord`] per write, no
+    /// intermediate owned record.
+    pub fn writes(&self) -> Option<WritesIter<'a>> {
+        let physical = match self.kind {
+            PayloadKind::Writes { physical, .. } => physical,
+            PayloadKind::TaggedWrites { .. } => false,
+            PayloadKind::Command { .. } => return None,
+        };
+        let mut cur = Cursor::new(&self.bytes[self.body_at..]);
+        let remaining = cur.read_varint().expect("validated by parse") as usize;
+        Some(WritesIter {
+            cur,
+            remaining,
+            physical,
+        })
+    }
+}
+
+/// Lazy write iterator over a validated [`RecordView`] span.
+pub struct WritesIter<'a> {
+    cur: Cursor<'a>,
+    remaining: usize,
+    physical: bool,
+}
+
+impl Iterator for WritesIter<'_> {
+    type Item = WriteRecord;
+
+    fn next(&mut self) -> Option<WriteRecord> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(decode_write(&mut self.cur, self.physical).expect("span validated by parse"))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for WritesIter<'_> {}
 
 // `WriteRecord` equality is needed by the round-trip tests but lives in the
 // engine crate without `PartialEq`; compare field-wise here.

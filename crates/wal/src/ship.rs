@@ -44,7 +44,9 @@
 
 use crate::batch::batch_name;
 use crate::checkpoint::{manifest_name, part_name, read_chain, read_manifest};
+use crate::record::RecordView;
 use crate::retention::{RetentionHold, RetentionManager};
+use bytes::Bytes;
 use pacman_common::clock::epoch_of;
 use pacman_common::codec::{put_bytes, put_u32, put_u64, Cursor};
 use pacman_common::{Decoder, Encoder, Error, Result, Timestamp};
@@ -82,8 +84,9 @@ pub enum ShipFrame {
         file: String,
         /// Byte offset in `file` where this run starts.
         offset: u64,
-        /// Encoded records, sealed on the primary.
-        bytes: Vec<u8>,
+        /// Encoded records, sealed on the primary — a zero-copy slice of
+        /// the sealed batch file's read buffer on the producing side.
+        bytes: Bytes,
     },
     /// A checkpoint blob: one part file or one per-timestamp manifest,
     /// written truncating under `name` on the standby's device `disk`
@@ -94,14 +97,14 @@ pub enum ShipFrame {
         name: String,
         /// Device index the chain expects the file on.
         disk: u32,
-        /// Raw file contents.
-        bytes: Vec<u8>,
+        /// Raw file contents (shared with the read buffer when produced).
+        bytes: Bytes,
     },
     /// The tip manifest cutover: written *after* every blob it references
     /// (same crash-ordering as the checkpointer itself).
     ChainTip {
         /// Encoded [`crate::checkpoint::CheckpointManifest`].
-        bytes: Vec<u8>,
+        bytes: Bytes,
     },
     /// Everything with `epoch <= pepoch` has been shipped: the standby
     /// persists the frontier and applies the delimited batch.
@@ -179,15 +182,15 @@ impl Decoder for ShipFrame {
             2 => Ok(ShipFrame::Records {
                 file: cur.read_str()?.to_string(),
                 offset: cur.read_u64()?,
-                bytes: cur.read_bytes()?.to_vec(),
+                bytes: Bytes::copy_from_slice(cur.read_bytes()?),
             }),
             3 => Ok(ShipFrame::Blob {
                 name: cur.read_str()?.to_string(),
                 disk: cur.read_u32()?,
-                bytes: cur.read_bytes()?.to_vec(),
+                bytes: Bytes::copy_from_slice(cur.read_bytes()?),
             }),
             4 => Ok(ShipFrame::ChainTip {
-                bytes: cur.read_bytes()?.to_vec(),
+                bytes: Bytes::copy_from_slice(cur.read_bytes()?),
             }),
             5 => Ok(ShipFrame::Seal {
                 pepoch: cur.read_u64()?,
@@ -500,17 +503,19 @@ impl LogShipper {
                 if start >= bytes.len() {
                     continue;
                 }
+                // Borrowed-view scan: validate and measure the sealed run
+                // without decoding records to owned values.
                 let mut rc = Cursor::new(&bytes[start..]);
                 let mut end = 0usize;
                 let mut n = 0u64;
                 loop {
-                    match crate::record::TxnLogRecord::decode(&mut rc) {
-                        Ok(rec) if rec.epoch() <= pepoch => {
+                    match RecordView::parse(&mut rc) {
+                        Ok(view) if view.epoch() <= pepoch => {
                             end = rc.position();
                             n += 1;
                         }
                         // Past the frontier, or a torn tail: stop here and
-                        // re-decode from this point on a later poll.
+                        // re-scan from this point on a later poll.
                         Ok(_) | Err(_) => break,
                     }
                     if rc.is_empty() {
@@ -518,7 +523,9 @@ impl LogShipper {
                     }
                 }
                 if end > 0 {
-                    let run = bytes[start..start + end].to_vec();
+                    // Zero-copy: the frame references the sealed batch
+                    // file's read buffer.
+                    let run = bytes.slice(start..start + end);
                     out.bytes += run.len() as u64;
                     out.records += n;
                     out.frames.push(ShipFrame::Records {
@@ -545,8 +552,8 @@ impl LogShipper {
                 for f in &out.frames {
                     if let ShipFrame::Records { bytes, .. } = f {
                         let mut rc = Cursor::new(bytes);
-                        while let Ok(rec) = crate::record::TxnLogRecord::decode(&mut rc) {
-                            max_epoch = max_epoch.max(rec.epoch());
+                        while let Ok(view) = RecordView::parse(&mut rc) {
+                            max_epoch = max_epoch.max(view.epoch());
                         }
                     }
                 }
@@ -645,7 +652,7 @@ impl LogShipper {
                 continue;
             }
             let bytes = match self.storage.disk(part.disk as usize).read(&name) {
-                Ok(b) => b.to_vec(),
+                Ok(b) => b,
                 Err(_) if live_races && !bootstrap => return Ok(()),
                 Err(e) if live_races => return Err(transient(&e.to_string())),
                 Err(e) => return Err(e),
@@ -663,7 +670,7 @@ impl LogShipper {
             if cur.shipped_blobs.contains(&name) {
                 continue;
             }
-            let bytes = m.to_bytes();
+            let bytes = Bytes::from(m.to_bytes());
             out.bytes += bytes.len() as u64;
             out.frames.push(ShipFrame::Blob {
                 name: name.clone(),
@@ -672,7 +679,7 @@ impl LogShipper {
             });
             cur.shipped_blobs.insert(name);
         }
-        let tip_bytes = chain.manifests[0].to_bytes();
+        let tip_bytes = Bytes::from(chain.manifests[0].to_bytes());
         out.bytes += tip_bytes.len() as u64;
         out.frames.push(ShipFrame::ChainTip { bytes: tip_bytes });
         cur.shipped_chain_tip = tip;
@@ -735,14 +742,16 @@ mod tests {
         frame_roundtrip(&ShipFrame::Records {
             file: "log/00/0000000000".into(),
             offset: 7,
-            bytes: vec![1, 2, 3],
+            bytes: vec![1, 2, 3].into(),
         });
         frame_roundtrip(&ShipFrame::Blob {
             name: "ckpt/00000000000000000001/t000.s0000".into(),
             disk: 1,
-            bytes: vec![9; 40],
+            bytes: vec![9; 40].into(),
         });
-        frame_roundtrip(&ShipFrame::ChainTip { bytes: vec![7; 8] });
+        frame_roundtrip(&ShipFrame::ChainTip {
+            bytes: vec![7; 8].into(),
+        });
         frame_roundtrip(&ShipFrame::Seal { pepoch: 42 });
         frame_roundtrip(&ShipFrame::Reset);
     }
@@ -763,7 +772,7 @@ mod tests {
         let bytes = ShipFrame::Records {
             file: "log/00/0000000000".into(),
             offset: 0,
-            bytes: vec![5; 20],
+            bytes: vec![5; 20].into(),
         }
         .to_bytes();
         for cut in 0..bytes.len() {

@@ -20,7 +20,7 @@ use pacman_common::clock::epoch_of;
 use pacman_common::{Error, Histogram};
 use pacman_engine::{run_procedure_with_epoch, AdmissionControl, Database};
 use pacman_sproc::ProcRegistry;
-use pacman_wal::Durability;
+use pacman_wal::{Durability, WorkerLogBuffer};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -134,17 +134,30 @@ pub fn run_workload(
                 let mut pending: VecDeque<(u64, Instant)> = VecDeque::new();
                 let mut local_hist = Histogram::new();
                 let mut local_retries = Histogram::new();
+                let mut wb = WorkerLogBuffer::new();
 
                 while !stop.load(Ordering::Acquire) {
-                    we.enter();
-                    // Acknowledge durable transactions.
+                    // Seal-rule ordering: hand staged records of older
+                    // epochs to the logger *before* the acknowledgement
+                    // advances — the logger may seal epoch `e` the moment
+                    // every ack exceeds `e`.
+                    let e = we.peek();
+                    durability.flush_before_ack(&mut wb, worker, e);
+                    we.enter_at(e);
+                    // Acknowledge durable transactions (one frontier
+                    // advance acknowledges the whole sealed batch).
                     let frontier = pepoch.load(Ordering::Acquire);
+                    let mut acked = 0u64;
                     while let Some(&(epoch, t0)) = pending.front() {
                         if epoch > frontier {
                             break;
                         }
                         local_hist.record(t0.elapsed().as_micros() as u64);
                         pending.pop_front();
+                        acked += 1;
+                    }
+                    if acked > 0 {
+                        durability.note_commit_group(acked);
                     }
 
                     let (pid, params) = workload.next_txn(&mut rng);
@@ -176,7 +189,9 @@ pub fn run_workload(
                                     // Read-only: acknowledged immediately.
                                     local_hist.record(submit.elapsed().as_micros() as u64);
                                 } else {
-                                    durability.log_commit(worker, &info, pid, &params, adhoc);
+                                    durability.log_commit_buffered(
+                                        &mut wb, worker, &info, pid, &params, adhoc,
+                                    );
                                     pending.push_back((epoch_of(info.ts), submit));
                                 }
                                 local_retries.record(tries as u64);
@@ -194,18 +209,28 @@ pub fn run_workload(
                     }
                 }
 
-                // Drain outstanding acknowledgements (bounded wait).
+                // Hand any still-staged records to the logger, then drain
+                // outstanding acknowledgements (bounded wait on the
+                // group-commit signal, one wakeup per epoch seal).
+                durability.flush_worker(&mut wb, worker);
                 let deadline = Instant::now() + Duration::from_millis(500);
                 while !pending.is_empty() && Instant::now() < deadline {
                     let frontier = pepoch.load(Ordering::Acquire);
+                    let mut acked = 0u64;
                     while let Some(&(epoch, t0)) = pending.front() {
                         if epoch > frontier {
                             break;
                         }
                         local_hist.record(t0.elapsed().as_micros() as u64);
                         pending.pop_front();
+                        acked += 1;
                     }
-                    std::thread::sleep(Duration::from_micros(200));
+                    if acked > 0 {
+                        durability.note_commit_group(acked);
+                    }
+                    durability
+                        .durable_signal()
+                        .wait_for(Duration::from_millis(2));
                 }
                 we.retire();
                 hist.lock().merge(&local_hist);
@@ -391,8 +416,10 @@ pub fn run_ramp(
                 // epoch reaches the pepoch frontier — the same
                 // submit→durable notion `run_workload` measures.
                 let mut unacked: VecDeque<u64> = VecDeque::new();
-                let ack = |unacked: &mut VecDeque<u64>| {
+                let mut wb = WorkerLogBuffer::new();
+                let ack = |unacked: &mut VecDeque<u64>| -> u64 {
                     let frontier = pepoch.load(Ordering::Acquire);
+                    let mut acked = 0u64;
                     while let Some(&epoch) = unacked.front() {
                         if epoch > frontier {
                             break;
@@ -405,11 +432,20 @@ pub fn run_ramp(
                             buckets[b].fetch_add(1, Ordering::Relaxed);
                         }
                         committed.fetch_add(1, Ordering::Relaxed);
+                        acked += 1;
                     }
+                    acked
                 };
                 'serve: while !stop.load(Ordering::Acquire) {
-                    we.enter();
-                    ack(&mut unacked);
+                    // Same seal-rule ordering as `run_workload`: staged
+                    // records flush before the acknowledgement advances.
+                    let e = we.peek();
+                    durability.flush_before_ack(&mut wb, worker, e);
+                    we.enter_at(e);
+                    let acked = ack(&mut unacked);
+                    if acked > 0 {
+                        durability.note_commit_group(acked);
+                    }
                     // Retry parked requests first (oldest first) — their
                     // footprints were flagged, replay is pulling them in.
                     let mut next = None;
@@ -457,7 +493,9 @@ pub fn run_ramp(
                                     }
                                     committed.fetch_add(1, Ordering::Relaxed);
                                 } else {
-                                    durability.log_commit(worker, &info, pid, &params, false);
+                                    durability.log_commit_buffered(
+                                        &mut wb, worker, &info, pid, &params, false,
+                                    );
                                     unacked.push_back(epoch_of(info.ts));
                                 }
                                 break;
@@ -473,11 +511,18 @@ pub fn run_ramp(
                         }
                     }
                 }
-                // Drain outstanding acknowledgments (bounded wait).
+                // Flush staged records, then drain outstanding
+                // acknowledgments (bounded wait on the group signal).
+                durability.flush_worker(&mut wb, worker);
                 let deadline = Instant::now() + Duration::from_millis(500);
                 while !unacked.is_empty() && Instant::now() < deadline {
-                    ack(&mut unacked);
-                    std::thread::sleep(Duration::from_micros(200));
+                    let acked = ack(&mut unacked);
+                    if acked > 0 {
+                        durability.note_commit_group(acked);
+                    }
+                    durability
+                        .durable_signal()
+                        .wait_for(Duration::from_millis(2));
                 }
                 we.retire();
             });

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Compare two benchmark trajectory points (BENCH_*.json documents).
+
+Usage: bench_regress.py OLD.json NEW.json [--max-regress PCT]
+
+Reads the stitched `{"figures": {...}}` documents the `all` bench bin
+emits, prints the headline deltas, and exits non-zero when the
+single-thread committed-transaction count (fig11's `driver.committed`)
+regressed by more than --max-regress percent (default 15).
+
+Replay-side figures (recovery bytes over load+work time) are printed
+for context but not gated: quick-mode recovery windows are short enough
+that their run-to-run noise regularly exceeds any honest threshold.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    figures = doc.get("figures")
+    if not isinstance(figures, dict) or not figures:
+        sys.exit(f"{path}: no figures — not a trajectory document?")
+    return figures
+
+
+def metric(figures, fig, name):
+    m = figures.get(fig, {}).get("metrics", {})
+    v = m.get(name)
+    return v if isinstance(v, (int, float)) else None
+
+
+def replay_mbps(figures, fig):
+    by = metric(figures, fig, "recovery.applied_log_bytes")
+    ns = (metric(figures, fig, "recovery.load_ns") or 0) + (
+        metric(figures, fig, "recovery.work_ns") or 0
+    )
+    if not by or not ns:
+        return None
+    return by / (ns / 1e9) / 1e6
+
+
+def fmt_delta(old, new):
+    if old is None or new is None:
+        return "n/a"
+    if old == 0:
+        return "n/a (old=0)"
+    pct = (new - old) / old * 100.0
+    return f"{old:,.0f} -> {new:,.0f} ({pct:+.1f}%)"
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("old")
+    ap.add_argument("new")
+    ap.add_argument("--max-regress", type=float, default=15.0,
+                    help="fail on a committed-throughput drop above this percent")
+    args = ap.parse_args()
+
+    old, new = load(args.old), load(args.new)
+
+    print(f"comparing {args.old} -> {args.new}")
+    committed_old = metric(old, "fig11", "driver.committed")
+    committed_new = metric(new, "fig11", "driver.committed")
+    print(f"  fig11 driver.committed: {fmt_delta(committed_old, committed_new)}")
+
+    for fig in ("fig14", "fig16"):
+        o, n = replay_mbps(old, fig), replay_mbps(new, fig)
+        if o is not None and n is not None:
+            print(f"  {fig} replay MB/s:        {o:8.1f} -> {n:8.1f} "
+                  f"({(n - o) / o * 100.0:+.1f}%)")
+
+    if committed_old is None or committed_new is None:
+        sys.exit("fig11 driver.committed missing from one of the documents")
+    if committed_old > 0:
+        drop = (committed_old - committed_new) / committed_old * 100.0
+        if drop > args.max_regress:
+            sys.exit(f"REGRESSION: committed throughput dropped {drop:.1f}% "
+                     f"(limit {args.max_regress:.0f}%)")
+    print("ok: within regression budget")
+
+
+if __name__ == "__main__":
+    main()

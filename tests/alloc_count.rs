@@ -1,0 +1,250 @@
+//! Allocation-count guard for the zero-copy hot paths.
+//!
+//! This integration test binary owns its own global allocator: a
+//! pass-through wrapper around the system allocator that counts, per
+//! thread, how many allocations happen and how many bytes they request.
+//! The counters bound the two hot paths this repo optimizes:
+//!
+//! * **commit** — `Durability::log_commit_buffered` encodes into a
+//!   per-worker epoch arena; steady state must stay at or under
+//!   2 allocations per command-logged transaction (in practice ~0: the
+//!   arena amortizes growth over a whole epoch, and the only residual
+//!   allocations are the occasional buffer regrow and the per-epoch
+//!   flush handoff);
+//! * **replay** — iterating a `MergedBatchView` materializes row images
+//!   only at installation; it must allocate strictly fewer bytes per
+//!   record than the owned `read_merged_batch` decode path.
+//!
+//! Pre-change constants (measured before the arena/view rework, same
+//! shapes as below): the per-record `log_commit` path paid ~2.2
+//! allocs/txn (one `Vec::with_capacity(64)` per record, plus queue
+//! traffic), and owned decode paid ~3x the view path's bytes/record.
+
+use pacman_common::clock::epoch_floor;
+use pacman_common::{ProcId, Row, TableId, Value};
+use pacman_engine::{Catalog, CommitInfo, Database, WriteKind, WriteRecord};
+use pacman_storage::{DiskConfig, StorageSet};
+use pacman_wal::{
+    batch_name, read_merged_batch, read_merged_batch_view, Durability, DurabilityConfig,
+    LogPayload, LogScheme, TxnLogRecord, WorkerLogBuffer,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+use std::time::Duration;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Pass-through allocator that counts the calling thread's allocations.
+struct CountingAlloc;
+
+// SAFETY: defers entirely to the system allocator; the counters are
+// thread-local and touched outside the allocation itself.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        BYTES.with(|c| c.set(c.get() + layout.size() as u64));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocs_now() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+fn bytes_now() -> u64 {
+    BYTES.with(|c| c.get())
+}
+
+fn boot_command() -> Arc<Durability> {
+    let mut c = Catalog::new();
+    c.add_table("t", 1);
+    let db = Arc::new(Database::new(c));
+    let storage = StorageSet::identical(1, DiskConfig::unthrottled("alloc"));
+    Durability::start(
+        db,
+        storage,
+        DurabilityConfig {
+            scheme: LogScheme::Command,
+            num_loggers: 1,
+            epoch_interval: Duration::from_millis(2),
+            batch_epochs: 8,
+            checkpoint_interval: None,
+            checkpoint_threads: 1,
+            fsync: false,
+            ..Default::default()
+        },
+    )
+}
+
+fn one_write() -> WriteRecord {
+    WriteRecord {
+        table: TableId::new(0),
+        key: 7,
+        kind: WriteKind::Update,
+        after: Some(Row::from([Value::Int(42)])),
+        prev_ts: 0,
+    }
+}
+
+/// Steady-state command-logged commits through the epoch arena stay at
+/// or under 2 allocations per transaction — the `fig_alloc` budget.
+#[test]
+fn buffered_command_commit_stays_within_alloc_budget() {
+    let dur = boot_command();
+    let we = dur.register_worker();
+    let mut wb = WorkerLogBuffer::new();
+    let params = pacman_sproc::params([Value::Int(7), Value::Int(42)]);
+    let writes = vec![one_write()];
+
+    const WARMUP: u64 = 200;
+    const MEASURED: u64 = 2_000;
+    let mut measured_allocs = 0u64;
+    for i in 0..WARMUP + MEASURED {
+        // The driver protocol: flush staged older epochs before the ack
+        // advances, commit, stage the record.
+        let e = we.peek();
+        let a0 = allocs_now();
+        dur.flush_before_ack(&mut wb, 0, e);
+        let flush_cost = allocs_now() - a0;
+        we.enter_at(e);
+        let info = CommitInfo {
+            ts: epoch_floor(e) | (i + 1),
+            writes: writes.clone(),
+            ops: 4,
+        };
+        let a1 = allocs_now();
+        dur.log_commit_buffered(&mut wb, 0, &info, ProcId::new(0), &params, false);
+        if i >= WARMUP {
+            measured_allocs += flush_cost + (allocs_now() - a1);
+        }
+    }
+    dur.flush_worker(&mut wb, 0);
+    let per_txn = measured_allocs as f64 / MEASURED as f64;
+    println!("buffered commit: {per_txn:.3} allocs/txn over {MEASURED} txns");
+    assert!(
+        per_txn <= 2.0,
+        "command-logged commit exceeded the allocation budget: {per_txn:.3} allocs/txn (budget 2.0)"
+    );
+    dur.shutdown();
+}
+
+/// The arena path allocates strictly less than the per-record
+/// `log_commit` path it replaces (one fresh `Vec` per record there).
+#[test]
+fn buffered_commit_allocates_less_than_per_record_path() {
+    let dur = boot_command();
+    let we = dur.register_worker();
+    let params = pacman_sproc::params([Value::Int(7), Value::Int(42)]);
+    let writes = vec![one_write()];
+    const N: u64 = 1_000;
+
+    let mut per_record = 0u64;
+    for i in 0..N {
+        let e = we.enter();
+        let info = CommitInfo {
+            ts: epoch_floor(e) | (i + 1),
+            writes: writes.clone(),
+            ops: 4,
+        };
+        let a0 = allocs_now();
+        dur.log_commit(0, &info, ProcId::new(0), &params, false);
+        per_record += allocs_now() - a0;
+    }
+
+    let mut wb = WorkerLogBuffer::new();
+    let mut buffered = 0u64;
+    for i in 0..N {
+        let e = we.peek();
+        let a0 = allocs_now();
+        dur.flush_before_ack(&mut wb, 0, e);
+        let flush_cost = allocs_now() - a0;
+        we.enter_at(e);
+        let info = CommitInfo {
+            ts: epoch_floor(e) | (N + i + 1),
+            writes: writes.clone(),
+            ops: 4,
+        };
+        let a1 = allocs_now();
+        dur.log_commit_buffered(&mut wb, 0, &info, ProcId::new(0), &params, false);
+        buffered += flush_cost + (allocs_now() - a1);
+    }
+    dur.flush_worker(&mut wb, 0);
+    println!("per-record path: {per_record} allocs / {N} txns; arena path: {buffered} allocs");
+    assert!(
+        buffered < per_record,
+        "arena path must allocate less than the per-record path: {buffered} >= {per_record}"
+    );
+    dur.shutdown();
+}
+
+/// Replaying through `MergedBatchView` copies strictly fewer bytes per
+/// record than the owned decode path: row images are materialized once
+/// at installation, never into an intermediate owned batch.
+#[test]
+fn replay_view_copies_fewer_bytes_than_owned_decode() {
+    let storage = StorageSet::identical(1, DiskConfig::unthrottled("alloc"));
+    const RECORDS: u64 = 500;
+    let mut buf = Vec::new();
+    for i in 0..RECORDS {
+        let rec = TxnLogRecord {
+            ts: epoch_floor(1) | (i + 1),
+            payload: LogPayload::Writes {
+                writes: vec![WriteRecord {
+                    table: TableId::new(0),
+                    key: i,
+                    kind: WriteKind::Update,
+                    after: Some(Row::from([
+                        Value::Int(i as i64),
+                        Value::str("payload-payload-payload"),
+                    ])),
+                    prev_ts: 0,
+                }],
+                physical: false,
+                adhoc: false,
+            },
+        };
+        pacman_common::Encoder::encode(&rec, &mut buf);
+    }
+    storage.disk(0).append(&batch_name(0, 0), &buf);
+
+    // Owned decode: every record materializes (records vec, write vecs,
+    // rows, params).
+    let b0 = bytes_now();
+    let owned = read_merged_batch(&storage, 1, 0, u64::MAX, 0).unwrap();
+    assert_eq!(owned.records.len() as u64, RECORDS);
+    let owned_bytes = bytes_now() - b0;
+    drop(owned);
+
+    // View scan: the file buffer is shared; iteration materializes one
+    // write at a time (what replay installs), nothing else.
+    let b1 = bytes_now();
+    let view = read_merged_batch_view(&storage, 1, 0, u64::MAX, 0).unwrap();
+    let mut installed = 0u64;
+    for rec in view.iter() {
+        for w in rec.writes().expect("tuple-level records") {
+            std::hint::black_box(&w);
+            installed += 1;
+        }
+    }
+    let view_bytes = bytes_now() - b1;
+    assert_eq!(installed, RECORDS);
+
+    let owned_per = owned_bytes as f64 / RECORDS as f64;
+    let view_per = view_bytes as f64 / RECORDS as f64;
+    println!("owned decode: {owned_per:.0} B/record; view scan: {view_per:.0} B/record");
+    assert!(
+        view_bytes < owned_bytes,
+        "view replay must copy fewer bytes than owned decode: {view_bytes} >= {owned_bytes}"
+    );
+}

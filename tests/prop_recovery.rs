@@ -12,7 +12,7 @@ use pacman_core::static_analysis::{GlobalGraph, LocalGraph};
 use pacman_engine::{Database, WriteKind, WriteRecord};
 use pacman_sproc::{Expr, ProcBuilder, ProcRegistry};
 use pacman_storage::StorageSet;
-use pacman_wal::{LogPayload, ShipFrame, TxnLogRecord, SHIP_WIRE_VERSION};
+use pacman_wal::{LogPayload, RecordView, ShipFrame, TxnLogRecord, SHIP_WIRE_VERSION};
 use proptest::prelude::*;
 
 const T_A: TableId = TableId::new(0);
@@ -189,7 +189,7 @@ fn ship_frame_strategy() -> impl Strategy<Value = ShipFrame> {
             |(file, offset, bytes)| ShipFrame::Records {
                 file,
                 offset: offset as u64,
-                bytes,
+                bytes: bytes.into(),
             }
         ),
         (
@@ -197,9 +197,14 @@ fn ship_frame_strategy() -> impl Strategy<Value = ShipFrame> {
             0u32..4,
             proptest::collection::vec(any::<u8>(), 0..64),
         )
-            .prop_map(|(name, disk, bytes)| ShipFrame::Blob { name, disk, bytes }),
-        proptest::collection::vec(any::<u8>(), 0..64)
-            .prop_map(|bytes| ShipFrame::ChainTip { bytes }),
+            .prop_map(|(name, disk, bytes)| ShipFrame::Blob {
+                name,
+                disk,
+                bytes: bytes.into(),
+            }),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(|bytes| ShipFrame::ChainTip {
+            bytes: bytes.into()
+        }),
         (1u64..1 << 24).prop_map(|pepoch| ShipFrame::Seal { pepoch }),
         Just(ShipFrame::Reset),
     ]
@@ -287,6 +292,79 @@ proptest! {
         for cut in 0..bytes.len() {
             let mut cur = Cursor::new(&bytes[..cut]);
             prop_assert!(TxnLogRecord::decode(&mut cur).is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    /// The zero-copy scan path is interchangeable with the owned decoder:
+    /// on any record stream, [`RecordView::parse`] consumes exactly the
+    /// same bytes, reports the same timestamps, materializes a
+    /// structurally equal record, and its write iterator yields the owned
+    /// payload's write set.
+    #[test]
+    fn record_view_agrees_with_owned_decode(
+        records in proptest::collection::vec((1u64..1 << 48, payload_strategy()), 1..12),
+    ) {
+        let mut stream = Vec::new();
+        for (ts, payload) in &records {
+            TxnLogRecord { ts: *ts, payload: payload.clone() }.encode(&mut stream);
+        }
+        let mut owned_cur = Cursor::new(&stream);
+        let mut view_cur = Cursor::new(&stream);
+        for _ in &records {
+            let owned = TxnLogRecord::decode(&mut owned_cur)
+                .map_err(|e| TestCaseError::fail(format!("owned decode: {e}")))?;
+            let view = RecordView::parse(&mut view_cur)
+                .map_err(|e| TestCaseError::fail(format!("view parse: {e}")))?;
+            prop_assert_eq!(owned_cur.position(), view_cur.position(), "span divergence");
+            prop_assert_eq!(view.ts(), owned.ts);
+            prop_assert!(owned.structurally_equal(&view.to_owned()));
+            match (&owned.payload, view.writes()) {
+                (
+                    LogPayload::Writes { writes, .. } | LogPayload::TaggedWrites { writes, .. },
+                    Some(it),
+                ) => {
+                    let from_view: Vec<WriteRecord> = it.collect();
+                    prop_assert_eq!(&from_view, writes);
+                }
+                (LogPayload::Command { .. }, None) => {}
+                (p, v) => {
+                    return Err(TestCaseError::fail(format!(
+                        "writes()/payload mismatch: {p:?} vs Some={}",
+                        v.is_some()
+                    )));
+                }
+            }
+        }
+        prop_assert!(view_cur.is_empty());
+    }
+
+    /// Truncated and torn tails error identically through both paths —
+    /// a cut that the owned decoder rejects is rejected by the borrowed
+    /// view at the same place, so batch scans and replay can never
+    /// disagree about where a file's valid prefix ends.
+    #[test]
+    fn record_view_truncation_matches_owned(ts in 1u64..1 << 48, payload in payload_strategy()) {
+        let bytes = TxnLogRecord { ts, payload }.to_bytes();
+        for cut in 0..bytes.len() {
+            let owned = TxnLogRecord::decode(&mut Cursor::new(&bytes[..cut]));
+            let view = RecordView::parse(&mut Cursor::new(&bytes[..cut]));
+            match (owned, view) {
+                (Err(oe), Err(ve)) => {
+                    prop_assert_eq!(
+                        oe.to_string(),
+                        ve.to_string(),
+                        "divergent error at cut {}",
+                        cut
+                    );
+                }
+                (o, v) => {
+                    return Err(TestCaseError::fail(format!(
+                        "cut {cut}: owned={:?} view_ok={}",
+                        o.map(|r| r.ts),
+                        v.is_ok()
+                    )));
+                }
+            }
         }
     }
 
