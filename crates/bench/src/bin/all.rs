@@ -28,6 +28,7 @@ const TARGETS: &[&str] = &[
     "fig_failover",
     "fig_space",
     "obs_overhead",
+    "fig_read",
     "fig_alloc",
 ];
 

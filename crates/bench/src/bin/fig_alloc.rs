@@ -9,7 +9,10 @@
 //!   `log_commit` path it replaced;
 //! * **bytes/record (replay)** — bytes requested from the allocator per
 //!   log record when scanning a batch through `MergedBatchView` (the
-//!   replay hot path), against the owned `read_merged_batch` decode.
+//!   replay hot path), against the owned `read_merged_batch` decode;
+//! * **allocs/txn (read)** — allocator calls per read-only OCC
+//!   transaction on the latch-free read path (shared `Arc<Row>` images +
+//!   newest-slot validation). Budget: ≤ 1, the read-set map itself.
 //!
 //! This bin owns a counting global allocator (a pass-through wrapper
 //! over the system allocator), which is why the measurement lives here
@@ -177,6 +180,45 @@ fn measure_replay(records: u64) -> (f64, f64) {
     )
 }
 
+/// (allocs/txn, bytes/txn) for a read-only bank-audit transaction: three
+/// reads plus a latch-free validating commit.
+fn measure_read(txns: u64) -> (f64, f64) {
+    let mut c = Catalog::new();
+    c.add_table("acct", 1);
+    let db = Database::new(c);
+    const ACCTS: u64 = 64;
+    for k in 0..ACCTS {
+        db.seed_row(TableId::new(0), k, Row::from([Value::Int(100)]))
+            .unwrap();
+    }
+    let t = TableId::new(0);
+
+    let warmup = txns / 10;
+    let mut allocs = 0u64;
+    let mut bytes = 0u64;
+    for i in 0..warmup + txns {
+        let a0 = allocs_now();
+        let b0 = bytes_now();
+        let mut txn = db.begin();
+        let mut sum = 0i64;
+        for j in 0..3 {
+            sum += txn
+                .read(t, (i + j) % ACCTS)
+                .unwrap()
+                .col(0)
+                .as_int()
+                .unwrap();
+        }
+        txn.commit().unwrap();
+        std::hint::black_box(sum);
+        if i >= warmup {
+            allocs += allocs_now() - a0;
+            bytes += bytes_now() - b0;
+        }
+    }
+    (allocs as f64 / txns as f64, bytes as f64 / txns as f64)
+}
+
 fn main() {
     let opts = BenchOpts::from_args();
     banner(
@@ -188,6 +230,7 @@ fn main() {
 
     let (arena_per_txn, record_per_txn) = measure_commit(txns);
     let (view_per_rec, owned_per_rec) = measure_replay(records);
+    let (read_allocs, read_bytes) = measure_read(txns);
 
     let widths = [26, 14, 14];
     print_row(
@@ -210,10 +253,22 @@ fn main() {
         ],
         &widths,
     );
+    print_row(
+        &[
+            "read allocs/txn".into(),
+            format!("{read_allocs:.3}"),
+            format!("({read_bytes:.0} B)"),
+        ],
+        &widths,
+    );
 
     assert!(
         arena_per_txn <= 2.0,
         "commit arena exceeded the allocation budget: {arena_per_txn:.3} allocs/txn"
+    );
+    assert!(
+        read_allocs <= 1.0,
+        "read-only txn exceeded the allocation budget: {read_allocs:.3} allocs/txn"
     );
     assert!(
         view_per_rec < owned_per_rec,
@@ -229,6 +284,10 @@ fn main() {
         .set(view_per_rec);
     reg.gauge_f("bench.fig_alloc.replay_bytes_per_record_owned")
         .set(owned_per_rec);
+    reg.gauge_f("bench.fig_alloc.read_allocs_per_txn")
+        .set(read_allocs);
+    reg.gauge_f("bench.fig_alloc.read_bytes_per_txn")
+        .set(read_bytes);
 
     pacman_bench::finish_bin("fig_alloc");
 }

@@ -1,12 +1,14 @@
 //! The database: catalog + tables + clock + snapshot holds.
 
 use crate::catalog::Catalog;
+use crate::chain::DEFAULT_VERSION_PRUNE_THRESHOLD;
 use crate::table::Table;
 use crate::txn::Txn;
 use pacman_common::fingerprint::Fingerprint;
 use pacman_common::{Error, Key, LogicalClock, Result, Row, TableId, Timestamp};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A main-memory database instance.
@@ -24,6 +26,9 @@ pub struct Database {
     /// side once, so after the barrier every commit with a timestamp at or
     /// below the snapshot has fully installed (and marked its shards dirty).
     install_lock: RwLock<()>,
+    /// Versions a chain may retain before commit-path installs prune below
+    /// the snapshot floor (see `DurabilityConfig::version_prune_threshold`).
+    prune_threshold: AtomicUsize,
 }
 
 impl Database {
@@ -40,7 +45,20 @@ impl Database {
             clock: LogicalClock::new(),
             holds: Mutex::new(BTreeMap::new()),
             install_lock: RwLock::new(()),
+            prune_threshold: AtomicUsize::new(DEFAULT_VERSION_PRUNE_THRESHOLD),
         }
+    }
+
+    /// Versions a chain may retain before a commit prunes it (memory/GC
+    /// knob; higher keeps longer history for snapshot readers).
+    pub fn version_prune_threshold(&self) -> usize {
+        self.prune_threshold.load(Ordering::Relaxed)
+    }
+
+    /// Set the per-chain retained-version threshold. Clamped to ≥ 1: the
+    /// newest version must always survive.
+    pub fn set_version_prune_threshold(&self, n: usize) {
+        self.prune_threshold.store(n.max(1), Ordering::Relaxed);
     }
 
     /// Enter an install section (commit path): held from before the commit

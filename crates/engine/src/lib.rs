@@ -32,7 +32,7 @@ pub mod version;
 
 pub use access::{DataAccess, ReplayAccess, TxnAccess};
 pub use catalog::{Catalog, TableMeta};
-pub use chain::TupleChain;
+pub use chain::{TupleChain, DEFAULT_VERSION_PRUNE_THRESHOLD};
 pub use database::Database;
 pub use epoch::EpochManager;
 pub use interp::{all_ops, execute_ops, run_procedure, run_procedure_with_epoch};

@@ -132,7 +132,7 @@ impl Table {
             for (k, c) in entries {
                 let (ts, row) = c.newest();
                 if let Some(row) = row {
-                    f(k, ts, &row);
+                    f(k, ts, row.as_ref());
                 }
             }
         }
@@ -148,7 +148,7 @@ impl Table {
                 .collect();
             for (k, c) in entries {
                 if let Some(row) = c.read_at(at) {
-                    f(k, &row);
+                    f(k, row.as_ref());
                 }
             }
         }
@@ -169,7 +169,7 @@ impl Table {
             .collect();
         for (k, c) in entries {
             if let Some(row) = c.read_at(at) {
-                f(k, &row);
+                f(k, row.as_ref());
             }
         }
     }
@@ -206,6 +206,7 @@ impl Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chain::DEFAULT_VERSION_PRUNE_THRESHOLD as DPT;
     use pacman_common::{TableId, Value};
 
     fn table() -> Table {
@@ -234,9 +235,9 @@ mod tests {
     #[test]
     fn for_each_newest_skips_tombstones() {
         let t = table();
-        t.get_or_create(1).install_committed(1, row(10), 0);
-        t.get_or_create(2).install_committed(1, row(20), 0);
-        t.get_or_create(2).install_committed(2, None, 0); // delete
+        t.get_or_create(1).install_committed(1, row(10), 0, DPT);
+        t.get_or_create(2).install_committed(1, row(20), 0, DPT);
+        t.get_or_create(2).install_committed(2, None, 0, DPT); // delete
         let mut seen = Vec::new();
         t.for_each_newest(|k, _, r| seen.push((k, r.col(0).clone())));
         assert_eq!(seen, vec![(1, Value::Int(10))]);
@@ -245,8 +246,8 @@ mod tests {
     #[test]
     fn snapshot_visibility() {
         let t = table();
-        t.get_or_create(1).install_committed(5, row(1), 0);
-        t.get_or_create(1).install_committed(9, row(2), 0);
+        t.get_or_create(1).install_committed(5, row(1), 0, DPT);
+        t.get_or_create(1).install_committed(9, row(2), 0, DPT);
         let mut at7 = Vec::new();
         t.for_each_visible_at(7, |k, r| at7.push((k, r.col(0).clone())));
         assert_eq!(at7, vec![(1, Value::Int(1))]);
@@ -257,11 +258,13 @@ mod tests {
         let t1 = table();
         let t2 = table();
         for k in 0..100 {
-            t1.get_or_create(k).install_committed(1, row(k as i64), 0);
-            t2.get_or_create(k).install_committed(1, row(k as i64), 0);
+            t1.get_or_create(k)
+                .install_committed(1, row(k as i64), 0, DPT);
+            t2.get_or_create(k)
+                .install_committed(1, row(k as i64), 0, DPT);
         }
         assert_eq!(t1.fingerprint(), t2.fingerprint());
-        t2.get_or_create(50).install_committed(2, row(-1), 0);
+        t2.get_or_create(50).install_committed(2, row(-1), 0, DPT);
         assert_ne!(t1.fingerprint(), t2.fingerprint());
     }
 
@@ -271,9 +274,9 @@ mod tests {
         // must match (PLR/LLR restore history, CLR-P does not).
         let t1 = table();
         let t2 = table();
-        t1.get_or_create(7).install_committed(3, row(30), 0);
-        t2.get_or_create(7).install_committed(1, row(10), 0);
-        t2.get_or_create(7).install_committed(3, row(30), 0);
+        t1.get_or_create(7).install_committed(3, row(30), 0, DPT);
+        t2.get_or_create(7).install_committed(1, row(10), 0, DPT);
+        t2.get_or_create(7).install_committed(3, row(30), 0, DPT);
         assert_eq!(t1.fingerprint(), t2.fingerprint());
     }
 

@@ -75,6 +75,10 @@ struct PendingWrite {
 struct ReadEntry {
     chain: Arc<TupleChain>,
     observed_ts: Timestamp,
+    /// The image observed on first read — repeated reads and
+    /// read-modify-write staging reuse it (and the chain handle above)
+    /// instead of going back through the shard map.
+    row: Arc<Row>,
 }
 
 /// An in-flight transaction.
@@ -106,6 +110,12 @@ impl<'db> Txn<'db> {
                 (_, Some(row)) => Ok(row.clone()),
             };
         }
+        if let Some(r) = self.reads.get(&(table, key)) {
+            // Repeatable read: serve the image observed first (the one
+            // commit validation will check) without re-touching the shard
+            // map or the chain.
+            return Ok((*r.row).clone());
+        }
         let chain = self.db.table(table)?.get(key).ok_or(Error::KeyNotFound {
             table: table.0,
             key,
@@ -115,11 +125,16 @@ impl<'db> Txn<'db> {
             table: table.0,
             key,
         })?;
-        self.reads.entry((table, key)).or_insert(ReadEntry {
-            chain,
-            observed_ts: ts,
-        });
-        Ok(row)
+        let out = (*row).clone();
+        self.reads.insert(
+            (table, key),
+            ReadEntry {
+                chain,
+                observed_ts: ts,
+                row,
+            },
+        );
+        Ok(out)
     }
 
     fn stage(&mut self, table: TableId, key: Key, kind: WriteKind, row: Option<Row>) {
@@ -139,23 +154,29 @@ impl<'db> Txn<'db> {
             }
             return;
         }
-        let chain = match kind {
-            WriteKind::Insert => self
-                .db
-                .table(table)
-                .expect("validated table id")
-                .get_or_create(key),
-            _ => match self.db.table(table).expect("validated table id").get(key) {
-                Some(c) => c,
-                None => {
-                    // Blind update/delete of a missing key: stage against a
-                    // fresh chain; commit-time validation will abort.
-                    self.db
-                        .table(table)
-                        .expect("validated table id")
-                        .get_or_create(key)
-                }
-            },
+        // A prior read of the key already resolved the chain; reuse the
+        // handle so read-modify-write does one shard-map lookup per key.
+        let chain = if let Some(r) = self.reads.get(&(table, key)) {
+            Arc::clone(&r.chain)
+        } else {
+            match kind {
+                WriteKind::Insert => self
+                    .db
+                    .table(table)
+                    .expect("validated table id")
+                    .get_or_create(key),
+                _ => match self.db.table(table).expect("validated table id").get(key) {
+                    Some(c) => c,
+                    None => {
+                        // Blind update/delete of a missing key: stage against a
+                        // fresh chain; commit-time validation will abort.
+                        self.db
+                            .table(table)
+                            .expect("validated table id")
+                            .get_or_create(key)
+                    }
+                },
+            }
         };
         self.writes
             .insert((table, key), PendingWrite { chain, kind, row });
@@ -200,6 +221,9 @@ impl<'db> Txn<'db> {
     /// On conflict the transaction aborts with [`Error::TxnAborted`]; the
     /// caller may retry with a fresh transaction.
     pub fn commit_with(self, epoch_fn: impl FnOnce() -> u64) -> Result<CommitInfo> {
+        if self.writes.is_empty() {
+            return self.commit_read_only();
+        }
         // Install section: held from before the commit timestamp is drawn
         // until every write is installed, so a checkpointer's barrier can
         // wait out commits its snapshot must cover (see
@@ -265,6 +289,7 @@ impl<'db> Txn<'db> {
             .clock()
             .tick_at_least(pacman_common::clock::epoch_floor(epoch));
         let floor = self.db.version_floor().min(ts);
+        let prune_threshold = self.db.version_prune_threshold();
         let mut records = Vec::with_capacity(self.write_order.len());
         for key in &self.write_order {
             let w = &self.writes[key];
@@ -275,7 +300,8 @@ impl<'db> Txn<'db> {
                 .table(key.0)
                 .expect("validated table id")
                 .mark_dirty(key.1, ts);
-            w.chain.install_committed(ts, w.row.clone(), floor);
+            w.chain
+                .install_committed(ts, w.row.clone(), floor, prune_threshold);
             records.push(WriteRecord {
                 table: key.0,
                 key: key.1,
@@ -289,6 +315,37 @@ impl<'db> Txn<'db> {
         Ok(CommitInfo {
             ts,
             writes: records,
+            ops: 0,
+        })
+    }
+
+    /// Commit a transaction that installed nothing: validate read
+    /// stability without latching, allocating, or ticking the clock.
+    ///
+    /// Serializability without latches: each `newest_ts()` load re-checks
+    /// one read for stability over `[read_i, check_i]`. All reads happened
+    /// before the first check, so if every check passes, every read was
+    /// simultaneously valid at the moment of the first check — the
+    /// transaction logically executed against that consistent snapshot. A
+    /// concurrent writer that invalidates a read after its check would
+    /// have serialized after us anyway. Nothing is installed, so the
+    /// install fence and the commit clock are not involved; the reported
+    /// timestamp is the current clock reading.
+    fn commit_read_only(self) -> Result<CommitInfo> {
+        for ((t, k), r) in &self.reads {
+            let now = r.chain.newest_ts();
+            if now != r.observed_ts {
+                occ_aborts().inc();
+                return Err(Error::TxnAborted(format!(
+                    "read of {t}:{k} invalidated (observed ts {}, now {now})",
+                    r.observed_ts
+                )));
+            }
+        }
+        occ_commits().inc();
+        Ok(CommitInfo {
+            ts: self.db.clock().peek(),
+            writes: Vec::new(),
             ops: 0,
         })
     }

@@ -1,14 +1,23 @@
 //! Version lists: the per-tuple MVCC state.
+//!
+//! Row images are held as `Arc<Row>` so every read path — transactional
+//! reads, checkpoint scans, the latch-free newest slot on
+//! [`crate::chain::TupleChain`] — hands out a refcount bump on a shared
+//! immutable image instead of materializing a copy (Larson et al.'s
+//! shared-row-image discipline). The `Arc<Row>` is also what makes the
+//! newest slot possible at all: it is a thin pointer, so the chain can
+//! publish it through an `AtomicPtr`.
 
 use pacman_common::{Row, Timestamp};
+use std::sync::Arc;
 
 /// One tuple version. `row == None` is a tombstone (deleted at `ts`).
 #[derive(Clone, Debug)]
 pub struct VersionEntry {
     /// Commit timestamp of the transaction that installed this version.
     pub ts: Timestamp,
-    /// The tuple image, or `None` for a delete.
-    pub row: Option<Row>,
+    /// The shared tuple image, or `None` for a delete.
+    pub row: Option<Arc<Row>>,
 }
 
 /// Versions of one tuple, sorted by ascending timestamp (newest last).
@@ -39,9 +48,16 @@ impl VersionList {
         self.entries.is_empty()
     }
 
-    /// Latest version with `ts <= at`, if any.
+    /// Latest version with `ts <= at`, if any. The entries are sorted by
+    /// timestamp, so this is a binary search: `partition_point` finds the
+    /// first entry past `at`, and its predecessor is the visible version.
     pub fn visible_at(&self, at: Timestamp) -> Option<&VersionEntry> {
-        self.entries.iter().rev().find(|e| e.ts <= at)
+        let i = self.entries.partition_point(|e| e.ts <= at);
+        if i == 0 {
+            None
+        } else {
+            Some(&self.entries[i - 1])
+        }
     }
 
     /// The newest version.
@@ -56,7 +72,7 @@ impl VersionList {
 
     /// Append a committed version. Debug-asserts monotonicity (commit path
     /// guarantees it).
-    pub fn install_committed(&mut self, ts: Timestamp, row: Option<Row>) {
+    pub fn install_committed(&mut self, ts: Timestamp, row: Option<Arc<Row>>) {
         debug_assert!(
             self.newest_ts() < ts || self.entries.is_empty(),
             "non-monotonic commit install: {} then {ts}",
@@ -68,7 +84,7 @@ impl VersionList {
     /// Multi-version recovery install: insert preserving timestamp order,
     /// tolerating out-of-order arrival. Duplicate timestamps overwrite
     /// (idempotent replay).
-    pub fn install_mv(&mut self, ts: Timestamp, row: Option<Row>) {
+    pub fn install_mv(&mut self, ts: Timestamp, row: Option<Arc<Row>>) {
         match self.entries.binary_search_by(|e| e.ts.cmp(&ts)) {
             Ok(i) => self.entries[i] = VersionEntry { ts, row },
             Err(i) => self.entries.insert(i, VersionEntry { ts, row }),
@@ -77,7 +93,7 @@ impl VersionList {
 
     /// Single-version last-writer-wins install: the list keeps exactly one
     /// entry, replaced only by a newer-or-equal timestamp.
-    pub fn install_lww(&mut self, ts: Timestamp, row: Option<Row>) {
+    pub fn install_lww(&mut self, ts: Timestamp, row: Option<Arc<Row>>) {
         match self.entries.last_mut() {
             Some(e) if e.ts <= ts => {
                 *e = VersionEntry { ts, row };
@@ -93,23 +109,24 @@ impl VersionList {
 
     /// Drop versions no snapshot can see: keeps every version with
     /// `ts >= floor` plus the newest older one (the version a snapshot at
-    /// `floor` reads).
-    pub fn prune(&mut self, floor: Timestamp) {
+    /// `floor` reads). Returns how many versions were dropped.
+    pub fn prune(&mut self, floor: Timestamp) -> usize {
         if self.entries.len() <= 1 {
-            return;
+            return 0;
         }
         // Index of the newest entry with ts <= floor.
         let keep_from = match self.entries.iter().rposition(|e| e.ts <= floor) {
             Some(i) => i,
-            None => return,
+            None => return 0,
         };
         if keep_from > 0 {
             self.entries.drain(..keep_from);
         }
+        keep_from
     }
 
     /// Iterate all versions (oldest first).
-    pub fn iter(&self) -> impl Iterator<Item = &VersionEntry> {
+    pub fn iter(&self) -> std::slice::Iter<'_, VersionEntry> {
         self.entries.iter()
     }
 }
@@ -119,8 +136,8 @@ mod tests {
     use super::*;
     use pacman_common::{Row, Value};
 
-    fn row(i: i64) -> Option<Row> {
-        Some(Row::from([Value::Int(i)]))
+    fn row(i: i64) -> Option<Arc<Row>> {
+        Some(Arc::new(Row::from([Value::Int(i)])))
     }
 
     #[test]
@@ -133,6 +150,23 @@ mod tests {
         assert_eq!(vl.visible_at(7).unwrap().ts, 5);
         assert_eq!(vl.visible_at(100).unwrap().ts, 9);
         assert_eq!(vl.newest_ts(), 9);
+    }
+
+    #[test]
+    fn visible_at_binary_search_agrees_with_linear_scan() {
+        // Dense and sparse timestamp layouts, probed at every boundary.
+        let mut vl = VersionList::new();
+        for ts in [3u64, 4, 9, 10, 250] {
+            vl.install_committed(ts, row(ts as i64));
+        }
+        for at in 0..260 {
+            let linear = vl.iter().rev().find(|e| e.ts <= at).map(|e| e.ts);
+            assert_eq!(
+                vl.visible_at(at).map(|e| e.ts),
+                linear,
+                "divergence at ts {at}"
+            );
+        }
     }
 
     #[test]
@@ -179,10 +213,10 @@ mod tests {
         for ts in [2, 4, 6, 8] {
             vl.install_committed(ts, row(ts as i64));
         }
-        vl.prune(5);
+        assert_eq!(vl.prune(5), 1);
         let ts: Vec<_> = vl.iter().map(|e| e.ts).collect();
         assert_eq!(ts, vec![4, 6, 8], "version at 4 still visible to ts=5");
-        vl.prune(100);
+        assert_eq!(vl.prune(100), 2);
         assert_eq!(vl.len(), 1);
         assert_eq!(vl.newest_ts(), 8);
     }
@@ -192,7 +226,7 @@ mod tests {
         let mut vl = VersionList::new();
         vl.install_committed(10, row(1));
         vl.install_committed(20, row(2));
-        vl.prune(5);
+        assert_eq!(vl.prune(5), 0);
         assert_eq!(vl.len(), 2);
     }
 }

@@ -101,6 +101,15 @@ impl TpccConfig {
         self.stock_data_bytes = 12;
         self
     }
+
+    /// A read-heavy mix: 80% read-only traffic (OrderStatus + StockLevel)
+    /// over a thin update stream. The regime where the engine's latch-free
+    /// read path — shared row images, newest-slot validation, lock-free
+    /// read-only commits — carries the throughput.
+    pub fn read_heavy(mut self) -> Self {
+        self.mix = [10, 8, 2, 40, 40];
+        self
+    }
 }
 
 impl Default for TpccConfig {

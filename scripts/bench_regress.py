@@ -4,9 +4,14 @@
 Usage: bench_regress.py OLD.json NEW.json [--max-regress PCT]
 
 Reads the stitched `{"figures": {...}}` documents the `all` bench bin
-emits, prints the headline deltas, and exits non-zero when the
-single-thread committed-transaction count (fig11's `driver.committed`)
-regressed by more than --max-regress percent (default 15).
+emits, prints the headline deltas, and exits non-zero when a gated
+committed-transaction count (`driver.committed` of fig11, the standard
+TPC-C mix, or fig_read, the read-heavy mix) regressed by more than
+--max-regress percent (default 15).
+
+A figure missing from the *older* document is reported as new and not
+gated (the trajectory predates it); missing from the *newer* document is
+a failure — a gated figure must not silently disappear.
 
 Replay-side figures (recovery bytes over load+work time) are printed
 for context but not gated: quick-mode recovery windows are short enough
@@ -16,6 +21,9 @@ that their run-to-run noise regularly exceeds any honest threshold.
 import argparse
 import json
 import sys
+
+# Figures whose committed-transaction count is gated, in report order.
+GATED_FIGURES = ("fig11", "fig_read")
 
 
 def load(path):
@@ -63,9 +71,27 @@ def main():
     old, new = load(args.old), load(args.new)
 
     print(f"comparing {args.old} -> {args.new}")
-    committed_old = metric(old, "fig11", "driver.committed")
-    committed_new = metric(new, "fig11", "driver.committed")
-    print(f"  fig11 driver.committed: {fmt_delta(committed_old, committed_new)}")
+    failures = []
+    for fig in GATED_FIGURES:
+        committed_old = metric(old, fig, "driver.committed")
+        committed_new = metric(new, fig, "driver.committed")
+        label = f"{fig} driver.committed:"
+        if committed_new is None:
+            print(f"  {label:<26} missing from {args.new}")
+            failures.append(f"{fig} driver.committed missing from {args.new}")
+            continue
+        if committed_old is None:
+            # The older trajectory point predates this figure: report,
+            # don't gate — there is no baseline to regress against.
+            print(f"  {label:<26} (new figure) -> {committed_new:,.0f}")
+            continue
+        print(f"  {label:<26} {fmt_delta(committed_old, committed_new)}")
+        if committed_old > 0:
+            drop = (committed_old - committed_new) / committed_old * 100.0
+            if drop > args.max_regress:
+                failures.append(
+                    f"{fig} committed throughput dropped {drop:.1f}% "
+                    f"(limit {args.max_regress:.0f}%)")
 
     for fig in ("fig14", "fig16"):
         o, n = replay_mbps(old, fig), replay_mbps(new, fig)
@@ -73,13 +99,8 @@ def main():
             print(f"  {fig} replay MB/s:        {o:8.1f} -> {n:8.1f} "
                   f"({(n - o) / o * 100.0:+.1f}%)")
 
-    if committed_old is None or committed_new is None:
-        sys.exit("fig11 driver.committed missing from one of the documents")
-    if committed_old > 0:
-        drop = (committed_old - committed_new) / committed_old * 100.0
-        if drop > args.max_regress:
-            sys.exit(f"REGRESSION: committed throughput dropped {drop:.1f}% "
-                     f"(limit {args.max_regress:.0f}%)")
+    if failures:
+        sys.exit("REGRESSION: " + "; ".join(failures))
     print("ok: within regression budget")
 
 

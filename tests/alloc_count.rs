@@ -14,6 +14,10 @@
 //! * **replay** — iterating a `MergedBatchView` materializes row images
 //!   only at installation; it must allocate strictly fewer bytes per
 //!   record than the owned `read_merged_batch` decode path.
+//! * **read** — a read-only OCC transaction over shared `Arc<Row>` images
+//!   and the latch-free newest slot must stay at or under 1 allocation
+//!   per transaction (the read-set map itself; the reads and the
+//!   lock-free validating commit allocate nothing).
 //!
 //! Pre-change constants (measured before the arena/view rework, same
 //! shapes as below): the per-record `log_commit` path paid ~2.2
@@ -186,6 +190,48 @@ fn buffered_commit_allocates_less_than_per_record_path() {
         "arena path must allocate less than the per-record path: {buffered} >= {per_record}"
     );
     dur.shutdown();
+}
+
+/// A read-only bank-mix transaction (audit a few accounts, commit) pays
+/// at most 1 allocation: the read-set map's first insert. Reads hand out
+/// refcount bumps on shared row images, validation is latch-free loads of
+/// the newest-slot timestamps, and the read-only commit path builds no
+/// lock set and ticks no clock.
+#[test]
+fn read_only_txn_stays_within_alloc_budget() {
+    let mut c = Catalog::new();
+    c.add_table("acct", 1);
+    let db = Database::new(c);
+    const ACCTS: u64 = 16;
+    for k in 0..ACCTS {
+        db.seed_row(TableId::new(0), k, Row::from([Value::Int(100)]))
+            .unwrap();
+    }
+    let t = TableId::new(0);
+
+    const WARMUP: u64 = 100;
+    const MEASURED: u64 = 2_000;
+    let mut measured_allocs = 0u64;
+    for i in 0..WARMUP + MEASURED {
+        let a0 = allocs_now();
+        let mut txn = db.begin();
+        let mut sum = 0i64;
+        for j in 0..3 {
+            let row = txn.read(t, (i + j) % ACCTS).unwrap();
+            sum += row.col(0).as_int().unwrap();
+        }
+        txn.commit().unwrap();
+        assert_eq!(sum, 300);
+        if i >= WARMUP {
+            measured_allocs += allocs_now() - a0;
+        }
+    }
+    let per_txn = measured_allocs as f64 / MEASURED as f64;
+    println!("read-only txn: {per_txn:.3} allocs/txn over {MEASURED} txns");
+    assert!(
+        per_txn <= 1.0,
+        "read-only txn exceeded the allocation budget: {per_txn:.3} allocs/txn (budget 1.0)"
+    );
 }
 
 /// Replaying through `MergedBatchView` copies strictly fewer bytes per

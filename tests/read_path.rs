@@ -1,0 +1,207 @@
+//! Concurrency stress for the latch-free engine read path.
+//!
+//! The newest slot on `TupleChain` is a seqlock-published `(ts, Arc<Row>)`
+//! pair with a reader-presence counter guarding `Arc` reclamation. These
+//! tests race lock-free readers against latched installers (and unlatched
+//! MV recovery installers) and assert, in the style of the `obs` ring
+//! tests, that a torn observation is impossible:
+//!
+//! * every row read is internally consistent (its two columns are a
+//!   self-checking pair derived from the install timestamp);
+//! * `newest()` pairs the row with exactly the timestamp it was installed
+//!   under (no mixing of one install's ts with another's row);
+//! * `newest_ts()` is monotone from any single observer;
+//! * the fast path completes while another thread holds the version
+//!   `Mutex` — i.e. it really is lock-free.
+
+use pacman_common::{LogicalClock, Row, Value};
+use pacman_engine::{TupleChain, DEFAULT_VERSION_PRUNE_THRESHOLD};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+
+/// A self-checking image: `col(0) = ts`, `col(1) = !ts`. Any torn mix of
+/// two installs breaks one of the equalities below.
+fn tagged_row(ts: u64) -> Row {
+    Row::from([Value::Int(ts as i64), Value::Int(!(ts as i64))])
+}
+
+fn assert_tagged(row: &Row, expect_ts: Option<u64>, what: &str) {
+    let a = row.col(0).as_int().unwrap();
+    let b = row.col(1).as_int().unwrap();
+    assert_eq!(b, !a, "{what}: torn row image (cols {a} / {b})");
+    if let Some(ts) = expect_ts {
+        assert_eq!(a, ts as i64, "{what}: row from a different install");
+    }
+}
+
+const WRITERS: usize = 3;
+const INSTALLS_PER_WRITER: u64 = 2_000;
+const READERS: usize = 3;
+/// Each reader performs at least this many check iterations even if the
+/// writers finish first (release-mode installs can outrun thread spawn
+/// on a small box; the checks must still run).
+const MIN_READS: u64 = 1_000;
+/// Writers' clock starts above the MV installer's fixed range so the MV
+/// installs never become the newest version.
+const CLOCK_BASE: u64 = 1_000;
+const MV_RANGE: u64 = 50;
+
+#[test]
+fn slot_readers_never_observe_torn_state() {
+    let chain = Arc::new(TupleChain::new());
+    let clock = Arc::new(LogicalClock::new());
+    // `tick()` hands out the pre-increment value, so start one past the
+    // seeded version's timestamp.
+    clock.advance_to(CLOCK_BASE + 1);
+    chain.install_lww(CLOCK_BASE, Some(tagged_row(CLOCK_BASE)));
+    let done = Arc::new(AtomicBool::new(false));
+    // Line everyone up before the first install so the readers actually
+    // race the writers instead of starting after they finish.
+    let start = Arc::new(Barrier::new(WRITERS + 1 + READERS));
+
+    let mut handles = Vec::new();
+    // Latched installers: the normal commit shape.
+    for _ in 0..WRITERS {
+        let chain = Arc::clone(&chain);
+        let clock = Arc::clone(&clock);
+        let start = Arc::clone(&start);
+        handles.push(std::thread::spawn(move || {
+            start.wait();
+            for _ in 0..INSTALLS_PER_WRITER {
+                let _g = chain.latch.guard();
+                let ts = clock.tick();
+                chain.install_committed(
+                    ts,
+                    Some(tagged_row(ts)),
+                    ts.saturating_sub(2),
+                    DEFAULT_VERSION_PRUNE_THRESHOLD,
+                );
+            }
+        }));
+    }
+    // Unlatched MV installer: recovery-shaped writes below the newest
+    // version, exercising the Mutex path and slot no-op publishes.
+    {
+        let chain = Arc::clone(&chain);
+        let done = Arc::clone(&done);
+        let start = Arc::clone(&start);
+        handles.push(std::thread::spawn(move || {
+            start.wait();
+            let mut ts = 1u64;
+            while !done.load(Ordering::Relaxed) {
+                chain.install_mv(ts, Some(tagged_row(ts)));
+                ts = ts % MV_RANGE + 1;
+            }
+        }));
+    }
+
+    let mut readers = Vec::new();
+    for _ in 0..READERS {
+        let chain = Arc::clone(&chain);
+        let done = Arc::clone(&done);
+        let start = Arc::clone(&start);
+        readers.push(std::thread::spawn(move || {
+            start.wait();
+            let mut last_ts = 0u64;
+            let mut observed = 0u64;
+            while observed < MIN_READS || !done.load(Ordering::Relaxed) {
+                // Pair consistency: the ts and row of one install, never a mix.
+                let (ts, row) = chain.newest();
+                if let Some(row) = &row {
+                    assert_tagged(row, Some(ts), "newest()");
+                }
+                assert!(ts >= last_ts, "newest() ts went backwards");
+                last_ts = ts;
+
+                // Monotonicity of the bare ts load.
+                let t2 = chain.newest_ts();
+                assert!(t2 >= last_ts, "newest_ts() went backwards");
+                last_ts = t2;
+
+                // Latest-visible read: internally consistent, ts-tagged.
+                if let Some(row) = chain.read_at(u64::MAX) {
+                    assert_tagged(&row, None, "read_at(MAX)");
+                    assert!(
+                        row.col(0).as_int().unwrap() as u64 >= CLOCK_BASE,
+                        "read_at(MAX) returned a stale MV image"
+                    );
+                }
+                // Old-snapshot read: the locked fallback, racing installers.
+                if let Some(row) = chain.read_at(MV_RANGE) {
+                    assert_tagged(&row, None, "read_at(old)");
+                }
+                observed += 1;
+            }
+            observed
+        }));
+    }
+
+    for h in handles.drain(..WRITERS) {
+        h.join().unwrap();
+    }
+    done.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total_reads: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(
+        total_reads >= READERS as u64 * MIN_READS,
+        "readers never ran"
+    );
+
+    // Final state: the last install is exactly what the slot serves, and
+    // pruning kept the chain bounded.
+    let final_ts = CLOCK_BASE + WRITERS as u64 * INSTALLS_PER_WRITER;
+    let (ts, row) = chain.newest();
+    assert_eq!(ts, final_ts);
+    assert_tagged(&row.unwrap(), Some(final_ts), "final newest()");
+    assert!(
+        chain.num_versions() <= DEFAULT_VERSION_PRUNE_THRESHOLD + MV_RANGE as usize,
+        "chain failed to prune: {} versions",
+        chain.num_versions()
+    );
+}
+
+/// The fast path must complete while another thread holds the version
+/// `Mutex` — if `newest()`, `newest_ts()`, or latest-visible `read_at`
+/// ever took that lock, this test would deadlock instead of finishing.
+#[test]
+fn fast_path_reads_complete_while_version_mutex_is_held() {
+    let chain = Arc::new(TupleChain::with_version(7, Some(tagged_row(7))));
+    let c2 = Arc::clone(&chain);
+    chain.with_versions_locked(move || {
+        let reader = std::thread::spawn(move || {
+            for _ in 0..1_000 {
+                let (ts, row) = c2.newest();
+                assert_eq!(ts, 7);
+                assert_tagged(&row.unwrap(), Some(7), "newest() under held lock");
+                assert_eq!(c2.newest_ts(), 7);
+                assert_tagged(
+                    &c2.read_at(u64::MAX).unwrap(),
+                    Some(7),
+                    "read_at(MAX) under held lock",
+                );
+            }
+        });
+        reader.join().unwrap();
+    });
+}
+
+/// Reads share one image per version: no per-read materialization.
+#[test]
+fn concurrent_reads_share_row_images() {
+    let chain = Arc::new(TupleChain::with_version(3, Some(tagged_row(3))));
+    let images: Vec<_> = (0..4)
+        .map(|_| {
+            let c = Arc::clone(&chain);
+            std::thread::spawn(move || c.read_at(u64::MAX).unwrap())
+        })
+        .map(|h| h.join().unwrap())
+        .collect();
+    for w in images.windows(2) {
+        assert!(
+            Arc::ptr_eq(&w[0], &w[1]),
+            "readers materialized separate images"
+        );
+    }
+}
