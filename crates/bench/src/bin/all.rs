@@ -30,6 +30,7 @@ const TARGETS: &[&str] = &[
     "obs_overhead",
     "fig_read",
     "fig_alloc",
+    "fig_latency",
 ];
 
 fn main() {

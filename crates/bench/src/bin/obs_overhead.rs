@@ -51,6 +51,25 @@ fn main() {
         "disabled trace emit costs {ns_per_emit:.1} ns/op — the off path must stay near-zero"
     );
 
+    // Hard guard: the span-table record path — the per-epoch-stage stamp
+    // the logger / pepoch watcher / shipper pay. A fresh table keeps the
+    // microbench loop out of the global `wal.epoch.*` histograms; each
+    // iteration claims a slot (the slow path) and feeds one transition
+    // histogram, so this bounds the *worst* stamp, not the amortized one.
+    let spans = pacman_obs::EpochSpanTable::new();
+    const M: u64 = 500_000;
+    let t0 = Instant::now();
+    for e in 1..=M {
+        spans.record(e, pacman_obs::Stage::Staged);
+        spans.record(e, pacman_obs::Stage::Sealed);
+    }
+    let ns_per_record = t0.elapsed().as_nanos() as f64 / (2 * M) as f64;
+    println!("span record:   {ns_per_record:.2} ns/op ({} stamps)", 2 * M);
+    assert!(
+        ns_per_record < 100.0,
+        "span-table record costs {ns_per_record:.1} ns/op — the stamp must stay under 100 ns"
+    );
+
     // End-to-end A/B on the adaptive drive. Two disabled runs bracket the
     // machine's run-to-run noise; the enabled run is read against them.
     let disabled_a = adaptive_drive(opts.quick);
@@ -76,6 +95,8 @@ fn main() {
     let reg = pacman_obs::registry();
     reg.gauge_f("bench.obs_overhead.disabled_emit_ns")
         .set(ns_per_emit);
+    reg.gauge_f("bench.obs_overhead.span_record_ns")
+        .set(ns_per_record);
     reg.gauge_f("bench.obs_overhead.disabled_tput_a")
         .set(disabled_a);
     reg.gauge_f("bench.obs_overhead.disabled_tput_b")

@@ -101,6 +101,18 @@ impl Histogram {
         }
     }
 
+    /// Non-empty buckets as `(lower_bound, count)` pairs, ascending. The
+    /// raw-distribution export behind the summary quantiles: consumers can
+    /// re-aggregate, plot, or merge across documents without access to the
+    /// original samples.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_low(i), c))
+    }
+
     /// Approximate quantile (`q` in `[0,1]`); returns the lower bound of the
     /// bucket containing the q-th sample.
     pub fn quantile(&self, q: f64) -> u64 {
@@ -171,6 +183,20 @@ mod tests {
         assert_eq!(a.count(), c.count());
         assert_eq!(a.max(), c.max());
         assert_eq!(a.quantile(0.5), c.quantile(0.5));
+    }
+
+    #[test]
+    fn buckets_cover_every_sample() {
+        let mut h = Histogram::new();
+        for v in [1u64, 1, 17, 40_000] {
+            h.record(v);
+        }
+        let buckets: Vec<(u64, u64)> = h.buckets().collect();
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), h.count());
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0), "ascending");
+        assert_eq!(buckets[0], (1, 2));
+        assert!(buckets.iter().all(|&(low, _)| low <= 40_000));
+        assert!(Histogram::new().buckets().next().is_none());
     }
 
     #[test]

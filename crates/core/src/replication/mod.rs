@@ -30,8 +30,8 @@
 pub mod standby;
 
 pub use standby::{
-    start_standby, PromotedPrimary, ReplicationStats, Standby, StandbyConfig, StandbyReport,
-    StandbyState,
+    register_gate_probe, start_standby, PromotedPrimary, ReplicationStats, Standby, StandbyConfig,
+    StandbyReport, StandbyState,
 };
 
 use pacman_common::{Encoder, Error, Result};

@@ -166,9 +166,11 @@ struct Shared {
     /// already in the base image and are skipped at feed time.
     after_ts: AtomicU64,
     ckpt_tuples: AtomicU64,
-    /// Received log bytes per fed-but-not-yet-applied batch seq; drained
-    /// into the metrics' applied counters as the apply frontier advances.
-    batch_bytes: Mutex<BTreeMap<u64, u64>>,
+    /// Per fed-but-not-yet-applied batch seq: `(received log bytes,
+    /// highest epoch in the batch)`. Drained into the metrics' applied
+    /// counters (and the span table's `Applied` stage) as the apply
+    /// frontier advances.
+    batch_bytes: Mutex<BTreeMap<u64, (u64, u64)>>,
 }
 
 impl Shared {
@@ -221,6 +223,35 @@ pub struct Standby {
     recv_join: Option<JoinHandle<()>>,
     apply_joins: Vec<JoinHandle<()>>,
     shard_state: Option<Arc<ShardApply>>,
+    /// This session's gate probe in the process-wide watchdog (removed on
+    /// drop so a discarded standby cannot read as stalled forever).
+    gate_probe: pacman_obs::ProbeId,
+}
+
+/// Register a stall-watchdog probe over a recovery/replication gate:
+/// *work* is the batches fed (`total_batches`), *progress* the slowest
+/// partition's applied watermark. The probe is inactive before the first
+/// batch is fed and after the gate finished or failed — a poisoned gate
+/// already dumped through its own hook; the watchdog's job is the silent
+/// wedge where batches keep arriving but the watermark stops.
+///
+/// `start_standby` installs one per session (removed on [`Standby`] drop);
+/// exposed for recovery drivers and tests that run a gate directly.
+pub fn register_gate_probe(gate: &Arc<RecoveryGate>) -> pacman_obs::ProbeId {
+    let gate = Arc::clone(gate);
+    pacman_obs::watchdog().register("standby.gate", pacman_obs::StallKind::Gate, move || {
+        if gate.is_complete() || gate.is_failed() {
+            return None;
+        }
+        let total = gate.total_batches();
+        if total == 0 {
+            return None;
+        }
+        Some(pacman_obs::ProbeSample {
+            work: total,
+            progress: gate.min_watermark(),
+        })
+    })
 }
 
 /// Start a standby over its own (fresh or previously-shipped) `storage`,
@@ -414,6 +445,7 @@ pub fn start_standby(
             .map_err(|e| Error::Unknown(format!("spawn standby receiver: {e}")))?
     };
 
+    let gate_probe = register_gate_probe(&gate);
     Ok(Standby {
         db,
         storage,
@@ -425,6 +457,7 @@ pub fn start_standby(
         recv_join: Some(recv_join),
         apply_joins,
         shard_state,
+        gate_probe,
     })
 }
 
@@ -463,6 +496,10 @@ impl ReceiverState {
                 return Ok(());
             }
             if disconnected {
+                // Keep folding apply progress while holding for a promote
+                // decision — batches fed before the link died are still
+                // being applied behind the gate.
+                self.observe_applied();
                 std::thread::sleep(Duration::from_micros(500));
                 continue;
             }
@@ -485,8 +522,11 @@ impl ReceiverState {
         let mut bb = self.shared.batch_bytes.lock();
         let done: Vec<u64> = bb.range(..=applied).map(|(s, _)| *s).collect();
         for s in done {
-            let bytes = bb.remove(&s).unwrap_or(0);
+            let (bytes, max_epoch) = bb.remove(&s).unwrap_or((0, 0));
             self.metrics.count_applied_batch(bytes);
+            // Span attribution: the batch's newest epoch is now queryable on
+            // the standby (standby.apply_lag's right edge).
+            pacman_obs::spans().record(max_epoch, pacman_obs::Stage::Applied);
         }
     }
 
@@ -703,7 +743,15 @@ impl ReceiverState {
             batch: self.seq,
             bytes: batch_bytes,
         });
-        self.shared.batch_bytes.lock().insert(self.seq, batch_bytes);
+        // Records are ts-sorted: the batch's newest epoch is the last one's.
+        let max_epoch = records
+            .last()
+            .map(|r| pacman_common::clock::epoch_of(r.ts))
+            .unwrap_or(0);
+        self.shared
+            .batch_bytes
+            .lock()
+            .insert(self.seq, (batch_bytes, max_epoch));
         // Move the frontier *before* feeding: a read admitted after this
         // point waits for the new batch; one admitted just before reads
         // the previous consistent prefix.
@@ -850,7 +898,7 @@ impl Standby {
             (
                 self.shared.received_log_bytes.get(),
                 self.metrics.applied_log_bytes()
-                    + bb.range(..=applied).map(|(_, &b)| b).sum::<u64>(),
+                    + bb.range(..=applied).map(|(_, &(b, _))| b).sum::<u64>(),
             )
         };
         ReplicationStats {
@@ -999,6 +1047,7 @@ impl Standby {
 
 impl Drop for Standby {
     fn drop(&mut self) {
+        pacman_obs::watchdog().remove(self.gate_probe);
         // An un-promoted standby being discarded: unblock every thread.
         self.shared.promote.store(true, Ordering::Release);
         if let Some(j) = self.recv_join.take() {

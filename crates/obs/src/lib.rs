@@ -15,18 +15,25 @@
 //! manager, the standby, the engine gate) report through it, while
 //! `DurabilityConfig` carries an explicit handle so tests can isolate.
 
+mod introspect;
 mod json;
 mod registry;
+mod spans;
 mod trace;
+mod watchdog;
 
+pub use introspect::{respond as introspect_respond, IntrospectServer};
 pub use json::Json;
 pub use registry::{
-    Counter, Gauge, GaugeF, HistoHandle, HistoSummary, MetricsRegistry, SnapValue, Snapshot,
+    Counter, Gauge, GaugeF, HistoHandle, HistoSnap, HistoSummary, MetricsRegistry, SnapValue,
+    Snapshot,
 };
+pub use spans::{EpochSpanTable, Stage, SPAN_SLOTS, STAGE_HISTOGRAMS};
 pub use trace::{
-    DumpSink, GatePlane, HoldKind, RecoveryPhase, StderrSink, TraceEvent, TraceRecord, Tracer,
-    DUMP_TAIL_EVENTS, RING_CAPACITY,
+    DumpSink, GatePlane, HoldKind, RecoveryPhase, StallKind, StderrSink, TraceEvent, TraceRecord,
+    Tracer, DUMP_TAIL_EVENTS, RING_CAPACITY,
 };
+pub use watchdog::{ProbeHealth, ProbeId, ProbeSample, Watchdog, WatchdogConfig};
 
 use std::sync::{Arc, OnceLock};
 
@@ -86,4 +93,35 @@ pub fn tracer() -> &'static Arc<Tracer> {
 /// The process-wide metrics registry ([`Obs::current()`]'s).
 pub fn registry() -> &'static Arc<MetricsRegistry> {
     &Obs::current().registry
+}
+
+/// The process-wide epoch span table.
+///
+/// Global (not per-`Obs`) because the stages of one epoch are stamped from
+/// different subsystems — workers, logger, pepoch watcher, shipper, standby —
+/// that do not share a config handle. On first use its five transition
+/// histograms are bound into the global registry under the `wal.epoch.*` /
+/// `wal.ship.*` / `standby.*` names in [`STAGE_HISTOGRAMS`].
+pub fn spans() -> &'static EpochSpanTable {
+    static SPANS: OnceLock<EpochSpanTable> = OnceLock::new();
+    SPANS.get_or_init(|| {
+        let table = EpochSpanTable::new();
+        table.register_into(registry());
+        table
+    })
+}
+
+/// The process-wide stall watchdog.
+///
+/// Created with the built-in `seal` and `ship` probes (reading the span
+/// table's stage frontiers) and its `obs.watchdog.*` counters bound into the
+/// global registry. Sampler cadence is owned by whoever drives it — normally
+/// the thread `Durability::boot` spawns.
+pub fn watchdog() -> &'static Watchdog {
+    static WATCHDOG: OnceLock<Watchdog> = OnceLock::new();
+    WATCHDOG.get_or_init(|| {
+        let w = Watchdog::with_builtin_probes();
+        w.register_metrics(registry());
+        w
+    })
 }

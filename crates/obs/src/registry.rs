@@ -165,6 +165,15 @@ impl HistoHandle {
     pub fn summary(&self) -> HistoSummary {
         HistoSummary::of(&self.0.lock())
     }
+
+    /// Summary plus the raw non-empty buckets, in one lock acquisition.
+    pub fn snap(&self) -> HistoSnap {
+        let h = self.0.lock();
+        HistoSnap {
+            summary: HistoSummary::of(&h),
+            buckets: h.buckets().collect(),
+        }
+    }
 }
 
 /// Point-in-time summary of a histogram.
@@ -201,6 +210,16 @@ impl HistoSummary {
     }
 }
 
+/// A histogram as captured in a [`Snapshot`]: the quantile summary plus
+/// the raw non-empty `(bucket_low, count)` distribution behind it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistoSnap {
+    /// Count / mean / min / max / p50 / p95 / p99.
+    pub summary: HistoSummary,
+    /// Non-empty buckets, ascending by lower bound.
+    pub buckets: Vec<(u64, u64)>,
+}
+
 #[derive(Clone, Debug)]
 enum Metric {
     Counter(Counter),
@@ -216,8 +235,8 @@ pub enum SnapValue {
     Int(u64),
     /// Float gauge value.
     Float(f64),
-    /// Histogram summary.
-    Histo(HistoSummary),
+    /// Histogram summary + raw buckets.
+    Histo(HistoSnap),
 }
 
 /// Stable-ordered point-in-time view of every registered metric.
@@ -257,10 +276,11 @@ impl Snapshot {
                     let _ = writeln!(out, "  {name:<width$}  {v:.3}");
                 }
                 SnapValue::Histo(h) => {
+                    let s = &h.summary;
                     let _ = writeln!(
                         out,
                         "  {name:<width$}  n={} mean={:.1} p50={} p95={} p99={} max={}",
-                        h.count, h.mean, h.p50, h.p95, h.p99, h.max
+                        s.count, s.mean, s.p50, s.p95, s.p99, s.max
                     );
                 }
             }
@@ -277,15 +297,29 @@ impl Snapshot {
                     let v = match value {
                         SnapValue::Int(v) => Json::Int(*v),
                         SnapValue::Float(v) => Json::Float(*v),
-                        SnapValue::Histo(h) => Json::Obj(vec![
-                            ("count".into(), Json::Int(h.count)),
-                            ("mean".into(), Json::Float(h.mean)),
-                            ("min".into(), Json::Int(h.min)),
-                            ("max".into(), Json::Int(h.max)),
-                            ("p50".into(), Json::Int(h.p50)),
-                            ("p95".into(), Json::Int(h.p95)),
-                            ("p99".into(), Json::Int(h.p99)),
-                        ]),
+                        SnapValue::Histo(h) => {
+                            let s = &h.summary;
+                            Json::Obj(vec![
+                                ("count".into(), Json::Int(s.count)),
+                                ("mean".into(), Json::Float(s.mean)),
+                                ("min".into(), Json::Int(s.min)),
+                                ("max".into(), Json::Int(s.max)),
+                                ("p50".into(), Json::Int(s.p50)),
+                                ("p95".into(), Json::Int(s.p95)),
+                                ("p99".into(), Json::Int(s.p99)),
+                                (
+                                    "buckets".into(),
+                                    Json::Arr(
+                                        h.buckets
+                                            .iter()
+                                            .map(|&(low, count)| {
+                                                Json::Arr(vec![Json::Int(low), Json::Int(count)])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        }
                     };
                     (name.clone(), v)
                 })
@@ -387,7 +421,7 @@ impl MetricsRegistry {
                         Metric::Counter(c) => SnapValue::Int(c.get()),
                         Metric::Gauge(g) => SnapValue::Int(g.get()),
                         Metric::GaugeF(g) => SnapValue::Float(g.get()),
-                        Metric::Histo(h) => SnapValue::Histo(h.summary()),
+                        Metric::Histo(h) => SnapValue::Histo(h.snap()),
                     };
                     (name.clone(), v)
                 })
@@ -455,5 +489,29 @@ mod tests {
         assert_eq!(s.count, 4);
         assert!(s.max >= 1000);
         assert!(s.p50 >= 10);
+    }
+
+    #[test]
+    fn histogram_export_carries_summary_and_buckets() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat.us");
+        for v in [5u64, 5, 300] {
+            h.record(v);
+        }
+        let snap = r.snapshot();
+        let Some(SnapValue::Histo(hs)) = snap.get("lat.us") else {
+            panic!("histogram missing from snapshot");
+        };
+        assert_eq!(hs.summary.count, 3);
+        assert_eq!(hs.buckets.iter().map(|&(_, c)| c).sum::<u64>(), 3);
+        // The text table keeps the quantile summary line.
+        let table = snap.to_table();
+        assert!(table.contains("p50="), "table: {table}");
+        assert!(table.contains("p99="), "table: {table}");
+        // The JSON export carries both the summary fields and the raw
+        // distribution as [low, count] pairs.
+        let json = snap.to_json().render();
+        assert!(json.contains("\"p99\":"), "json: {json}");
+        assert!(json.contains("\"buckets\":[[5,2],["), "json: {json}");
     }
 }

@@ -1,0 +1,533 @@
+//! Stall watchdog: proactive detection of a frozen durability stage.
+//!
+//! The flight recorder (PR 6) only dumps *after* a gate is poisoned; the
+//! conditions operators actually chase — an epoch that never seals while
+//! commits flow, a ship cursor frozen under a live primary, a standby
+//! gate watermark that stopped moving, a retention hold pinning the log
+//! abnormally long — are silent until they become unbounded memory or a
+//! stuck client. The watchdog closes that gap with one generic rule
+//! evaluated per *probe* at a fixed sampling cadence:
+//!
+//! > a probe is **stalled** when its *work* counter keeps growing while
+//! > its *progress* counter stays frozen for
+//! > [`WatchdogConfig::stall_intervals`] consecutive samples.
+//!
+//! Idle (work frozen too) is *not* a stall; a probe can also report
+//! itself inactive (`None`) — a shipper that never shipped, a gate with
+//! no batches — so quiet configurations produce zero verdicts. On
+//! detection the watchdog emits [`TraceEvent::StallDetected`], bumps
+//! `obs.watchdog.stalls`, and triggers a *proactive* flight-recorder dump
+//! — edge-triggered once per stall episode and rate-limited by
+//! [`WatchdogConfig::dump_cooldown`] across episodes (and, like every
+//! dump, a no-op while tracing is disabled). When progress resumes it
+//! emits [`TraceEvent::StallCleared`] and re-arms.
+//!
+//! Two probes are built in, reading the epoch span table's stage
+//! frontiers: **seal** (work = staged frontier, progress = sealed
+//! frontier) and **ship** (work = persisted/acked frontier, progress =
+//! shipped frontier, active only once something shipped). The gate and
+//! retention probes are registered by their owners (`start_standby`,
+//! `Durability::boot`) with [`Watchdog::register`] and removed on drop.
+//!
+//! The sampler *thread* lives in `Durability::boot` (cadence from
+//! `DurabilityConfig::watchdog`); tests call [`Watchdog::sample`]
+//! directly for deterministic stepping.
+
+use crate::registry::Counter;
+use crate::spans::Stage;
+use crate::trace::{StallKind, TraceEvent};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Sampling cadence and thresholds of the watchdog rule.
+#[derive(Clone, Copy, Debug)]
+pub struct WatchdogConfig {
+    /// How often the sampler thread calls [`Watchdog::sample`].
+    pub period: Duration,
+    /// Consecutive work-grew/progress-frozen samples before a probe is
+    /// declared stalled. A stall beginning mid-interval is detected at
+    /// most `stall_intervals` periods after onset.
+    pub stall_intervals: u32,
+    /// Minimum wall time between proactive dumps across episodes (each
+    /// episode additionally dumps at most once).
+    pub dump_cooldown: Duration,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> WatchdogConfig {
+        WatchdogConfig {
+            period: Duration::from_millis(250),
+            stall_intervals: 2,
+            dump_cooldown: Duration::from_secs(10),
+        }
+    }
+}
+
+/// One sample of a probe: how much upstream work exists and how far the
+/// downstream consumer has progressed. The units are probe-defined and
+/// only compared against the probe's own previous sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeSample {
+    /// Upstream work counter (e.g. staged epochs, batches fed).
+    pub work: u64,
+    /// Downstream progress counter (e.g. sealed epochs, gate watermark).
+    pub progress: u64,
+}
+
+/// Handle to a registered probe (pass to [`Watchdog::remove`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeId(u64);
+
+/// One probe's verdict in a [`Watchdog::health`] report.
+#[derive(Clone, Debug)]
+pub struct ProbeHealth {
+    /// Probe name (`seal`, `ship`, `standby.gate`, `wal.retention`, ...).
+    pub name: String,
+    /// Which lifecycle stage the probe watches.
+    pub kind: StallKind,
+    /// Whether the probe is currently declared stalled.
+    pub stalled: bool,
+    /// Consecutive stalled intervals observed so far.
+    pub stalled_intervals: u32,
+    /// Last sampled work counter (`None` = probe inactive).
+    pub sample: Option<ProbeSample>,
+}
+
+type ProbeFn = Box<dyn Fn() -> Option<ProbeSample> + Send + Sync>;
+
+struct ProbeState {
+    name: String,
+    kind: StallKind,
+    probe: ProbeFn,
+    /// Per-probe override of `WatchdogConfig::stall_intervals` (the
+    /// retention probe tolerates much longer pins than a frozen seal).
+    threshold: Option<u32>,
+    last: Option<ProbeSample>,
+    stalled_intervals: u32,
+    stalled: bool,
+    /// Whether this stall episode already produced its dump.
+    episode_dumped: bool,
+}
+
+#[derive(Default)]
+struct Inner {
+    probes: BTreeMap<u64, ProbeState>,
+    next_id: u64,
+    last_dump: Option<Instant>,
+}
+
+/// The stall watchdog. One per process (see `pacman_obs::watchdog()`);
+/// probes register into it, a sampler thread (or a test) steps it.
+pub struct Watchdog {
+    inner: Mutex<Inner>,
+    /// Stalls declared (bound as `obs.watchdog.stalls`).
+    stalls: Counter,
+    /// Proactive dumps triggered (bound as `obs.watchdog.dumps`).
+    dumps: Counter,
+}
+
+impl Watchdog {
+    /// A fresh watchdog with the two span-table probes (seal, ship)
+    /// built in.
+    pub(crate) fn with_builtin_probes() -> Watchdog {
+        let w = Watchdog {
+            inner: Mutex::new(Inner::default()),
+            stalls: Counter::new(),
+            dumps: Counter::new(),
+        };
+        // Seal: commits are staging but the seal frontier is frozen.
+        // Active once anything staged since the last boot/reset.
+        w.register("seal", StallKind::Seal, || {
+            let spans = crate::spans();
+            let staged = spans.frontier(Stage::Staged);
+            if staged == 0 {
+                return None;
+            }
+            Some(ProbeSample {
+                work: staged,
+                progress: spans.frontier(Stage::Sealed),
+            })
+        });
+        // Ship: epochs persist but the ship cursor is frozen. Active only
+        // once a subscriber shipped something — a shipper-less primary
+        // must never read as stalled.
+        w.register("ship", StallKind::Ship, || {
+            let spans = crate::spans();
+            let shipped = spans.frontier(Stage::Shipped);
+            if shipped == 0 {
+                return None;
+            }
+            Some(ProbeSample {
+                work: spans
+                    .frontier(Stage::Persisted)
+                    .max(spans.frontier(Stage::Acked)),
+                progress: shipped,
+            })
+        });
+        w
+    }
+
+    /// Bind the watchdog counters into `registry` under
+    /// `obs.watchdog.*`.
+    pub fn register_metrics(&self, registry: &crate::registry::MetricsRegistry) {
+        registry.bind_counter("obs.watchdog.stalls", &self.stalls);
+        registry.bind_counter("obs.watchdog.dumps", &self.dumps);
+    }
+
+    /// Register a probe. `probe` is called once per sample; return `None`
+    /// while the watched subsystem is inactive (no verdict is formed).
+    pub fn register(
+        &self,
+        name: &str,
+        kind: StallKind,
+        probe: impl Fn() -> Option<ProbeSample> + Send + Sync + 'static,
+    ) -> ProbeId {
+        self.register_inner(name, kind, Box::new(probe), None)
+    }
+
+    /// [`Watchdog::register`] with a per-probe stall threshold replacing
+    /// `WatchdogConfig::stall_intervals`.
+    pub fn register_with_threshold(
+        &self,
+        name: &str,
+        kind: StallKind,
+        threshold: u32,
+        probe: impl Fn() -> Option<ProbeSample> + Send + Sync + 'static,
+    ) -> ProbeId {
+        self.register_inner(name, kind, Box::new(probe), Some(threshold))
+    }
+
+    fn register_inner(
+        &self,
+        name: &str,
+        kind: StallKind,
+        probe: ProbeFn,
+        threshold: Option<u32>,
+    ) -> ProbeId {
+        let mut inner = self.inner.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.probes.insert(
+            id,
+            ProbeState {
+                name: name.to_string(),
+                kind,
+                probe,
+                threshold,
+                last: None,
+                stalled_intervals: 0,
+                stalled: false,
+                episode_dumped: false,
+            },
+        );
+        ProbeId(id)
+    }
+
+    /// Unregister a probe (no-op if already removed). Owners call this
+    /// from their drop/shutdown path so a dead subsystem cannot read as
+    /// stalled forever.
+    pub fn remove(&self, id: ProbeId) {
+        self.inner.lock().probes.remove(&id.0);
+    }
+
+    /// Evaluate every probe once against `config`. Called by the sampler
+    /// thread each period; tests call it directly for deterministic
+    /// stepping. Returns the kinds declared newly stalled this sample.
+    pub fn sample(&self, config: &WatchdogConfig) -> Vec<StallKind> {
+        // Sample outside the per-probe emit so a probe closure may itself
+        // take locks, but hold the registry lock across the pass — probes
+        // are cheap reads and registration is rare.
+        let mut inner = self.inner.lock();
+        let mut newly_stalled = Vec::new();
+        let mut dump_requests: Vec<(StallKind, u64, u64)> = Vec::new();
+        let Inner {
+            probes, last_dump, ..
+        } = &mut *inner;
+        for p in probes.values_mut() {
+            let Some(s) = (p.probe)() else {
+                // Inactive: forget the episode entirely.
+                p.last = None;
+                p.stalled_intervals = 0;
+                p.stalled = false;
+                p.episode_dumped = false;
+                continue;
+            };
+            if let Some(last) = p.last {
+                if s.progress != last.progress {
+                    // Progress moved: healthy. Close any open episode.
+                    if p.stalled {
+                        crate::tracer().emit(TraceEvent::StallCleared { kind: p.kind });
+                    }
+                    p.stalled_intervals = 0;
+                    p.stalled = false;
+                    p.episode_dumped = false;
+                } else if s.work > last.work {
+                    // Work grew while progress froze: one stalled interval.
+                    p.stalled_intervals += 1;
+                    let threshold = p.threshold.unwrap_or(config.stall_intervals).max(1);
+                    if p.stalled_intervals >= threshold && !p.stalled {
+                        p.stalled = true;
+                        self.stalls.inc();
+                        newly_stalled.push(p.kind);
+                        crate::tracer().emit(TraceEvent::StallDetected {
+                            kind: p.kind,
+                            work: s.work,
+                            progress: s.progress,
+                        });
+                        // Proactive dump: once per episode, rate-limited
+                        // across episodes.
+                        let cooled = last_dump
+                            .map(|t| t.elapsed() >= config.dump_cooldown)
+                            .unwrap_or(true);
+                        if !p.episode_dumped && cooled {
+                            p.episode_dumped = true;
+                            *last_dump = Some(Instant::now());
+                            dump_requests.push((p.kind, s.work, s.progress));
+                        }
+                    }
+                }
+                // work frozen too → idle, not a stall: hold state as is.
+            }
+            p.last = Some(s);
+        }
+        drop(inner);
+        for (kind, work, progress) in dump_requests {
+            let reason = format!("watchdog: {kind:?} stalled (work={work}, progress={progress})");
+            if crate::tracer().dump_on_failure(&reason).is_some() {
+                self.dumps.inc();
+            }
+        }
+        newly_stalled
+    }
+
+    /// Per-probe verdicts (the introspection `health` command).
+    pub fn health(&self) -> Vec<ProbeHealth> {
+        self.inner
+            .lock()
+            .probes
+            .values()
+            .map(|p| ProbeHealth {
+                name: p.name.clone(),
+                kind: p.kind,
+                stalled: p.stalled,
+                stalled_intervals: p.stalled_intervals,
+                sample: p.last,
+            })
+            .collect()
+    }
+
+    /// Stalls declared so far.
+    pub fn stalls(&self) -> u64 {
+        self.stalls.get()
+    }
+
+    /// Proactive dumps triggered so far.
+    pub fn dump_count(&self) -> u64 {
+        self.dumps.get()
+    }
+
+    /// Render the health report as text (introspection `health` command).
+    /// First line is machine-parseable: `health: ok (N probes)` or
+    /// `health: STALLED (...)`.
+    pub fn render_health(&self) -> String {
+        use std::fmt::Write as _;
+        let probes = self.health();
+        let stalled: Vec<&str> = probes
+            .iter()
+            .filter(|p| p.stalled)
+            .map(|p| p.name.as_str())
+            .collect();
+        let mut out = String::new();
+        if stalled.is_empty() {
+            let _ = writeln!(out, "health: ok ({} probes)", probes.len());
+        } else {
+            let _ = writeln!(out, "health: STALLED ({})", stalled.join(", "));
+        }
+        for p in probes {
+            let state = if p.stalled {
+                "STALLED"
+            } else if p.sample.is_some() {
+                "ok"
+            } else {
+                "idle"
+            };
+            match p.sample {
+                Some(s) => {
+                    let _ = writeln!(
+                        out,
+                        "  {:<16} {:<10} {state:<8} work={} progress={} intervals={}",
+                        p.name,
+                        format!("{:?}", p.kind),
+                        s.work,
+                        s.progress,
+                        p.stalled_intervals
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "  {:<16} {:<10} {state:<8} (inactive)",
+                        p.name,
+                        format!("{:?}", p.kind)
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Watchdog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Watchdog")
+            .field("probes", &self.inner.lock().probes.len())
+            .field("stalls", &self.stalls())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn cfg() -> WatchdogConfig {
+        WatchdogConfig {
+            period: Duration::from_millis(1),
+            stall_intervals: 2,
+            dump_cooldown: Duration::ZERO,
+        }
+    }
+
+    /// A controllable probe: (work, progress) atomics, u64::MAX work =
+    /// inactive.
+    fn arm(w: &Watchdog, kind: StallKind) -> (ProbeId, Arc<AtomicU64>, Arc<AtomicU64>) {
+        let work = Arc::new(AtomicU64::new(0));
+        let progress = Arc::new(AtomicU64::new(0));
+        let (w2, p2) = (work.clone(), progress.clone());
+        let id = w.register("test", kind, move || {
+            let wv = w2.load(Ordering::Relaxed);
+            if wv == u64::MAX {
+                return None;
+            }
+            Some(ProbeSample {
+                work: wv,
+                progress: p2.load(Ordering::Relaxed),
+            })
+        });
+        (id, work, progress)
+    }
+
+    fn fresh() -> Watchdog {
+        // Bare watchdog (no builtin probes) so tests control every probe.
+        Watchdog {
+            inner: Mutex::new(Inner::default()),
+            stalls: Counter::new(),
+            dumps: Counter::new(),
+        }
+    }
+
+    #[test]
+    fn stall_needs_work_growth_with_frozen_progress() {
+        let w = fresh();
+        let (_id, work, progress) = arm(&w, StallKind::Seal);
+        assert!(w.sample(&cfg()).is_empty(), "baseline");
+        // Idle: neither moves — never a stall.
+        for _ in 0..5 {
+            assert!(w.sample(&cfg()).is_empty());
+        }
+        // Healthy: both move.
+        for i in 1..5u64 {
+            work.store(i, Ordering::Relaxed);
+            progress.store(i, Ordering::Relaxed);
+            assert!(w.sample(&cfg()).is_empty());
+        }
+        // Stall: work grows, progress frozen. Declared on the 2nd interval.
+        work.store(10, Ordering::Relaxed);
+        assert!(w.sample(&cfg()).is_empty(), "1st stalled interval");
+        work.store(11, Ordering::Relaxed);
+        assert_eq!(w.sample(&cfg()), vec![StallKind::Seal]);
+        assert_eq!(w.stalls(), 1);
+        assert!(w.health()[0].stalled);
+        // Already stalled: no re-declaration while frozen.
+        work.store(12, Ordering::Relaxed);
+        assert!(w.sample(&cfg()).is_empty());
+        assert_eq!(w.stalls(), 1);
+        // Progress resumes: episode closes and the rule re-arms.
+        progress.store(12, Ordering::Relaxed);
+        assert!(w.sample(&cfg()).is_empty());
+        assert!(!w.health()[0].stalled);
+        work.store(20, Ordering::Relaxed);
+        w.sample(&cfg());
+        work.store(21, Ordering::Relaxed);
+        assert_eq!(w.sample(&cfg()), vec![StallKind::Seal]);
+        assert_eq!(w.stalls(), 2);
+    }
+
+    #[test]
+    fn inactive_probe_forms_no_verdict_and_forgets_state() {
+        let w = fresh();
+        let (_id, work, _progress) = arm(&w, StallKind::Ship);
+        work.store(1, Ordering::Relaxed);
+        w.sample(&cfg());
+        work.store(2, Ordering::Relaxed);
+        w.sample(&cfg()); // one stalled interval banked
+        work.store(u64::MAX, Ordering::Relaxed); // probe goes inactive
+        assert!(w.sample(&cfg()).is_empty());
+        assert!(w.health()[0].sample.is_none());
+        // Reactivating starts from a fresh baseline.
+        work.store(10, Ordering::Relaxed);
+        assert!(w.sample(&cfg()).is_empty());
+        assert_eq!(w.health()[0].stalled_intervals, 0);
+    }
+
+    #[test]
+    fn per_probe_threshold_overrides_config() {
+        let w = fresh();
+        let work = Arc::new(AtomicU64::new(0));
+        let w2 = work.clone();
+        w.register_with_threshold("slow", StallKind::Retention, 4, move || {
+            Some(ProbeSample {
+                work: w2.load(Ordering::Relaxed),
+                progress: 0,
+            })
+        });
+        w.sample(&cfg()); // baseline
+        for i in 1..=3u64 {
+            work.store(i, Ordering::Relaxed);
+            assert!(w.sample(&cfg()).is_empty(), "interval {i}");
+        }
+        work.store(4, Ordering::Relaxed);
+        assert_eq!(w.sample(&cfg()), vec![StallKind::Retention]);
+    }
+
+    #[test]
+    fn removed_probe_stops_reporting() {
+        let w = fresh();
+        let (id, work, _) = arm(&w, StallKind::Gate);
+        work.store(1, Ordering::Relaxed);
+        w.sample(&cfg());
+        w.remove(id);
+        assert!(w.health().is_empty());
+        work.store(100, Ordering::Relaxed);
+        assert!(w.sample(&cfg()).is_empty());
+    }
+
+    #[test]
+    fn health_render_is_parseable() {
+        let w = fresh();
+        let (_, work, _) = arm(&w, StallKind::Seal);
+        let text = w.render_health();
+        assert!(text.starts_with("health: ok (1 probes)"), "{text}");
+        w.sample(&cfg());
+        for i in 1..=2u64 {
+            work.store(i, Ordering::Relaxed);
+            w.sample(&cfg());
+        }
+        let text = w.render_health();
+        assert!(text.starts_with("health: STALLED (test)"), "{text}");
+        assert!(text.contains("work=2 progress=0"), "{text}");
+    }
+}

@@ -15,7 +15,10 @@ use pacman_common::clock::epoch_of;
 use pacman_common::ProcId;
 use pacman_engine::epoch::WorkerEpoch;
 use pacman_engine::{CommitInfo, Database, EpochManager};
-use pacman_obs::{Counter, Gauge, HistoHandle, Obs, TraceEvent};
+use pacman_obs::{
+    Counter, Gauge, HistoHandle, IntrospectServer, Obs, ProbeId, ProbeSample, Stage, StallKind,
+    TraceEvent, WatchdogConfig,
+};
 use pacman_sproc::Params;
 use pacman_storage::TraceDumpSink;
 use parking_lot::{Mutex, RwLock};
@@ -109,6 +112,19 @@ pub struct DurabilityConfig {
     /// into. Defaults to the process-wide [`Obs::current`] bundle; tests
     /// that need isolation pass a fresh [`Obs::new`].
     pub obs: Obs,
+    /// Stall-watchdog sampling policy. `Some` (the default) spawns a
+    /// background sampler stepping the process-wide
+    /// [`pacman_obs::watchdog`] at `period`; `None` disables the sampler
+    /// for this stack (tests step the watchdog manually).
+    pub watchdog: Option<WatchdogConfig>,
+    /// Bind address of the live introspection endpoint
+    /// (`docs/OBSERVABILITY.md`), e.g. `"127.0.0.1:7071"` — port `0` picks
+    /// an ephemeral port, readable via [`Durability::introspect_addr`].
+    /// `None` (the default) serves nothing.
+    pub introspect_addr: Option<String>,
+    /// Flight-recorder dump tail length in events (applied to the tracer
+    /// at boot via `Tracer::set_dump_tail`).
+    pub dump_tail_events: usize,
 }
 
 impl Default for DurabilityConfig {
@@ -126,6 +142,9 @@ impl Default for DurabilityConfig {
             version_prune_threshold: pacman_engine::DEFAULT_VERSION_PRUNE_THRESHOLD,
             fsync: true,
             obs: Obs::default(),
+            watchdog: Some(WatchdogConfig::default()),
+            introspect_addr: None,
+            dump_tail_events: pacman_obs::DUMP_TAIL_EVENTS,
         }
     }
 }
@@ -161,6 +180,12 @@ pub struct Durability {
     /// instance, so parallel stacks sharing one tracer never replace each
     /// other's sink); unregistered on shutdown/crash.
     sink_key: String,
+    wd_stop: Arc<AtomicBool>,
+    wd_join: Mutex<Option<JoinHandle<()>>>,
+    /// This stack's retention probe in the process-wide watchdog
+    /// (removed on shutdown/crash).
+    retention_probe: Option<ProbeId>,
+    introspect: Mutex<Option<IntrospectServer>>,
 }
 
 /// Distinguishes the dump-sink registrations of stacks sharing a tracer.
@@ -293,6 +318,14 @@ impl Durability {
             .obs
             .tracer
             .set_sink(&sink_key, Arc::new(TraceDumpSink::new(storage.clone())));
+        config.obs.tracer.set_dump_tail(config.dump_tail_events);
+        // Epochs restart small after a reboot (fresh directories) or resume
+        // mid-range (reopen); either way the span table's slots and stage
+        // frontiers describe the *previous* incarnation. Reset them so the
+        // watchdog's built-in probes baseline on this boot. (The transition
+        // histograms keep accumulating — they describe latency, not
+        // position.)
+        pacman_obs::spans().reset();
         let mut loggers = Vec::new();
         let mut sealed = Vec::new();
         let mut real = Vec::new();
@@ -437,6 +470,58 @@ impl Durability {
             _ => None,
         };
 
+        // Retention probe: a hold whose floor stays frozen while the
+        // durability frontier keeps advancing is pinning the log (a wedged
+        // recovery session or a dead subscriber). Pins are legitimate for a
+        // while — a replaying standby holds its floor for the whole catch-up
+        // — so the threshold is much laxer than the seal/ship probes'.
+        let retention_probe = {
+            let pepoch2 = Arc::clone(&pepoch_value);
+            let retention2 = Arc::clone(&retention);
+            Some(pacman_obs::watchdog().register_with_threshold(
+                "wal.retention",
+                StallKind::Retention,
+                8,
+                move || {
+                    let floor = retention2.min_hold_floor()?;
+                    Some(ProbeSample {
+                        work: pepoch2.load(Ordering::Acquire),
+                        progress: floor,
+                    })
+                },
+            ))
+        };
+        let wd_stop = Arc::new(AtomicBool::new(false));
+        let wd_join = config.watchdog.map(|wd_cfg| {
+            let stop = Arc::clone(&wd_stop);
+            std::thread::Builder::new()
+                .name("stall-watchdog".into())
+                .spawn(move || loop {
+                    let mut slept = Duration::ZERO;
+                    while slept < wd_cfg.period {
+                        if stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let step = Duration::from_millis(2).min(wd_cfg.period - slept);
+                        std::thread::sleep(step);
+                        slept += step;
+                    }
+                    pacman_obs::watchdog().sample(&wd_cfg);
+                })
+                .expect("spawn stall-watchdog")
+        });
+        let introspect = config.introspect_addr.as_deref().and_then(|addr| {
+            match IntrospectServer::spawn(addr) {
+                Ok(srv) => Some(srv),
+                Err(e) => {
+                    // A busy port must not take the database down; the
+                    // endpoint is diagnostics, not durability.
+                    eprintln!("introspect endpoint disabled: bind {addr}: {e}");
+                    None
+                }
+            }
+        });
+
         let obs = config.obs.clone();
         let dur = Durability {
             config,
@@ -464,6 +549,10 @@ impl Durability {
             ship_counters: Arc::default(),
             obs,
             sink_key,
+            wd_stop,
+            wd_join: Mutex::new(wd_join),
+            retention_probe,
+            introspect: Mutex::new(introspect),
         };
         dur.register_metrics();
         Arc::new(dur)
@@ -632,10 +721,9 @@ impl Durability {
             return 0;
         }
         let idx = worker % loggers.len();
-        let _ = loggers[idx].sender.send(QueuedRecord {
-            epoch: epoch_of(info.ts),
-            bytes,
-        });
+        let epoch = epoch_of(info.ts);
+        pacman_obs::spans().record(epoch, Stage::Staged);
+        let _ = loggers[idx].sender.send(QueuedRecord { epoch, bytes });
         len
     }
 
@@ -669,6 +757,9 @@ impl Durability {
             self.flush_worker(buf, worker);
         }
         buf.epoch = epoch;
+        // First-stamp-wins in the span table: the epoch's Staged mark is the
+        // *first* commit staged into it, anywhere in the process.
+        pacman_obs::spans().record(epoch, Stage::Staged);
         let start = buf.buf.len();
         payload.encode_record(info.ts, &mut buf.buf);
         let len = buf.buf.len() - start;
@@ -847,8 +938,33 @@ impl Durability {
         self.ship_counters.records()
     }
 
+    /// The bound address of the live introspection endpoint (`None` when
+    /// `DurabilityConfig::introspect_addr` was unset or the bind failed).
+    /// Resolves port `0` to the ephemeral port actually chosen.
+    pub fn introspect_addr(&self) -> Option<std::net::SocketAddr> {
+        self.introspect.lock().as_ref().map(|s| s.local_addr())
+    }
+
+    /// Stop the attribution-plane helpers (watchdog sampler, retention
+    /// probe, introspection endpoint). Shared by shutdown and crash — these
+    /// are observers; even a simulated crash must not leave them watching a
+    /// dead stack.
+    fn stop_observers(&self) {
+        self.wd_stop.store(true, Ordering::Release);
+        if let Some(j) = self.wd_join.lock().take() {
+            let _ = j.join();
+        }
+        if let Some(id) = self.retention_probe {
+            pacman_obs::watchdog().remove(id);
+        }
+        if let Some(mut srv) = self.introspect.lock().take() {
+            srv.stop();
+        }
+    }
+
     /// Graceful shutdown: seal everything queued, then stop all threads.
     pub fn shutdown(&self) {
+        self.stop_observers();
         self.ckpt_stop.store(true, Ordering::Release);
         if let Some(j) = self.ckpt_join.lock().take() {
             let _ = j.join();
@@ -871,6 +987,7 @@ impl Durability {
     /// Crash: stop everything abruptly. Unsealed epochs are lost; the
     /// devices retain exactly what a real crash would leave behind.
     pub fn crash(&self) {
+        self.stop_observers();
         self.ckpt_stop.store(true, Ordering::Release);
         if let Some(j) = self.ckpt_join.lock().take() {
             let _ = j.join();

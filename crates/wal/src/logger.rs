@@ -214,6 +214,14 @@ fn logger_loop(
                 logger: id as u32,
                 epoch: cursor,
             });
+            // Span attribution: every epoch this pass sealed (capped to the
+            // table's window — a logger catching up over thousands of idle
+            // epochs must not spin here).
+            let spans = pacman_obs::spans();
+            for e in already.max(cursor.saturating_sub(pacman_obs::SPAN_SLOTS as u64)) + 1..=cursor
+            {
+                spans.record(e, pacman_obs::Stage::Sealed);
+            }
         }
         if disconnected {
             // Graceful drain: everything this logger will ever receive is

@@ -106,12 +106,27 @@ impl PepochHandle {
                         min
                     };
                     if frontier > published {
+                        let prev = published;
                         published = frontier;
                         disk.write_file(PEPOCH_FILE, &frontier.to_le_bytes());
                         disk.fsync();
+                        // Span attribution, Persisted = frontier fsynced
+                        // (capped to the span table's window so a sentinel
+                        // catch-up never spins).
+                        let spans = pacman_obs::spans();
+                        let lo = prev.max(frontier.saturating_sub(pacman_obs::SPAN_SLOTS as u64));
+                        for e in lo + 1..=frontier {
+                            spans.record(e, pacman_obs::Stage::Persisted);
+                        }
                         v2.store(frontier, Ordering::Release);
                         // One wakeup acknowledges the whole sealed batch.
                         sig2.notify();
+                        // Acked = the moment waiters could observe the
+                        // advance; ack_delay is signal latency on top of
+                        // the fsync.
+                        for e in lo + 1..=frontier {
+                            spans.record(e, pacman_obs::Stage::Acked);
+                        }
                     }
                     if stopping {
                         sig2.notify(); // release any waiter racing shutdown

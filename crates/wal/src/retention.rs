@@ -229,6 +229,21 @@ impl RetentionManager {
             .any(|h| h.kind == HoldKind::Recovery && !h.broken)
     }
 
+    /// The lowest epoch floor any live (unbroken) hold pins, or `None`
+    /// when no hold is live. The watchdog's retention probe watches this:
+    /// a floor frozen while the durability frontier advances means some
+    /// hold — a wedged recovery session, a dead subscriber — is pinning
+    /// the log.
+    pub fn min_hold_floor(&self) -> Option<u64> {
+        self.inner
+            .lock()
+            .holds
+            .values()
+            .filter(|h| !h.broken)
+            .map(|h| h.min_epoch)
+            .min()
+    }
+
     /// Number of live (unreleased) holds.
     pub fn live_holds(&self) -> usize {
         self.inner.lock().holds.len()

@@ -416,6 +416,19 @@ impl LogShipper {
                 bytes: p.bytes,
             });
         }
+        // Span attribution: the epochs this committed pass shipped (capped
+        // to the span table's window — a bootstrap pass covers the whole
+        // history). A reset pass rewinds the cursor; skip stamping there.
+        if cur.shipped_pepoch > p.prev_shipped && cur.shipped_pepoch != u64::MAX {
+            let spans = pacman_obs::spans();
+            let lo = p.prev_shipped.max(
+                cur.shipped_pepoch
+                    .saturating_sub(pacman_obs::SPAN_SLOTS as u64),
+            );
+            for e in lo + 1..=cur.shipped_pepoch {
+                spans.record(e, pacman_obs::Stage::Shipped);
+            }
+        }
         if self.retention.is_some() {
             let mut hold = self.hold.lock();
             if let Some(fresh) = p.new_hold.take() {
@@ -441,7 +454,10 @@ impl LogShipper {
     /// idle primary yields an empty vec. Mutates only `cur` (the caller's
     /// scratch cursor); counters are committed separately.
     fn produce(&self, cur: &mut ShipCursor, pepoch: u64) -> Result<Produced> {
-        let mut out = Produced::default();
+        let mut out = Produced {
+            prev_shipped: cur.shipped_pepoch,
+            ..Produced::default()
+        };
 
         // Broken hold: the bounded-lag policy invalidated this cursor —
         // the history it pointed into may be reclaimed. Self-heal: tell
@@ -703,6 +719,10 @@ struct Produced {
     /// installed in place of the broken one only when the pass commits;
     /// dropped (released) if delivery fails.
     new_hold: Option<RetentionHold>,
+    /// The shipped frontier when the pass started — the epochs in
+    /// `(prev_shipped, shipped_pepoch]` get their `Shipped` span stamp when
+    /// the pass commits.
+    prev_shipped: u64,
 }
 
 #[cfg(test)]

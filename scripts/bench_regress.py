@@ -7,7 +7,10 @@ Reads the stitched `{"figures": {...}}` documents the `all` bench bin
 emits, prints the headline deltas, and exits non-zero when a gated
 committed-transaction count (`driver.committed` of fig11, the standard
 TPC-C mix, or fig_read, the read-heavy mix) regressed by more than
---max-regress percent (default 15).
+--max-regress percent (default 15), or when fig_latency's p99 commit
+latency (`driver.commit_latency_us` p99 — an *increase* is the
+regression) grew by more than --max-latency-regress percent (default
+25; latency is noisier than throughput on quick shapes).
 
 A figure missing from the *older* document is reported as new and not
 gated (the trajectory predates it); missing from the *newer* document is
@@ -41,6 +44,16 @@ def metric(figures, fig, name):
     return v if isinstance(v, (int, float)) else None
 
 
+def histo_field(figures, fig, name, field):
+    """A field of a histogram metric (histograms export as objects)."""
+    m = figures.get(fig, {}).get("metrics", {})
+    v = m.get(name)
+    if not isinstance(v, dict):
+        return None
+    f = v.get(field)
+    return f if isinstance(f, (int, float)) else None
+
+
 def replay_mbps(figures, fig):
     by = metric(figures, fig, "recovery.applied_log_bytes")
     ns = (metric(figures, fig, "recovery.load_ns") or 0) + (
@@ -66,6 +79,8 @@ def main():
     ap.add_argument("new")
     ap.add_argument("--max-regress", type=float, default=15.0,
                     help="fail on a committed-throughput drop above this percent")
+    ap.add_argument("--max-latency-regress", type=float, default=25.0,
+                    help="fail on a p99 commit-latency increase above this percent")
     args = ap.parse_args()
 
     old, new = load(args.old), load(args.new)
@@ -92,6 +107,25 @@ def main():
                 failures.append(
                     f"{fig} committed throughput dropped {drop:.1f}% "
                     f"(limit {args.max_regress:.0f}%)")
+
+    # Latency gate: fig_latency's paced p99 commit latency. Direction
+    # flips — an increase is the regression.
+    p99_old = histo_field(old, "fig_latency", "driver.commit_latency_us", "p99")
+    p99_new = histo_field(new, "fig_latency", "driver.commit_latency_us", "p99")
+    label = "fig_latency p99 commit us:"
+    if p99_new is None:
+        print(f"  {label:<26} missing from {args.new}")
+        failures.append(f"fig_latency commit-latency p99 missing from {args.new}")
+    elif p99_old is None:
+        print(f"  {label:<26} (new figure) -> {p99_new:,.0f}")
+    else:
+        print(f"  {label:<26} {fmt_delta(p99_old, p99_new)}")
+        if p99_old > 0:
+            rise = (p99_new - p99_old) / p99_old * 100.0
+            if rise > args.max_latency_regress:
+                failures.append(
+                    f"fig_latency p99 commit latency rose {rise:.1f}% "
+                    f"(limit {args.max_latency_regress:.0f}%)")
 
     for fig in ("fig14", "fig16"):
         o, n = replay_mbps(old, fig), replay_mbps(new, fig)
