@@ -49,7 +49,7 @@ fn bench_replay(c: &mut Criterion) {
             db.table(t)
                 .unwrap()
                 .get_or_create(k)
-                .install_lww(ts, Some(Row::from([Value::Int(7)])));
+                .install_lww(ts, Some(std::sync::Arc::new(Row::from([Value::Int(7)]))));
             black_box(k)
         })
     });

@@ -13,6 +13,11 @@
 //! * **allocs/txn (read)** — allocator calls per read-only OCC
 //!   transaction on the latch-free read path (shared `Arc<Row>` images +
 //!   newest-slot validation). Budget: ≤ 1, the read-set map itself.
+//! * **allocs/txn (write)** — allocator calls per single-row
+//!   read-modify-write transaction on the pooled-scratch write path
+//!   (`read_for_update` + staged `Arc<Row>` image shared with the log).
+//!   Budget: ≤ 2, the two allocations that materialize the new image
+//!   (`Arc<[Value]>` column slab + `Arc<Row>` header).
 //!
 //! This bin owns a counting global allocator (a pass-through wrapper
 //! over the system allocator), which is why the measurement lives here
@@ -90,7 +95,7 @@ fn one_write(key: u64) -> WriteRecord {
         table: TableId::new(0),
         key,
         kind: WriteKind::Update,
-        after: Some(Row::from([Value::Int(key as i64)])),
+        after: Some(Arc::new(Row::from([Value::Int(key as i64)]))),
         prev_ts: 0,
     }
 }
@@ -219,6 +224,43 @@ fn measure_read(txns: u64) -> (f64, f64) {
     (allocs as f64 / txns as f64, bytes as f64 / txns as f64)
 }
 
+/// (allocs/txn, bytes/txn) for a single-row read-modify-write
+/// transaction through the pooled-scratch write path.
+fn measure_write(txns: u64) -> (f64, f64) {
+    let mut c = Catalog::new();
+    c.add_table("acct", 1);
+    let db = Database::new(c);
+    const ACCTS: u64 = 64;
+    for k in 0..ACCTS {
+        db.seed_row(TableId::new(0), k, Row::from([Value::Int(100)]))
+            .unwrap();
+    }
+    let t = TableId::new(0);
+
+    // Warm until every chain's version list has hit its pruned steady
+    // state (several installs per account), not just the txn scratch —
+    // version-vec growth is a one-time cost, not per-txn traffic.
+    let warmup = (txns / 10).max(ACCTS * 8);
+    let mut allocs = 0u64;
+    let mut bytes = 0u64;
+    for i in 0..warmup + txns {
+        let a0 = allocs_now();
+        let b0 = bytes_now();
+        let mut txn = db.begin();
+        let mut row = txn.read_for_update(t, i % ACCTS).unwrap();
+        let v = row.col(0).as_int().unwrap();
+        row.set_col(0, Value::Int(v + 1));
+        row.stage();
+        let info = txn.commit().unwrap();
+        pacman_engine::recycle_commit_info(info);
+        if i >= warmup {
+            allocs += allocs_now() - a0;
+            bytes += bytes_now() - b0;
+        }
+    }
+    (allocs as f64 / txns as f64, bytes as f64 / txns as f64)
+}
+
 fn main() {
     let opts = BenchOpts::from_args();
     banner(
@@ -231,6 +273,7 @@ fn main() {
     let (arena_per_txn, record_per_txn) = measure_commit(txns);
     let (view_per_rec, owned_per_rec) = measure_replay(records);
     let (read_allocs, read_bytes) = measure_read(txns);
+    let (write_allocs, write_bytes) = measure_write(txns);
 
     let widths = [26, 14, 14];
     print_row(
@@ -261,6 +304,14 @@ fn main() {
         ],
         &widths,
     );
+    print_row(
+        &[
+            "write allocs/txn".into(),
+            format!("{write_allocs:.3}"),
+            format!("({write_bytes:.0} B)"),
+        ],
+        &widths,
+    );
 
     assert!(
         arena_per_txn <= 2.0,
@@ -269,6 +320,10 @@ fn main() {
     assert!(
         read_allocs <= 1.0,
         "read-only txn exceeded the allocation budget: {read_allocs:.3} allocs/txn"
+    );
+    assert!(
+        write_allocs <= 2.0,
+        "update txn exceeded the allocation budget: {write_allocs:.3} allocs/txn"
     );
     assert!(
         view_per_rec < owned_per_rec,
@@ -288,6 +343,10 @@ fn main() {
         .set(read_allocs);
     reg.gauge_f("bench.fig_alloc.read_bytes_per_txn")
         .set(read_bytes);
+    reg.gauge_f("bench.fig_alloc.write_allocs_per_txn")
+        .set(write_allocs);
+    reg.gauge_f("bench.fig_alloc.write_bytes_per_txn")
+        .set(write_bytes);
 
     pacman_bench::finish_bin("fig_alloc");
 }

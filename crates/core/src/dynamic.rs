@@ -207,7 +207,7 @@ mod tests {
                     table: T,
                     key,
                     kind: WriteKind::Update,
-                    after: Some(Row::from([Value::Int(0)])),
+                    after: Some(std::sync::Arc::new(Row::from([Value::Int(0)]))),
                     prev_ts: 0,
                 }])),
             }
@@ -243,7 +243,7 @@ mod tests {
                 table: T,
                 key: 9,
                 kind: WriteKind::Update,
-                after: Some(Row::from([Value::Int(1)])),
+                after: Some(std::sync::Arc::new(Row::from([Value::Int(1)]))),
                 prev_ts: 0,
             }])),
         };

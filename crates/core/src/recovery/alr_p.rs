@@ -137,7 +137,9 @@ mod tests {
                             table: AUDIT,
                             key: k,
                             kind: WriteKind::Update,
-                            after: Some(Row::from([Value::Int(audit_totals[k as usize])])),
+                            after: Some(std::sync::Arc::new(Row::from([Value::Int(
+                                audit_totals[k as usize],
+                            )]))),
                             prev_ts: 0,
                         }],
                     },

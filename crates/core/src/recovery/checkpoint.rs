@@ -111,7 +111,7 @@ impl ShardLoader {
         let n = decoded.len() as u64;
         let t = db.table(TableId::new(p.table))?;
         for (key, row) in decoded {
-            t.install_lww(key, p.ts, Some(row));
+            t.install_lww(key, p.ts, Some(Arc::new(row)));
         }
         Ok(n)
     }
@@ -230,14 +230,17 @@ pub fn recover_checkpoint_chain(
             CheckpointTarget::Tables(db) => {
                 let t = db.table(tid).expect("catalog covers checkpoint");
                 for (key, row) in decoded {
-                    t.put_chain(key, Arc::new(TupleChain::with_version(p.ts, Some(row))));
+                    t.put_chain(
+                        key,
+                        Arc::new(TupleChain::with_version(p.ts, Some(Arc::new(row)))),
+                    );
                 }
             }
             CheckpointTarget::Raw(raw) => {
                 for (key, row) in decoded {
                     raw.table(tid)
                         .get_or_create(key)
-                        .install_lww(p.ts, Some(row));
+                        .install_lww(p.ts, Some(Arc::new(row)));
                 }
             }
         }
@@ -296,7 +299,7 @@ pub fn resync_checkpoint_chain(
         tuples.fetch_add(decoded.len() as u64, Ordering::Relaxed);
         for (key, row) in decoded {
             part_keys.insert(key);
-            t.install_lww(key, p.ts, Some(row));
+            t.install_lww(key, p.ts, Some(Arc::new(row)));
         }
         let mut stale = Vec::new();
         t.for_each_visible_at_shard(p.shard as usize, u64::MAX, |key, _| {
@@ -643,7 +646,7 @@ mod tests {
         fresh.table(TableId::new(0)).unwrap().install_lww(
             5,
             newer_ts,
-            Some(Row::from([Value::Int(-555)])),
+            Some(std::sync::Arc::new(Row::from([Value::Int(-555)]))),
         );
         let shards = fresh.table(TableId::new(0)).unwrap().num_shards();
         let gate = RecoveryGate::with_residency(shards, shards);

@@ -135,7 +135,7 @@ mod tests {
                     } else {
                         WriteKind::Delete
                     },
-                    after: val.map(|v| Row::from([Value::Int(v)])),
+                    after: val.map(|v| std::sync::Arc::new(Row::from([Value::Int(v)]))),
                     prev_ts: 0,
                 }],
                 physical: false,

@@ -310,7 +310,7 @@ mod tests {
                     table: TableId::new(0),
                     key,
                     kind: WriteKind::Update,
-                    after: Some(Row::from([Value::Int(val)])),
+                    after: Some(std::sync::Arc::new(Row::from([Value::Int(val)]))),
                     prev_ts: 0,
                 }],
                 physical: false,

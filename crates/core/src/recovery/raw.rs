@@ -136,9 +136,10 @@ mod tests {
         let db = Database::new(c);
         let raw = RawStore::new(1);
         for k in 0..500u64 {
-            raw.table(TableId::new(0))
-                .get_or_create(k)
-                .install_lww(1, Some(Row::from([Value::Int(k as i64)])));
+            raw.table(TableId::new(0)).get_or_create(k).install_lww(
+                1,
+                Some(std::sync::Arc::new(Row::from([Value::Int(k as i64)]))),
+            );
         }
         assert_eq!(raw.total(), 500);
         raw.build_indexes(&db, 4);

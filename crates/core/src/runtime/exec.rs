@@ -97,7 +97,7 @@ mod tests {
                     table: T,
                     key: 0,
                     kind: WriteKind::Update,
-                    after: Some(Row::from([Value::Int(55)])),
+                    after: Some(std::sync::Arc::new(Row::from([Value::Int(55)]))),
                     prev_ts: 0,
                 },
                 WriteRecord {

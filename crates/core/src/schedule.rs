@@ -276,14 +276,18 @@ mod tests {
                 table: CURRENT,
                 key: 1,
                 kind: WriteKind::Update,
-                after: Some(pacman_common::Row::from([Value::Int(5)])),
+                after: Some(std::sync::Arc::new(pacman_common::Row::from([Value::Int(
+                    5,
+                )]))),
                 prev_ts: 0,
             },
             WriteRecord {
                 table: SAVING,
                 key: 1,
                 kind: WriteKind::Update,
-                after: Some(pacman_common::Row::from([Value::Int(6)])),
+                after: Some(std::sync::Arc::new(pacman_common::Row::from([Value::Int(
+                    6,
+                )]))),
                 prev_ts: 0,
             },
         ];

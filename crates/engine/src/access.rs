@@ -48,8 +48,15 @@ impl DataAccess for TxnAccess<'_, '_> {
     }
 
     fn write_col(&mut self, table: TableId, key: Key, col: usize, value: Value) -> Result<()> {
-        let row = self.txn.read(table, key)?;
-        self.txn.write(table, key, row.with_col(col, value))
+        // The dominant update shape: edit the cached image in place and
+        // materialize the new row exactly once at stage time.
+        let mut row = self.txn.read_for_update(table, key)?;
+        if col >= row.arity() {
+            return Err(Error::Unknown(format!("column {col} of {table}:{key}")));
+        }
+        row.set_col(col, value);
+        row.stage();
+        Ok(())
     }
 
     fn insert(&mut self, table: TableId, key: Key, row: Row) -> Result<()> {
@@ -108,12 +115,14 @@ impl DataAccess for ReplayAccess<'_> {
             key,
         })?;
         t.mark_dirty(key, self.ts);
-        chain.install_lww(self.ts, Some(row.with_col(col, value)));
+        chain.install_lww(self.ts, Some(std::sync::Arc::new(row.with_col(col, value))));
         Ok(())
     }
 
     fn insert(&mut self, table: TableId, key: Key, row: Row) -> Result<()> {
-        self.db.table(table)?.install_lww(key, self.ts, Some(row));
+        self.db
+            .table(table)?
+            .install_lww(key, self.ts, Some(std::sync::Arc::new(row)));
         Ok(())
     }
 

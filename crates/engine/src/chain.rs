@@ -140,11 +140,11 @@ impl TupleChain {
     }
 
     /// A chain seeded with one version (initial load / checkpoint load).
-    pub fn with_version(ts: Timestamp, row: Option<Row>) -> Self {
+    pub fn with_version(ts: Timestamp, row: Option<Arc<Row>>) -> Self {
         let chain = Self::new();
         {
             let mut st = chain.state.lock();
-            st.list.install_committed(ts, row.map(Arc::new));
+            st.list.install_committed(ts, row);
             versions_retained().inc();
             chain.publish_newest(&mut st);
         }
@@ -267,15 +267,19 @@ impl TupleChain {
     /// Commit-path install (callers hold the latch; monotonic timestamps).
     /// Prunes versions older than `floor` once the chain holds more than
     /// `max_versions` entries, all inside the critical section.
+    ///
+    /// Takes the image as a shared `Arc<Row>`: the committing transaction's
+    /// pending write, the version list, the newest slot, and the log
+    /// after-image all hold the same allocation — installs never copy.
     pub fn install_committed(
         &self,
         ts: Timestamp,
-        row: Option<Row>,
+        row: Option<Arc<Row>>,
         floor: Timestamp,
         max_versions: usize,
     ) {
         let mut st = self.state.lock();
-        st.list.install_committed(ts, row.map(Arc::new));
+        st.list.install_committed(ts, row);
         versions_retained().inc();
         if st.list.len() > max_versions {
             let dropped = st.list.prune(floor);
@@ -289,10 +293,10 @@ impl TupleChain {
 
     /// Multi-version recovery install (PLR/LLR), tolerant of out-of-order
     /// timestamps and idempotent on duplicates.
-    pub fn install_mv(&self, ts: Timestamp, row: Option<Row>) {
+    pub fn install_mv(&self, ts: Timestamp, row: Option<Arc<Row>>) {
         let mut st = self.state.lock();
         let before = st.list.len();
-        st.list.install_mv(ts, row.map(Arc::new));
+        st.list.install_mv(ts, row);
         let grew = st.list.len() - before; // 0 on duplicate-ts overwrite
         if grew > 0 {
             versions_retained().add(grew as u64);
@@ -301,10 +305,10 @@ impl TupleChain {
     }
 
     /// Single-version last-writer-wins install (LLR-P, CLR, CLR-P).
-    pub fn install_lww(&self, ts: Timestamp, row: Option<Row>) {
+    pub fn install_lww(&self, ts: Timestamp, row: Option<Arc<Row>>) {
         let mut st = self.state.lock();
         let before = st.list.len();
-        st.list.install_lww(ts, row.map(Arc::new));
+        st.list.install_lww(ts, row);
         let after = st.list.len();
         if after > before {
             versions_retained().add((after - before) as u64);
@@ -336,8 +340,8 @@ mod tests {
     use pacman_common::Value;
     use std::sync::Arc;
 
-    fn row(i: i64) -> Option<Row> {
-        Some(Row::from([Value::Int(i)]))
+    fn row(i: i64) -> Option<Arc<Row>> {
+        Some(Arc::new(Row::from([Value::Int(i)])))
     }
 
     #[test]

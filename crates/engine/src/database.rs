@@ -3,7 +3,7 @@
 use crate::catalog::Catalog;
 use crate::chain::DEFAULT_VERSION_PRUNE_THRESHOLD;
 use crate::table::Table;
-use crate::txn::Txn;
+use crate::txn::{Txn, TxnScratch};
 use pacman_common::fingerprint::Fingerprint;
 use pacman_common::{Error, Key, LogicalClock, Result, Row, TableId, Timestamp};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
@@ -100,13 +100,22 @@ impl Database {
 
     /// Seed a row during initial load (timestamp 0, not logged).
     pub fn seed_row(&self, table: TableId, key: Key, row: Row) -> Result<()> {
-        self.table(table)?.install_lww(key, 0, Some(row));
+        self.table(table)?.install_lww(key, 0, Some(Arc::new(row)));
         Ok(())
     }
 
-    /// Begin an OCC transaction.
+    /// Begin an OCC transaction on pooled per-thread scratch (the steady
+    /// state: no allocation once the pool is warm).
     pub fn begin(&self) -> Txn<'_> {
-        Txn::new(self)
+        Txn::new(self, TxnScratch::acquire())
+    }
+
+    /// Begin an OCC transaction on caller-supplied scratch. The equivalence
+    /// tests use this with [`TxnScratch::new`] to compare pooled reuse
+    /// against guaranteed-fresh state; the scratch still returns to the
+    /// thread-local pool when the transaction ends.
+    pub fn begin_with(&self, scratch: TxnScratch) -> Txn<'_> {
+        Txn::new(self, scratch)
     }
 
     /// Register a snapshot hold at `ts`; versions visible at `ts` survive

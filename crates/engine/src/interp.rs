@@ -9,9 +9,9 @@
 
 use crate::access::{DataAccess, TxnAccess};
 use crate::database::Database;
-use crate::txn::CommitInfo;
+use crate::txn::{CommitInfo, Txn};
 use pacman_common::{Error, Result, Row, Value};
-use pacman_sproc::{EvalCtx, LocalBindings, OpKind, Params, ProcedureDef, VarStore};
+use pacman_sproc::{EvalCtx, LocalBindings, OpGroup, OpKind, Params, ProcedureDef, VarStore};
 
 /// Execute ops `op_indices` (ascending program order) of `proc`.
 /// Returns the number of operations actually executed (loops unrolled,
@@ -25,7 +25,18 @@ pub fn execute_ops(
     access: &mut dyn DataAccess,
 ) -> Result<u64> {
     let mut executed = 0u64;
-    for group in proc.groups(op_indices) {
+    // Whole-procedure execution (normal processing, CLR replay) borrows
+    // the grouping cached on the definition; only true sub-slices (CLR-P
+    // pieces) compute one.
+    let sliced;
+    let groups: &[OpGroup] = if op_indices.len() == proc.ops.len() {
+        proc.all_groups()
+    } else {
+        sliced = proc.groups(op_indices);
+        &sliced
+    };
+    let mut locals = LocalBindings::new();
+    for group in groups {
         let members = &op_indices[group.start..group.end];
         let iterations: u64 = match &proc.ops[members[0]].loop_count {
             None => 1,
@@ -47,7 +58,6 @@ pub fn execute_ops(
                 }
             }
         };
-        let mut locals = LocalBindings::new();
         for i in 0..iterations {
             locals.clear();
             for &op_idx in members {
@@ -129,9 +139,10 @@ pub fn execute_ops(
     Ok(executed)
 }
 
-/// All op indices of a procedure, in program order.
+/// All op indices of a procedure, in program order. Callers that can
+/// borrow should prefer [`ProcedureDef::all_op_indices`] (no allocation).
 pub fn all_ops(proc: &ProcedureDef) -> Vec<usize> {
-    (0..proc.ops.len()).collect()
+    proc.all_op_indices().to_vec()
 }
 
 /// Run a whole procedure as one OCC transaction. Returns the commit info
@@ -149,19 +160,35 @@ pub fn run_procedure_with_epoch(
     params: &Params,
     epoch_fn: impl FnOnce() -> u64,
 ) -> Result<CommitInfo> {
-    let mut txn = db.begin();
-    let vars = VarStore::new(proc.num_vars);
-    let executed = {
+    run_procedure_in(db.begin(), proc, params, epoch_fn)
+}
+
+/// Run a whole procedure inside a caller-supplied transaction. The normal
+/// path goes through [`run_procedure_with_epoch`] (pooled scratch via
+/// [`Database::begin`]); this entry point exists so callers — equivalence
+/// tests in particular — can drive the identical interpreter path over a
+/// transaction built on fresh scratch via [`Database::begin_with`].
+pub fn run_procedure_in(
+    mut txn: Txn<'_>,
+    proc: &ProcedureDef,
+    params: &Params,
+    epoch_fn: impl FnOnce() -> u64,
+) -> Result<CommitInfo> {
+    // The variable frame comes from the transaction's pooled scratch and
+    // goes back before any `?` below, so abort paths keep it in the cycle.
+    let vars = txn.take_var_frame(proc.num_vars);
+    let result = {
         let mut access = TxnAccess::new(&mut txn);
-        let ops = all_ops(proc);
-        execute_ops(proc, &ops, params, &vars, &mut access).map_err(|e| match e {
-            // A read of a missing key inside a transaction aborts it.
-            Error::KeyNotFound { table, key } => {
-                Error::TxnAborted(format!("missing key t{table}:{key}"))
-            }
-            other => other,
-        })?
+        execute_ops(proc, proc.all_op_indices(), params, &vars, &mut access)
     };
+    txn.put_var_frame(vars);
+    let executed = result.map_err(|e| match e {
+        // A read of a missing key inside a transaction aborts it.
+        Error::KeyNotFound { table, key } => {
+            Error::TxnAborted(format!("missing key t{table}:{key}"))
+        }
+        other => other,
+    })?;
     let mut info = txn.commit_with(epoch_fn)?;
     info.ops = executed;
     Ok(info)

@@ -35,8 +35,8 @@ pub use catalog::{Catalog, TableMeta};
 pub use chain::{TupleChain, DEFAULT_VERSION_PRUNE_THRESHOLD};
 pub use database::Database;
 pub use epoch::EpochManager;
-pub use interp::{all_ops, execute_ops, run_procedure, run_procedure_with_epoch};
+pub use interp::{all_ops, execute_ops, run_procedure, run_procedure_in, run_procedure_with_epoch};
 pub use recovery_gate::{AdmissionControl, RecoveryGate};
 pub use table::Table;
-pub use txn::{CommitInfo, Txn, WriteKind, WriteRecord};
+pub use txn::{recycle_commit_info, CommitInfo, RowMut, Txn, TxnScratch, WriteKind, WriteRecord};
 pub use version::{VersionEntry, VersionList};

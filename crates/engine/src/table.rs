@@ -102,7 +102,7 @@ impl Table {
 
     /// Latch-free last-writer-wins install that maintains the shard dirty
     /// tracking — the install path of tuple-level recovery and seeding.
-    pub fn install_lww(&self, key: Key, ts: Timestamp, row: Option<Row>) {
+    pub fn install_lww(&self, key: Key, ts: Timestamp, row: Option<Arc<Row>>) {
         self.mark_dirty(key, ts);
         self.get_or_create(key).install_lww(ts, row);
     }
@@ -218,8 +218,8 @@ mod tests {
         })
     }
 
-    fn row(i: i64) -> Option<Row> {
-        Some(Row::from([Value::Int(i)]))
+    fn row(i: i64) -> Option<Arc<Row>> {
+        Some(Arc::new(Row::from([Value::Int(i)])))
     }
 
     #[test]

@@ -5,11 +5,34 @@
 //! latches after drawing the commit timestamp. The timestamp therefore *is*
 //! the serialization order, which is exactly the commitment order the log
 //! records — the property recovery relies on (§3).
+//!
+//! # Memory discipline
+//!
+//! A steady-state write transaction allocates nothing but its row images:
+//!
+//! * the read map, write map, lock-set vector, write-record vector and the
+//!   interpreter's variable frame live in a [`TxnScratch`] recycled through
+//!   a thread-local pool (the same arena pattern as the WAL's
+//!   `WorkerLogBuffer`) — `clear()` keeps their capacity warm;
+//! * each written row image is materialized exactly once, as an
+//!   `Arc<Row>`, and shared by the pending write, the version chain, the
+//!   newest slot and the [`CommitInfo`] after-image the log encodes from;
+//! * the dominant read-modify-write shape goes through
+//!   [`Txn::read_for_update`], which edits the cached image's columns in a
+//!   reusable scratch buffer instead of clone-modify-reinsert.
+//!
+//! The poison/clear contract: a transaction that ends — commit, abort or
+//! plain drop — runs [`TxnScratch::reset`] before its scratch re-enters
+//! the pool, so no read set, pending write, latch handle or variable
+//! binding can leak into a later transaction. The budget is enforced by
+//! `tests/alloc_count.rs` and the `fig_alloc` bench.
 
 use crate::chain::TupleChain;
 use crate::database::Database;
-use pacman_common::{Error, Key, Result, Row, TableId, Timestamp};
+use pacman_common::{Error, Key, Result, Row, TableId, Timestamp, Value};
 use pacman_obs::Counter;
+use pacman_sproc::VarStore;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
@@ -24,6 +47,22 @@ fn occ_aborts() -> &'static Counter {
 fn occ_commits() -> &'static Counter {
     static C: OnceLock<Counter> = OnceLock::new();
     C.get_or_init(|| pacman_obs::registry().counter("engine.occ.commits"))
+}
+
+/// Transactions that began on recycled scratch (vs. a cold allocation).
+/// Under steady load this tracks `engine.occ.commits + engine.occ.aborts`;
+/// a gap means the pool is being bypassed.
+fn scratch_reuse() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| pacman_obs::registry().counter("engine.txn.scratch_reuse"))
+}
+
+/// Full-row images materialized through the general [`Txn::write`] path
+/// (clone-modify-reinsert) rather than the [`Txn::read_for_update`] fast
+/// lane. Near zero under TPC-C confirms the fast path is actually taken.
+fn row_copies() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| pacman_obs::registry().counter("engine.txn.row_copies"))
 }
 
 /// The kind of a buffered write.
@@ -46,8 +85,10 @@ pub struct WriteRecord {
     pub key: Key,
     /// Update / insert / delete.
     pub kind: WriteKind,
-    /// The after-image (`None` for deletes).
-    pub after: Option<Row>,
+    /// The after-image (`None` for deletes). Shared with the version chain
+    /// the write installed into — the log encoder borrows these bytes, it
+    /// never owns a private copy.
+    pub after: Option<Arc<Row>>,
     /// Timestamp of the version this write superseded (physical logging
     /// records old/new locations; this is our stand-in, §6.1.1).
     pub prev_ts: Timestamp,
@@ -69,7 +110,7 @@ pub struct CommitInfo {
 struct PendingWrite {
     chain: Arc<TupleChain>,
     kind: WriteKind,
-    row: Option<Row>,
+    row: Option<Arc<Row>>,
 }
 
 struct ReadEntry {
@@ -81,36 +122,216 @@ struct ReadEntry {
     row: Arc<Row>,
 }
 
-/// An in-flight transaction.
-pub struct Txn<'db> {
-    db: &'db Database,
+/// Reusable per-transaction working memory: the read/write sets, the
+/// commit lock-set and write-record buffers, the read-modify-write column
+/// scratch, and the interpreter's variable frame.
+///
+/// [`Database::begin`] draws scratch from a thread-local pool and the
+/// ending transaction returns it (after [`TxnScratch::reset`] — the
+/// poison/clear contract), so a warm worker's transactions allocate none
+/// of their bookkeeping. [`Database::begin_with`] accepts caller-built
+/// scratch for tests that want guaranteed-fresh state.
+#[derive(Default)]
+pub struct TxnScratch {
     reads: HashMap<(TableId, Key), ReadEntry>,
     writes: HashMap<(TableId, Key), PendingWrite>,
     write_order: Vec<(TableId, Key)>,
+    lock_set: Vec<((TableId, Key), Arc<TupleChain>)>,
+    records: Vec<WriteRecord>,
+    row_buf: Vec<Value>,
+    vars: VarStore,
+}
+
+/// Scratch blocks (and recycled `CommitInfo` write vectors) retained per
+/// thread. Small: a worker thread runs one transaction at a time, so > 1
+/// entry only buys resilience against nested begins.
+const POOL_CAP: usize = 8;
+
+thread_local! {
+    static SCRATCH_POOL: RefCell<Vec<TxnScratch>> = const { RefCell::new(Vec::new()) };
+    static RECORD_POOL: RefCell<Vec<Vec<WriteRecord>>> = const { RefCell::new(Vec::new()) };
+}
+
+impl TxnScratch {
+    /// Fresh, empty scratch (cold start; the pool refills from these).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draw scratch from the thread-local pool, or build it cold. Either
+    /// way a write-record buffer recycled via [`recycle_commit_info`] is
+    /// re-attached if the scratch has none.
+    pub fn acquire() -> Self {
+        let mut s = match SCRATCH_POOL.with(|p| p.borrow_mut().pop()) {
+            Some(s) => {
+                scratch_reuse().inc();
+                s
+            }
+            None => Self::new(),
+        };
+        if s.records.capacity() == 0 {
+            if let Some(v) = RECORD_POOL.with(|p| p.borrow_mut().pop()) {
+                s.records = v;
+            }
+        }
+        s
+    }
+
+    /// Clear every set, buffer and variable binding while keeping their
+    /// capacity. Runs on *every* transaction exit — commit, abort, drop —
+    /// so pooled reuse is observationally identical to fresh scratch.
+    pub fn reset(&mut self) {
+        self.reads.clear();
+        self.writes.clear();
+        self.write_order.clear();
+        self.lock_set.clear();
+        self.records.clear();
+        self.row_buf.clear();
+        self.vars.reset(0);
+    }
+
+    fn release(mut self) {
+        self.reset();
+        SCRATCH_POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            if p.len() < POOL_CAP {
+                p.push(self);
+            }
+        });
+    }
+}
+
+/// Return a consumed [`CommitInfo`]'s write-record buffer to the
+/// thread-local pool. Drivers call this once the commit has been handed to
+/// the log; the next [`TxnScratch::acquire`] on this thread re-attaches
+/// the capacity, closing the last per-transaction allocation cycle.
+pub fn recycle_commit_info(info: CommitInfo) {
+    let mut writes = info.writes;
+    if writes.capacity() == 0 {
+        return;
+    }
+    writes.clear();
+    RECORD_POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.len() < POOL_CAP {
+            p.push(writes);
+        }
+    });
+}
+
+/// Unlocks every latch in the commit lock-set on drop, so each of
+/// `commit_with`'s early abort returns — and the success path — releases
+/// exactly once and a future early return cannot leak a held latch.
+struct Latched<'a> {
+    set: &'a [((TableId, Key), Arc<TupleChain>)],
+}
+
+impl Drop for Latched<'_> {
+    fn drop(&mut self) {
+        for (_, chain) in self.set {
+            chain.latch.unlock();
+        }
+    }
+}
+
+fn abort_err(msg: String) -> Error {
+    occ_aborts().inc();
+    Error::TxnAborted(msg)
+}
+
+/// An in-flight transaction.
+pub struct Txn<'db> {
+    db: &'db Database,
+    scratch: TxnScratch,
+}
+
+impl Drop for Txn<'_> {
+    fn drop(&mut self) {
+        std::mem::take(&mut self.scratch).release();
+    }
+}
+
+/// A mutable view of one row inside a transaction — the read-modify-write
+/// fast lane handed out by [`Txn::read_for_update`].
+///
+/// The first [`RowMut::set_col`] copies the shared base image's columns
+/// into the transaction's reusable column buffer (capacity warm, `Value`
+/// clones shallow); further edits mutate that buffer in place. [`RowMut::stage`]
+/// materializes the final image once. Dropping the handle without staging
+/// leaves the transaction untouched.
+pub struct RowMut<'t, 'db> {
+    txn: &'t mut Txn<'db>,
+    table: TableId,
+    key: Key,
+    base: Arc<Row>,
+    dirty: bool,
+}
+
+impl RowMut<'_, '_> {
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        if self.dirty {
+            self.txn.scratch.row_buf.len()
+        } else {
+            self.base.arity()
+        }
+    }
+
+    /// Current column value — pending edits included.
+    pub fn col(&self, i: usize) -> &Value {
+        if self.dirty {
+            &self.txn.scratch.row_buf[i]
+        } else {
+            self.base.col(i)
+        }
+    }
+
+    /// Replace column `i` in place.
+    pub fn set_col(&mut self, i: usize, v: Value) {
+        if !self.dirty {
+            let buf = &mut self.txn.scratch.row_buf;
+            buf.clear();
+            buf.extend_from_slice(self.base.cols());
+            self.dirty = true;
+        }
+        self.txn.scratch.row_buf[i] = v;
+    }
+
+    /// Buffer the edited row as this transaction's pending update,
+    /// materializing the new image exactly once. Unedited handles restage
+    /// the shared base image without copying.
+    pub fn stage(self) {
+        let image = if self.dirty {
+            Arc::new(Row::from_slice(&self.txn.scratch.row_buf))
+        } else {
+            Arc::clone(&self.base)
+        };
+        self.txn
+            .stage(self.table, self.key, WriteKind::Update, Some(image));
+    }
 }
 
 impl<'db> Txn<'db> {
-    pub(crate) fn new(db: &'db Database) -> Self {
-        Txn {
-            db,
-            reads: HashMap::new(),
-            writes: HashMap::new(),
-            write_order: Vec::new(),
-        }
+    pub(crate) fn new(db: &'db Database, scratch: TxnScratch) -> Self {
+        debug_assert!(
+            scratch.reads.is_empty() && scratch.writes.is_empty(),
+            "scratch handed to a transaction must be reset"
+        );
+        Txn { db, scratch }
     }
 
     /// Read the current row for `key`, observing own pending writes first.
     pub fn read(&mut self, table: TableId, key: Key) -> Result<Row> {
-        if let Some(w) = self.writes.get(&(table, key)) {
+        if let Some(w) = self.scratch.writes.get(&(table, key)) {
             return match (&w.kind, &w.row) {
                 (WriteKind::Delete, _) | (_, None) => Err(Error::KeyNotFound {
                     table: table.0,
                     key,
                 }),
-                (_, Some(row)) => Ok(row.clone()),
+                (_, Some(row)) => Ok((**row).clone()),
             };
         }
-        if let Some(r) = self.reads.get(&(table, key)) {
+        if let Some(r) = self.scratch.reads.get(&(table, key)) {
             // Repeatable read: serve the image observed first (the one
             // commit validation will check) without re-touching the shard
             // map or the chain.
@@ -126,7 +347,7 @@ impl<'db> Txn<'db> {
             key,
         })?;
         let out = (*row).clone();
-        self.reads.insert(
+        self.scratch.reads.insert(
             (table, key),
             ReadEntry {
                 chain,
@@ -137,15 +358,63 @@ impl<'db> Txn<'db> {
         Ok(out)
     }
 
-    fn stage(&mut self, table: TableId, key: Key, kind: WriteKind, row: Option<Row>) {
-        if let Some(existing) = self.writes.get_mut(&(table, key)) {
+    /// Open `key` for read-modify-write. The returned [`RowMut`] reads
+    /// through to the shared cached image and only copies columns (into
+    /// the transaction's reusable buffer) once a column is actually
+    /// edited — the allocation-free fast lane for the dominant TPC-C
+    /// update shape. Observes own pending writes; the key joins the read
+    /// set exactly as [`Txn::read`] would place it there.
+    pub fn read_for_update(&mut self, table: TableId, key: Key) -> Result<RowMut<'_, 'db>> {
+        let base = if let Some(w) = self.scratch.writes.get(&(table, key)) {
+            match (&w.kind, &w.row) {
+                (WriteKind::Delete, _) | (_, None) => {
+                    return Err(Error::KeyNotFound {
+                        table: table.0,
+                        key,
+                    })
+                }
+                (_, Some(row)) => Arc::clone(row),
+            }
+        } else if let Some(r) = self.scratch.reads.get(&(table, key)) {
+            Arc::clone(&r.row)
+        } else {
+            let chain = self.db.table(table)?.get(key).ok_or(Error::KeyNotFound {
+                table: table.0,
+                key,
+            })?;
+            let (ts, row) = chain.newest();
+            let row = row.ok_or(Error::KeyNotFound {
+                table: table.0,
+                key,
+            })?;
+            self.scratch.reads.insert(
+                (table, key),
+                ReadEntry {
+                    chain,
+                    observed_ts: ts,
+                    row: Arc::clone(&row),
+                },
+            );
+            row
+        };
+        Ok(RowMut {
+            txn: self,
+            table,
+            key,
+            base,
+            dirty: false,
+        })
+    }
+
+    fn stage(&mut self, table: TableId, key: Key, kind: WriteKind, row: Option<Arc<Row>>) {
+        if let Some(existing) = self.scratch.writes.get_mut(&(table, key)) {
             match (existing.kind, kind) {
                 // insert then update: still an insert with the newer image
                 (WriteKind::Insert, WriteKind::Update) => existing.row = row,
                 // insert then delete: net nothing; drop the pending write
                 (WriteKind::Insert, WriteKind::Delete) => {
-                    self.writes.remove(&(table, key));
-                    self.write_order.retain(|k| *k != (table, key));
+                    self.scratch.writes.remove(&(table, key));
+                    self.scratch.write_order.retain(|k| *k != (table, key));
                 }
                 _ => {
                     existing.kind = kind;
@@ -156,7 +425,7 @@ impl<'db> Txn<'db> {
         }
         // A prior read of the key already resolved the chain; reuse the
         // handle so read-modify-write does one shard-map lookup per key.
-        let chain = if let Some(r) = self.reads.get(&(table, key)) {
+        let chain = if let Some(r) = self.scratch.reads.get(&(table, key)) {
             Arc::clone(&r.chain)
         } else {
             match kind {
@@ -178,22 +447,26 @@ impl<'db> Txn<'db> {
                 },
             }
         };
-        self.writes
+        self.scratch
+            .writes
             .insert((table, key), PendingWrite { chain, kind, row });
-        self.write_order.push((table, key));
+        self.scratch.write_order.push((table, key));
     }
 
-    /// Buffer a full-row update.
+    /// Buffer a full-row update (the general clone-modify-reinsert path;
+    /// prefer [`Txn::read_for_update`] on hot shapes — this one bumps the
+    /// `engine.txn.row_copies` counter).
     pub fn write(&mut self, table: TableId, key: Key, row: Row) -> Result<()> {
         self.db.table(table)?; // validate id
-        self.stage(table, key, WriteKind::Update, Some(row));
+        row_copies().inc();
+        self.stage(table, key, WriteKind::Update, Some(Arc::new(row)));
         Ok(())
     }
 
     /// Buffer an insert.
     pub fn insert(&mut self, table: TableId, key: Key, row: Row) -> Result<()> {
         self.db.table(table)?;
-        self.stage(table, key, WriteKind::Insert, Some(row));
+        self.stage(table, key, WriteKind::Insert, Some(Arc::new(row)));
         Ok(())
     }
 
@@ -202,6 +475,31 @@ impl<'db> Txn<'db> {
         self.db.table(table)?;
         self.stage(table, key, WriteKind::Delete, None);
         Ok(())
+    }
+
+    /// Take the pooled interpreter variable frame, sized to `n` slots.
+    /// The interpreter returns it via [`Txn::put_var_frame`] when the
+    /// procedure body finishes (success or error), keeping the frame's
+    /// capacity in the scratch cycle.
+    pub fn take_var_frame(&mut self, n: usize) -> VarStore {
+        let mut vars = std::mem::take(&mut self.scratch.vars);
+        vars.reset(n);
+        vars
+    }
+
+    /// Return the variable frame taken with [`Txn::take_var_frame`].
+    pub fn put_var_frame(&mut self, vars: VarStore) {
+        self.scratch.vars = vars;
+    }
+
+    /// Distinct keys in the read set (diagnostic/test use).
+    pub fn reads_len(&self) -> usize {
+        self.scratch.reads.len()
+    }
+
+    /// Pending writes buffered so far (diagnostic/test use).
+    pub fn writes_len(&self) -> usize {
+        self.scratch.writes.len()
     }
 
     /// Validate, claim a commit timestamp and install all writes, reading
@@ -220,43 +518,46 @@ impl<'db> Txn<'db> {
     ///
     /// On conflict the transaction aborts with [`Error::TxnAborted`]; the
     /// caller may retry with a fresh transaction.
-    pub fn commit_with(self, epoch_fn: impl FnOnce() -> u64) -> Result<CommitInfo> {
-        if self.writes.is_empty() {
+    pub fn commit_with(mut self, epoch_fn: impl FnOnce() -> u64) -> Result<CommitInfo> {
+        if self.scratch.writes.is_empty() {
             return self.commit_read_only();
         }
+        let db = self.db;
         // Install section: held from before the commit timestamp is drawn
         // until every write is installed, so a checkpointer's barrier can
         // wait out commits its snapshot must cover (see
         // `Database::install_barrier`).
-        let _install = self.db.install_guard();
+        let _install = db.install_guard();
+        let TxnScratch {
+            reads,
+            writes,
+            write_order,
+            lock_set,
+            records,
+            ..
+        } = &mut self.scratch;
         // Union of read and write chains, globally ordered to avoid deadlock.
-        let mut lock_set: Vec<((TableId, Key), Arc<TupleChain>)> =
-            Vec::with_capacity(self.reads.len() + self.writes.len());
-        for (k, r) in &self.reads {
+        lock_set.reserve(reads.len() + writes.len());
+        for (k, r) in reads.iter() {
             lock_set.push((*k, Arc::clone(&r.chain)));
         }
-        for (k, w) in &self.writes {
-            if !self.reads.contains_key(k) {
+        for (k, w) in writes.iter() {
+            if !reads.contains_key(k) {
                 lock_set.push((*k, Arc::clone(&w.chain)));
             }
         }
-        lock_set.sort_by_key(|(k, _)| *k);
+        lock_set.sort_unstable_by_key(|(k, _)| *k);
 
-        for (_, chain) in &lock_set {
+        for (_, chain) in lock_set.iter() {
             chain.latch.lock();
         }
-        let unlock = |set: &[((TableId, Key), Arc<TupleChain>)]| {
-            for (_, chain) in set {
-                chain.latch.unlock();
-            }
-        };
+        // Every return below — abort or success — unlocks via this guard.
+        let latched = Latched { set: lock_set };
 
         // Read-set stability.
-        for ((t, k), r) in &self.reads {
+        for ((t, k), r) in reads.iter() {
             if r.chain.newest_ts() != r.observed_ts {
-                unlock(&lock_set);
-                occ_aborts().inc();
-                return Err(Error::TxnAborted(format!(
+                return Err(abort_err(format!(
                     "read of {t}:{k} invalidated (observed ts {}, now {})",
                     r.observed_ts,
                     r.chain.newest_ts()
@@ -264,42 +565,35 @@ impl<'db> Txn<'db> {
             }
         }
         // Write preconditions.
-        for ((t, k), w) in &self.writes {
+        for ((t, k), w) in writes.iter() {
             let (_, live) = w.chain.newest();
             match w.kind {
                 WriteKind::Insert if live.is_some() => {
-                    unlock(&lock_set);
-                    occ_aborts().inc();
-                    return Err(Error::TxnAborted(format!("insert of live key {t}:{k}")));
+                    return Err(abort_err(format!("insert of live key {t}:{k}")));
                 }
                 WriteKind::Update | WriteKind::Delete if live.is_none() => {
-                    unlock(&lock_set);
-                    occ_aborts().inc();
-                    return Err(Error::TxnAborted(format!(
-                        "update/delete of missing key {t}:{k}"
-                    )));
+                    return Err(abort_err(format!("update/delete of missing key {t}:{k}")));
                 }
                 _ => {}
             }
         }
 
         let epoch = epoch_fn();
-        let ts = self
-            .db
+        let ts = db
             .clock()
             .tick_at_least(pacman_common::clock::epoch_floor(epoch));
-        let floor = self.db.version_floor().min(ts);
-        let prune_threshold = self.db.version_prune_threshold();
-        let mut records = Vec::with_capacity(self.write_order.len());
-        for key in &self.write_order {
-            let w = &self.writes[key];
+        let floor = db.version_floor().min(ts);
+        let prune_threshold = db.version_prune_threshold();
+        records.reserve(write_order.len());
+        for key in write_order.iter() {
+            let w = &writes[key];
             let prev_ts = w.chain.newest_ts();
             // Dirty mark before the install becomes visible (incremental
             // checkpointing reads the marks to skip clean shards).
-            self.db
-                .table(key.0)
+            db.table(key.0)
                 .expect("validated table id")
                 .mark_dirty(key.1, ts);
+            // The chain shares the pending image — no copy on install.
             w.chain
                 .install_committed(ts, w.row.clone(), floor, prune_threshold);
             records.push(WriteRecord {
@@ -310,11 +604,11 @@ impl<'db> Txn<'db> {
                 prev_ts,
             });
         }
-        unlock(&lock_set);
+        drop(latched);
         occ_commits().inc();
         Ok(CommitInfo {
             ts,
-            writes: records,
+            writes: std::mem::take(records),
             ops: 0,
         })
     }
@@ -332,11 +626,10 @@ impl<'db> Txn<'db> {
     /// install fence and the commit clock are not involved; the reported
     /// timestamp is the current clock reading.
     fn commit_read_only(self) -> Result<CommitInfo> {
-        for ((t, k), r) in &self.reads {
+        for ((t, k), r) in &self.scratch.reads {
             let now = r.chain.newest_ts();
             if now != r.observed_ts {
-                occ_aborts().inc();
-                return Err(Error::TxnAborted(format!(
+                return Err(abort_err(format!(
                     "read of {t}:{k} invalidated (observed ts {}, now {now})",
                     r.observed_ts
                 )));
@@ -350,7 +643,8 @@ impl<'db> Txn<'db> {
         })
     }
 
-    /// Discard the transaction (buffers are dropped; nothing was installed).
+    /// Discard the transaction (buffers are cleared and the scratch
+    /// returns to the pool; nothing was installed).
     pub fn abort(self) {}
 }
 
@@ -385,6 +679,98 @@ mod tests {
         assert_eq!(info.writes[0].kind, WriteKind::Update);
         let mut t2 = db.begin();
         assert_eq!(t2.read(T, 1).unwrap().col(0), &Value::Int(70));
+    }
+
+    #[test]
+    fn read_for_update_edits_in_place() {
+        let db = db();
+        let mut t = db.begin();
+        let mut r = t.read_for_update(T, 1).unwrap();
+        assert_eq!(r.arity(), 1);
+        let v = r.col(0).as_int().unwrap();
+        r.set_col(0, Value::Int(v - 30));
+        assert_eq!(r.col(0), &Value::Int(70), "edits read back before stage");
+        r.stage();
+        let info = t.commit().unwrap();
+        assert_eq!(info.writes.len(), 1);
+        assert_eq!(info.writes[0].kind, WriteKind::Update);
+        let mut t2 = db.begin();
+        assert_eq!(t2.read(T, 1).unwrap().col(0), &Value::Int(70));
+    }
+
+    #[test]
+    fn read_for_update_sees_own_pending_writes() {
+        let db = db();
+        let mut t = db.begin();
+        t.insert(T, 55, Row::from([Value::Int(5)])).unwrap();
+        let mut r = t.read_for_update(T, 55).unwrap();
+        r.set_col(0, Value::Int(6));
+        r.stage();
+        let info = t.commit().unwrap();
+        // Updating a pending insert must still install as an insert.
+        assert_eq!(info.writes[0].kind, WriteKind::Insert);
+        let mut t2 = db.begin();
+        assert_eq!(t2.read(T, 55).unwrap().col(0), &Value::Int(6));
+
+        let mut t3 = db.begin();
+        t3.delete(T, 55).unwrap();
+        assert!(
+            t3.read_for_update(T, 55).is_err(),
+            "pending delete hides row"
+        );
+    }
+
+    #[test]
+    fn unstaged_row_mut_leaves_txn_read_only() {
+        let db = db();
+        let mut t = db.begin();
+        let mut r = t.read_for_update(T, 1).unwrap();
+        r.set_col(0, Value::Int(0));
+        drop(r); // never staged
+        let info = t.commit().unwrap();
+        assert!(info.writes.is_empty());
+        let mut t2 = db.begin();
+        assert_eq!(t2.read(T, 1).unwrap().col(0), &Value::Int(100));
+    }
+
+    #[test]
+    fn commit_shares_the_installed_image_with_the_log_record() {
+        let db = db();
+        let mut t = db.begin();
+        let mut r = t.read_for_update(T, 2).unwrap();
+        r.set_col(0, Value::Int(42));
+        r.stage();
+        let info = t.commit().unwrap();
+        let after = info.writes[0].after.as_ref().unwrap();
+        let (_, newest) = db.table(T).unwrap().get(2).unwrap().newest();
+        assert!(
+            Arc::ptr_eq(after, &newest.unwrap()),
+            "chain and log record must share one image"
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_bleed_state() {
+        let db = db();
+        // Dirty a transaction's read and write sets, then abort it.
+        let mut t1 = db.begin();
+        t1.read(T, 1).unwrap();
+        t1.write(T, 2, Row::from([Value::Int(-1)])).unwrap();
+        let vars = t1.take_var_frame(3);
+        vars.set(pacman_common::VarId::new(0), Value::Int(9));
+        t1.put_var_frame(vars);
+        t1.abort();
+        // The next transaction on this thread reuses the scratch: it must
+        // observe none of t1's state.
+        let mut t2 = db.begin();
+        assert_eq!(t2.reads_len(), 0);
+        assert_eq!(t2.writes_len(), 0);
+        let vars = t2.take_var_frame(3);
+        assert_eq!(vars.get(pacman_common::VarId::new(0)), None);
+        t2.put_var_frame(vars);
+        assert_eq!(t2.read(T, 2).unwrap().col(0), &Value::Int(100));
+        let info = t2.commit().unwrap();
+        assert!(info.writes.is_empty(), "t1's aborted write leaked");
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub use access::{compute_accesses, Access};
 pub use builder::ProcBuilder;
 pub use expr::{EvalCtx, Expr, LocalBindings};
 pub use op::{OpDef, OpKind};
-pub use procedure::ProcedureDef;
+pub use procedure::{OpGroup, ProcedureDef};
 pub use registry::ProcRegistry;
 pub use vars::VarStore;
 

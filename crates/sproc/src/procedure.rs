@@ -34,6 +34,12 @@ pub struct ProcedureDef {
     var_escapes: Vec<bool>,
     /// Per-op: the ops it directly flow-depends on.
     flow_deps: Vec<Vec<OpId>>,
+    /// Cached `0..ops.len()` — the "execute the whole procedure" op-index
+    /// slice, so normal processing never materializes it per transaction.
+    all_ops: Vec<usize>,
+    /// Cached [`ProcedureDef::groups`] of the whole procedure, for the
+    /// same reason.
+    all_groups: Vec<OpGroup>,
 }
 
 /// A contiguous group of operations sharing a counted loop, or a single
@@ -182,6 +188,8 @@ impl ProcedureDef {
             prev = op.loop_id;
         }
 
+        let all_ops: Vec<usize> = (0..ops.len()).collect();
+        let all_groups = groups_impl(&ops, &all_ops);
         Ok(ProcedureDef {
             id,
             name,
@@ -192,7 +200,21 @@ impl ProcedureDef {
             var_loop_local,
             var_escapes,
             flow_deps,
+            all_ops,
+            all_groups,
         })
+    }
+
+    /// All op indices in program order — the whole-procedure "slice".
+    /// Cached at build time so per-transaction execution borrows it.
+    pub fn all_op_indices(&self) -> &[usize] {
+        &self.all_ops
+    }
+
+    /// [`ProcedureDef::groups`] over the whole procedure, cached at build
+    /// time.
+    pub fn all_groups(&self) -> &[OpGroup] {
+        &self.all_groups
     }
 
     /// Direct flow dependencies of op `i` (ops whose outputs it consumes,
@@ -218,34 +240,10 @@ impl ProcedureDef {
     }
 
     /// Op groups (loop bodies and singleton ops) in program order,
-    /// optionally restricted to a subset of op indices (a slice).
+    /// optionally restricted to a subset of op indices (a slice). Prefer
+    /// [`ProcedureDef::all_groups`] for the whole procedure — it is cached.
     pub fn groups(&self, op_indices: &[usize]) -> Vec<OpGroup> {
-        let mut out = Vec::new();
-        let mut i = 0;
-        while i < op_indices.len() {
-            let idx = op_indices[i];
-            let lid = self.ops[idx].loop_id;
-            if lid.is_none() {
-                out.push(OpGroup {
-                    start: i,
-                    end: i + 1,
-                    loop_id: None,
-                });
-                i += 1;
-                continue;
-            }
-            let mut j = i + 1;
-            while j < op_indices.len() && self.ops[op_indices[j]].loop_id == lid {
-                j += 1;
-            }
-            out.push(OpGroup {
-                start: i,
-                end: j,
-                loop_id: lid,
-            });
-            i = j;
-        }
-        out
+        groups_impl(&self.ops, op_indices)
     }
 
     /// Pretty-print the whole procedure (used by the examples).
@@ -259,6 +257,37 @@ impl ProcedureDef {
         s.push('}');
         s
     }
+}
+
+/// [`ProcedureDef::groups`] without a finished `self` (the constructor
+/// caches the whole-procedure grouping before the struct exists).
+fn groups_impl(ops: &[OpDef], op_indices: &[usize]) -> Vec<OpGroup> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < op_indices.len() {
+        let idx = op_indices[i];
+        let lid = ops[idx].loop_id;
+        if lid.is_none() {
+            out.push(OpGroup {
+                start: i,
+                end: i + 1,
+                loop_id: None,
+            });
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        while j < op_indices.len() && ops[op_indices[j]].loop_id == lid {
+            j += 1;
+        }
+        out.push(OpGroup {
+            start: i,
+            end: j,
+            loop_id: lid,
+        });
+        i = j;
+    }
+    out
 }
 
 #[cfg(test)]

@@ -16,9 +16,9 @@ use std::sync::{Mutex, OnceLock};
 /// foreign-key pattern of §4.3.1 can span slices inside a loop — e.g.
 /// TPC-C Delivery reads an order's amount and credits the customer from a
 /// different piece), stored in the indexed side table.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct VarStore {
-    slots: Box<[OnceLock<Value>]>,
+    slots: Vec<OnceLock<Value>>,
     indexed: Mutex<HashMap<(u32, u64), Value>>,
 }
 
@@ -29,6 +29,16 @@ impl VarStore {
             slots: (0..n).map(|_| OnceLock::new()).collect(),
             indexed: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Drop every binding and resize to `n` slots, keeping allocated
+    /// capacity. Requires exclusive access, so no reader can observe the
+    /// wipe — this is how the engine's pooled transaction scratch recycles
+    /// one frame across transactions without reallocating it.
+    pub fn reset(&mut self, n: usize) {
+        self.slots.clear();
+        self.slots.resize_with(n, OnceLock::new);
+        self.indexed.get_mut().expect("varstore poisoned").clear();
     }
 
     /// Bind a variable. Binding twice is a logic error (each variable has
@@ -84,6 +94,20 @@ mod tests {
         vs.set(VarId::new(1), Value::Int(7));
         assert_eq!(vs.get(VarId::new(1)), Some(Value::Int(7)));
         assert_eq!(vs.len(), 3);
+    }
+
+    #[test]
+    fn reset_drops_all_bindings() {
+        let mut vs = VarStore::new(2);
+        vs.set(VarId::new(0), Value::Int(1));
+        vs.set_indexed(VarId::new(1), 3, Value::Int(2));
+        vs.reset(4);
+        assert_eq!(vs.len(), 4);
+        assert_eq!(vs.get(VarId::new(0)), None);
+        assert_eq!(vs.get_indexed(VarId::new(1), 3), None);
+        // Slots are fresh: rebinding after reset is not "bound twice".
+        vs.set(VarId::new(0), Value::Int(9));
+        assert_eq!(vs.get(VarId::new(0)), Some(Value::Int(9)));
     }
 
     #[test]

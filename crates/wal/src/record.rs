@@ -197,7 +197,7 @@ fn decode_write(cur: &mut Cursor<'_>, physical: bool) -> Result<WriteRecord> {
         t => return Err(Error::Corrupt(format!("bad write kind {t}"))),
     };
     let after = match cur.read_u8()? {
-        1 => Some(Row::decode(cur)?),
+        1 => Some(std::sync::Arc::new(Row::decode(cur)?)),
         0 => None,
         t => return Err(Error::Corrupt(format!("bad after flag {t}"))),
     };
@@ -581,7 +581,10 @@ mod tests {
             table: TableId::new(1),
             key,
             kind: WriteKind::Update,
-            after: Some(Row::from([Value::Int(val), Value::str("pad")])),
+            after: Some(std::sync::Arc::new(Row::from([
+                Value::Int(val),
+                Value::str("pad"),
+            ]))),
             prev_ts: 7,
         }
     }

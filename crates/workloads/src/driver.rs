@@ -194,6 +194,10 @@ pub fn run_workload(
                                     );
                                     pending.push_back((epoch_of(info.ts), submit));
                                 }
+                                // The log has copied the after-image bytes
+                                // into the worker arena; hand the record
+                                // buffer back to the transaction pool.
+                                pacman_engine::recycle_commit_info(info);
                                 local_retries.record(tries as u64);
                                 break;
                             }
@@ -498,6 +502,7 @@ pub fn run_ramp(
                                     );
                                     unacked.push_back(epoch_of(info.ts));
                                 }
+                                pacman_engine::recycle_commit_info(info);
                                 break;
                             }
                             Err(Error::TxnAborted(_)) => {

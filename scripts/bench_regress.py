@@ -12,6 +12,12 @@ latency (`driver.commit_latency_us` p99 — an *increase* is the
 regression) grew by more than --max-latency-regress percent (default
 25; latency is noisier than throughput on quick shapes).
 
+Allocation budgets are gated absolutely, not relatively: fig_alloc's
+per-transaction allocator traffic (commit arena, read path, write path)
+must stay at or under fixed budgets in the *newer* document. These are
+deliberate engineering invariants — a budget miss is a real regression
+regardless of what the older point measured.
+
 A figure missing from the *older* document is reported as new and not
 gated (the trajectory predates it); missing from the *newer* document is
 a failure — a gated figure must not silently disappear.
@@ -27,6 +33,16 @@ import sys
 
 # Figures whose committed-transaction count is gated, in report order.
 GATED_FIGURES = ("fig11", "fig_read")
+
+# fig_alloc gauges gated against absolute budgets in the newer document:
+# metric name -> (budget, unit). Missing from the older point is fine
+# (the trajectory predates the gauge); missing from the newer point or
+# above budget fails.
+ALLOC_BUDGETS = {
+    "bench.fig_alloc.commit_allocs_per_txn_arena": (2.0, "allocs/txn"),
+    "bench.fig_alloc.read_allocs_per_txn": (1.0, "allocs/txn"),
+    "bench.fig_alloc.write_allocs_per_txn": (2.0, "allocs/txn"),
+}
 
 
 def load(path):
@@ -126,6 +142,22 @@ def main():
                 failures.append(
                     f"fig_latency p99 commit latency rose {rise:.1f}% "
                     f"(limit {args.max_latency_regress:.0f}%)")
+
+    # Allocation budgets: absolute gates on the newer point.
+    for name, (budget, unit) in ALLOC_BUDGETS.items():
+        short = name.removeprefix("bench.fig_alloc.")
+        v_old = metric(old, "fig_alloc", name)
+        v_new = metric(new, "fig_alloc", name)
+        label = f"fig_alloc {short}:"
+        if v_new is None:
+            print(f"  {label:<40} missing from {args.new}")
+            failures.append(f"fig_alloc {short} missing from {args.new}")
+            continue
+        old_str = "n/a" if v_old is None else f"{v_old:.3f}"
+        print(f"  {label:<40} {old_str} -> {v_new:.3f} (budget {budget:g} {unit})")
+        if v_new > budget:
+            failures.append(
+                f"fig_alloc {short} over budget: {v_new:.3f} > {budget:g} {unit}")
 
     for fig in ("fig14", "fig16"):
         o, n = replay_mbps(old, fig), replay_mbps(new, fig)

@@ -17,7 +17,15 @@
 //! * **read** — a read-only OCC transaction over shared `Arc<Row>` images
 //!   and the latch-free newest slot must stay at or under 1 allocation
 //!   per transaction (the read-set map itself; the reads and the
-//!   lock-free validating commit allocate nothing).
+//!   lock-free validating commit allocate nothing — with the pooled
+//!   scratch it measures ~0 in steady state).
+//! * **write** — a single-row read-modify-write transaction through the
+//!   pooled-scratch write path must stay at or under 2 allocations per
+//!   transaction: the `Arc<[Value]>` column slab and the `Arc<Row>`
+//!   header of the new image. Everything else (read/write maps, lock
+//!   set, record vec, interpreter frame) is recycled capacity, and the
+//!   staged image is the same `Arc` the chain installs and the log
+//!   record carries (no clones).
 //!
 //! Pre-change constants (measured before the arena/view rework, same
 //! shapes as below): the per-record `log_commit` path paid ~2.2
@@ -96,7 +104,7 @@ fn one_write() -> WriteRecord {
         table: TableId::new(0),
         key: 7,
         kind: WriteKind::Update,
-        after: Some(Row::from([Value::Int(42)])),
+        after: Some(Arc::new(Row::from([Value::Int(42)]))),
         prev_ts: 0,
     }
 }
@@ -234,6 +242,58 @@ fn read_only_txn_stays_within_alloc_budget() {
     );
 }
 
+/// A steady-state single-row update transaction pays at most 2
+/// allocations: the column slab and header of the freshly materialized
+/// `Arc<Row>` image. The scratch (read/write maps, lock set, record
+/// vec) comes warm from the thread-local pool, `commit` shares the
+/// image `Arc` between the chain install and the `CommitInfo` record,
+/// and `recycle_commit_info` hands the record buffer back to the pool.
+#[test]
+fn update_txn_stays_within_alloc_budget() {
+    let mut c = Catalog::new();
+    c.add_table("acct", 1);
+    let db = Database::new(c);
+    const ACCTS: u64 = 16;
+    for k in 0..ACCTS {
+        db.seed_row(TableId::new(0), k, Row::from([Value::Int(100)]))
+            .unwrap();
+    }
+    let t = TableId::new(0);
+
+    const WARMUP: u64 = 100;
+    const MEASURED: u64 = 2_000;
+    let mut measured_allocs = 0u64;
+    for i in 0..WARMUP + MEASURED {
+        let a0 = allocs_now();
+        let mut txn = db.begin();
+        let mut row = txn.read_for_update(t, i % ACCTS).unwrap();
+        let v = row.col(0).as_int().unwrap();
+        row.set_col(0, Value::Int(v + 1));
+        row.stage();
+        let info = txn.commit().unwrap();
+        if i >= WARMUP {
+            measured_allocs += allocs_now() - a0;
+        }
+
+        // Zero-clone install: the log record and the chain's newest
+        // version hold the *same* image, not copies.
+        let staged = info.writes[0].after.as_ref().unwrap();
+        let chain = db.table(t).unwrap().get(i % ACCTS).unwrap();
+        let (_, newest) = chain.newest();
+        assert!(
+            Arc::ptr_eq(staged, &newest.unwrap()),
+            "install path cloned the row image"
+        );
+        pacman_engine::recycle_commit_info(info);
+    }
+    let per_txn = measured_allocs as f64 / MEASURED as f64;
+    println!("update txn: {per_txn:.3} allocs/txn over {MEASURED} txns");
+    assert!(
+        per_txn <= 2.0,
+        "update txn exceeded the allocation budget: {per_txn:.3} allocs/txn (budget 2.0)"
+    );
+}
+
 /// Replaying through `MergedBatchView` copies strictly fewer bytes per
 /// record than the owned decode path: row images are materialized once
 /// at installation, never into an intermediate owned batch.
@@ -250,10 +310,10 @@ fn replay_view_copies_fewer_bytes_than_owned_decode() {
                     table: TableId::new(0),
                     key: i,
                     kind: WriteKind::Update,
-                    after: Some(Row::from([
+                    after: Some(Arc::new(Row::from([
                         Value::Int(i as i64),
                         Value::str("payload-payload-payload"),
-                    ])),
+                    ]))),
                     prev_ts: 0,
                 }],
                 physical: false,

@@ -133,7 +133,7 @@ fn write_strategy() -> impl Strategy<Value = WriteRecord> {
                 after: if kind == WriteKind::Delete {
                     None
                 } else {
-                    Some(Row::new(cols))
+                    Some(std::sync::Arc::new(Row::new(cols)))
                 },
                 prev_ts,
             }

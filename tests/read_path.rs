@@ -21,8 +21,8 @@ use std::sync::{Arc, Barrier};
 
 /// A self-checking image: `col(0) = ts`, `col(1) = !ts`. Any torn mix of
 /// two installs breaks one of the equalities below.
-fn tagged_row(ts: u64) -> Row {
-    Row::from([Value::Int(ts as i64), Value::Int(!(ts as i64))])
+fn tagged_row(ts: u64) -> Arc<Row> {
+    Arc::new(Row::from([Value::Int(ts as i64), Value::Int(!(ts as i64))]))
 }
 
 fn assert_tagged(row: &Row, expect_ts: Option<u64>, what: &str) {
